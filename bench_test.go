@@ -1,0 +1,374 @@
+// Package mirabel's root benchmarks regenerate every figure of the
+// paper's evaluation (§9) as testing.B benchmarks. Each figure panel has
+// one bench; cmd/mirabel-bench prints the full series sweeps. Custom
+// metrics carry the figure's y-axis value (aggregate counts, SMAPE,
+// schedule cost) alongside ns/op.
+package mirabel
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"mirabel/internal/agg"
+	"mirabel/internal/flexoffer"
+	"mirabel/internal/forecast"
+	"mirabel/internal/optimize"
+	"mirabel/internal/sched"
+	"mirabel/internal/workload"
+)
+
+// benchOffers is the per-iteration dataset size of the Figure 5 benches
+// (the paper sweeps to 800 000; cmd/mirabel-bench does the full sweep).
+const benchOffers = 100000
+
+var figParams = []struct {
+	name   string
+	params agg.Params
+}{
+	{"P0", agg.ParamsP0},
+	{"P1", agg.ParamsP1},
+	{"P2", agg.ParamsP2},
+	{"P3", agg.ParamsP3},
+}
+
+func benchDataset(b *testing.B, n int) []agg.FlexOfferUpdate {
+	b.Helper()
+	offers := workload.GenerateFlexOffers(workload.FlexOfferConfig{Count: n, Seed: 1})
+	ups := make([]agg.FlexOfferUpdate, len(offers))
+	for i, f := range offers {
+		ups[i] = agg.FlexOfferUpdate{Kind: agg.Insert, Offer: f}
+	}
+	return ups
+}
+
+// BenchmarkFig5aCompression regenerates Figure 5a: the number of
+// aggregated flex-offers per parameter combination (metric
+// "aggregates").
+func BenchmarkFig5aCompression(b *testing.B) {
+	ups := benchDataset(b, benchOffers)
+	for _, tc := range figParams {
+		b.Run(tc.name, func(b *testing.B) {
+			var aggs int
+			for i := 0; i < b.N; i++ {
+				p := agg.NewPipeline(tc.params, agg.BinPackerOptions{})
+				if _, err := p.Apply(ups...); err != nil {
+					b.Fatal(err)
+				}
+				aggs = p.CurrentMetrics().Aggregates
+			}
+			b.ReportMetric(float64(aggs), "aggregates")
+			b.ReportMetric(float64(benchOffers)/float64(aggs), "compression")
+		})
+	}
+}
+
+// BenchmarkFig5bAggregationTime regenerates Figure 5b: aggregation time
+// per parameter combination (ns/op is the figure's y-axis).
+func BenchmarkFig5bAggregationTime(b *testing.B) {
+	ups := benchDataset(b, benchOffers)
+	for _, tc := range figParams {
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				p := agg.NewPipeline(tc.params, agg.BinPackerOptions{})
+				if _, err := p.Apply(ups...); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig5cFlexLoss regenerates Figure 5c: time-flexibility loss
+// per flex-offer (metric "loss_slots/offer").
+func BenchmarkFig5cFlexLoss(b *testing.B) {
+	ups := benchDataset(b, benchOffers)
+	for _, tc := range figParams {
+		b.Run(tc.name, func(b *testing.B) {
+			var loss float64
+			for i := 0; i < b.N; i++ {
+				p := agg.NewPipeline(tc.params, agg.BinPackerOptions{})
+				if _, err := p.Apply(ups...); err != nil {
+					b.Fatal(err)
+				}
+				loss = p.CurrentMetrics().LossPerOffer
+			}
+			b.ReportMetric(loss, "loss_slots/offer")
+		})
+	}
+}
+
+// BenchmarkFig5dDisaggregation regenerates Figure 5d: disaggregation
+// time (ns/op) against the aggregation time of the same dataset (metric
+// "disagg/agg_ratio"; the paper reports ≈ 0.36).
+func BenchmarkFig5dDisaggregation(b *testing.B) {
+	ups := benchDataset(b, benchOffers)
+	for _, tc := range figParams {
+		b.Run(tc.name, func(b *testing.B) {
+			p := agg.NewPipeline(tc.params, agg.BinPackerOptions{})
+			t0 := time.Now()
+			if _, err := p.Apply(ups...); err != nil {
+				b.Fatal(err)
+			}
+			aggTime := time.Since(t0)
+			// Mid-flexibility schedules for every aggregate.
+			scheds := make([]*flexoffer.Schedule, 0, len(p.Aggregates()))
+			for _, a := range p.Aggregates() {
+				energy := make([]float64, a.Offer.NumSlices())
+				for j, sl := range a.Offer.Profile {
+					energy[j] = (sl.EnergyMin + sl.EnergyMax) / 2
+				}
+				scheds = append(scheds, &flexoffer.Schedule{
+					OfferID: a.Offer.ID,
+					Start:   a.Offer.EarliestStart + a.Offer.TimeFlexibility()/2,
+					Energy:  energy,
+				})
+			}
+			b.ResetTimer()
+			var disaggTime time.Duration
+			for i := 0; i < b.N; i++ {
+				t0 := time.Now()
+				if _, err := p.Disaggregate(scheds); err != nil {
+					b.Fatal(err)
+				}
+				disaggTime = time.Since(t0)
+			}
+			b.ReportMetric(disaggTime.Seconds()/aggTime.Seconds(), "disagg/agg_ratio")
+		})
+	}
+}
+
+// BenchmarkFig4aEstimators regenerates Figure 4a: HWT parameter
+// estimation with the three global search strategies; the metric "smape"
+// is the accuracy each strategy reaches within the fixed budget.
+func BenchmarkFig4aEstimators(b *testing.B) {
+	demand := workload.DemandSeries(workload.DemandConfig{Days: 28, Seed: 1})
+	vals := demand.Values()
+	for _, est := range []optimize.Estimator{
+		&optimize.RandomRestartNelderMead{},
+		&optimize.SimulatedAnnealing{},
+		optimize.RandomSearch{},
+	} {
+		b.Run(est.Name(), func(b *testing.B) {
+			var smape float64
+			for i := 0; i < b.N; i++ {
+				_, res, err := forecast.FitHWT(vals, []int{48, 336}, forecast.FitConfig{
+					Estimator: est,
+					Options:   optimize.Options{MaxEvaluations: 300, Seed: 2},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				smape = res.Value
+			}
+			b.ReportMetric(smape, "smape")
+		})
+	}
+}
+
+// BenchmarkFig4bHorizon regenerates Figure 4b: forecast accuracy at
+// growing horizons for the demand and wind series (metric "smape").
+func BenchmarkFig4bHorizon(b *testing.B) {
+	series := map[string][]float64{
+		"demand": workload.DemandSeries(workload.DemandConfig{Days: 28, Seed: 1}).Values(),
+		"wind":   workload.WindSeries(workload.WindConfig{Days: 28, Seed: 1}).Values(),
+	}
+	for _, name := range []string{"demand", "wind"} {
+		vals := series[name]
+		split := len(vals) - 2*336
+		for _, h := range []int{1, 48, 192} { // 30 min, 1 day, 4 days
+			b.Run(fmt.Sprintf("%s/h%d", name, h), func(b *testing.B) {
+				var smape float64
+				for i := 0; i < b.N; i++ {
+					m, _, err := forecast.FitHWT(vals[:split], []int{48, 336}, forecast.FitConfig{
+						Options: optimize.Options{MaxEvaluations: 200, Seed: 3},
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					smape, err = forecast.HorizonSMAPE(m, vals[split:], h)
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(smape, "smape")
+			})
+		}
+	}
+}
+
+// BenchmarkFig6Scheduling regenerates Figure 6: schedule cost reached by
+// the evolutionary algorithm and the randomized greedy search on intra-
+// day scenarios of growing size, within a budget that scales like the
+// paper's time axes (metric "cost_eur").
+func BenchmarkFig6Scheduling(b *testing.B) {
+	for _, n := range []int{10, 100, 1000} {
+		p, err := sched.BuildScenario(sched.ScenarioConfig{Offers: n, Seed: 42})
+		if err != nil {
+			b.Fatal(err)
+		}
+		budget := time.Duration(n) * time.Millisecond
+		if budget < 50*time.Millisecond {
+			budget = 50 * time.Millisecond
+		}
+		for _, s := range []sched.Scheduler{&sched.Evolutionary{}, &sched.RandomizedGreedy{}} {
+			b.Run(fmt.Sprintf("%s/%d", s.Name(), n), func(b *testing.B) {
+				var cost float64
+				for i := 0; i < b.N; i++ {
+					res, err := s.Schedule(p, sched.Options{TimeBudget: budget, Seed: 7})
+					if err != nil {
+						b.Fatal(err)
+					}
+					cost = res.Cost
+				}
+				b.ReportMetric(cost, "cost_eur")
+			})
+		}
+	}
+}
+
+// BenchmarkAblationBinPacker measures the bin-packer's overhead and its
+// effect on aggregate counts (DESIGN.md §6: optional stage).
+func BenchmarkAblationBinPacker(b *testing.B) {
+	ups := benchDataset(b, 50000)
+	for _, tc := range []struct {
+		name string
+		opts agg.BinPackerOptions
+	}{
+		{"off", agg.BinPackerOptions{}},
+		{"max50members", agg.BinPackerOptions{MaxMembers: 50}},
+		{"max2MWh", agg.BinPackerOptions{MaxEnergyKWh: 2000}},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			var aggs int
+			for i := 0; i < b.N; i++ {
+				p := agg.NewPipeline(agg.ParamsP3, tc.opts)
+				if _, err := p.Apply(ups...); err != nil {
+					b.Fatal(err)
+				}
+				aggs = p.CurrentMetrics().Aggregates
+			}
+			b.ReportMetric(float64(aggs), "aggregates")
+		})
+	}
+}
+
+// BenchmarkAblationEnergyFill compares the greedy imbalance-canceling
+// energy fill against the midpoint baseline (DESIGN.md §6).
+func BenchmarkAblationEnergyFill(b *testing.B) {
+	p, err := sched.BuildScenario(sched.ScenarioConfig{Offers: 200, Seed: 9})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		fill sched.FillMode
+	}{
+		{"greedy", sched.FillGreedy},
+		{"midpoint", sched.FillMidpoint},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			var cost float64
+			for i := 0; i < b.N; i++ {
+				res, err := (&sched.RandomizedGreedy{Fill: tc.fill}).Schedule(p, sched.Options{MaxIterations: 5, Seed: 10})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cost = res.Cost
+			}
+			b.ReportMetric(cost, "cost_eur")
+		})
+	}
+}
+
+// BenchmarkAblationWarmStart compares cold parameter estimation against
+// a warm start from previously estimated parameters (the context-aware
+// adaptation path).
+func BenchmarkAblationWarmStart(b *testing.B) {
+	vals := workload.DemandSeries(workload.DemandConfig{Days: 21, Seed: 4}).Values()
+	good, _, err := forecast.FitHWT(vals, []int{48}, forecast.FitConfig{
+		Options: optimize.Options{MaxEvaluations: 600, Seed: 5},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name  string
+		start []float64
+	}{
+		{"cold", nil},
+		{"warm", good.Params()},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			var smape float64
+			for i := 0; i < b.N; i++ {
+				_, res, err := forecast.FitHWT(vals, []int{48}, forecast.FitConfig{
+					Options: optimize.Options{MaxEvaluations: 60, Seed: 6},
+					Start:   tc.start,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				smape = res.Value
+			}
+			b.ReportMetric(smape, "smape")
+		})
+	}
+}
+
+// BenchmarkAblationTimeFlexibility sweeps the offers' time flexibility
+// (§6 research directions: "the complexity of the search space heavily
+// depends also on the start time flexibilities of the included
+// flex-offers") and reports the cost the greedy search reaches within a
+// fixed budget plus the search-space size.
+func BenchmarkAblationTimeFlexibility(b *testing.B) {
+	for _, maxTF := range []int{4, 16, 64} {
+		p, err := sched.BuildScenario(sched.ScenarioConfig{Offers: 200, Seed: 31, MaxTFSlots: maxTF})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("maxTF%d", maxTF), func(b *testing.B) {
+			var cost float64
+			for i := 0; i < b.N; i++ {
+				res, err := (&sched.RandomizedGreedy{}).Schedule(p, sched.Options{TimeBudget: 100 * time.Millisecond, Seed: 32})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cost = res.Cost
+			}
+			b.ReportMetric(cost, "cost_eur")
+			b.ReportMetric(math.Log10(p.CountSolutions()), "log10_search_space")
+		})
+	}
+}
+
+// BenchmarkAblationIncrementalAggregation compares incremental
+// maintenance (one batch per 1000 offers) against one-shot aggregation
+// from scratch.
+func BenchmarkAblationIncrementalAggregation(b *testing.B) {
+	ups := benchDataset(b, 50000)
+	b.Run("one-shot", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p := agg.NewPipeline(agg.ParamsP3, agg.BinPackerOptions{})
+			if _, err := p.Apply(ups...); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("batches-of-1000", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p := agg.NewPipeline(agg.ParamsP3, agg.BinPackerOptions{})
+			for off := 0; off < len(ups); off += 1000 {
+				end := off + 1000
+				if end > len(ups) {
+					end = len(ups)
+				}
+				if _, err := p.Apply(ups[off:end]...); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}

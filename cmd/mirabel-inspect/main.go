@@ -1,0 +1,95 @@
+// mirabel-inspect is the User Interface component's command-line
+// surrogate (paper §3: "physical users can interact with LEDMS, set
+// parameters, and analyze the data"): it opens a node's durable store
+// read-only-style and prints the multidimensional schema's contents —
+// table cardinalities, the flex-offer lifecycle breakdown, per-actor
+// energy totals and recent schedules.
+//
+//	mirabel-inspect -data /tmp/brp1
+//	mirabel-inspect -data /tmp/brp1 -offers -measurements
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"mirabel/internal/flexoffer"
+	"mirabel/internal/store"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mirabel-inspect: ")
+	dataDir := flag.String("data", "", "store directory")
+	showOffers := flag.Bool("offers", false, "list flex-offer records")
+	showMeasurements := flag.Bool("measurements", false, "summarize measurements per actor")
+	flag.Parse()
+	if *dataDir == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	st, err := store.Open(*dataDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer st.Close()
+
+	stats := st.Stats()
+	fmt.Printf("store %s\n", *dataDir)
+	fmt.Printf("  dimensions: %d actors, %d energy types, %d market areas\n",
+		stats.Actors, stats.EnergyTypes, stats.MarketAreas)
+	fmt.Printf("  facts:      %d measurements, %d offers, %d forecasts, %d prices, %d contracts, %d model params\n",
+		stats.Measurements, stats.Offers, stats.Forecasts, stats.Prices, stats.Contracts, stats.ModelParamsEntries)
+
+	if counts := st.CountOffersByState(); len(counts) > 0 {
+		fmt.Println("  flex-offer lifecycle:")
+		for _, state := range []store.OfferState{
+			store.OfferReceived, store.OfferAccepted, store.OfferScheduled,
+			store.OfferExecuted, store.OfferExpired, store.OfferRejected,
+		} {
+			if n := counts[state]; n > 0 {
+				fmt.Printf("    %-10s %d\n", state, n)
+			}
+		}
+	}
+
+	if *showOffers {
+		fmt.Println("  offers:")
+		for _, rec := range st.Offers(store.OfferFilter{}) {
+			f := rec.Offer
+			fmt.Printf("    #%-6d %-10s owner=%-16s window=[%d,%d] slices=%d energy=[%.1f,%.1f]kWh",
+				f.ID, rec.State, rec.Owner, f.EarliestStart, f.LatestStart, f.NumSlices(),
+				f.MinTotalEnergy(), f.MaxTotalEnergy())
+			if rec.Schedule != nil {
+				fmt.Printf(" scheduled@%d (%.1f kWh)", rec.Schedule.Start, rec.Schedule.TotalEnergy())
+			}
+			fmt.Println()
+		}
+	}
+
+	if *showMeasurements {
+		fmt.Println("  energy per actor:")
+		perActor := map[string]float64{}
+		var lo, hi flexoffer.Time
+		first := true
+		for _, m := range st.Measurements(store.MeasurementFilter{}) {
+			perActor[m.Actor] += m.KWh
+			if first || m.Slot < lo {
+				lo = m.Slot
+			}
+			if first || m.Slot > hi {
+				hi = m.Slot
+			}
+			first = false
+		}
+		for actor, kwh := range perActor {
+			fmt.Printf("    %-20s %.2f kWh\n", actor, kwh)
+		}
+		if !first {
+			fmt.Printf("    slot range [%d, %d]\n", lo, hi)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+// mirabel-node runs a single LEDMS node as a network daemon: it serves
+// its role (prosumer, brp or tso) over TCP with a durable store on disk.
+// Small deployments wire nodes together with -route flags.
+//
+// A two-node session:
+//
+//	mirabel-node -name brp1 -role brp -listen 127.0.0.1:7701 -data /tmp/brp1 &
+//	mirabel-node -name p1 -role prosumer -parent brp1 \
+//	    -route brp1=127.0.0.1:7701 -listen 127.0.0.1:7702 -data /tmp/p1 \
+//	    -demo-offer
+//
+// The prosumer's -demo-offer submits one EV-style flex-offer and prints
+// the decision, exercising negotiation over the wire.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"mirabel/internal/agg"
+	"mirabel/internal/comm"
+	"mirabel/internal/core"
+	"mirabel/internal/flexoffer"
+	"mirabel/internal/sched"
+	"mirabel/internal/store"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mirabel-node: ")
+	var (
+		name      = flag.String("name", "", "node name (endpoint id)")
+		role      = flag.String("role", "", "prosumer | brp | tso")
+		parent    = flag.String("parent", "", "parent node name")
+		listen    = flag.String("listen", "127.0.0.1:0", "TCP listen address")
+		dataDir   = flag.String("data", "", "durable store directory (empty: in-memory)")
+		routes    = flag.String("route", "", "comma-separated name=addr routes to peers")
+		demoOffer = flag.Bool("demo-offer", false, "submit one demo flex-offer to the parent and exit")
+	)
+	flag.Parse()
+	if *name == "" || *role == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var st *store.Store
+	if *dataDir != "" {
+		var err error
+		st, err = store.Open(*dataDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := st.Close(); err != nil {
+				log.Printf("store close: %v", err)
+			}
+		}()
+	}
+
+	client := comm.NewTCPClient(*name)
+	defer client.Close()
+	if *routes != "" {
+		for _, r := range strings.Split(*routes, ",") {
+			parts := strings.SplitN(r, "=", 2)
+			if len(parts) != 2 {
+				log.Fatalf("bad -route entry %q (want name=addr)", r)
+			}
+			client.SetRoute(parts[0], parts[1])
+		}
+	}
+
+	node, err := core.NewNode(core.Config{
+		Name:      *name,
+		Role:      store.Role(*role),
+		Parent:    *parent,
+		Transport: client,
+		Store:     st,
+		AggParams: agg.ParamsP3,
+		SchedOpts: sched.Options{TimeBudget: 2 * time.Second},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	srv, err := comm.ListenTCP(*listen, node.Handle)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	log.Printf("%s (%s) serving on %s", *name, *role, srv.Addr())
+
+	if *demoOffer {
+		profile := make([]flexoffer.Slice, 8)
+		for i := range profile {
+			profile[i] = flexoffer.Slice{EnergyMin: 0, EnergyMax: 6.25}
+		}
+		offer := &flexoffer.FlexOffer{
+			ID:            flexoffer.ID(time.Now().UnixNano() & 0xffff),
+			Prosumer:      *name,
+			EarliestStart: 88,
+			LatestStart:   116,
+			AssignBefore:  86,
+			Profile:       profile,
+		}
+		decision, err := node.SubmitOfferTo(offer)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("demo offer %d: accept=%v premium=%.3f EUR/kWh reason=%q\n",
+			offer.ID, decision.Accept, decision.PremiumEUR, decision.Reason)
+		return
+	}
+
+	// Serve until interrupted.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("shutting down")
+}

@@ -1,0 +1,185 @@
+// mirabel-sim runs an end-to-end three-level EDMS simulation in one
+// process: prosumer nodes issue flex-offers and measurements to their
+// BRP nodes, the BRPs negotiate, aggregate and schedule against their
+// forecast balance, forward their macro flex-offers to the TSO for a
+// second aggregation/scheduling round, and every micro schedule flows
+// back down to its prosumer — the use scenario of paper §2 at population
+// scale.
+//
+//	mirabel-sim -prosumers 2000 -brps 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"mirabel/internal/agg"
+	"mirabel/internal/comm"
+	"mirabel/internal/core"
+	"mirabel/internal/devices"
+	"mirabel/internal/flexoffer"
+	"mirabel/internal/market"
+	"mirabel/internal/sched"
+	"mirabel/internal/store"
+	"mirabel/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mirabel-sim: ")
+	nProsumers := flag.Int("prosumers", 2000, "prosumer nodes")
+	nBRPs := flag.Int("brps", 4, "BRP nodes")
+	seed := flag.Int64("seed", 1, "workload seed")
+	budget := flag.Duration("budget", 2*time.Second, "per-BRP scheduling budget")
+	useDevices := flag.Bool("devices", false, "drive offers from appliance state machines instead of the dataset generator")
+	flag.Parse()
+
+	bus := comm.NewBus()
+	prices := workload.PriceSeries(workload.PriceConfig{Days: 2, Seed: *seed})
+	dayAhead, err := market.NewDayAhead(market.Config{Prices: prices, CapacityKWh: 5000})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Level 3: the TSO.
+	tso, err := core.NewNode(core.Config{
+		Name: "tso", Role: store.RoleTSO, Transport: bus,
+		AggParams: agg.ParamsP3,
+		SchedOpts: sched.Options{TimeBudget: *budget, Seed: *seed},
+		Market:    dayAhead,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	bus.Register("tso", tso.Handle)
+
+	// Level 2: the BRPs.
+	brps := make([]*core.Node, *nBRPs)
+	for i := range brps {
+		name := fmt.Sprintf("brp-%d", i)
+		brps[i], err = core.NewNode(core.Config{
+			Name: name, Role: store.RoleBRP, Parent: "tso", Transport: bus,
+			AggParams: agg.ParamsP3,
+			SchedOpts: sched.Options{TimeBudget: *budget, Seed: *seed + int64(i)},
+			Market:    dayAhead,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		bus.Register(name, brps[i].Handle)
+	}
+
+	// Level 1: prosumers issue flex-offers for today — either from the
+	// dataset generator or from simulated appliances.
+	var offers []*flexoffer.FlexOffer
+	if *useDevices {
+		fleet := devices.NewFleet(*nProsumers, *seed)
+		sim := fleet.Simulate(0, flexoffer.SlotsPerDay)
+		offers = sim.Offers
+		fmt.Printf("level 1: appliance simulation produced %d flex-offers\n", len(offers))
+	} else {
+		offers = workload.GenerateFlexOffers(workload.FlexOfferConfig{
+			Count: *nProsumers, HorizonDays: 1, Seed: *seed,
+		})
+	}
+	t0 := time.Now()
+	accepted := 0
+	nodes := make(map[string]*core.Node)
+	for i, f := range offers {
+		name := fmt.Sprintf("prosumer-%05d", i)
+		if *useDevices && f.Prosumer != "" {
+			name = f.Prosumer // appliance offers carry their household
+		}
+		p := nodes[name]
+		if p == nil {
+			parent := fmt.Sprintf("brp-%d", len(nodes)%*nBRPs)
+			var err error
+			p, err = core.NewNode(core.Config{Name: name, Role: store.RoleProsumer, Parent: parent, Transport: bus})
+			if err != nil {
+				log.Fatal(err)
+			}
+			bus.Register(name, p.Handle)
+			nodes[name] = p
+		}
+		if f.LatestEnd() > flexoffer.SlotsPerDay {
+			f.LatestStart = flexoffer.SlotsPerDay - flexoffer.Time(f.NumSlices())
+			if f.LatestStart < f.EarliestStart {
+				continue
+			}
+		}
+		d, err := p.SubmitOfferTo(f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if d.Accept {
+			accepted++
+		}
+		// Report a few metered slots so the BRP stores see traffic.
+		if i%50 == 0 {
+			if err := p.ReportMeasurement("demand", flexoffer.Time(i%96), 0.5); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	fmt.Printf("level 1: %d prosumers created, %d flex-offers accepted in %v\n",
+		*nProsumers, accepted, time.Since(t0).Round(time.Millisecond))
+
+	// Level 2 cycles: each BRP schedules its balance group against a
+	// baseline with a renewable night/noon surplus.
+	baseline := make([]float64, flexoffer.SlotsPerDay)
+	for t := range baseline {
+		hour := t / flexoffer.SlotsPerHour
+		switch {
+		case hour < 6:
+			baseline[t] = -60
+		case hour >= 11 && hour < 15:
+			baseline[t] = -40
+		default:
+			baseline[t] = 15
+		}
+	}
+	// All BRPs except the last schedule locally; the last delegates its
+	// macro flex-offers to the TSO (paper §2: "the process is
+	// essentially repeated at a higher level").
+	var totalCost, totalDefault float64
+	for _, brp := range brps[:len(brps)-1] {
+		rep, err := brp.RunSchedulingCycle(0, core.StaticForecast(baseline), nil, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		totalCost += rep.ScheduleCost
+		totalDefault += rep.BaselineCost
+		fmt.Printf("level 2: %s scheduled %d offers via %d aggregates: %.0f EUR (default %.0f), agg %v sched %v\n",
+			brp.Name(), rep.MicroSchedules, rep.Aggregates, rep.ScheduleCost, rep.BaselineCost,
+			rep.AggregationTime.Round(time.Millisecond), rep.SchedulingTime.Round(time.Millisecond))
+	}
+	if totalDefault != 0 {
+		fmt.Printf("level 2 total: %.0f EUR scheduled vs %.0f EUR default (%.1f%% saved)\n",
+			totalCost, totalDefault, 100*(1-totalCost/totalDefault))
+	}
+
+	// Level 3: the delegating BRP forwards its aggregates; the TSO
+	// aggregates across them, schedules, and its schedules flow back
+	// down through the BRP to the prosumers.
+	delegating := brps[len(brps)-1]
+	forwarded, err := delegating.ForwardAggregates()
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := tso.RunSchedulingCycle(0, core.StaticForecast(baseline), nil, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("level 3: %s forwarded %d macro offers; tso scheduled %d aggregates: %.0f EUR (default %.0f)\n",
+		delegating.Name(), forwarded, rep.Aggregates, rep.ScheduleCost, rep.BaselineCost)
+
+	// Give async deliveries a moment, then summarize the stores.
+	time.Sleep(100 * time.Millisecond)
+	for _, brp := range brps[:1] {
+		st := brp.Store().Stats()
+		fmt.Printf("store %s: %d offers, %d measurements, %d actors\n",
+			brp.Name(), st.Offers, st.Measurements, st.Actors)
+	}
+}

@@ -1,0 +1,87 @@
+// Hierarchical forecasting: the advisor component chooses where in the
+// TSO → BRP → prosumer tree to place forecast models (paper §5,
+// "Hierarchical Forecasting"): regular balance groups are served by a
+// single ancestor model plus share-weight disaggregation; erratic groups
+// get their own models — trading estimation runtime against accuracy.
+//
+//	go run ./examples/hierarchicalfcast
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"mirabel/internal/forecast"
+	"mirabel/internal/workload"
+)
+
+func main() {
+	const days = 14
+
+	// Eight prosumer groups under two BRPs under one TSO. Groups differ
+	// in scale and regularity; group "factory-shift" is deliberately
+	// erratic (irregular industrial load).
+	mkLeaf := func(name string, seed int64, base float64, noise float64) *forecast.HierNode {
+		s := workload.DemandSeries(workload.DemandConfig{Days: days, Seed: seed, BaseMW: base, NoiseFrac: noise})
+		return &forecast.HierNode{Name: name, Series: s}
+	}
+	leavesA := []*forecast.HierNode{
+		mkLeaf("suburb-a", 1, 120, 0.01),
+		mkLeaf("suburb-b", 2, 90, 0.01),
+		mkLeaf("campus", 3, 60, 0.02),
+		mkLeaf("factory-shift", 4, 150, 0.25), // erratic
+	}
+	leavesB := []*forecast.HierNode{
+		mkLeaf("old-town", 5, 110, 0.01),
+		mkLeaf("harbour", 6, 70, 0.02),
+		mkLeaf("suburb-c", 7, 95, 0.01),
+		mkLeaf("suburb-d", 8, 85, 0.01),
+	}
+	brpA, err := forecast.SumChildren("brp-a", leavesA...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	brpB, err := forecast.SumChildren("brp-b", leavesB...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tso, err := forecast.SumChildren("tso", brpA, brpB)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, maxSMAPE := range []float64{0.10, 0.04, 0.02} {
+		placement, err := forecast.Advise(tso, forecast.AdvisorConfig{
+			MaxSMAPE: maxSMAPE,
+			Periods:  []int{48},
+			Horizon:  4, // 2 hours ahead
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("accuracy constraint SMAPE ≤ %.0f%%: %d models\n", maxSMAPE*100, placement.NumModels())
+		names := make([]string, 0, len(placement.Models))
+		for name := range placement.Models {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			marker := "disaggregated from ancestor"
+			if placement.Models[name] {
+				marker = "OWN MODEL"
+			}
+			fmt.Printf("  %-14s %-28s (evaluated SMAPE %.4f)\n", name, marker, placement.SMAPE[name])
+		}
+	}
+
+	// Sanity: the aggregate really is the sum of the leaves.
+	var leafSum float64
+	for _, l := range append(leavesA, leavesB...) {
+		leafSum += l.Series.At(0)
+	}
+	if diff := leafSum - tso.Series.At(0); diff > 1e-9 || diff < -1e-9 {
+		log.Fatalf("hierarchy inconsistent: leaf sum %g != tso %g", leafSum, tso.Series.At(0))
+	}
+	fmt.Println("hierarchy consistency verified: TSO series equals the sum of all prosumer groups")
+}

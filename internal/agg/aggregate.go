@@ -1,0 +1,240 @@
+package agg
+
+import (
+	"fmt"
+	"sort"
+
+	"mirabel/internal/flexoffer"
+)
+
+// Aggregate is a macro flex-offer: the conservative combination of a set
+// of member micro flex-offers. Offer carries the combined constraints in
+// ordinary flex-offer form, so the scheduling component treats macro and
+// micro flex-offers uniformly.
+//
+// Construction uses start-alignment: every member profile is placed at
+// its own earliest start time relative to the aggregate's earliest start
+// time, and the whole ensemble shifts together within the aggregate's
+// time flexibility, which is the minimum member time flexibility. This is
+// what makes disaggregation always succeed (the paper's disaggregation
+// requirement): shifting the aggregate by s slots shifts member i to
+// ES_i + s, and s ≤ TF_agg ≤ TF_i keeps every member inside its own
+// flexibility interval.
+type Aggregate struct {
+	Offer   *flexoffer.FlexOffer
+	members []*flexoffer.FlexOffer
+
+	// TotalMin and TotalMax cache the profile's summed energy bounds.
+	// They are refreshed by a full profile traversal on every
+	// incremental add — deliberately so: this is the per-insert profile
+	// traversal whose cost grows with the profile extent, the effect the
+	// paper reports for threshold combinations that spread start times
+	// (P2/P3 aggregation is slower "due to the need to traverse
+	// flex-offer energy profiles with increased number of intervals
+	// every time a new flex-offer has to be aggregated").
+	TotalMin, TotalMax float64
+
+	// Incrementally maintained energy-weighted activation cost inputs.
+	costSum, energySum float64
+}
+
+// Members returns the member micro flex-offers in ID order.
+func (a *Aggregate) Members() []*flexoffer.FlexOffer {
+	out := make([]*flexoffer.FlexOffer, 0, len(a.members))
+	for _, m := range a.members {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// NumMembers returns the member count.
+func (a *Aggregate) NumMembers() int { return len(a.members) }
+
+// TimeFlexibilityLoss returns the total time flexibility (slot·offers)
+// lost by aggregating: Σ members (TF_member − TF_aggregate).
+func (a *Aggregate) TimeFlexibilityLoss() flexoffer.Time {
+	var loss flexoffer.Time
+	tfa := a.Offer.TimeFlexibility()
+	for _, m := range a.members {
+		loss += m.TimeFlexibility() - tfa
+	}
+	return loss
+}
+
+// newAggregate starts an aggregate from its first member.
+func newAggregate(id flexoffer.ID, first *flexoffer.FlexOffer) *Aggregate {
+	a := &Aggregate{
+		Offer: &flexoffer.FlexOffer{
+			ID:            id,
+			Prosumer:      "aggregate",
+			EarliestStart: first.EarliestStart,
+			LatestStart:   first.LatestStart,
+			AssignBefore:  first.AssignBefore,
+			Profile:       append([]flexoffer.Slice(nil), first.Profile...),
+			CostPerKWh:    first.CostPerKWh,
+		},
+		members: []*flexoffer.FlexOffer{first},
+	}
+	e := absTotalMax(first)
+	a.costSum = first.CostPerKWh * e
+	a.energySum = e
+	a.refreshTotals()
+	return a
+}
+
+// buildAggregate constructs an aggregate from scratch for the given
+// members ("aggregation from scratch is also supported").
+func buildAggregate(id flexoffer.ID, members []*flexoffer.FlexOffer) *Aggregate {
+	if len(members) == 0 {
+		return nil
+	}
+	a := newAggregate(id, members[0])
+	for _, m := range members[1:] {
+		a.addProfileOnly(m)
+	}
+	a.members = members
+	a.refreshCost()
+	a.refreshTotals()
+	return a
+}
+
+// add inserts a new member incrementally ("aggregated flex-offers can be
+// incrementally updated to avoid a from-scratch re-computation").
+func (a *Aggregate) add(m *flexoffer.FlexOffer) {
+	a.members = append(a.members, m)
+	a.addProfileOnly(m)
+	e := absTotalMax(m)
+	a.costSum += m.CostPerKWh * e
+	a.energySum += e
+	if a.energySum > 0 {
+		a.Offer.CostPerKWh = a.costSum / a.energySum
+	}
+	a.refreshTotals()
+}
+
+// addProfileOnly merges m's constraints into the combined offer without
+// refreshing the cached totals.
+func (a *Aggregate) addProfileOnly(m *flexoffer.FlexOffer) {
+	if m.EarliestStart < a.Offer.EarliestStart {
+		// The profile grid starts earlier now: prepend zero slices and
+		// move the latest start along so the time flexibility (min of
+		// member flexibilities so far) is preserved.
+		shift := int(a.Offer.EarliestStart - m.EarliestStart)
+		grown := make([]flexoffer.Slice, shift+len(a.Offer.Profile))
+		copy(grown[shift:], a.Offer.Profile)
+		a.Offer.Profile = grown
+		tfSoFar := a.Offer.TimeFlexibility()
+		a.Offer.EarliestStart = m.EarliestStart
+		a.Offer.LatestStart = m.EarliestStart + tfSoFar
+	}
+	end := int(m.EarliestStart-a.Offer.EarliestStart) + m.NumSlices()
+	for len(a.Offer.Profile) < end {
+		a.Offer.Profile = append(a.Offer.Profile, flexoffer.Slice{})
+	}
+	off := int(m.EarliestStart - a.Offer.EarliestStart)
+	for j, sl := range m.Profile {
+		a.Offer.Profile[off+j].EnergyMin += sl.EnergyMin
+		a.Offer.Profile[off+j].EnergyMax += sl.EnergyMax
+	}
+	if ls := a.Offer.EarliestStart + m.TimeFlexibility(); ls < a.Offer.LatestStart {
+		a.Offer.LatestStart = ls
+	}
+	if m.AssignBefore < a.Offer.AssignBefore {
+		a.Offer.AssignBefore = m.AssignBefore
+	}
+}
+
+// refreshTotals recomputes the cached energy bounds by traversing the
+// whole combined profile.
+func (a *Aggregate) refreshTotals() {
+	var mn, mx float64
+	for _, sl := range a.Offer.Profile {
+		mn += sl.EnergyMin
+		mx += sl.EnergyMax
+	}
+	a.TotalMin, a.TotalMax = mn, mx
+}
+
+// refreshCost recomputes the energy-weighted activation cost from the
+// members.
+func (a *Aggregate) refreshCost() {
+	a.costSum, a.energySum = 0, 0
+	for _, m := range a.members {
+		e := absTotalMax(m)
+		a.costSum += m.CostPerKWh * e
+		a.energySum += e
+	}
+	if a.energySum > 0 {
+		a.Offer.CostPerKWh = a.costSum / a.energySum
+	}
+}
+
+func absTotalMax(m *flexoffer.FlexOffer) float64 {
+	e := m.MaxTotalEnergy()
+	if e < 0 {
+		return -e
+	}
+	return e
+}
+
+// remove deletes a member and rebuilds the remaining aggregate. Returns
+// false when the aggregate became empty.
+func (a *Aggregate) remove(id flexoffer.ID) bool {
+	for i, m := range a.members {
+		if m.ID == id {
+			a.members = append(a.members[:i], a.members[i+1:]...)
+			break
+		}
+	}
+	if len(a.members) == 0 {
+		return false
+	}
+	*a = *buildAggregate(a.Offer.ID, a.members)
+	return true
+}
+
+// Disaggregate converts a schedule of the aggregate into one valid
+// schedule per member (the paper's disaggregation requirement). The
+// member schedules sum exactly to the aggregate schedule, slot by slot.
+func (a *Aggregate) Disaggregate(sched *flexoffer.Schedule) ([]*flexoffer.Schedule, error) {
+	if err := a.Offer.ValidateSchedule(sched); err != nil {
+		return nil, fmt.Errorf("agg: aggregate schedule invalid: %w", err)
+	}
+	shift := sched.Start - a.Offer.EarliestStart
+
+	// Per aggregate slice, the fraction of the energy flexibility used:
+	// fraction_j = (E_j − Min_j) / (Max_j − Min_j). Every member slice
+	// under that aggregate slice is set to min + fraction·(max−min);
+	// summing over members reproduces E_j exactly.
+	fractions := make([]float64, len(a.Offer.Profile))
+	for j, sl := range a.Offer.Profile {
+		if flex := sl.EnergyMax - sl.EnergyMin; flex > 0 {
+			fractions[j] = (sched.Energy[j] - sl.EnergyMin) / flex
+			if fractions[j] < 0 {
+				fractions[j] = 0
+			}
+			if fractions[j] > 1 {
+				fractions[j] = 1
+			}
+		}
+	}
+
+	out := make([]*flexoffer.Schedule, 0, len(a.members))
+	for _, m := range a.Members() {
+		off := int(m.EarliestStart - a.Offer.EarliestStart)
+		energy := make([]float64, m.NumSlices())
+		for j, sl := range m.Profile {
+			f := fractions[off+j]
+			energy[j] = sl.EnergyMin + f*(sl.EnergyMax-sl.EnergyMin)
+		}
+		ms := &flexoffer.Schedule{OfferID: m.ID, Start: m.EarliestStart + shift, Energy: energy}
+		if err := m.ValidateSchedule(ms); err != nil {
+			// Cannot happen by construction; kept as an internal
+			// consistency check.
+			return nil, fmt.Errorf("agg: disaggregation produced invalid member schedule: %w", err)
+		}
+		out = append(out, ms)
+	}
+	return out, nil
+}

@@ -1,0 +1,181 @@
+package agg
+
+import (
+	"fmt"
+	"sort"
+
+	"mirabel/internal/flexoffer"
+)
+
+// NTo1 is the n-to-1 aggregator: it maintains exactly one aggregated
+// flex-offer per (sub-)group and emits created/deleted/changed aggregate
+// updates. It also performs disaggregation.
+type NTo1 struct {
+	nextID     flexoffer.ID
+	aggregates map[subgroupID]*Aggregate
+	byAggID    map[flexoffer.ID]*Aggregate
+}
+
+// NewNTo1 returns an empty n-to-1 aggregator.
+func NewNTo1() *NTo1 {
+	return &NTo1{
+		nextID:     1,
+		aggregates: make(map[subgroupID]*Aggregate),
+		byAggID:    make(map[flexoffer.ID]*Aggregate),
+	}
+}
+
+// Process applies sub-group deltas to the maintained aggregates and
+// returns aggregated flex-offer updates.
+func (n *NTo1) Process(updates []subgroupUpdate) []AggregateUpdate {
+	var out []AggregateUpdate
+	for _, u := range updates {
+		a, exists := n.aggregates[u.id]
+		switch {
+		case !exists && len(u.added) == 0:
+			continue // removals for an already-gone aggregate
+		case !exists:
+			// Build incrementally, one member at a time — the per-offer
+			// profile traversal is the aggregation cost the experiments
+			// measure.
+			a = newAggregate(n.nextID, u.added[0])
+			for _, m := range u.added[1:] {
+				a.add(m)
+			}
+			n.nextID++
+			n.aggregates[u.id] = a
+			n.byAggID[a.Offer.ID] = a
+			out = append(out, AggregateUpdate{Kind: Created, Aggregate: a})
+		default:
+			alive := true
+			for _, id := range u.removed {
+				if !a.remove(id) {
+					alive = false
+					break
+				}
+			}
+			if !alive && len(u.added) == 0 {
+				delete(n.aggregates, u.id)
+				delete(n.byAggID, a.Offer.ID)
+				out = append(out, AggregateUpdate{Kind: Deleted, Aggregate: a})
+				continue
+			}
+			if !alive { // emptied, then refilled within the same batch
+				*a = *buildAggregate(a.Offer.ID, append([]*flexoffer.FlexOffer(nil), u.added...))
+				out = append(out, AggregateUpdate{Kind: Changed, Aggregate: a})
+				continue
+			}
+			for _, m := range u.added {
+				a.add(m)
+			}
+			out = append(out, AggregateUpdate{Kind: Changed, Aggregate: a})
+		}
+	}
+	return out
+}
+
+// Aggregates returns all live aggregates ordered by macro flex-offer ID.
+func (n *NTo1) Aggregates() []*Aggregate {
+	out := make([]*Aggregate, 0, len(n.aggregates))
+	for _, a := range n.aggregates {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Offer.ID < out[j].Offer.ID })
+	return out
+}
+
+// Lookup returns the aggregate with the given macro flex-offer ID.
+func (n *NTo1) Lookup(id flexoffer.ID) (*Aggregate, bool) {
+	a, ok := n.byAggID[id]
+	return a, ok
+}
+
+// Pipeline chains group-builder, optional bin-packer and n-to-1
+// aggregator exactly as in the paper ("these sub-components are chained
+// so that provided flex-offer updates traverse them sequentially").
+type Pipeline struct {
+	GroupBuilder *GroupBuilder
+	BinPacker    *BinPacker // nil when disabled
+	Aggregator   *NTo1
+}
+
+// NewPipeline assembles an aggregation pipeline. Pass a zero
+// BinPackerOptions to disable the bin-packer (the paper's experiments ran
+// with it disabled); groups then map to aggregates one-to-one.
+func NewPipeline(params Params, binOpts BinPackerOptions) *Pipeline {
+	p := &Pipeline{
+		GroupBuilder: NewGroupBuilder(params),
+		Aggregator:   NewNTo1(),
+	}
+	if binOpts.enabled() {
+		p.BinPacker = NewBinPacker(binOpts)
+	}
+	return p
+}
+
+// Apply pushes flex-offer updates through the pipeline and returns the
+// resulting aggregate updates.
+func (p *Pipeline) Apply(updates ...FlexOfferUpdate) ([]AggregateUpdate, error) {
+	p.GroupBuilder.Accumulate(updates...)
+	groups, err := p.GroupBuilder.Process()
+	if err != nil {
+		return nil, err
+	}
+	var subs []subgroupUpdate
+	if p.BinPacker != nil {
+		subs = p.BinPacker.Process(groups)
+	} else {
+		subs = passthrough(groups)
+	}
+	return p.Aggregator.Process(subs), nil
+}
+
+// Aggregates returns the current macro flex-offers.
+func (p *Pipeline) Aggregates() []*Aggregate { return p.Aggregator.Aggregates() }
+
+// Disaggregate converts schedules of macro flex-offers into schedules of
+// all their member micro flex-offers.
+func (p *Pipeline) Disaggregate(scheds []*flexoffer.Schedule) ([]*flexoffer.Schedule, error) {
+	var out []*flexoffer.Schedule
+	for _, s := range scheds {
+		a, ok := p.Aggregator.Lookup(s.OfferID)
+		if !ok {
+			return nil, fmt.Errorf("agg: no aggregate with id %d", s.OfferID)
+		}
+		ms, err := a.Disaggregate(s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ms...)
+	}
+	return out, nil
+}
+
+// Metrics summarizes the current aggregation state for the compression /
+// flexibility trade-off analysis (paper Figures 5a and 5c).
+type Metrics struct {
+	FlexOffers       int     // micro flex-offers aggregated
+	Aggregates       int     // macro flex-offers
+	CompressionRatio float64 // FlexOffers / Aggregates
+	// TotalTimeFlexLoss is Σ over members of (TF_member − TF_aggregate),
+	// in slots; LossPerOffer is the same divided by FlexOffers.
+	TotalTimeFlexLoss flexoffer.Time
+	LossPerOffer      float64
+}
+
+// CurrentMetrics computes Metrics for the pipeline's live aggregates.
+func (p *Pipeline) CurrentMetrics() Metrics {
+	m := Metrics{}
+	for _, a := range p.Aggregator.aggregates {
+		m.Aggregates++
+		m.FlexOffers += a.NumMembers()
+		m.TotalTimeFlexLoss += a.TimeFlexibilityLoss()
+	}
+	if m.Aggregates > 0 {
+		m.CompressionRatio = float64(m.FlexOffers) / float64(m.Aggregates)
+	}
+	if m.FlexOffers > 0 {
+		m.LossPerOffer = float64(m.TotalTimeFlexLoss) / float64(m.FlexOffers)
+	}
+	return m
+}

@@ -1,0 +1,175 @@
+package agg
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mirabel/internal/flexoffer"
+)
+
+// This file implements the generalized grouping operator the paper lists
+// under research directions (§4): "generalize flex-offer aggregation
+// approaches into a multi-criteria grouping operator and a user defined
+// aggregation operator for a relational database management system". The
+// operator groups flex-offers by arbitrary user-defined attributes with
+// per-attribute tolerances — covering "additional types of flexibility,
+// e.g., price, energy interval duration, or power flexibilities" — and
+// aggregates each group n-to-1. Unlike the incremental Pipeline it is a
+// one-shot, set-oriented operator, the shape a DBMS GROUP BY would take.
+
+// Criterion is one user-defined grouping attribute.
+type Criterion struct {
+	// Name identifies the attribute in diagnostics.
+	Name string
+	// Extract computes the attribute value of an offer.
+	Extract func(*flexoffer.FlexOffer) float64
+	// Tolerance is the maximum deviation within a group; 0 demands
+	// exact equality.
+	Tolerance float64
+}
+
+// Standard criteria. Each returns a Criterion with the given tolerance.
+
+// ByEarliestStart groups by the start-after time (slots).
+func ByEarliestStart(tol float64) Criterion {
+	return Criterion{
+		Name:      "earliest_start",
+		Extract:   func(f *flexoffer.FlexOffer) float64 { return float64(f.EarliestStart) },
+		Tolerance: tol,
+	}
+}
+
+// ByTimeFlexibility groups by the time flexibility interval (slots).
+func ByTimeFlexibility(tol float64) Criterion {
+	return Criterion{
+		Name:      "time_flexibility",
+		Extract:   func(f *flexoffer.FlexOffer) float64 { return float64(f.TimeFlexibility()) },
+		Tolerance: tol,
+	}
+}
+
+// ByDuration groups by the profile duration (slots) — the paper's
+// "energy interval duration" flexibility.
+func ByDuration(tol float64) Criterion {
+	return Criterion{
+		Name:      "duration",
+		Extract:   func(f *flexoffer.FlexOffer) float64 { return float64(f.NumSlices()) },
+		Tolerance: tol,
+	}
+}
+
+// ByEnergyFlexibility groups by the dispatchable energy (kWh).
+func ByEnergyFlexibility(tol float64) Criterion {
+	return Criterion{
+		Name:      "energy_flexibility",
+		Extract:   (*flexoffer.FlexOffer).EnergyFlexibility,
+		Tolerance: tol,
+	}
+}
+
+// ByPrice groups by the activation price (EUR/kWh) — the paper's price
+// flexibility.
+func ByPrice(tol float64) Criterion {
+	return Criterion{
+		Name:      "price",
+		Extract:   func(f *flexoffer.FlexOffer) float64 { return f.CostPerKWh },
+		Tolerance: tol,
+	}
+}
+
+// ByPeakPower groups by the maximum per-slot energy (the power
+// flexibility dimension).
+func ByPeakPower(tol float64) Criterion {
+	return Criterion{
+		Name: "peak_power",
+		Extract: func(f *flexoffer.FlexOffer) float64 {
+			var mx float64
+			for _, sl := range f.Profile {
+				if a := math.Abs(sl.EnergyMax); a > mx {
+					mx = a
+				}
+			}
+			return mx
+		},
+		Tolerance: tol,
+	}
+}
+
+// GroupBy partitions offers into disjoint groups such that within one
+// group every criterion's values deviate by no more than its tolerance.
+// Offers are sorted by the first criterion and split greedily, then the
+// procedure recurses on the remaining criteria — a deterministic sweep
+// that guarantees the tolerance invariant (unlike independent bucket
+// quantization, values near bucket borders never exceed the tolerance).
+func GroupBy(offers []*flexoffer.FlexOffer, criteria []Criterion) ([][]*flexoffer.FlexOffer, error) {
+	if len(criteria) == 0 {
+		return nil, fmt.Errorf("agg: GroupBy needs at least one criterion")
+	}
+	for i, c := range criteria {
+		if c.Extract == nil {
+			return nil, fmt.Errorf("agg: criterion %d (%s) has no extractor", i, c.Name)
+		}
+		if c.Tolerance < 0 {
+			return nil, fmt.Errorf("agg: criterion %d (%s) has negative tolerance", i, c.Name)
+		}
+	}
+	groups := [][]*flexoffer.FlexOffer{append([]*flexoffer.FlexOffer(nil), offers...)}
+	for _, c := range criteria {
+		var next [][]*flexoffer.FlexOffer
+		for _, g := range groups {
+			next = append(next, splitByCriterion(g, c)...)
+		}
+		groups = next
+	}
+	return groups, nil
+}
+
+// splitByCriterion splits one group so that the criterion's spread stays
+// within tolerance: sort by value, start a new group whenever the value
+// leaves the window anchored at the current group's minimum.
+func splitByCriterion(g []*flexoffer.FlexOffer, c Criterion) [][]*flexoffer.FlexOffer {
+	if len(g) <= 1 {
+		if len(g) == 0 {
+			return nil
+		}
+		return [][]*flexoffer.FlexOffer{g}
+	}
+	type kv struct {
+		f *flexoffer.FlexOffer
+		v float64
+	}
+	vals := make([]kv, len(g))
+	for i, f := range g {
+		vals[i] = kv{f, c.Extract(f)}
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i].v < vals[j].v })
+
+	var out [][]*flexoffer.FlexOffer
+	anchor := vals[0].v
+	cur := []*flexoffer.FlexOffer{vals[0].f}
+	for _, x := range vals[1:] {
+		if x.v-anchor > c.Tolerance {
+			out = append(out, cur)
+			cur = nil
+			anchor = x.v
+		}
+		cur = append(cur, x.f)
+	}
+	return append(out, cur)
+}
+
+// AggregateGroups applies the n-to-1 aggregation to every group from
+// scratch, assigning sequential macro IDs starting at firstID.
+func AggregateGroups(groups [][]*flexoffer.FlexOffer, firstID flexoffer.ID) []*Aggregate {
+	out := make([]*Aggregate, 0, len(groups))
+	id := firstID
+	for _, g := range groups {
+		if len(g) == 0 {
+			continue
+		}
+		out = append(out, buildAggregate(id, append([]*flexoffer.FlexOffer(nil), g...)))
+		id++
+	}
+	return out
+}

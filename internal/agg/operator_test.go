@@ -1,0 +1,204 @@
+package agg
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mirabel/internal/flexoffer"
+)
+
+func TestGroupByValidation(t *testing.T) {
+	if _, err := GroupBy(nil, nil); err == nil {
+		t.Error("no criteria accepted")
+	}
+	if _, err := GroupBy(nil, []Criterion{{Name: "x"}}); err == nil {
+		t.Error("criterion without extractor accepted")
+	}
+	if _, err := GroupBy(nil, []Criterion{ByPrice(-1)}); err == nil {
+		t.Error("negative tolerance accepted")
+	}
+}
+
+func TestGroupByExactEquality(t *testing.T) {
+	offers := []*flexoffer.FlexOffer{
+		offer(1, 100, 8, 4, 1, 2),
+		offer(2, 100, 8, 4, 1, 2),
+		offer(3, 200, 8, 4, 1, 2),
+	}
+	groups, err := GroupBy(offers, []Criterion{ByEarliestStart(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 2 {
+		t.Fatalf("groups = %d, want 2", len(groups))
+	}
+}
+
+func TestGroupByToleranceWindow(t *testing.T) {
+	// Values 0, 3, 6, 9 with tolerance 5: sweep gives {0,3}, {6,9} —
+	// every within-group spread ≤ 5.
+	var offers []*flexoffer.FlexOffer
+	for i, es := range []flexoffer.Time{0, 3, 6, 9} {
+		offers = append(offers, offer(flexoffer.ID(i+1), es, 4, 2, 0, 1))
+	}
+	groups, err := GroupBy(offers, []Criterion{ByEarliestStart(5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 2 {
+		t.Fatalf("groups = %d, want 2", len(groups))
+	}
+	for _, g := range groups {
+		var lo, hi flexoffer.Time = 1 << 30, -1
+		for _, f := range g {
+			if f.EarliestStart < lo {
+				lo = f.EarliestStart
+			}
+			if f.EarliestStart > hi {
+				hi = f.EarliestStart
+			}
+		}
+		if hi-lo > 5 {
+			t.Errorf("group spread %d exceeds tolerance", hi-lo)
+		}
+	}
+}
+
+func TestGroupByMultipleCriteriaIncludingPrice(t *testing.T) {
+	// Price is one of the paper's "additional flexibility types".
+	a := offer(1, 100, 8, 4, 1, 2)
+	a.CostPerKWh = 0.01
+	b := offer(2, 100, 8, 4, 1, 2)
+	b.CostPerKWh = 0.011
+	c := offer(3, 100, 8, 4, 1, 2)
+	c.CostPerKWh = 0.05 // far off in price
+	groups, err := GroupBy([]*flexoffer.FlexOffer{a, b, c}, []Criterion{
+		ByEarliestStart(0),
+		ByPrice(0.005),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 2 {
+		t.Fatalf("groups = %d, want 2 (price split)", len(groups))
+	}
+}
+
+func TestGroupByDurationAndPeakPower(t *testing.T) {
+	short := offer(1, 100, 8, 2, 0, 1)
+	long := offer(2, 100, 8, 9, 0, 1)
+	strong := offer(3, 100, 8, 2, 0, 10)
+	groups, err := GroupBy([]*flexoffer.FlexOffer{short, long, strong}, []Criterion{
+		ByDuration(1),
+		ByPeakPower(2),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 3 {
+		t.Fatalf("groups = %d, want 3", len(groups))
+	}
+}
+
+func TestAggregateGroupsProducesValidAggregates(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	offers := randomOffers(rng, 50)
+	groups, err := GroupBy(offers, []Criterion{
+		ByEarliestStart(8),
+		ByTimeFlexibility(8),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aggs := AggregateGroups(groups, 1000)
+	total := 0
+	for _, a := range aggs {
+		total += a.NumMembers()
+		if err := a.Offer.Validate(); err != nil {
+			t.Fatalf("invalid aggregate: %v", err)
+		}
+	}
+	if total != len(offers) {
+		t.Errorf("aggregated %d of %d offers", total, len(offers))
+	}
+}
+
+// Property: GroupBy is a partition (every offer in exactly one group) and
+// every criterion's within-group spread respects its tolerance.
+func TestPropertyGroupByPartitionAndTolerance(t *testing.T) {
+	criteria := []Criterion{
+		ByEarliestStart(6),
+		ByTimeFlexibility(4),
+		ByEnergyFlexibility(3),
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		offers := randomOffers(rng, 40)
+		groups, err := GroupBy(offers, criteria)
+		if err != nil {
+			return false
+		}
+		seen := map[flexoffer.ID]int{}
+		for _, g := range groups {
+			for _, off := range g {
+				seen[off.ID]++
+			}
+			for _, c := range criteria {
+				lo, hi := 1e308, -1e308
+				for _, off := range g {
+					v := c.Extract(off)
+					if v < lo {
+						lo = v
+					}
+					if v > hi {
+						hi = v
+					}
+				}
+				if hi-lo > c.Tolerance+1e-9 {
+					return false
+				}
+			}
+		}
+		if len(seen) != len(offers) {
+			return false
+		}
+		for _, cnt := range seen {
+			if cnt != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the disaggregation requirement holds for operator-built
+// aggregates too.
+func TestPropertyOperatorAggregatesDisaggregate(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		offers := randomOffers(rng, 30)
+		groups, err := GroupBy(offers, []Criterion{ByEarliestStart(8), ByTimeFlexibility(8)})
+		if err != nil {
+			return false
+		}
+		for _, a := range AggregateGroups(groups, 1) {
+			tf := int(a.Offer.TimeFlexibility())
+			start := a.Offer.EarliestStart + flexoffer.Time(rng.Intn(tf+1))
+			energy := make([]float64, a.Offer.NumSlices())
+			for j, sl := range a.Offer.Profile {
+				energy[j] = sl.EnergyMin + rng.Float64()*(sl.EnergyMax-sl.EnergyMin)
+			}
+			if _, err := a.Disaggregate(&flexoffer.Schedule{OfferID: a.Offer.ID, Start: start, Energy: energy}); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,263 @@
+package agg
+
+import (
+	"fmt"
+
+	"mirabel/internal/flexoffer"
+)
+
+// groupUpdate is the internal delta between group-builder and bin-packer:
+// which offers joined/left which similarity group.
+type groupUpdate struct {
+	key     groupKey
+	added   []*flexoffer.FlexOffer
+	removed []*flexoffer.FlexOffer
+}
+
+// GroupBuilder partitions flex-offers into disjoint groups of similar
+// offers according to the aggregation thresholds. Updates accumulate
+// until Process is invoked (paper: "flex-offer updates are accumulated
+// within the group-builder until their further processing is invoked").
+type GroupBuilder struct {
+	params  Params
+	pending []FlexOfferUpdate
+	groups  map[groupKey]map[flexoffer.ID]*flexoffer.FlexOffer
+	offers  int
+}
+
+// NewGroupBuilder returns an empty group-builder with the given
+// thresholds.
+func NewGroupBuilder(params Params) *GroupBuilder {
+	return &GroupBuilder{
+		params: params,
+		groups: make(map[groupKey]map[flexoffer.ID]*flexoffer.FlexOffer),
+	}
+}
+
+// Accumulate queues flex-offer updates for the next Process call. Delete
+// updates must carry the same offer attributes as the original insert
+// (the node keeps flex-offers in its store), because the group is located
+// by re-deriving the grouping key.
+func (g *GroupBuilder) Accumulate(updates ...FlexOfferUpdate) {
+	g.pending = append(g.pending, updates...)
+}
+
+// Process applies all accumulated updates to the maintained groups and
+// returns the group deltas.
+func (g *GroupBuilder) Process() ([]groupUpdate, error) {
+	deltas := make(map[groupKey]*groupUpdate)
+	delta := func(k groupKey) *groupUpdate {
+		d, ok := deltas[k]
+		if !ok {
+			d = &groupUpdate{key: k}
+			deltas[k] = d
+		}
+		return d
+	}
+	for _, u := range g.pending {
+		switch u.Kind {
+		case Insert:
+			if err := u.Offer.Validate(); err != nil {
+				return nil, fmt.Errorf("agg: rejecting offer: %w", err)
+			}
+			k := g.params.keyOf(u.Offer)
+			grp, ok := g.groups[k]
+			if !ok {
+				grp = make(map[flexoffer.ID]*flexoffer.FlexOffer)
+				g.groups[k] = grp
+			}
+			if _, dup := grp[u.Offer.ID]; dup {
+				return nil, fmt.Errorf("agg: duplicate flex-offer id %d", u.Offer.ID)
+			}
+			grp[u.Offer.ID] = u.Offer
+			g.offers++
+			delta(k).added = append(delta(k).added, u.Offer)
+		case Delete:
+			k := g.params.keyOf(u.Offer)
+			grp := g.groups[k]
+			off, ok := grp[u.Offer.ID]
+			if !ok {
+				return nil, fmt.Errorf("agg: delete of unknown flex-offer id %d", u.Offer.ID)
+			}
+			delete(grp, u.Offer.ID)
+			g.offers--
+			if len(grp) == 0 {
+				delete(g.groups, k)
+			}
+			delta(k).removed = append(delta(k).removed, off)
+		default:
+			return nil, fmt.Errorf("agg: unknown update kind %v", u.Kind)
+		}
+	}
+	g.pending = g.pending[:0]
+	out := make([]groupUpdate, 0, len(deltas))
+	for _, d := range deltas {
+		out = append(out, *d)
+	}
+	return out, nil
+}
+
+// NumGroups returns the current number of similarity groups.
+func (g *GroupBuilder) NumGroups() int { return len(g.groups) }
+
+// NumOffers returns the number of flex-offers currently grouped.
+func (g *GroupBuilder) NumOffers() int { return g.offers }
+
+// BinPackerOptions bound the sub-groups the bin-packer produces (paper:
+// "lower and upper bounds on ... the number of flex-offers included into
+// a single aggregate, the amount of energy ... an aggregated flex-offer
+// has to offer"). Zero values disable a bound; with all bounds disabled
+// the pipeline skips the bin-packer stage entirely ("this bin-packer is
+// an optional feature and can be turned off").
+type BinPackerOptions struct {
+	// MaxMembers caps the members per aggregate.
+	MaxMembers int
+	// MaxEnergyKWh caps Σ |max total energy| of members per aggregate.
+	MaxEnergyKWh float64
+}
+
+func (o BinPackerOptions) enabled() bool { return o.MaxMembers > 0 || o.MaxEnergyKWh > 0 }
+
+// fits reports whether a sub-group with the given load can absorb m.
+func (o BinPackerOptions) fits(count int, energy float64, m *flexoffer.FlexOffer) bool {
+	if o.MaxMembers > 0 && count+1 > o.MaxMembers {
+		return false
+	}
+	if o.MaxEnergyKWh > 0 && energy+absTotalMax(m) > o.MaxEnergyKWh {
+		return false
+	}
+	return true
+}
+
+// subgroupID identifies one bounds-satisfying sub-group within a group.
+type subgroupID struct {
+	key groupKey
+	seq int
+}
+
+// subgroup is the bin-packer's unit of work; one aggregate is maintained
+// per sub-group.
+type subgroup struct {
+	members map[flexoffer.ID]*flexoffer.FlexOffer
+	energy  float64
+}
+
+// subgroupUpdate is the delta between bin-packer and n-to-1 aggregator.
+type subgroupUpdate struct {
+	id      subgroupID
+	added   []*flexoffer.FlexOffer
+	removed []flexoffer.ID
+}
+
+// BinPacker splits similarity groups into bounds-satisfying sub-groups
+// using first-fit packing, maintained incrementally.
+type BinPacker struct {
+	opts      BinPackerOptions
+	seq       map[groupKey]int
+	subgroups map[subgroupID]*subgroup
+	byOffer   map[flexoffer.ID]subgroupID
+	byGroup   map[groupKey][]subgroupID
+}
+
+// NewBinPacker returns a bin-packer with the given bounds.
+func NewBinPacker(opts BinPackerOptions) *BinPacker {
+	return &BinPacker{
+		opts:      opts,
+		seq:       make(map[groupKey]int),
+		subgroups: make(map[subgroupID]*subgroup),
+		byOffer:   make(map[flexoffer.ID]subgroupID),
+		byGroup:   make(map[groupKey][]subgroupID),
+	}
+}
+
+// Process converts group deltas into sub-group deltas.
+func (b *BinPacker) Process(groups []groupUpdate) []subgroupUpdate {
+	deltas := make(map[subgroupID]*subgroupUpdate)
+	delta := func(id subgroupID) *subgroupUpdate {
+		d, ok := deltas[id]
+		if !ok {
+			d = &subgroupUpdate{id: id}
+			deltas[id] = d
+		}
+		return d
+	}
+	for _, gu := range groups {
+		for _, off := range gu.removed {
+			id, ok := b.byOffer[off.ID]
+			if !ok {
+				continue
+			}
+			sg := b.subgroups[id]
+			delete(sg.members, off.ID)
+			sg.energy -= absTotalMax(off)
+			delete(b.byOffer, off.ID)
+			delta(id).removed = append(delta(id).removed, off.ID)
+			if len(sg.members) == 0 {
+				delete(b.subgroups, id)
+				b.byGroup[gu.key] = removeSubgroupID(b.byGroup[gu.key], id)
+				if len(b.byGroup[gu.key]) == 0 {
+					delete(b.byGroup, gu.key)
+				}
+			}
+		}
+		for _, off := range gu.added {
+			id := b.place(gu.key, off)
+			delta(id).added = append(delta(id).added, off)
+		}
+	}
+	out := make([]subgroupUpdate, 0, len(deltas))
+	for _, d := range deltas {
+		out = append(out, *d)
+	}
+	return out
+}
+
+// place assigns the offer to the first sub-group of its group with
+// capacity, creating a new sub-group when none fits.
+func (b *BinPacker) place(key groupKey, off *flexoffer.FlexOffer) subgroupID {
+	for _, id := range b.byGroup[key] {
+		sg := b.subgroups[id]
+		if b.opts.fits(len(sg.members), sg.energy, off) {
+			sg.members[off.ID] = off
+			sg.energy += absTotalMax(off)
+			b.byOffer[off.ID] = id
+			return id
+		}
+	}
+	b.seq[key]++
+	id := subgroupID{key: key, seq: b.seq[key]}
+	sg := &subgroup{members: map[flexoffer.ID]*flexoffer.FlexOffer{off.ID: off}, energy: absTotalMax(off)}
+	b.subgroups[id] = sg
+	b.byGroup[key] = append(b.byGroup[key], id)
+	b.byOffer[off.ID] = id
+	return id
+}
+
+func removeSubgroupID(ids []subgroupID, id subgroupID) []subgroupID {
+	for i, x := range ids {
+		if x == id {
+			return append(ids[:i], ids[i+1:]...)
+		}
+	}
+	return ids
+}
+
+// NumSubgroups returns the current number of sub-groups.
+func (b *BinPacker) NumSubgroups() int { return len(b.subgroups) }
+
+// passthrough converts group deltas straight into sub-group deltas (one
+// sub-group per group) when the bin-packer is disabled.
+func passthrough(groups []groupUpdate) []subgroupUpdate {
+	out := make([]subgroupUpdate, len(groups))
+	for i, gu := range groups {
+		su := subgroupUpdate{id: subgroupID{key: gu.key}, added: gu.added}
+		if len(gu.removed) > 0 {
+			su.removed = make([]flexoffer.ID, len(gu.removed))
+			for j, off := range gu.removed {
+				su.removed[j] = off.ID
+			}
+		}
+		out[i] = su
+	}
+	return out
+}

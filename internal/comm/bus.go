@@ -1,0 +1,119 @@
+package comm
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Handler processes an incoming envelope and optionally returns a reply.
+// Handlers must be safe for concurrent use.
+type Handler func(Envelope) (*Envelope, error)
+
+// Transport moves envelopes between named endpoints.
+type Transport interface {
+	// Send delivers fire-and-forget; the receiver's reply (if any) is
+	// discarded.
+	Send(to string, env Envelope) error
+	// Request delivers and waits for the handler's reply.
+	Request(to string, env Envelope, timeout time.Duration) (Envelope, error)
+}
+
+// Bus is the in-process transport: a registry of named endpoints, used
+// to simulate large node populations in one process. Handlers run on the
+// caller's goroutine for Request and on a fresh goroutine for Send —
+// matching the asynchrony of a real network without its flakiness.
+type Bus struct {
+	mu       sync.RWMutex
+	handlers map[string]Handler
+}
+
+// NewBus returns an empty in-process transport.
+func NewBus() *Bus {
+	return &Bus{handlers: make(map[string]Handler)}
+}
+
+// Register attaches an endpoint. Registering an existing name replaces
+// its handler (a restarted node).
+func (b *Bus) Register(name string, h Handler) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.handlers[name] = h
+}
+
+// Unregister removes an endpoint (an unreachable node; see the paper's
+// graceful-degradation scenario).
+func (b *Bus) Unregister(name string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.handlers, name)
+}
+
+// ErrUnreachable is wrapped by Send/Request when the destination is not
+// registered.
+var ErrUnreachable = fmt.Errorf("comm: destination unreachable")
+
+func (b *Bus) handler(name string) (Handler, error) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	h, ok := b.handlers[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnreachable, name)
+	}
+	return h, nil
+}
+
+// Send implements Transport.
+func (b *Bus) Send(to string, env Envelope) error {
+	h, err := b.handler(to)
+	if err != nil {
+		return err
+	}
+	go func() {
+		_, _ = h(env)
+	}()
+	return nil
+}
+
+// Request implements Transport.
+func (b *Bus) Request(to string, env Envelope, timeout time.Duration) (Envelope, error) {
+	h, err := b.handler(to)
+	if err != nil {
+		return Envelope{}, err
+	}
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	type outcome struct {
+		reply *Envelope
+		err   error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		r, err := h(env)
+		ch <- outcome{r, err}
+	}()
+	select {
+	case o := <-ch:
+		if o.err != nil {
+			return Envelope{}, o.err
+		}
+		if o.reply == nil {
+			return Envelope{}, fmt.Errorf("comm: %s returned no reply", to)
+		}
+		return *o.reply, nil
+	case <-time.After(timeout):
+		return Envelope{}, fmt.Errorf("comm: request to %s timed out after %v", to, timeout)
+	}
+}
+
+// Endpoints returns the registered endpoint names (diagnostics).
+func (b *Bus) Endpoints() []string {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	out := make([]string, 0, len(b.handlers))
+	for name := range b.handlers {
+		out = append(out, name)
+	}
+	return out
+}

@@ -1,0 +1,352 @@
+package comm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"mirabel/internal/flexoffer"
+)
+
+func TestEnvelopeRoundtrip(t *testing.T) {
+	offer := &flexoffer.FlexOffer{
+		ID: 7, EarliestStart: 10, LatestStart: 20, AssignBefore: 5,
+		Profile: []flexoffer.Slice{{EnergyMin: 1, EnergyMax: 2.5}},
+	}
+	env, err := NewEnvelope(MsgFlexOfferSubmit, "p1", "brp1", FlexOfferSubmit{Offer: offer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got FlexOfferSubmit
+	if err := env.Decode(MsgFlexOfferSubmit, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Offer.ID != 7 || got.Offer.Profile[0].EnergyMax != 2.5 {
+		t.Errorf("roundtrip = %+v", got.Offer)
+	}
+}
+
+func TestDecodeWrongType(t *testing.T) {
+	env, _ := NewEnvelope(MsgPing, "a", "b", nil)
+	var out FlexOfferSubmit
+	if err := env.Decode(MsgFlexOfferSubmit, &out); err == nil {
+		t.Error("wrong type accepted")
+	}
+}
+
+func TestBusRequestReply(t *testing.T) {
+	bus := NewBus()
+	bus.Register("brp1", func(env Envelope) (*Envelope, error) {
+		reply, err := NewEnvelope(MsgPong, "brp1", env.From, nil)
+		return &reply, err
+	})
+	env, _ := NewEnvelope(MsgPing, "p1", "brp1", nil)
+	reply, err := bus.Request("brp1", env, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Type != MsgPong {
+		t.Errorf("reply = %+v", reply)
+	}
+}
+
+func TestBusUnreachable(t *testing.T) {
+	bus := NewBus()
+	env, _ := NewEnvelope(MsgPing, "p1", "ghost", nil)
+	if err := bus.Send("ghost", env); !errors.Is(err, ErrUnreachable) {
+		t.Errorf("Send err = %v", err)
+	}
+	if _, err := bus.Request("ghost", env, time.Second); !errors.Is(err, ErrUnreachable) {
+		t.Errorf("Request err = %v", err)
+	}
+	// A node can drop off the bus (paper: "nodes unreachable").
+	bus.Register("x", func(Envelope) (*Envelope, error) { return nil, nil })
+	bus.Unregister("x")
+	if err := bus.Send("x", env); !errors.Is(err, ErrUnreachable) {
+		t.Errorf("Send after Unregister err = %v", err)
+	}
+}
+
+func TestBusSendAsync(t *testing.T) {
+	bus := NewBus()
+	var count atomic.Int32
+	done := make(chan struct{})
+	bus.Register("sink", func(Envelope) (*Envelope, error) {
+		if count.Add(1) == 10 {
+			close(done)
+		}
+		return nil, nil
+	})
+	env, _ := NewEnvelope(MsgPing, "src", "sink", nil)
+	for i := 0; i < 10; i++ {
+		if err := bus.Send("sink", env); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("async sends not delivered")
+	}
+}
+
+func TestBusRequestTimeout(t *testing.T) {
+	bus := NewBus()
+	bus.Register("slow", func(Envelope) (*Envelope, error) {
+		time.Sleep(200 * time.Millisecond)
+		return nil, nil
+	})
+	env, _ := NewEnvelope(MsgPing, "p", "slow", nil)
+	if _, err := bus.Request("slow", env, 20*time.Millisecond); err == nil {
+		t.Error("timeout not enforced")
+	}
+}
+
+func TestBusConcurrentRegisterAndSend(t *testing.T) {
+	bus := NewBus()
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := fmt.Sprintf("n%d", i)
+			bus.Register(name, func(Envelope) (*Envelope, error) { return nil, nil })
+			env, _ := NewEnvelope(MsgPing, "x", name, nil)
+			_ = bus.Send(name, env)
+		}(i)
+	}
+	wg.Wait()
+	if got := len(bus.Endpoints()); got != 20 {
+		t.Errorf("endpoints = %d", got)
+	}
+}
+
+func TestTCPRequestReply(t *testing.T) {
+	srv, err := ListenTCP("127.0.0.1:0", func(env Envelope) (*Envelope, error) {
+		if env.Type != MsgForecastRequest {
+			return nil, fmt.Errorf("unexpected %s", env.Type)
+		}
+		reply, err := NewEnvelope(MsgForecastReply, "brp1", env.From, ForecastReply{
+			EnergyType: "demand", FirstSlot: 100, Values: []float64{1, 2, 3},
+		})
+		return &reply, err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	client := NewTCPClient("p1")
+	defer client.Close()
+	client.SetRoute("brp1", srv.Addr())
+
+	env, _ := NewEnvelope(MsgForecastRequest, "p1", "brp1", ForecastRequest{EnergyType: "demand", Horizon: 3})
+	reply, err := client.Request("brp1", env, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body ForecastReply
+	if err := reply.Decode(MsgForecastReply, &body); err != nil {
+		t.Fatal(err)
+	}
+	if len(body.Values) != 3 || body.FirstSlot != 100 {
+		t.Errorf("reply body = %+v", body)
+	}
+	if reply.Seq == 0 {
+		t.Error("reply lost the correlation id")
+	}
+}
+
+func TestTCPHandlerErrorPropagates(t *testing.T) {
+	srv, err := ListenTCP("127.0.0.1:0", func(Envelope) (*Envelope, error) {
+		return nil, fmt.Errorf("no capacity")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client := NewTCPClient("p1")
+	defer client.Close()
+	client.SetRoute("brp1", srv.Addr())
+	env, _ := NewEnvelope(MsgPing, "p1", "brp1", nil)
+	if _, err := client.Request("brp1", env, time.Second); err == nil {
+		t.Error("handler error not propagated")
+	}
+}
+
+func TestTCPFireAndForgetGetsPong(t *testing.T) {
+	var count atomic.Int32
+	srv, err := ListenTCP("127.0.0.1:0", func(Envelope) (*Envelope, error) {
+		count.Add(1)
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client := NewTCPClient("p1")
+	defer client.Close()
+	client.SetRoute("brp1", srv.Addr())
+	env, _ := NewEnvelope(MsgMeasurementReport, "p1", "brp1", MeasurementReport{Actor: "p1", Slot: 3, KWh: 1})
+	for i := 0; i < 5; i++ {
+		if err := client.Send("brp1", env); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if count.Load() != 5 {
+		t.Errorf("delivered = %d", count.Load())
+	}
+}
+
+func TestTCPNoRoute(t *testing.T) {
+	client := NewTCPClient("p1")
+	defer client.Close()
+	env, _ := NewEnvelope(MsgPing, "p1", "ghost", nil)
+	if _, err := client.Request("ghost", env, time.Second); !errors.Is(err, ErrUnreachable) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestTCPReconnectAfterServerRestart(t *testing.T) {
+	handler := func(env Envelope) (*Envelope, error) {
+		reply, err := NewEnvelope(MsgPong, "srv", env.From, nil)
+		return &reply, err
+	}
+	srv, err := ListenTCP("127.0.0.1:0", handler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	client := NewTCPClient("p1")
+	defer client.Close()
+	client.SetRoute("srv", addr)
+	env, _ := NewEnvelope(MsgPing, "p1", "srv", nil)
+	if _, err := client.Request("srv", env, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Restart the server on the same address.
+	srv.Close()
+	srv2, err := ListenTCP(addr, handler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	// The pooled connection is stale; the client must redial.
+	if _, err := client.Request("srv", env, time.Second); err != nil {
+		t.Errorf("request after restart: %v", err)
+	}
+}
+
+func TestTCPConcurrentClients(t *testing.T) {
+	srv, err := ListenTCP("127.0.0.1:0", func(env Envelope) (*Envelope, error) {
+		reply, err := NewEnvelope(MsgPong, "srv", env.From, nil)
+		return &reply, err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	var wg sync.WaitGroup
+	errs := make(chan error, 10)
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := NewTCPClient(fmt.Sprintf("c%d", i))
+			defer c.Close()
+			c.SetRoute("srv", srv.Addr())
+			env, _ := NewEnvelope(MsgPing, c.from, "srv", nil)
+			for j := 0; j < 20; j++ {
+				if _, err := c.Request("srv", env, time.Second); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// Property: envelopes survive a JSON frame roundtrip bit-exactly for
+// arbitrary measurement payloads.
+func TestPropertyFrameRoundtrip(t *testing.T) {
+	f := func(actor string, slot int32, kwh float64) bool {
+		if kwh != kwh { // NaN does not survive JSON
+			return true
+		}
+		env, err := NewEnvelope(MsgMeasurementReport, "a", "b", MeasurementReport{
+			Actor: actor, EnergyType: "demand", Slot: flexoffer.Time(slot), KWh: kwh,
+		})
+		if err != nil {
+			return false
+		}
+		var buf writableBuffer
+		if err := writeFrame(&buf, &env); err != nil {
+			return false
+		}
+		got, err := readFrame(&buf)
+		if err != nil {
+			return false
+		}
+		var body MeasurementReport
+		if err := got.Decode(MsgMeasurementReport, &body); err != nil {
+			return false
+		}
+		return body.Actor == actor && body.Slot == flexoffer.Time(slot) && body.KWh == kwh
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFrameSizeLimit(t *testing.T) {
+	// A body beyond maxFrame must be rejected on write, not sent.
+	huge := Envelope{Type: MsgPing, Body: make([]byte, maxFrame+1)}
+	var buf writableBuffer
+	if err := writeFrame(&buf, &huge); err == nil {
+		t.Error("oversized frame written")
+	}
+	// A forged oversized header must be rejected on read.
+	var hdr writableBuffer
+	hdr.data = []byte{0xff, 0xff, 0xff, 0xff}
+	if _, err := readFrame(&hdr); err == nil {
+		t.Error("oversized frame header accepted")
+	}
+}
+
+func TestErrorEnvelopeKeepsCorrelation(t *testing.T) {
+	in := Envelope{Type: MsgPing, From: "p1", To: "brp1", Seq: 42}
+	out := ErrorEnvelope(&in, "brp1", "boom")
+	if out.Seq != 42 || out.To != "p1" || out.Type != MsgError {
+		t.Errorf("error envelope = %+v", out)
+	}
+	var body ErrorBody
+	if err := out.Decode(MsgError, &body); err != nil || body.Message != "boom" {
+		t.Errorf("body = %+v, %v", body, err)
+	}
+}
+
+// writableBuffer is a minimal io.ReadWriter over a byte slice.
+type writableBuffer struct{ data []byte }
+
+func (b *writableBuffer) Write(p []byte) (int, error) {
+	b.data = append(b.data, p...)
+	return len(p), nil
+}
+
+func (b *writableBuffer) Read(p []byte) (int, error) {
+	if len(b.data) == 0 {
+		return 0, fmt.Errorf("EOF")
+	}
+	n := copy(p, b.data)
+	b.data = b.data[n:]
+	return n, nil
+}

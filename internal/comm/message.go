@@ -1,0 +1,122 @@
+// Package comm is the MIRABEL Communication component (paper §3):
+// message exchange between LEDMS nodes — "flex-offers, supply and demand
+// measurements, forecasts, etc." Messages are typed JSON envelopes; two
+// transports are provided, an in-process Bus for large simulations and a
+// TCP transport (length-prefixed frames) for real deployments, both with
+// request/response and fire-and-forget semantics.
+package comm
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"mirabel/internal/flexoffer"
+)
+
+// MsgType tags the payload carried by an envelope.
+type MsgType string
+
+// The message vocabulary of the EDMS.
+const (
+	// MsgFlexOfferSubmit: prosumer → BRP (or BRP → TSO): a new
+	// flex-offer.
+	MsgFlexOfferSubmit MsgType = "flex_offer_submit"
+	// MsgFlexOfferDecision: BRP → prosumer: accept/reject with the
+	// negotiated premium.
+	MsgFlexOfferDecision MsgType = "flex_offer_decision"
+	// MsgScheduleNotify: BRP → prosumer: the scheduled instantiation of
+	// a previously accepted flex-offer.
+	MsgScheduleNotify MsgType = "schedule_notify"
+	// MsgMeasurementReport: prosumer → BRP: metered consumption or
+	// production.
+	MsgMeasurementReport MsgType = "measurement_report"
+	// MsgForecastRequest / MsgForecastReply: explicit forecast queries
+	// between nodes.
+	MsgForecastRequest MsgType = "forecast_request"
+	MsgForecastReply   MsgType = "forecast_reply"
+	// MsgPing / MsgPong: liveness.
+	MsgPing MsgType = "ping"
+	MsgPong MsgType = "pong"
+	// MsgError: a transported failure.
+	MsgError MsgType = "error"
+)
+
+// Envelope is the wire unit: a typed payload with routing metadata.
+type Envelope struct {
+	Type MsgType         `json:"type"`
+	From string          `json:"from"`
+	To   string          `json:"to"`
+	Seq  uint64          `json:"seq,omitempty"` // correlation id for replies
+	Body json.RawMessage `json:"body,omitempty"`
+}
+
+// FlexOfferSubmit is the body of MsgFlexOfferSubmit.
+type FlexOfferSubmit struct {
+	Offer *flexoffer.FlexOffer `json:"offer"`
+}
+
+// FlexOfferDecision is the body of MsgFlexOfferDecision.
+type FlexOfferDecision struct {
+	OfferID flexoffer.ID `json:"offer_id"`
+	Accept  bool         `json:"accept"`
+	Reason  string       `json:"reason,omitempty"`
+	// PremiumEUR is the negotiated flexibility premium per kWh.
+	PremiumEUR float64 `json:"premium_eur,omitempty"`
+}
+
+// ScheduleNotify is the body of MsgScheduleNotify.
+type ScheduleNotify struct {
+	Schedules []*flexoffer.Schedule `json:"schedules"`
+}
+
+// MeasurementReport is the body of MsgMeasurementReport.
+type MeasurementReport struct {
+	Actor      string         `json:"actor"`
+	EnergyType string         `json:"energy_type"`
+	Slot       flexoffer.Time `json:"slot"`
+	KWh        float64        `json:"kwh"`
+}
+
+// ForecastRequest is the body of MsgForecastRequest.
+type ForecastRequest struct {
+	EnergyType string `json:"energy_type"`
+	Horizon    int    `json:"horizon"`
+}
+
+// ForecastReply is the body of MsgForecastReply.
+type ForecastReply struct {
+	EnergyType string         `json:"energy_type"`
+	FirstSlot  flexoffer.Time `json:"first_slot"`
+	Values     []float64      `json:"values"`
+}
+
+// ErrorBody is the body of MsgError.
+type ErrorBody struct {
+	Message string `json:"message"`
+}
+
+// NewEnvelope marshals body into a typed envelope.
+func NewEnvelope(t MsgType, from, to string, body any) (Envelope, error) {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return Envelope{}, fmt.Errorf("comm: marshal %s body: %w", t, err)
+	}
+	return Envelope{Type: t, From: from, To: to, Body: raw}, nil
+}
+
+// Decode unmarshals the envelope body into out and verifies the type tag.
+func (e *Envelope) Decode(want MsgType, out any) error {
+	if e.Type != want {
+		return fmt.Errorf("comm: envelope is %s, want %s", e.Type, want)
+	}
+	if err := json.Unmarshal(e.Body, out); err != nil {
+		return fmt.Errorf("comm: decode %s body: %w", e.Type, err)
+	}
+	return nil
+}
+
+// ErrorEnvelope builds an error reply for a received envelope.
+func ErrorEnvelope(inReplyTo *Envelope, from string, msg string) Envelope {
+	raw, _ := json.Marshal(ErrorBody{Message: msg})
+	return Envelope{Type: MsgError, From: from, To: inReplyTo.From, Seq: inReplyTo.Seq, Body: raw}
+}

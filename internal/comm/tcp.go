@@ -1,0 +1,263 @@
+package comm
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// maxFrame bounds a single message (16 MiB) — a macro flex-offer batch
+// fits comfortably; anything larger indicates a protocol error.
+const maxFrame = 16 << 20
+
+// writeFrame writes a length-prefixed JSON frame.
+func writeFrame(w io.Writer, env *Envelope) error {
+	raw, err := json.Marshal(env)
+	if err != nil {
+		return fmt.Errorf("comm: marshal frame: %w", err)
+	}
+	if len(raw) > maxFrame {
+		return fmt.Errorf("comm: frame of %d bytes exceeds limit", len(raw))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(raw)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(raw)
+	return err
+}
+
+// readFrame reads one length-prefixed JSON frame.
+func readFrame(r io.Reader) (Envelope, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Envelope{}, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return Envelope{}, fmt.Errorf("comm: frame of %d bytes exceeds limit", n)
+	}
+	raw := make([]byte, n)
+	if _, err := io.ReadFull(r, raw); err != nil {
+		return Envelope{}, err
+	}
+	var env Envelope
+	if err := json.Unmarshal(raw, &env); err != nil {
+		return Envelope{}, fmt.Errorf("comm: unmarshal frame: %w", err)
+	}
+	return env, nil
+}
+
+// TCPServer serves a node endpoint over TCP.
+type TCPServer struct {
+	ln      net.Listener
+	handler Handler
+	wg      sync.WaitGroup
+	mu      sync.Mutex
+	closed  bool
+	conns   map[net.Conn]struct{}
+}
+
+// ListenTCP starts serving handler on addr (e.g. "127.0.0.1:0"); use
+// Addr() for the bound address.
+func ListenTCP(addr string, h Handler) (*TCPServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("comm: listen %s: %w", addr, err)
+	}
+	s := &TCPServer{ln: ln, handler: h, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound address.
+func (s *TCPServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener, drops open connections and waits for their
+// goroutines.
+func (s *TCPServer) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *TCPServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed || errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+// serveConn handles one connection: a stream of request frames, each
+// answered by a reply frame (MsgError on handler failure, an empty pong
+// frame for fire-and-forget handlers that return nil).
+func (s *TCPServer) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	for {
+		env, err := readFrame(r)
+		if err != nil {
+			return // EOF or protocol error: drop the connection
+		}
+		reply, err := s.handler(env)
+		switch {
+		case err != nil:
+			e := ErrorEnvelope(&env, env.To, err.Error())
+			reply = &e
+		case reply == nil:
+			reply = &Envelope{Type: MsgPong, From: env.To, To: env.From, Seq: env.Seq}
+		default:
+			reply.Seq = env.Seq
+		}
+		if err := writeFrame(w, reply); err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// TCPClient is a Transport over TCP: it maps endpoint names to addresses
+// and keeps one pooled connection per destination.
+type TCPClient struct {
+	from  string
+	mu    sync.Mutex
+	addrs map[string]string
+	conns map[string]net.Conn
+	seq   uint64
+}
+
+// NewTCPClient returns a client identifying itself as from.
+func NewTCPClient(from string) *TCPClient {
+	return &TCPClient{from: from, addrs: make(map[string]string), conns: make(map[string]net.Conn)}
+}
+
+// SetRoute maps an endpoint name to a TCP address.
+func (c *TCPClient) SetRoute(name, addr string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.addrs[name] = addr
+}
+
+// Close drops all pooled connections.
+func (c *TCPClient) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for name, conn := range c.conns {
+		conn.Close()
+		delete(c.conns, name)
+	}
+	return nil
+}
+
+// roundTrip sends env and reads the reply over the pooled connection,
+// redialing once on a stale connection.
+func (c *TCPClient) roundTrip(to string, env Envelope, timeout time.Duration) (Envelope, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	addr, ok := c.addrs[to]
+	if !ok {
+		return Envelope{}, fmt.Errorf("%w: no route to %s", ErrUnreachable, to)
+	}
+	c.seq++
+	env.Seq = c.seq
+	env.From = c.from
+	env.To = to
+
+	deadline := time.Now().Add(timeout)
+	for attempt := 0; attempt < 2; attempt++ {
+		conn := c.conns[to]
+		if conn == nil {
+			var err error
+			conn, err = net.DialTimeout("tcp", addr, timeout)
+			if err != nil {
+				return Envelope{}, fmt.Errorf("comm: dial %s: %w", addr, err)
+			}
+			c.conns[to] = conn
+		}
+		conn.SetDeadline(deadline)
+		if err := writeFrame(conn, &env); err != nil {
+			conn.Close()
+			delete(c.conns, to)
+			continue // stale pooled connection: retry once on a fresh dial
+		}
+		reply, err := readFrame(conn)
+		if err != nil {
+			conn.Close()
+			delete(c.conns, to)
+			if attempt == 1 {
+				return Envelope{}, fmt.Errorf("comm: read reply from %s: %w", to, err)
+			}
+			continue
+		}
+		return reply, nil
+	}
+	return Envelope{}, fmt.Errorf("comm: request to %s failed after retry", to)
+}
+
+// Send implements Transport (the reply frame is read and discarded to
+// keep the stream in lock-step).
+func (c *TCPClient) Send(to string, env Envelope) error {
+	_, err := c.roundTrip(to, env, 5*time.Second)
+	return err
+}
+
+// Request implements Transport.
+func (c *TCPClient) Request(to string, env Envelope, timeout time.Duration) (Envelope, error) {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	reply, err := c.roundTrip(to, env, timeout)
+	if err != nil {
+		return Envelope{}, err
+	}
+	if reply.Type == MsgError {
+		var body ErrorBody
+		if derr := reply.Decode(MsgError, &body); derr == nil {
+			return reply, fmt.Errorf("comm: remote error from %s: %s", to, body.Message)
+		}
+		return reply, fmt.Errorf("comm: remote error from %s", to)
+	}
+	return reply, nil
+}

@@ -1,0 +1,624 @@
+// Package core is the LEDMS node (paper §3): the Control component that
+// orchestrates communication, data management, aggregation, forecasting,
+// scheduling and negotiation inside one node of the EDMS hierarchy. The
+// same node type serves all three levels (the EDMS "consists of millions
+// of homogeneous nodes"); the role only selects which duties are active.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"mirabel/internal/agg"
+	"mirabel/internal/comm"
+	"mirabel/internal/flexoffer"
+	"mirabel/internal/forecast"
+	"mirabel/internal/market"
+	"mirabel/internal/negotiate"
+	"mirabel/internal/sched"
+	"mirabel/internal/settle"
+	"mirabel/internal/store"
+)
+
+// Config assembles a node.
+type Config struct {
+	// Name is the node's endpoint name on the transport.
+	Name string
+	// Role selects prosumer / BRP / TSO duties.
+	Role store.Role
+	// Parent is the endpoint of the next hierarchy level (empty for a
+	// TSO).
+	Parent string
+	// Transport connects the node to its peers.
+	Transport comm.Transport
+	// Store is the node's Data Management component (in-memory if nil).
+	Store *store.Store
+
+	// BRP/TSO specific configuration.
+	AggParams      agg.Params           // aggregation thresholds
+	BinPacker      agg.BinPackerOptions // optional bin-packer bounds
+	Valuator       *negotiate.Valuator  // negotiation policy (default NewValuator)
+	Scheduler      sched.Scheduler      // scheduling strategy (default randomized greedy)
+	SchedOpts      sched.Options        // per-cycle scheduling budget
+	Market         *market.DayAhead     // optional market access
+	HorizonSlots   int                  // scheduling horizon (default one day)
+	RequestTimeout time.Duration        // transport request timeout (default 5s)
+}
+
+// Node is one LEDMS instance.
+type Node struct {
+	cfg Config
+
+	mu       sync.Mutex
+	store    *store.Store
+	pipeline *agg.Pipeline
+	valuator *negotiate.Valuator
+
+	// pending maps accepted-but-unscheduled offers (the paper's pending
+	// flexibilities that may time out).
+	pending map[flexoffer.ID]*flexoffer.FlexOffer
+
+	// received schedules on a prosumer node.
+	schedules map[flexoffer.ID]*flexoffer.Schedule
+
+	// forwarded maps the IDs of macro flex-offers delegated to the
+	// parent (paper §2: aggregated flex-offers are sent to the TSO "for
+	// further aggregation, scheduling, and disaggregation") back to the
+	// local aggregate they represent.
+	forwarded map[flexoffer.ID]flexoffer.ID
+	nextFwdID flexoffer.ID
+}
+
+// NewNode builds a node and registers nothing — attach it to a transport
+// with Handler() or comm.Bus.Register(name, node.Handle).
+func NewNode(cfg Config) (*Node, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("core: node needs a name")
+	}
+	if cfg.Role == "" {
+		return nil, fmt.Errorf("core: node needs a role")
+	}
+	if cfg.Store == nil {
+		cfg.Store = store.NewInMemory()
+	}
+	if cfg.Valuator == nil {
+		cfg.Valuator = negotiate.NewValuator()
+	}
+	if cfg.Scheduler == nil {
+		cfg.Scheduler = &sched.RandomizedGreedy{}
+	}
+	if cfg.HorizonSlots <= 0 {
+		cfg.HorizonSlots = flexoffer.SlotsPerDay
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 5 * time.Second
+	}
+	n := &Node{
+		cfg:       cfg,
+		store:     cfg.Store,
+		pipeline:  agg.NewPipeline(cfg.AggParams, cfg.BinPacker),
+		valuator:  cfg.Valuator,
+		pending:   make(map[flexoffer.ID]*flexoffer.FlexOffer),
+		schedules: make(map[flexoffer.ID]*flexoffer.Schedule),
+		forwarded: make(map[flexoffer.ID]flexoffer.ID),
+		nextFwdID: 1 << 32, // forwarded macro offers use a disjoint id space
+	}
+	if err := n.store.PutActor(store.Actor{ID: cfg.Name, Name: cfg.Name, Role: cfg.Role, Parent: cfg.Parent}); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// Name returns the node's endpoint name.
+func (n *Node) Name() string { return n.cfg.Name }
+
+// Store exposes the node's data management component.
+func (n *Node) Store() *store.Store { return n.store }
+
+// Handle is the node's message entry point (register it on a transport).
+func (n *Node) Handle(env comm.Envelope) (*comm.Envelope, error) {
+	switch env.Type {
+	case comm.MsgFlexOfferSubmit:
+		return n.handleOfferSubmit(&env)
+	case comm.MsgMeasurementReport:
+		return nil, n.handleMeasurement(&env)
+	case comm.MsgScheduleNotify:
+		return nil, n.handleScheduleNotify(&env)
+	case comm.MsgPing:
+		reply, err := comm.NewEnvelope(comm.MsgPong, n.cfg.Name, env.From, nil)
+		if err != nil {
+			return nil, err
+		}
+		return &reply, nil
+	default:
+		return nil, fmt.Errorf("core: %s cannot handle %s", n.cfg.Name, env.Type)
+	}
+}
+
+// handleOfferSubmit runs negotiation and feeds accepted offers into the
+// aggregation pipeline (BRP/TSO duty).
+func (n *Node) handleOfferSubmit(env *comm.Envelope) (*comm.Envelope, error) {
+	if n.cfg.Role == store.RoleProsumer {
+		return nil, fmt.Errorf("core: prosumer %s does not take flex-offers", n.cfg.Name)
+	}
+	var body comm.FlexOfferSubmit
+	if err := env.Decode(comm.MsgFlexOfferSubmit, &body); err != nil {
+		return nil, err
+	}
+	decision := n.AcceptOffer(body.Offer, env.From)
+	reply, err := comm.NewEnvelope(comm.MsgFlexOfferDecision, n.cfg.Name, env.From, comm.FlexOfferDecision{
+		OfferID:    body.Offer.ID,
+		Accept:     decision.Accept,
+		Reason:     decision.Reason,
+		PremiumEUR: decision.Price,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &reply, nil
+}
+
+// AcceptOffer is the in-process form of flex-offer submission: the
+// negotiation component decides; accepted offers enter the store and the
+// aggregation pipeline as pending flexibilities.
+func (n *Node) AcceptOffer(f *flexoffer.FlexOffer, owner string) negotiate.Decision {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	// Negotiation evaluates at the current planning time: the node's
+	// notion of "now" is the earliest moment it could still schedule.
+	decision := n.valuator.Decide(f, n.nowLocked())
+	state := store.OfferRejected
+	if decision.Accept {
+		state = store.OfferAccepted
+	}
+	// The stored offer carries the negotiated premium, which settlement
+	// reads back after execution.
+	priced := f.Clone()
+	priced.CostPerKWh = decision.Price
+	rec := store.OfferRecord{Offer: priced, Owner: owner, State: state}
+	if err := n.store.PutOffer(rec); err != nil {
+		return negotiate.Decision{Accept: false, Reason: err.Error()}
+	}
+	if !decision.Accept {
+		return decision
+	}
+	if _, err := n.pipeline.Apply(agg.FlexOfferUpdate{Kind: agg.Insert, Offer: priced}); err != nil {
+		// The pipeline rejected the offer (e.g. duplicate id): undo.
+		rec.State = store.OfferRejected
+		_ = n.store.PutOffer(rec)
+		return negotiate.Decision{Accept: false, Reason: err.Error()}
+	}
+	n.pending[f.ID] = priced
+	return decision
+}
+
+// nowLocked estimates the node's planning time: without a wall clock the
+// simulation drives time explicitly, so "now" is zero until offers give
+// it context. Kept as a method for future wall-clock integration.
+func (n *Node) nowLocked() flexoffer.Time { return 0 }
+
+// handleMeasurement stores a reported measurement (BRP duty).
+func (n *Node) handleMeasurement(env *comm.Envelope) error {
+	var body comm.MeasurementReport
+	if err := env.Decode(comm.MsgMeasurementReport, &body); err != nil {
+		return err
+	}
+	return n.store.PutMeasurement(store.Measurement{
+		Actor: body.Actor, EnergyType: body.EnergyType, Slot: body.Slot, KWh: body.KWh,
+	})
+}
+
+// handleScheduleNotify records schedules sent back by the parent. On a
+// prosumer the schedule is final; on a BRP whose aggregates were
+// delegated upward, the schedule addresses a forwarded macro flex-offer
+// and is disaggregated and relayed to the prosumers (paper §2: "when the
+// TSO's node forwards back scheduled flex-offers to the trader, they are
+// disaggregated and reported back to respective prosumers in the same
+// way as locally managed flex-offers").
+func (n *Node) handleScheduleNotify(env *comm.Envelope) error {
+	var body comm.ScheduleNotify
+	if err := env.Decode(comm.MsgScheduleNotify, &body); err != nil {
+		return err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, s := range body.Schedules {
+		if localID, ok := n.forwarded[s.OfferID]; ok {
+			if err := n.relayForwardedSchedule(localID, s); err != nil {
+				return err
+			}
+			delete(n.forwarded, s.OfferID)
+			continue
+		}
+		n.schedules[s.OfferID] = s
+		if rec, ok := n.store.GetOffer(s.OfferID); ok {
+			rec.State = store.OfferScheduled
+			rec.Schedule = s
+			if err := n.store.PutOffer(rec); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// relayForwardedSchedule disaggregates a schedule for a delegated macro
+// flex-offer and delivers the micro schedules. Caller holds the lock.
+func (n *Node) relayForwardedSchedule(localID flexoffer.ID, s *flexoffer.Schedule) error {
+	translated := &flexoffer.Schedule{OfferID: localID, Start: s.Start, Energy: s.Energy}
+	micro, err := n.pipeline.Disaggregate([]*flexoffer.Schedule{translated})
+	if err != nil {
+		return err
+	}
+	if _, err := n.deliverMicroSchedules(micro); err != nil {
+		return err
+	}
+	// The scheduled members leave the pipeline and the pending set.
+	var done []agg.FlexOfferUpdate
+	for _, ms := range micro {
+		if f, ok := n.pending[ms.OfferID]; ok {
+			done = append(done, agg.FlexOfferUpdate{Kind: agg.Delete, Offer: f})
+			delete(n.pending, ms.OfferID)
+		}
+	}
+	if len(done) > 0 {
+		if _, err := n.pipeline.Apply(done...); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// deliverMicroSchedules stores and sends micro schedules to their
+// owners; unreachable owners are counted, not fatal. Caller holds the
+// lock.
+func (n *Node) deliverMicroSchedules(micro []*flexoffer.Schedule) (notifyFailures int, err error) {
+	byOwner := make(map[string][]*flexoffer.Schedule)
+	for _, s := range micro {
+		rec, ok := n.store.GetOffer(s.OfferID)
+		if !ok {
+			continue
+		}
+		rec.State = store.OfferScheduled
+		rec.Schedule = s
+		if err := n.store.PutOffer(rec); err != nil {
+			return notifyFailures, err
+		}
+		byOwner[rec.Owner] = append(byOwner[rec.Owner], s)
+	}
+	if n.cfg.Transport == nil {
+		return 0, nil
+	}
+	for owner, scheds := range byOwner {
+		env, err := comm.NewEnvelope(comm.MsgScheduleNotify, n.cfg.Name, owner, comm.ScheduleNotify{Schedules: scheds})
+		if err != nil {
+			return notifyFailures, err
+		}
+		if err := n.cfg.Transport.Send(owner, env); err != nil {
+			notifyFailures++
+		}
+	}
+	return notifyFailures, nil
+}
+
+// ForwardAggregates delegates the node's current macro flex-offers to
+// its parent (paper §2: "the aggregated flex-offers are sent to a TSO's
+// node for further aggregation, scheduling, and disaggregation"). The
+// members stay pending locally until the parent's schedules come back
+// through handleScheduleNotify; if none arrive, they time out like any
+// other pending flexibility. Returns how many aggregates the parent
+// accepted.
+func (n *Node) ForwardAggregates() (int, error) {
+	if n.cfg.Transport == nil || n.cfg.Parent == "" {
+		return 0, fmt.Errorf("core: %s has no parent to forward to", n.cfg.Name)
+	}
+	n.mu.Lock()
+	aggregates := n.pipeline.Aggregates()
+	type fwd struct {
+		offer   *flexoffer.FlexOffer
+		localID flexoffer.ID
+	}
+	fwds := make([]fwd, 0, len(aggregates))
+	for _, a := range aggregates {
+		macro := a.Offer.Clone()
+		macro.ID = n.nextFwdID
+		macro.Prosumer = n.cfg.Name
+		n.nextFwdID++
+		fwds = append(fwds, fwd{offer: macro, localID: a.Offer.ID})
+	}
+	n.mu.Unlock()
+
+	accepted := 0
+	for _, f := range fwds {
+		env, err := comm.NewEnvelope(comm.MsgFlexOfferSubmit, n.cfg.Name, n.cfg.Parent, comm.FlexOfferSubmit{Offer: f.offer})
+		if err != nil {
+			return accepted, err
+		}
+		reply, err := n.cfg.Transport.Request(n.cfg.Parent, env, n.cfg.RequestTimeout)
+		if err != nil {
+			continue // unreachable parent: offers stay pending and may time out
+		}
+		var decision comm.FlexOfferDecision
+		if err := reply.Decode(comm.MsgFlexOfferDecision, &decision); err != nil {
+			return accepted, err
+		}
+		if decision.Accept {
+			n.mu.Lock()
+			n.forwarded[f.offer.ID] = f.localID
+			n.mu.Unlock()
+			accepted++
+		}
+	}
+	return accepted, nil
+}
+
+// ScheduleFor returns the schedule a prosumer received for an offer, or
+// the offer's default schedule after its assignment deadline passed (the
+// paper's graceful fallback: "pending flexibilities simply timeout and
+// customers fall back to the open contract").
+func (n *Node) ScheduleFor(f *flexoffer.FlexOffer, now flexoffer.Time) *flexoffer.Schedule {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if s, ok := n.schedules[f.ID]; ok {
+		return s
+	}
+	if now >= f.AssignBefore {
+		if rec, ok := n.store.GetOffer(f.ID); ok && rec.State != store.OfferScheduled {
+			rec.State = store.OfferExpired
+			_ = n.store.PutOffer(rec)
+		}
+		return f.DefaultSchedule()
+	}
+	return nil
+}
+
+// PendingOffers returns the accepted, not-yet-scheduled offers.
+func (n *Node) PendingOffers() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.pending)
+}
+
+// Aggregates exposes the current macro flex-offers (diagnostics).
+func (n *Node) Aggregates() []*agg.Aggregate {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.pipeline.Aggregates()
+}
+
+// CycleReport summarizes one scheduling cycle of a BRP/TSO node.
+type CycleReport struct {
+	Offers          int     // pending micro flex-offers considered
+	Aggregates      int     // macro flex-offers scheduled
+	ScheduleCost    float64 // cost of the chosen schedule (EUR)
+	BaselineCost    float64 // cost had no flexibility been used
+	MicroSchedules  int     // disaggregated schedules produced
+	Expired         int     // offers dropped because their deadline passed
+	NotifyFailures  int     // prosumers that could not be reached
+	AggregationTime time.Duration
+	SchedulingTime  time.Duration
+}
+
+// forecaster produces the baseline for a horizon; the node's scheduling
+// cycle accepts any source (a forecast.Maintainer, a fixed series, ...).
+type forecaster interface {
+	Forecast(h int) []float64
+}
+
+// RunSchedulingCycle executes the full BRP workflow at planning time now
+// for [now, now+horizon): drop expired offers, schedule the aggregates
+// against the forecast baseline, disaggregate, store and deliver the
+// micro schedules to their owners.
+//
+// demandFc and resFc forecast the non-flexible consumption and RES
+// production of the balance group; imbalancePrices gives the per-slot
+// mismatch penalty (nil = flat 0.15 EUR/kWh).
+func (n *Node) RunSchedulingCycle(now flexoffer.Time, demandFc, resFc forecaster, imbalancePrices []float64) (*CycleReport, error) {
+	if n.cfg.Role == store.RoleProsumer {
+		return nil, fmt.Errorf("core: prosumer %s does not schedule", n.cfg.Name)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+
+	rep := &CycleReport{}
+	horizon := n.cfg.HorizonSlots
+
+	// 1. Expire pending offers whose assignment deadline has passed or
+	// whose execution window no longer fits the horizon.
+	end := now + flexoffer.Time(horizon)
+	var expired []agg.FlexOfferUpdate
+	for id, f := range n.pending {
+		if now >= f.AssignBefore || f.EarliestStart < now || f.LatestEnd() > end {
+			expired = append(expired, agg.FlexOfferUpdate{Kind: agg.Delete, Offer: f})
+			delete(n.pending, id)
+			rep.Expired++
+			if rec, ok := n.store.GetOffer(id); ok {
+				rec.State = store.OfferExpired
+				_ = n.store.PutOffer(rec)
+			}
+		}
+	}
+	t0 := time.Now()
+	if len(expired) > 0 {
+		if _, err := n.pipeline.Apply(expired...); err != nil {
+			return nil, err
+		}
+	}
+	aggregates := n.pipeline.Aggregates()
+	rep.AggregationTime = time.Since(t0)
+	rep.Offers = len(n.pending)
+	rep.Aggregates = len(aggregates)
+
+	// 2. Build the scheduling problem from the forecasts.
+	baseline := make([]float64, horizon)
+	if demandFc != nil {
+		copy(baseline, demandFc.Forecast(horizon))
+	}
+	if resFc != nil {
+		for i, v := range resFc.Forecast(horizon) {
+			if i < horizon {
+				baseline[i] -= v
+			}
+		}
+	}
+	if imbalancePrices == nil {
+		imbalancePrices = make([]float64, horizon)
+		for i := range imbalancePrices {
+			imbalancePrices[i] = 0.15
+		}
+	}
+	offers := make([]*flexoffer.FlexOffer, len(aggregates))
+	for i, a := range aggregates {
+		offers[i] = a.Offer
+	}
+	problem := &sched.Problem{
+		Start:          now,
+		Slots:          horizon,
+		Baseline:       baseline,
+		ImbalancePrice: imbalancePrices,
+		Offers:         offers,
+		Market:         n.cfg.Market,
+	}
+	rep.BaselineCost = problem.BaselineCost()
+
+	if len(aggregates) == 0 {
+		return rep, nil
+	}
+
+	// 3. Schedule the macro flex-offers.
+	t0 = time.Now()
+	res, err := n.cfg.Scheduler.Schedule(problem, n.cfg.SchedOpts)
+	if err != nil {
+		return nil, err
+	}
+	rep.SchedulingTime = time.Since(t0)
+	rep.ScheduleCost = res.Cost
+
+	// 4. Disaggregate into micro schedules.
+	micro, err := n.pipeline.Disaggregate(problem.Schedules(res.Solution))
+	if err != nil {
+		return nil, err
+	}
+	rep.MicroSchedules = len(micro)
+
+	// 5. Record and deliver. Unreachable prosumers are counted, not
+	// fatal: their offers will time out and fall back gracefully.
+	failures, err := n.deliverMicroSchedules(micro)
+	if err != nil {
+		return nil, err
+	}
+	rep.NotifyFailures = failures
+	for _, s := range micro {
+		delete(n.pending, s.OfferID)
+	}
+
+	// The scheduled offers leave the aggregation pipeline.
+	var done []agg.FlexOfferUpdate
+	for _, a := range aggregates {
+		for _, m := range a.Members() {
+			done = append(done, agg.FlexOfferUpdate{Kind: agg.Delete, Offer: m})
+		}
+	}
+	if _, err := n.pipeline.Apply(done...); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// SettleExecuted settles all scheduled flex-offers against their metered
+// execution: premiums are paid, deviations penalized and (optionally)
+// the realized profit shared — the execution-time half of the
+// negotiation component. metered maps offer IDs to measured energy per
+// schedule slice; offers without metering are treated as perfectly
+// compliant (metered = scheduled). Settled offers move to the executed
+// state.
+func (n *Node) SettleExecuted(metered map[flexoffer.ID][]float64, cfg settle.Config) (*settle.Report, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var items []settle.Item
+	var recs []store.OfferRecord
+	for _, rec := range n.store.Offers(store.OfferFilter{State: store.OfferScheduled}) {
+		if rec.Schedule == nil {
+			continue
+		}
+		m, ok := metered[rec.Offer.ID]
+		if !ok {
+			m = settle.MeteredFromSchedule(rec.Schedule)
+		}
+		items = append(items, settle.Item{
+			Offer:      rec.Offer,
+			Schedule:   rec.Schedule,
+			PremiumEUR: rec.Offer.CostPerKWh,
+			Metered:    m,
+		})
+		recs = append(recs, rec)
+	}
+	rep, err := settle.Settle(items, cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, rec := range recs {
+		rec.State = store.OfferExecuted
+		if err := n.store.PutOffer(rec); err != nil {
+			return nil, err
+		}
+	}
+	return rep, nil
+}
+
+// SubmitOfferTo sends a flex-offer to the node's parent and returns the
+// decision (prosumer duty).
+func (n *Node) SubmitOfferTo(f *flexoffer.FlexOffer) (comm.FlexOfferDecision, error) {
+	if n.cfg.Transport == nil || n.cfg.Parent == "" {
+		return comm.FlexOfferDecision{}, fmt.Errorf("core: %s has no parent to submit to", n.cfg.Name)
+	}
+	if err := n.store.PutOffer(store.OfferRecord{Offer: f, Owner: n.cfg.Name, State: store.OfferReceived}); err != nil {
+		return comm.FlexOfferDecision{}, err
+	}
+	env, err := comm.NewEnvelope(comm.MsgFlexOfferSubmit, n.cfg.Name, n.cfg.Parent, comm.FlexOfferSubmit{Offer: f})
+	if err != nil {
+		return comm.FlexOfferDecision{}, err
+	}
+	reply, err := n.cfg.Transport.Request(n.cfg.Parent, env, n.cfg.RequestTimeout)
+	if err != nil {
+		return comm.FlexOfferDecision{}, err
+	}
+	var decision comm.FlexOfferDecision
+	if err := reply.Decode(comm.MsgFlexOfferDecision, &decision); err != nil {
+		return comm.FlexOfferDecision{}, err
+	}
+	rec, _ := n.store.GetOffer(f.ID)
+	if decision.Accept {
+		rec.State = store.OfferAccepted
+	} else {
+		rec.State = store.OfferRejected
+	}
+	rec.Offer = f
+	rec.Owner = n.cfg.Name
+	if err := n.store.PutOffer(rec); err != nil {
+		return comm.FlexOfferDecision{}, err
+	}
+	return decision, nil
+}
+
+// ReportMeasurement sends a metered value to the parent and stores it
+// locally (prosumer duty).
+func (n *Node) ReportMeasurement(energyType string, slot flexoffer.Time, kwh float64) error {
+	if err := n.store.PutMeasurement(store.Measurement{Actor: n.cfg.Name, EnergyType: energyType, Slot: slot, KWh: kwh}); err != nil {
+		return err
+	}
+	if n.cfg.Transport == nil || n.cfg.Parent == "" {
+		return nil
+	}
+	env, err := comm.NewEnvelope(comm.MsgMeasurementReport, n.cfg.Name, n.cfg.Parent, comm.MeasurementReport{
+		Actor: n.cfg.Name, EnergyType: energyType, Slot: slot, KWh: kwh,
+	})
+	if err != nil {
+		return err
+	}
+	return n.cfg.Transport.Send(n.cfg.Parent, env)
+}
+
+// ensure forecast.Maintainer satisfies the forecaster seam.
+var _ forecaster = (*forecast.Maintainer)(nil)

@@ -1,0 +1,456 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"mirabel/internal/agg"
+	"mirabel/internal/comm"
+	"mirabel/internal/flexoffer"
+	"mirabel/internal/sched"
+	"mirabel/internal/settle"
+	"mirabel/internal/store"
+)
+
+// testOffer builds a schedulable offer inside the first day.
+func testOffer(id flexoffer.ID, es, tf flexoffer.Time, slices int, emax float64) *flexoffer.FlexOffer {
+	p := make([]flexoffer.Slice, slices)
+	for i := range p {
+		p[i] = flexoffer.Slice{EnergyMin: 0, EnergyMax: emax}
+	}
+	return &flexoffer.FlexOffer{
+		ID: id, EarliestStart: es, LatestStart: es + tf, AssignBefore: es - 8,
+		Profile: p,
+	}
+}
+
+func newBRP(t *testing.T, bus *comm.Bus) *Node {
+	t.Helper()
+	n, err := NewNode(Config{
+		Name:      "brp1",
+		Role:      store.RoleBRP,
+		Transport: bus,
+		AggParams: agg.ParamsP3,
+		SchedOpts: sched.Options{MaxIterations: 3, Seed: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bus != nil {
+		bus.Register("brp1", n.Handle)
+	}
+	return n
+}
+
+func newProsumer(t *testing.T, bus *comm.Bus, name string) *Node {
+	t.Helper()
+	n, err := NewNode(Config{
+		Name:      name,
+		Role:      store.RoleProsumer,
+		Parent:    "brp1",
+		Transport: bus,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus.Register(name, n.Handle)
+	return n
+}
+
+func TestNewNodeValidation(t *testing.T) {
+	if _, err := NewNode(Config{}); err == nil {
+		t.Error("node without name accepted")
+	}
+	if _, err := NewNode(Config{Name: "x"}); err == nil {
+		t.Error("node without role accepted")
+	}
+}
+
+func TestOfferSubmissionRoundtrip(t *testing.T) {
+	bus := comm.NewBus()
+	brp := newBRP(t, bus)
+	p1 := newProsumer(t, bus, "p1")
+
+	offer := testOffer(1, 40, 16, 4, 5)
+	decision, err := p1.SubmitOfferTo(offer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !decision.Accept {
+		t.Fatalf("offer rejected: %s", decision.Reason)
+	}
+	if decision.PremiumEUR <= 0 {
+		t.Error("accepted offer without premium")
+	}
+	if brp.PendingOffers() != 1 {
+		t.Errorf("pending = %d", brp.PendingOffers())
+	}
+	// Both sides recorded the offer.
+	if rec, ok := brp.Store().GetOffer(1); !ok || rec.State != store.OfferAccepted {
+		t.Errorf("BRP record = %+v, %v", rec, ok)
+	}
+	if rec, ok := p1.Store().GetOffer(1); !ok || rec.State != store.OfferAccepted {
+		t.Errorf("prosumer record = %+v, %v", rec, ok)
+	}
+}
+
+func TestInflexibleOfferRejected(t *testing.T) {
+	bus := comm.NewBus()
+	newBRP(t, bus)
+	p1 := newProsumer(t, bus, "p1")
+	rigid := testOffer(2, 40, 0, 4, 5)
+	rigid.Profile = []flexoffer.Slice{{EnergyMin: 5, EnergyMax: 5}}
+	decision, err := p1.SubmitOfferTo(rigid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decision.Accept {
+		t.Error("inflexible offer accepted")
+	}
+	if rec, _ := p1.Store().GetOffer(2); rec.State != store.OfferRejected {
+		t.Errorf("prosumer state = %s", rec.State)
+	}
+}
+
+func TestSchedulingCycleEndToEnd(t *testing.T) {
+	bus := comm.NewBus()
+	brp := newBRP(t, bus)
+	p1 := newProsumer(t, bus, "p1")
+	p2 := newProsumer(t, bus, "p2")
+
+	o1 := testOffer(1, 40, 16, 4, 5)
+	o2 := testOffer(2, 42, 12, 4, 5)
+	if d, err := p1.SubmitOfferTo(o1); err != nil || !d.Accept {
+		t.Fatalf("submit o1: %v %+v", err, d)
+	}
+	if d, err := p2.SubmitOfferTo(o2); err != nil || !d.Accept {
+		t.Fatalf("submit o2: %v %+v", err, d)
+	}
+
+	// RES surplus in slots 40..55: the scheduler should soak it up.
+	baseline := make([]float64, flexoffer.SlotsPerDay)
+	for i := 40; i < 56; i++ {
+		baseline[i] = -8
+	}
+	res := StaticForecast(make([]float64, flexoffer.SlotsPerDay))
+	rep, err := brp.RunSchedulingCycle(0, StaticForecast(baseline), res, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Offers != 2 || rep.MicroSchedules != 2 {
+		t.Errorf("report = %+v", rep)
+	}
+	if rep.ScheduleCost >= rep.BaselineCost {
+		t.Errorf("schedule cost %g not below baseline %g", rep.ScheduleCost, rep.BaselineCost)
+	}
+
+	// Give the async notifications a moment, then check delivery.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if s := p1.ScheduleFor(o1, 10); s != nil {
+			if err := o1.ValidateSchedule(s); err != nil {
+				t.Fatalf("delivered schedule invalid: %v", err)
+			}
+			if rec, _ := p1.Store().GetOffer(1); rec.State != store.OfferScheduled {
+				t.Errorf("prosumer offer state = %s", rec.State)
+			}
+			// The BRP cleared its pipeline.
+			if brp.PendingOffers() != 0 {
+				t.Errorf("pending after cycle = %d", brp.PendingOffers())
+			}
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("schedule never delivered to prosumer")
+}
+
+func TestExpiredOfferFallsBackToDefault(t *testing.T) {
+	bus := comm.NewBus()
+	newBRP(t, bus)
+	p1 := newProsumer(t, bus, "p1")
+	offer := testOffer(1, 40, 16, 4, 5)
+	if _, err := p1.SubmitOfferTo(offer); err != nil {
+		t.Fatal(err)
+	}
+	// No schedule arrives; after the assignment deadline the prosumer
+	// falls back to the default profile.
+	if s := p1.ScheduleFor(offer, offer.AssignBefore-1); s != nil {
+		t.Error("schedule before deadline should be nil (still waiting)")
+	}
+	s := p1.ScheduleFor(offer, offer.AssignBefore)
+	if s == nil {
+		t.Fatal("no fallback schedule")
+	}
+	if s.Start != offer.EarliestStart {
+		t.Errorf("fallback start = %d, want earliest %d", s.Start, offer.EarliestStart)
+	}
+	if rec, _ := p1.Store().GetOffer(1); rec.State != store.OfferExpired {
+		t.Errorf("state = %s, want expired", rec.State)
+	}
+}
+
+func TestCycleExpiresStaleOffers(t *testing.T) {
+	brp := newBRP(t, nil)
+	// Offer whose assignment deadline (32) is before the cycle time 36.
+	stale := testOffer(9, 40, 8, 4, 5)
+	if d := brp.AcceptOffer(stale, "p9"); !d.Accept {
+		t.Fatalf("rejected: %s", d.Reason)
+	}
+	rep, err := brp.RunSchedulingCycle(36, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Expired != 1 || rep.Offers != 0 {
+		t.Errorf("report = %+v", rep)
+	}
+	if rec, _ := brp.Store().GetOffer(9); rec.State != store.OfferExpired {
+		t.Errorf("state = %s", rec.State)
+	}
+}
+
+func TestUnreachableProsumerDoesNotFailCycle(t *testing.T) {
+	bus := comm.NewBus()
+	brp := newBRP(t, bus)
+	p1 := newProsumer(t, bus, "p1")
+	offer := testOffer(1, 40, 16, 4, 5)
+	if _, err := p1.SubmitOfferTo(offer); err != nil {
+		t.Fatal(err)
+	}
+	bus.Unregister("p1") // the node drops off the network
+	rep, err := brp.RunSchedulingCycle(0, nil, nil, nil)
+	if err != nil {
+		t.Fatalf("cycle failed on unreachable prosumer: %v", err)
+	}
+	if rep.NotifyFailures != 1 {
+		t.Errorf("notify failures = %d, want 1", rep.NotifyFailures)
+	}
+}
+
+func TestMeasurementReporting(t *testing.T) {
+	bus := comm.NewBus()
+	brp := newBRP(t, bus)
+	p1 := newProsumer(t, bus, "p1")
+	if err := p1.ReportMeasurement("demand", 5, 2.5); err != nil {
+		t.Fatal(err)
+	}
+	// Local store immediately.
+	if got := p1.Store().SumEnergyBySlot(store.MeasurementFilter{})[5]; got != 2.5 {
+		t.Errorf("local measurement = %g", got)
+	}
+	// Parent store asynchronously.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if got := brp.Store().SumEnergyBySlot(store.MeasurementFilter{})[5]; got == 2.5 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Error("measurement never reached the BRP")
+}
+
+func TestProsumerRefusesOffers(t *testing.T) {
+	bus := comm.NewBus()
+	p1 := newProsumer(t, bus, "p1")
+	env, _ := comm.NewEnvelope(comm.MsgFlexOfferSubmit, "x", "p1", comm.FlexOfferSubmit{Offer: testOffer(1, 40, 8, 2, 1)})
+	if _, err := p1.Handle(env); err == nil {
+		t.Error("prosumer accepted a flex-offer submission")
+	}
+}
+
+func TestPingPong(t *testing.T) {
+	brp := newBRP(t, nil)
+	env, _ := comm.NewEnvelope(comm.MsgPing, "x", "brp1", nil)
+	reply, err := brp.Handle(env)
+	if err != nil || reply == nil || reply.Type != comm.MsgPong {
+		t.Errorf("ping reply = %+v, %v", reply, err)
+	}
+}
+
+func TestStaticAndShiftedForecast(t *testing.T) {
+	s := StaticForecast{1, 2, 3}
+	got := s.Forecast(5)
+	want := []float64{1, 2, 3, 3, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("StaticForecast[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+	sh := ShiftedForecast{Series: []float64{1, 2, 3, 4}, Start: 2}
+	got = sh.Forecast(3)
+	want = []float64{3, 4, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("ShiftedForecast[%d] = %g, want %g", i, got[i], want[i])
+		}
+	}
+	if empty := (StaticForecast{}).Forecast(2); empty[0] != 0 || empty[1] != 0 {
+		t.Error("empty forecast not zero")
+	}
+}
+
+func TestForwardedAggregatesRelaySchedulesToProsumers(t *testing.T) {
+	// Full paper §2 flow: prosumer → BRP → TSO → BRP → prosumer.
+	bus := comm.NewBus()
+	tso, err := NewNode(Config{
+		Name: "tso", Role: store.RoleTSO, Transport: bus,
+		AggParams: agg.ParamsP3,
+		SchedOpts: sched.Options{MaxIterations: 3, Seed: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus.Register("tso", tso.Handle)
+	brp, err := NewNode(Config{
+		Name: "brp1", Role: store.RoleBRP, Parent: "tso", Transport: bus,
+		AggParams: agg.ParamsP3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus.Register("brp1", brp.Handle)
+	p1 := newProsumer(t, bus, "p1")
+
+	offer := testOffer(1, 40, 16, 4, 5)
+	if d, err := p1.SubmitOfferTo(offer); err != nil || !d.Accept {
+		t.Fatalf("submit: %v %+v", err, d)
+	}
+
+	// The BRP delegates its aggregate upward instead of scheduling.
+	n, err := brp.ForwardAggregates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("forwarded = %d, want 1", n)
+	}
+	if _, err := tso.RunSchedulingCycle(0, nil, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// The schedule must reach the prosumer via the BRP's relay.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if s := p1.ScheduleFor(offer, 10); s != nil {
+			if err := offer.ValidateSchedule(s); err != nil {
+				t.Fatalf("relayed schedule invalid: %v", err)
+			}
+			if brp.PendingOffers() != 0 {
+				t.Errorf("BRP still has %d pending after relay", brp.PendingOffers())
+			}
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("schedule never relayed to the prosumer")
+}
+
+func TestForwardAggregatesRequiresParent(t *testing.T) {
+	brp := newBRP(t, nil)
+	if _, err := brp.ForwardAggregates(); err == nil {
+		t.Error("forwarding without parent should error")
+	}
+}
+
+func TestSettleExecutedOffers(t *testing.T) {
+	bus := comm.NewBus()
+	brp := newBRP(t, bus)
+	p1 := newProsumer(t, bus, "p1")
+	offer := testOffer(1, 40, 16, 4, 5)
+	d, err := p1.SubmitOfferTo(offer)
+	if err != nil || !d.Accept {
+		t.Fatalf("submit: %v %+v", err, d)
+	}
+	// The surplus sits at slots 48..56 — away from the earliest start, so
+	// the default (immediate) execution misses it and scheduling
+	// realizes genuine savings to share.
+	baseline := make([]float64, flexoffer.SlotsPerDay)
+	for i := 48; i < 56; i++ {
+		baseline[i] = -5
+	}
+	rep, err := brp.RunSchedulingCycle(0, StaticForecast(baseline), nil, nil)
+	if err != nil || rep.MicroSchedules != 1 {
+		t.Fatalf("cycle: %v %+v", err, rep)
+	}
+	if rep.ScheduleCost >= rep.BaselineCost {
+		t.Fatalf("no savings: scheduled %g vs default %g", rep.ScheduleCost, rep.BaselineCost)
+	}
+
+	// Settle with no metering overrides: perfectly compliant.
+	sr, err := brp.SettleExecuted(nil, settleConfig(rep))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Lines) != 1 {
+		t.Fatalf("lines = %d", len(sr.Lines))
+	}
+	l := sr.Lines[0]
+	if !l.Compliant {
+		t.Error("compliant execution penalized")
+	}
+	if d.PremiumEUR > 0 && l.PaymentEUR <= 0 {
+		t.Errorf("no premium paid: %+v (decision premium %g)", l, d.PremiumEUR)
+	}
+	if sr.SharedProfitEUR <= 0 {
+		t.Errorf("no profit shared despite realized savings: %+v", sr)
+	}
+	// The offer moved to the executed state.
+	if rec, _ := brp.Store().GetOffer(1); rec.State != store.OfferExecuted {
+		t.Errorf("state = %s, want executed", rec.State)
+	}
+	// Settling again finds nothing scheduled.
+	sr2, err := brp.SettleExecuted(nil, settleConfig(rep))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sr2.Lines) != 0 {
+		t.Errorf("second settlement found %d lines", len(sr2.Lines))
+	}
+}
+
+func settleConfig(rep *CycleReport) settle.Config {
+	return settle.Config{
+		ShareFrac:         0.3,
+		RealizedProfitEUR: rep.BaselineCost - rep.ScheduleCost,
+	}
+}
+
+func TestTSOLevelAggregationOfBRPs(t *testing.T) {
+	// Level 3: a TSO accepts (macro) offers from BRPs, schedules, and
+	// sends schedules back — the same node type, one level up.
+	bus := comm.NewBus()
+	tso, err := NewNode(Config{
+		Name: "tso", Role: store.RoleTSO, Transport: bus,
+		AggParams: agg.ParamsP3,
+		SchedOpts: sched.Options{MaxIterations: 2, Seed: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus.Register("tso", tso.Handle)
+
+	brp, err := NewNode(Config{
+		Name: "brp1", Role: store.RoleBRP, Parent: "tso", Transport: bus,
+		AggParams: agg.ParamsP3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus.Register("brp1", brp.Handle)
+
+	macro := testOffer(100, 40, 16, 6, 50) // an aggregated offer
+	d, err := brp.SubmitOfferTo(macro)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Accept {
+		t.Fatalf("TSO rejected macro offer: %s", d.Reason)
+	}
+	rep, err := tso.RunSchedulingCycle(0, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MicroSchedules != 1 {
+		t.Errorf("TSO cycle report = %+v", rep)
+	}
+}

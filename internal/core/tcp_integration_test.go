@@ -1,0 +1,115 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"mirabel/internal/agg"
+	"mirabel/internal/comm"
+	"mirabel/internal/flexoffer"
+	"mirabel/internal/sched"
+	"mirabel/internal/store"
+)
+
+// TestNodesOverTCP wires a prosumer and a BRP over the real TCP
+// transport with durable stores and runs the full §2 flow: submit →
+// negotiate → schedule → disaggregate → notify, then verifies the
+// prosumer's store survives a restart with the schedule intact.
+func TestNodesOverTCP(t *testing.T) {
+	brpDir := t.TempDir()
+	prosumerDir := t.TempDir()
+
+	brpStore, err := store.Open(brpDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	brpClient := comm.NewTCPClient("brp1")
+	defer brpClient.Close()
+	brp, err := NewNode(Config{
+		Name: "brp1", Role: store.RoleBRP, Transport: brpClient, Store: brpStore,
+		AggParams: agg.ParamsP3,
+		SchedOpts: sched.Options{MaxIterations: 3, Seed: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	brpSrv, err := comm.ListenTCP("127.0.0.1:0", brp.Handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer brpSrv.Close()
+
+	prosumerStore, err := store.Open(prosumerDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pClient := comm.NewTCPClient("p1")
+	defer pClient.Close()
+	pClient.SetRoute("brp1", brpSrv.Addr())
+	p1, err := NewNode(Config{
+		Name: "p1", Role: store.RoleProsumer, Parent: "brp1", Transport: pClient, Store: prosumerStore,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pSrv, err := comm.ListenTCP("127.0.0.1:0", p1.Handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pSrv.Close()
+	brpClient.SetRoute("p1", pSrv.Addr())
+
+	// Submit an offer over the wire.
+	offer := testOffer(1, 40, 16, 4, 5)
+	decision, err := p1.SubmitOfferTo(offer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !decision.Accept {
+		t.Fatalf("rejected over TCP: %s", decision.Reason)
+	}
+
+	// Schedule and deliver over the wire.
+	baseline := make([]float64, flexoffer.SlotsPerDay)
+	for i := 40; i < 60; i++ {
+		baseline[i] = -5
+	}
+	rep, err := brp.RunSchedulingCycle(0, StaticForecast(baseline), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MicroSchedules != 1 || rep.NotifyFailures != 0 {
+		t.Fatalf("cycle report = %+v", rep)
+	}
+
+	var sched1 *flexoffer.Schedule
+	for deadline := time.Now().Add(3 * time.Second); time.Now().Before(deadline); {
+		if sched1 = p1.ScheduleFor(offer, 10); sched1 != nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if sched1 == nil {
+		t.Fatal("schedule never delivered over TCP")
+	}
+	if err := offer.ValidateSchedule(sched1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart the prosumer store: the scheduled state must survive.
+	if err := prosumerStore.Close(); err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := store.Open(prosumerDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	rec, ok := reopened.GetOffer(1)
+	if !ok || rec.State != store.OfferScheduled || rec.Schedule == nil {
+		t.Fatalf("state lost across restart: %+v, %v", rec, ok)
+	}
+	if rec.Schedule.Start != sched1.Start {
+		t.Errorf("persisted start %d != delivered %d", rec.Schedule.Start, sched1.Start)
+	}
+}

@@ -1,0 +1,250 @@
+// Package devices simulates prosumer households: the appliances behind
+// the paper's flexibility story — EV chargers, dishwashers, washing
+// machines, heat pumps (flexible demand), rooftop PV (flexible supply)
+// and the non-flexible base load (lights, TV, cooking). Each appliance
+// is a small state machine that, slot by slot, issues flex-offers and
+// meters consumption, driving the prosumer side of a LEDMS simulation
+// with realistic arrival processes instead of one-shot datasets.
+package devices
+
+import (
+	"math"
+	"math/rand"
+
+	"mirabel/internal/flexoffer"
+)
+
+// Event is what a household produces in one slot.
+type Event struct {
+	// Offer is a new flex-offer, or nil.
+	Offer *flexoffer.FlexOffer
+	// NonFlexKWh is the metered non-flexible consumption of the slot
+	// (negative for production).
+	NonFlexKWh float64
+}
+
+// Appliance is one simulated device.
+type Appliance interface {
+	// Name identifies the device class.
+	Name() string
+	// Tick advances the device to the given slot and reports what it
+	// did. rng is the household's random source.
+	Tick(slot flexoffer.Time, rng *rand.Rand) Event
+}
+
+// hourOf returns the hour-of-day of a slot.
+func hourOf(slot flexoffer.Time) int {
+	return int(slot/flexoffer.SlotsPerHour) % 24
+}
+
+// dayOf returns the day index of a slot.
+func dayOf(slot flexoffer.Time) int {
+	return int(slot / flexoffer.SlotsPerDay)
+}
+
+// isWeekend reports whether the slot's day is a Saturday or Sunday,
+// taking day 0 as a Friday (the workload epoch 2010-01-01).
+func isWeekend(slot flexoffer.Time) bool {
+	switch (5 + dayOf(slot)) % 7 { // 5 = Friday
+	case 6, 0:
+		return true
+	default:
+		return false
+	}
+}
+
+// EVCharger issues one charging flex-offer per evening arrival; between
+// arrivals it is silent. This is the paper's §2 running example.
+type EVCharger struct {
+	// BatteryKWh is the energy demand per session (default 50).
+	BatteryKWh float64
+	// ChargeSlots is the charging duration (default 8 = 2 hours).
+	ChargeSlots int
+	// DeadlineHour is the completion hour next morning (default 7).
+	DeadlineHour int
+
+	plugged bool
+	nextID  func() flexoffer.ID
+}
+
+// Name implements Appliance.
+func (e *EVCharger) Name() string { return "ev-charger" }
+
+// Tick implements Appliance.
+func (e *EVCharger) Tick(slot flexoffer.Time, rng *rand.Rand) Event {
+	hour := hourOf(slot)
+	if e.plugged {
+		if hour == 9 { // car leaves for work
+			e.plugged = false
+		}
+		return Event{}
+	}
+	// Arrival between 17:00 and 22:00, more likely on weekdays.
+	pArrive := 0.0
+	if hour >= 17 && hour <= 22 {
+		pArrive = 0.10
+		if isWeekend(slot) {
+			pArrive = 0.05
+		}
+	}
+	if rng.Float64() >= pArrive {
+		return Event{}
+	}
+	e.plugged = true
+	battery := e.BatteryKWh
+	if battery == 0 {
+		battery = 50
+	}
+	slots := e.ChargeSlots
+	if slots == 0 {
+		slots = 8
+	}
+	deadlineHour := e.DeadlineHour
+	if deadlineHour == 0 {
+		deadlineHour = 7
+	}
+	// Latest start: finish by deadlineHour next morning.
+	day := dayOf(slot)
+	deadline := flexoffer.Time((day+1)*flexoffer.SlotsPerDay + deadlineHour*flexoffer.SlotsPerHour)
+	es := slot + 2 // plugging in and handshaking takes half a slot
+	ls := deadline - flexoffer.Time(slots)
+	if ls < es {
+		ls = es
+	}
+	profile := make([]flexoffer.Slice, slots)
+	perSlot := battery / float64(slots)
+	for i := range profile {
+		profile[i] = flexoffer.Slice{EnergyMin: 0, EnergyMax: perSlot}
+	}
+	return Event{Offer: &flexoffer.FlexOffer{
+		ID:            e.nextID(),
+		EarliestStart: es,
+		LatestStart:   ls,
+		AssignBefore:  es - 1,
+		Profile:       profile,
+	}}
+}
+
+// WetAppliance models dishwashers and washing machines: a usage
+// probability peaking at a preferred hour, a fixed program profile and a
+// "finish within N hours" flexibility.
+type WetAppliance struct {
+	Class        string
+	PreferHour   int     // peak start hour
+	UseProb      float64 // per-day usage probability
+	ProgramSlots int     // program length
+	KWhPerSlot   float64
+	FlexHours    int // how long the start may be delayed
+
+	usedToday int
+	nextID    func() flexoffer.ID
+}
+
+// Name implements Appliance.
+func (w *WetAppliance) Name() string { return w.Class }
+
+// Tick implements Appliance.
+func (w *WetAppliance) Tick(slot flexoffer.Time, rng *rand.Rand) Event {
+	day := dayOf(slot)
+	if w.usedToday == day+1 {
+		return Event{}
+	}
+	hour := hourOf(slot)
+	// Gaussian bump of width 2h around the preferred hour, normalized so
+	// the day total ≈ UseProb.
+	d := float64(hour - w.PreferHour)
+	pSlot := w.UseProb * math.Exp(-0.5*d*d/4) / (5 * flexoffer.SlotsPerHour)
+	if rng.Float64() >= pSlot {
+		return Event{}
+	}
+	w.usedToday = day + 1
+	profile := make([]flexoffer.Slice, w.ProgramSlots)
+	for i := range profile {
+		// Programs tolerate ±10% energy modulation.
+		profile[i] = flexoffer.Slice{EnergyMin: 0.9 * w.KWhPerSlot, EnergyMax: w.KWhPerSlot}
+	}
+	es := slot + 1
+	return Event{Offer: &flexoffer.FlexOffer{
+		ID:            w.nextID(),
+		EarliestStart: es,
+		LatestStart:   es + flexoffer.Time(w.FlexHours*flexoffer.SlotsPerHour),
+		AssignBefore:  es - 1,
+		Profile:       profile,
+	}}
+}
+
+// SolarPanel produces around midday; a fraction of its output is
+// curtailable and issued as a (negative-energy) flex-offer each morning.
+type SolarPanel struct {
+	PeakKW       float64 // peak production (default 5)
+	CurtailFrac  float64 // curtailable fraction offered as flexibility (default 0.3)
+	offeredToday int
+	nextID       func() flexoffer.ID
+}
+
+// Name implements Appliance.
+func (s *SolarPanel) Name() string { return "solar-panel" }
+
+// Tick implements Appliance.
+func (s *SolarPanel) Tick(slot flexoffer.Time, rng *rand.Rand) Event {
+	peak := s.PeakKW
+	if peak == 0 {
+		peak = 5
+	}
+	curtail := s.CurtailFrac
+	if curtail == 0 {
+		curtail = 0.3
+	}
+	hour := hourOf(slot)
+	// Production curve: daylight bell between 7 and 19.
+	prod := 0.0
+	if hour >= 7 && hour < 19 {
+		x := float64(hour-13) / 3.5
+		prod = peak * math.Exp(-0.5*x*x) / flexoffer.SlotsPerHour
+		prod *= 0.8 + 0.4*rng.Float64() // clouds
+	}
+	ev := Event{NonFlexKWh: -prod * (1 - curtail)}
+
+	// Each morning at 06:00, offer the curtailable midday band.
+	day := dayOf(slot)
+	if hour == 6 && s.offeredToday != day+1 && int(slot)%flexoffer.SlotsPerHour == 0 {
+		s.offeredToday = day + 1
+		slots := 4 * flexoffer.SlotsPerHour // 11:00–15:00 band
+		profile := make([]flexoffer.Slice, slots)
+		for i := range profile {
+			e := curtail * peak / flexoffer.SlotsPerHour
+			profile[i] = flexoffer.Slice{EnergyMin: -e, EnergyMax: 0}
+		}
+		es := flexoffer.Time(day*flexoffer.SlotsPerDay + 11*flexoffer.SlotsPerHour)
+		ev.Offer = &flexoffer.FlexOffer{
+			ID:            s.nextID(),
+			EarliestStart: es,
+			LatestStart:   es + 2, // little time flexibility; energy flexibility instead
+			AssignBefore:  es - 1,
+			Profile:       profile,
+		}
+	}
+	return ev
+}
+
+// BaseLoad is the non-flexible demand: lights, TV, cooking, fridge —
+// "must be satisfied at the time when it is demanded".
+type BaseLoad struct {
+	MeanKW float64 // average draw (default 0.5)
+}
+
+// Name implements Appliance.
+func (b *BaseLoad) Name() string { return "base-load" }
+
+// Tick implements Appliance.
+func (b *BaseLoad) Tick(slot flexoffer.Time, rng *rand.Rand) Event {
+	mean := b.MeanKW
+	if mean == 0 {
+		mean = 0.5
+	}
+	hour := float64(hourOf(slot))
+	shape := 0.6 + 0.5*math.Exp(-0.5*(hour-19)*(hour-19)/6) + 0.25*math.Exp(-0.5*(hour-8)*(hour-8)/4)
+	kwh := mean * shape / flexoffer.SlotsPerHour
+	kwh *= 0.85 + 0.3*rng.Float64()
+	return Event{NonFlexKWh: kwh}
+}

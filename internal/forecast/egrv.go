@@ -1,0 +1,244 @@
+package forecast
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"mirabel/internal/linalg"
+)
+
+// EGRVConfig parameterizes the EGRV multi-equation model.
+type EGRVConfig struct {
+	// PeriodsPerDay is the number of intra-day periods and therefore the
+	// number of independent equations (48 for half-hourly series).
+	PeriodsPerDay int
+	// Weekday0 is the weekday of day index 0 of the series (defaults to
+	// the workload epoch 2010-01-01, a Friday).
+	Weekday0 time.Weekday
+	// Ridge is the regularization of the per-equation least squares
+	// solve; calendar dummies can be collinear on short histories
+	// (default 1e-6).
+	Ridge float64
+	// Parallel enables the paper's parallelized model creation: the
+	// series is horizontally partitioned by intra-day period and the
+	// independent equations are estimated concurrently (default true via
+	// NewEGRVConfig; the zero value estimates sequentially).
+	Parallel bool
+	// Holidays marks day indexes treated as holidays.
+	Holidays map[int]bool
+}
+
+// NewEGRVConfig returns the default configuration for the given number of
+// intra-day periods.
+func NewEGRVConfig(periodsPerDay int) EGRVConfig {
+	return EGRVConfig{
+		PeriodsPerDay: periodsPerDay,
+		Weekday0:      time.Friday,
+		Ridge:         1e-6,
+		Parallel:      true,
+	}
+}
+
+// egrvRegressors is the number of regressors per equation: intercept,
+// same-period load of the previous day, same-period load of the previous
+// week, temperature, squared temperature, six weekday dummies, holiday.
+const egrvRegressors = 12
+
+// EGRV is the Engle–Granger–Ramanathan–Vahid-Araghi multi-equation
+// short-run load forecast model: one linear regression per intra-day
+// period, combining lagged loads, weather and calendar information
+// (paper §5: "a multi-equation energy demand forecast model that uses an
+// individual model for each intra-day period").
+type EGRV struct {
+	cfg    EGRVConfig
+	coeffs [][]float64 // [period][egrvRegressors]
+
+	// Rolling state for forecasting and maintenance.
+	history []float64 // observed loads, day-major
+	temp    []float64 // aligned temperatures
+}
+
+// FitEGRV estimates the model on aligned demand and temperature slices
+// (both day-major with cfg.PeriodsPerDay values per day). At least 15
+// full days are required (7 days of lags plus a week of training rows).
+func FitEGRV(demand, temp []float64, cfg EGRVConfig) (*EGRV, error) {
+	if cfg.PeriodsPerDay <= 0 {
+		return nil, fmt.Errorf("forecast: EGRV periods per day %d", cfg.PeriodsPerDay)
+	}
+	if len(demand) != len(temp) {
+		return nil, fmt.Errorf("forecast: demand length %d != temperature length %d", len(demand), len(temp))
+	}
+	if cfg.Ridge <= 0 {
+		cfg.Ridge = 1e-6
+	}
+	days := len(demand) / cfg.PeriodsPerDay
+	if days < 15 {
+		return nil, fmt.Errorf("forecast: EGRV needs ≥ 15 days, got %d", days)
+	}
+	m := &EGRV{
+		cfg:     cfg,
+		coeffs:  make([][]float64, cfg.PeriodsPerDay),
+		history: append([]float64(nil), demand...),
+		temp:    append([]float64(nil), temp...),
+	}
+
+	fitOne := func(p int) error {
+		rows := make([][]float64, 0, days-7)
+		b := make([]float64, 0, days-7)
+		for d := 7; d < days; d++ {
+			rows = append(rows, m.regressors(d, p, demand, temp))
+			b = append(b, demand[d*cfg.PeriodsPerDay+p])
+		}
+		a, err := linalg.FromRows(rows)
+		if err != nil {
+			return err
+		}
+		x, err := linalg.RidgeLeastSquares(a, b, cfg.Ridge)
+		if err != nil {
+			return fmt.Errorf("forecast: EGRV equation %d: %w", p, err)
+		}
+		m.coeffs[p] = x
+		return nil
+	}
+
+	if !cfg.Parallel {
+		for p := 0; p < cfg.PeriodsPerDay; p++ {
+			if err := fitOne(p); err != nil {
+				return nil, err
+			}
+		}
+		return m, nil
+	}
+
+	// Parallelized model creation: the equations are independent, so the
+	// horizontal partitions estimate concurrently.
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for p := 0; p < cfg.PeriodsPerDay; p++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(p int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if err := fitOne(p); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+		}(p)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return m, nil
+}
+
+// regressors builds the feature vector of day d, period p against the
+// given demand/temperature history.
+func (m *EGRV) regressors(d, p int, demand, temp []float64) []float64 {
+	ppd := m.cfg.PeriodsPerDay
+	x := make([]float64, egrvRegressors)
+	x[0] = 1
+	x[1] = demand[(d-1)*ppd+p]
+	x[2] = demand[(d-7)*ppd+p]
+	t := temp[d*ppd+p]
+	x[3] = t
+	x[4] = t * t / 100
+	wd := (int(m.cfg.Weekday0) + d) % 7
+	if wd > 0 { // Sunday is the base level
+		x[4+wd] = 1
+	}
+	if m.cfg.Holidays[d] {
+		x[11] = 1
+	}
+	return x
+}
+
+// Name identifies the model type.
+func (m *EGRV) Name() string { return fmt.Sprintf("EGRV(%d)", m.cfg.PeriodsPerDay) }
+
+// Update appends one observed load and its temperature to the rolling
+// history (model maintenance shifts the lagged inputs; coefficients stay
+// until re-estimation).
+func (m *EGRV) Update(load, temperature float64) {
+	m.history = append(m.history, load)
+	m.temp = append(m.temp, temperature)
+}
+
+// Forecast predicts the next h values after the current history.
+// futureTemp optionally supplies temperature forecasts for those h slots;
+// nil uses temperature persistence (yesterday's value at the same
+// period). Forecasts feed back as lagged inputs for horizons beyond one
+// day.
+func (m *EGRV) Forecast(h int, futureTemp []float64) ([]float64, error) {
+	if h <= 0 {
+		return nil, fmt.Errorf("forecast: non-positive horizon %d", h)
+	}
+	if futureTemp != nil && len(futureTemp) < h {
+		return nil, fmt.Errorf("forecast: %d temperature forecasts for horizon %d", len(futureTemp), h)
+	}
+	ppd := m.cfg.PeriodsPerDay
+	// Work on extended copies so recursive lags can read forecasts.
+	demand := append([]float64(nil), m.history...)
+	temp := append([]float64(nil), m.temp...)
+	start := len(demand)
+	out := make([]float64, 0, h)
+	for k := 0; k < h; k++ {
+		idx := start + k
+		d, p := idx/ppd, idx%ppd
+		var tk float64
+		if futureTemp != nil {
+			tk = futureTemp[k]
+		} else {
+			tk = temp[idx-ppd] // persistence
+		}
+		temp = append(temp, tk)
+		x := m.regressors(d, p, demand, temp)
+		y := linalg.Dot(m.coeffs[p], x)
+		demand = append(demand, y)
+		out = append(out, y)
+	}
+	return out, nil
+}
+
+// Coefficients returns the per-period coefficient vectors (read-only
+// view for diagnostics).
+func (m *EGRV) Coefficients() [][]float64 { return m.coeffs }
+
+// egrvAdapter exposes EGRV through the univariate Model interface using
+// temperature persistence, so the automatic model selection can compare
+// EGRV and HWT uniformly.
+type egrvAdapter struct{ m *EGRV }
+
+func (a egrvAdapter) Name() string { return a.m.Name() }
+func (a egrvAdapter) Update(y float64) {
+	// Persist yesterday's temperature for the same period.
+	idx := len(a.m.history)
+	t := 0.0
+	if idx >= a.m.cfg.PeriodsPerDay {
+		t = a.m.temp[idx-a.m.cfg.PeriodsPerDay]
+	} else if len(a.m.temp) > 0 {
+		t = a.m.temp[len(a.m.temp)-1]
+	}
+	a.m.Update(y, t)
+}
+func (a egrvAdapter) Forecast(h int) []float64 {
+	out, err := a.m.Forecast(h, nil)
+	if err != nil {
+		return make([]float64, h)
+	}
+	return out
+}
+
+// AsModel wraps the EGRV in the univariate Model interface (temperature
+// persistence stands in for a weather service).
+func (m *EGRV) AsModel() Model { return egrvAdapter{m} }

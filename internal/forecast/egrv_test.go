@@ -1,0 +1,180 @@
+package forecast
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// synthEGRVData builds day-major demand driven by exactly the structures
+// EGRV models: lagged loads, temperature and weekday.
+func synthEGRVData(days, ppd int) (demand, temp []float64) {
+	n := days * ppd
+	demand = make([]float64, n)
+	temp = make([]float64, n)
+	for i := 0; i < n; i++ {
+		d, p := i/ppd, i%ppd
+		// Day-level weather surprises: predictable to a weather service
+		// (EGRV's regressor) but not to a purely seasonal model.
+		dayNoise := 6 * math.Sin(float64(d)*12.9898+math.Floor(math.Sin(float64(d))*43758.5453))
+		temp[i] = 10 + 8*math.Sin(2*math.Pi*float64(p)/float64(ppd)) + dayNoise
+		wd := (int(time.Friday) + d) % 7
+		weekend := 0.0
+		if wd == 0 || wd == 6 {
+			weekend = -15
+		}
+		demand[i] = 100 + 20*math.Sin(2*math.Pi*float64(p)/float64(ppd)) - 1.2*temp[i] + weekend
+	}
+	return demand, temp
+}
+
+func TestFitEGRVValidation(t *testing.T) {
+	if _, err := FitEGRV(nil, nil, EGRVConfig{}); err == nil {
+		t.Error("zero periods per day should error")
+	}
+	if _, err := FitEGRV([]float64{1}, []float64{}, NewEGRVConfig(24)); err == nil {
+		t.Error("length mismatch should error")
+	}
+	d, temp := synthEGRVData(10, 24)
+	if _, err := FitEGRV(d, temp, NewEGRVConfig(24)); err == nil {
+		t.Error("too few days should error")
+	}
+}
+
+func TestEGRVFitsStructuredDemand(t *testing.T) {
+	demand, temp := synthEGRVData(40, 24)
+	m, err := FitEGRV(demand[:30*24], temp[:30*24], NewEGRVConfig(24))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Forecast the next 10 days with true temperatures.
+	fc, err := m.Forecast(10*24, temp[30*24:40*24])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var smape float64
+	for i, p := range fc {
+		a := demand[30*24+i]
+		smape += math.Abs(a-p) / (math.Abs(a) + math.Abs(p))
+	}
+	smape /= float64(len(fc))
+	if smape > 0.03 {
+		t.Errorf("EGRV SMAPE = %g on structured data, want < 3%%", smape)
+	}
+}
+
+func TestEGRVParallelMatchesSequential(t *testing.T) {
+	demand, temp := synthEGRVData(30, 24)
+	cfgSeq := NewEGRVConfig(24)
+	cfgSeq.Parallel = false
+	seq, err := FitEGRV(demand, temp, cfgSeq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := FitEGRV(demand, temp, NewEGRVConfig(24))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < 24; p++ {
+		for j := range seq.coeffs[p] {
+			if math.Abs(seq.coeffs[p][j]-par.coeffs[p][j]) > 1e-9 {
+				t.Fatalf("equation %d coeff %d differs: %g vs %g", p, j, seq.coeffs[p][j], par.coeffs[p][j])
+			}
+		}
+	}
+}
+
+func TestEGRVForecastValidation(t *testing.T) {
+	demand, temp := synthEGRVData(20, 24)
+	m, err := FitEGRV(demand, temp, NewEGRVConfig(24))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Forecast(0, nil); err == nil {
+		t.Error("zero horizon should error")
+	}
+	if _, err := m.Forecast(10, []float64{1, 2}); err == nil {
+		t.Error("insufficient temperature forecasts should error")
+	}
+}
+
+func TestEGRVTemperaturePersistenceFallback(t *testing.T) {
+	demand, temp := synthEGRVData(20, 24)
+	m, err := FitEGRV(demand, temp, NewEGRVConfig(24))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc, err := m.Forecast(24, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range fc {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatal("persistence forecast not finite")
+		}
+	}
+}
+
+func TestEGRVUpdateShiftsLags(t *testing.T) {
+	demand, temp := synthEGRVData(21, 24)
+	m, err := FitEGRV(demand[:20*24], temp[:20*24], NewEGRVConfig(24))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, _ := m.Forecast(1, nil)
+	// Feed one real day; the one-step forecast target moves.
+	for i := 20 * 24; i < 21*24; i++ {
+		m.Update(demand[i], temp[i])
+	}
+	after, _ := m.Forecast(1, nil)
+	if before[0] == after[0] {
+		t.Error("update did not shift lagged inputs")
+	}
+}
+
+func TestEGRVHolidayDummy(t *testing.T) {
+	demand, temp := synthEGRVData(30, 24)
+	// Depress demand on day 20 like a holiday.
+	for p := 0; p < 24; p++ {
+		demand[20*24+p] -= 30
+	}
+	cfg := NewEGRVConfig(24)
+	cfg.Holidays = map[int]bool{20: true}
+	if _, err := FitEGRV(demand, temp, cfg); err != nil {
+		t.Fatalf("fit with holidays: %v", err)
+	}
+}
+
+func TestEGRVAsModelInterface(t *testing.T) {
+	demand, temp := synthEGRVData(20, 24)
+	m, err := FitEGRV(demand, temp, NewEGRVConfig(24))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mod Model = m.AsModel()
+	if mod.Name() == "" {
+		t.Error("empty name")
+	}
+	mod.Update(100)
+	fc := mod.Forecast(5)
+	if len(fc) != 5 {
+		t.Errorf("forecast len = %d", len(fc))
+	}
+}
+
+func TestSelectModelPrefersEGRVOnRegressionData(t *testing.T) {
+	demand, temp := synthEGRVData(40, 24)
+	split := 30 * 24
+	model, name, err := SelectModel(demand[:split], demand[split:], temp[:split], temp[split:],
+		24, []int{24, 168}, FitConfig{Options: optimizeOpts()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model == nil {
+		t.Fatal("nil model")
+	}
+	// On data generated from the EGRV structure, EGRV should win.
+	if name != "EGRV" {
+		t.Errorf("selected %s, want EGRV", name)
+	}
+}

@@ -1,0 +1,151 @@
+package forecast
+
+import (
+	"errors"
+	"fmt"
+
+	"mirabel/internal/optimize"
+	"mirabel/internal/timeseries"
+)
+
+// FitConfig controls HWT parameter estimation.
+type FitConfig struct {
+	// Estimator is the global search strategy (default
+	// RandomRestartNelderMead, the paper's choice).
+	Estimator optimize.Estimator
+	// Options bound the estimation run.
+	Options optimize.Options
+	// HoldoutFrac is the tail fraction of the history used for the
+	// one-step-ahead error objective (default 0.25).
+	HoldoutFrac float64
+	// Start optionally warm-starts the search (context-aware adaptation
+	// passes the parameters of a previously estimated model here).
+	Start []float64
+}
+
+// FitHWT estimates HWT smoothing parameters on the history by minimizing
+// the one-step-ahead SMAPE over the holdout tail. It returns the fitted
+// model (initialized and replayed over the full history, ready to
+// Update/Forecast) and the estimator result with its convergence trace.
+func FitHWT(history []float64, periods []int, cfg FitConfig) (*HWT, optimize.Result, error) {
+	proto, err := NewHWT(periods...)
+	if err != nil {
+		return nil, optimize.Result{}, err
+	}
+	longest := periods[len(periods)-1]
+	if len(history) < longest+longest/2 {
+		return nil, optimize.Result{}, fmt.Errorf("forecast: need ≥ %d observations to fit HWT%v, got %d",
+			longest+longest/2, periods, len(history))
+	}
+	if cfg.HoldoutFrac <= 0 || cfg.HoldoutFrac >= 1 {
+		cfg.HoldoutFrac = 0.25
+	}
+	est := cfg.Estimator
+	if est == nil {
+		est = &optimize.RandomRestartNelderMead{}
+	}
+
+	split := len(history) - int(float64(len(history))*cfg.HoldoutFrac)
+	if split < longest {
+		split = longest
+	}
+
+	objective := func(p []float64) float64 {
+		return hwtObjective(proto, history, split, p)
+	}
+	bounds := optimize.UnitBounds(proto.NumParams())
+
+	// Warm start via the local component of the estimator where
+	// supported.
+	switch e := est.(type) {
+	case *optimize.NelderMead:
+		if cfg.Start != nil {
+			e.Start = cfg.Start
+		}
+	case *optimize.RandomRestartNelderMead:
+		if cfg.Start != nil {
+			e.Local.Start = cfg.Start
+		}
+	}
+
+	res := est.Minimize(objective, bounds, cfg.Options)
+	if res.X == nil {
+		return nil, res, errors.New("forecast: estimation produced no result")
+	}
+
+	fitted, err := NewHWT(periods...)
+	if err != nil {
+		return nil, res, err
+	}
+	if err := fitted.SetParams(res.X); err != nil {
+		return nil, res, err
+	}
+	if err := fitted.Init(history); err != nil {
+		return nil, res, err
+	}
+	return fitted, res, nil
+}
+
+// hwtObjective computes the one-step-ahead SMAPE of an HWT with
+// parameters p: the model is seeded on history[:split] and evaluated
+// while replaying history[split:].
+func hwtObjective(proto *HWT, history []float64, split int, p []float64) float64 {
+	m := proto.clone()
+	if err := m.SetParams(p); err != nil {
+		return 1 // worst SMAPE
+	}
+	if err := m.Init(history[:split]); err != nil {
+		return 1
+	}
+	var smape float64
+	n := 0
+	for _, y := range history[split:] {
+		pred := m.Forecast(1)[0]
+		if denom := abs(y) + abs(pred); denom > 0 {
+			smape += abs(y-pred) / denom
+		}
+		m.Update(y)
+		n++
+	}
+	if n == 0 {
+		return 1
+	}
+	return smape / float64(n)
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// HorizonSMAPE evaluates a fitted model's accuracy at a fixed forecast
+// horizon: at each step through the evaluation window it forecasts h
+// slots ahead and compares the h-th forecast with the actual value
+// (paper Figure 4b measures exactly this as the horizon grows).
+func HorizonSMAPE(m Model, eval []float64, h int) (float64, error) {
+	if h <= 0 {
+		return 0, fmt.Errorf("forecast: non-positive horizon %d", h)
+	}
+	if len(eval) <= h {
+		return 0, fmt.Errorf("forecast: evaluation window %d shorter than horizon %d", len(eval), h)
+	}
+	var smape float64
+	n := 0
+	for i := 0; i+h <= len(eval); i++ {
+		pred := m.Forecast(h)[h-1]
+		actual := eval[i+h-1]
+		if denom := abs(actual) + abs(pred); denom > 0 {
+			smape += abs(actual-pred) / denom
+		}
+		m.Update(eval[i])
+		n++
+	}
+	return smape / float64(n), nil
+}
+
+// FitHWTSeries is a convenience wrapper fitting on a Series.
+func FitHWTSeries(s *timeseries.Series, periods []int, cfg FitConfig) (*HWT, optimize.Result, error) {
+	return FitHWT(s.Values(), periods, cfg)
+}

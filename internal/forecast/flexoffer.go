@@ -1,0 +1,85 @@
+package forecast
+
+import (
+	"fmt"
+)
+
+// FlexOfferSeries is the multivariate time series view of a stream of
+// flex-offers: per slot, the aggregate minimum and maximum energy offered
+// (further observation vectors can be added as extra components). The
+// paper forecasts flex-offers by decomposing this multivariate series
+// into univariate series and applying the standard model types to each
+// (paper §5: "we decompose this multi-variate time series into a set of
+// univariate time series and apply our already defined forecast model
+// types to the individual time series").
+type FlexOfferSeries struct {
+	// Components maps a component name (e.g. "min_energy",
+	// "max_energy", "count") to its univariate history.
+	Components map[string][]float64
+}
+
+// FlexOfferForecaster maintains one model per component.
+type FlexOfferForecaster struct {
+	models map[string]*HWT
+}
+
+// FitFlexOfferForecaster fits one HWT per component with a shared
+// configuration.
+func FitFlexOfferForecaster(series FlexOfferSeries, periods []int, cfg FitConfig) (*FlexOfferForecaster, error) {
+	if len(series.Components) == 0 {
+		return nil, fmt.Errorf("forecast: flex-offer series has no components")
+	}
+	f := &FlexOfferForecaster{models: make(map[string]*HWT, len(series.Components))}
+	for name, vals := range series.Components {
+		m, _, err := FitHWT(vals, periods, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("forecast: component %q: %w", name, err)
+		}
+		f.models[name] = m
+	}
+	return f, nil
+}
+
+// Update feeds one new observation vector (one value per component).
+func (f *FlexOfferForecaster) Update(obs map[string]float64) error {
+	for name, m := range f.models {
+		v, ok := obs[name]
+		if !ok {
+			return fmt.Errorf("forecast: observation missing component %q", name)
+		}
+		m.Update(v)
+	}
+	return nil
+}
+
+// Forecast predicts h slots ahead for every component. Components whose
+// semantics require min ≤ max are reconciled when both standard names
+// are present.
+func (f *FlexOfferForecaster) Forecast(h int) map[string][]float64 {
+	out := make(map[string][]float64, len(f.models))
+	for name, m := range f.models {
+		out[name] = m.Forecast(h)
+	}
+	// Reconcile the energy envelope: forecasting each bound separately
+	// can cross them; the envelope interpretation requires min ≤ max.
+	if mn, ok := out["min_energy"]; ok {
+		if mx, ok := out["max_energy"]; ok {
+			for i := range mn {
+				if mn[i] > mx[i] {
+					mid := (mn[i] + mx[i]) / 2
+					mn[i], mx[i] = mid, mid
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Components lists the component names.
+func (f *FlexOfferForecaster) Components() []string {
+	out := make([]string, 0, len(f.models))
+	for name := range f.models {
+		out = append(out, name)
+	}
+	return out
+}

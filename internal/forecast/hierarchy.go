@@ -1,0 +1,211 @@
+package forecast
+
+import (
+	"fmt"
+
+	"mirabel/internal/timeseries"
+)
+
+// HierNode is one node of the EDMS hierarchy carrying a demand/supply
+// series (leaves: prosumers; inner nodes: the sums over their subtrees).
+type HierNode struct {
+	Name     string
+	Children []*HierNode
+	Series   *timeseries.Series
+}
+
+// Leaf reports whether the node has no children.
+func (n *HierNode) Leaf() bool { return len(n.Children) == 0 }
+
+// AdvisorConfig constrains the model-placement search (paper §5,
+// Hierarchical Forecasting: "an advisor component that computes for a
+// given hierarchical structure a configuration of forecast models
+// according to specified accuracy and runtime constraints").
+type AdvisorConfig struct {
+	// MaxSMAPE is the per-node accuracy constraint for forecasts derived
+	// by disaggregating an ancestor model.
+	MaxSMAPE float64
+	// Periods are the HWT seasonal periods used for the probe models.
+	Periods []int
+	// Horizon is the forecast horizon evaluated (default: shortest
+	// period).
+	Horizon int
+	// EvalFrac is the tail fraction held out for evaluation (default
+	// 0.25).
+	EvalFrac float64
+}
+
+// Placement is the advisor's result: which nodes host their own forecast
+// model. Nodes without a model obtain forecasts by disaggregating the
+// nearest modeled ancestor with historical share weights.
+type Placement struct {
+	Models map[string]bool
+	// SMAPE records the evaluated error per node under the placement.
+	SMAPE map[string]float64
+}
+
+// NumModels returns how many models the placement requires.
+func (p Placement) NumModels() int {
+	n := 0
+	for _, has := range p.Models {
+		if has {
+			n++
+		}
+	}
+	return n
+}
+
+// Advise chooses a forecast model configuration for the hierarchy: it
+// starts with a single model at the root (cheapest) and pushes models
+// down every subtree whose disaggregated accuracy violates the
+// constraint. The result is a placement where every node either hosts a
+// model or receives disaggregated forecasts within the accuracy bound —
+// with as few models as the greedy descent finds necessary.
+func Advise(root *HierNode, cfg AdvisorConfig) (Placement, error) {
+	if cfg.MaxSMAPE <= 0 {
+		return Placement{}, fmt.Errorf("forecast: accuracy constraint must be positive, got %g", cfg.MaxSMAPE)
+	}
+	if len(cfg.Periods) == 0 {
+		return Placement{}, fmt.Errorf("forecast: advisor needs HWT periods")
+	}
+	if cfg.Horizon <= 0 {
+		cfg.Horizon = cfg.Periods[0]
+	}
+	if cfg.EvalFrac <= 0 || cfg.EvalFrac >= 1 {
+		cfg.EvalFrac = 0.25
+	}
+	p := Placement{Models: make(map[string]bool), SMAPE: make(map[string]float64)}
+	if err := advise(root, cfg, &p); err != nil {
+		return Placement{}, err
+	}
+	return p, nil
+}
+
+// advise places a model at node n, then checks each child's error under
+// disaggregation from n; children violating the constraint recurse.
+func advise(n *HierNode, cfg AdvisorConfig, p *Placement) error {
+	p.Models[n.Name] = true
+	own, err := nodeModelSMAPE(n, cfg)
+	if err != nil {
+		return fmt.Errorf("forecast: advisor at %q: %w", n.Name, err)
+	}
+	p.SMAPE[n.Name] = own
+	for _, c := range n.Children {
+		smape, err := disaggSMAPE(n, c, cfg)
+		if err != nil {
+			return fmt.Errorf("forecast: advisor at %q: %w", c.Name, err)
+		}
+		if smape <= cfg.MaxSMAPE {
+			// Cheap path: child served by the parent model.
+			markServed(c, smape, p)
+			continue
+		}
+		if err := advise(c, cfg, p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// markServed records that c (and, transitively, its subtree) is served by
+// an ancestor model; subtree nodes inherit the measured error bound.
+func markServed(c *HierNode, smape float64, p *Placement) {
+	p.Models[c.Name] = false
+	p.SMAPE[c.Name] = smape
+	for _, g := range c.Children {
+		markServed(g, smape, p)
+	}
+}
+
+// probeModel fits a quick fixed-parameter HWT on the node's training
+// window (the advisor needs relative accuracy, not a full estimation).
+func probeModel(s *timeseries.Series, cfg AdvisorConfig) (*HWT, []float64, error) {
+	vals := s.Values()
+	split := len(vals) - int(float64(len(vals))*cfg.EvalFrac)
+	m, err := NewHWT(cfg.Periods...)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := m.Init(vals[:split]); err != nil {
+		return nil, nil, err
+	}
+	return m, vals[split:], nil
+}
+
+// nodeModelSMAPE evaluates an own model at the node.
+func nodeModelSMAPE(n *HierNode, cfg AdvisorConfig) (float64, error) {
+	m, eval, err := probeModel(n.Series, cfg)
+	if err != nil {
+		return 0, err
+	}
+	return HorizonSMAPE(m, eval, cfg.Horizon)
+}
+
+// disaggSMAPE evaluates the child's forecasts when derived from the
+// parent's model by share-weight disaggregation ("forecast models can be
+// used to aggregate or disaggregate forecast values without the need for
+// individual models at each system node").
+func disaggSMAPE(parent, child *HierNode, cfg AdvisorConfig) (float64, error) {
+	pm, pEval, err := probeModel(parent.Series, cfg)
+	if err != nil {
+		return 0, err
+	}
+	cVals := child.Series.Values()
+	if len(cVals) != parent.Series.Len() {
+		return 0, fmt.Errorf("series length mismatch: parent %d, child %d", parent.Series.Len(), len(cVals))
+	}
+	split := len(cVals) - len(pEval)
+
+	// Share weight: the child's fraction of the parent total per season
+	// position of the shortest period (captures intra-day share shape).
+	period := cfg.Periods[0]
+	childSum := make([]float64, period)
+	parentSum := make([]float64, period)
+	pVals := parent.Series.Values()
+	for i := 0; i < split; i++ {
+		childSum[i%period] += cVals[i]
+		parentSum[i%period] += pVals[i]
+	}
+	share := make([]float64, period)
+	for k := 0; k < period; k++ {
+		if parentSum[k] != 0 {
+			share[k] = childSum[k] / parentSum[k]
+		}
+	}
+
+	h := cfg.Horizon
+	var smape float64
+	cnt := 0
+	for i := 0; i+h <= len(pEval); i++ {
+		pf := pm.Forecast(h)[h-1]
+		slot := split + i + h - 1
+		pred := pf * share[slot%period]
+		actual := cVals[slot]
+		if denom := abs(actual) + abs(pred); denom > 0 {
+			smape += abs(actual-pred) / denom
+		}
+		pm.Update(pEval[i])
+		cnt++
+	}
+	if cnt == 0 {
+		return 0, fmt.Errorf("evaluation window too short for horizon %d", h)
+	}
+	return smape / float64(cnt), nil
+}
+
+// SumChildren builds an inner node's series as the sum of its children
+// (utility for constructing consistent hierarchies).
+func SumChildren(name string, children ...*HierNode) (*HierNode, error) {
+	if len(children) == 0 {
+		return nil, fmt.Errorf("forecast: inner node %q needs children", name)
+	}
+	sum := children[0].Series.Clone()
+	for _, c := range children[1:] {
+		s, err := sum.Add(c.Series)
+		if err != nil {
+			return nil, err
+		}
+		sum = s
+	}
+	return &HierNode{Name: name, Children: children, Series: sum}, nil
+}

@@ -1,0 +1,188 @@
+package forecast
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"mirabel/internal/timeseries"
+)
+
+var hOrigin = time.Date(2010, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// leafSeries builds a leaf with a scaled daily pattern; chaotic leaves get
+// strong pseudo-noise that aggregates away at the parent.
+func leafSeries(name string, scale float64, chaotic bool, n int) *HierNode {
+	vals := make([]float64, n)
+	for i := range vals {
+		v := scale * (100 + 30*math.Sin(2*math.Pi*float64(i%48)/48))
+		if chaotic {
+			v += scale * 60 * pseudoNoise(i*7+int(scale*13))
+		}
+		vals[i] = v
+	}
+	return &HierNode{Name: name, Series: timeseries.New(hOrigin, timeseries.ResolutionHalfHour, vals)}
+}
+
+func TestSumChildren(t *testing.T) {
+	a := leafSeries("a", 1, false, 96)
+	b := leafSeries("b", 2, false, 96)
+	p, err := SumChildren("p", a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Series.At(0) != a.Series.At(0)+b.Series.At(0) {
+		t.Error("parent is not the children sum")
+	}
+	if p.Leaf() {
+		t.Error("parent reported as leaf")
+	}
+	if _, err := SumChildren("empty"); err == nil {
+		t.Error("no children should error")
+	}
+}
+
+func TestAdviseValidation(t *testing.T) {
+	a := leafSeries("a", 1, false, 96)
+	if _, err := Advise(a, AdvisorConfig{MaxSMAPE: 0, Periods: []int{48}}); err == nil {
+		t.Error("zero accuracy constraint should error")
+	}
+	if _, err := Advise(a, AdvisorConfig{MaxSMAPE: 0.1}); err == nil {
+		t.Error("missing periods should error")
+	}
+}
+
+func TestAdviseRootOnlyForHomogeneousLeaves(t *testing.T) {
+	// Identical smooth leaves: the root model plus share disaggregation
+	// suffices, so only one model should be placed.
+	n := 48 * 8
+	a := leafSeries("a", 1, false, n)
+	b := leafSeries("b", 1, false, n)
+	root, err := SumChildren("root", a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Advise(root, AdvisorConfig{MaxSMAPE: 0.05, Periods: []int{48}, Horizon: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumModels() != 1 {
+		t.Errorf("models = %d, want 1 (root only); placement %+v", p.NumModels(), p.Models)
+	}
+	if !p.Models["root"] {
+		t.Error("root has no model")
+	}
+}
+
+func TestAdvisePushesModelsDownForChaoticLeaf(t *testing.T) {
+	// One chaotic leaf cannot be served by disaggregation within a tight
+	// bound; the advisor must give it (at least) its own model.
+	n := 48 * 8
+	smooth := leafSeries("smooth", 1, false, n)
+	chaotic := leafSeries("chaotic", 1, true, n)
+	root, err := SumChildren("root", smooth, chaotic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Advise(root, AdvisorConfig{MaxSMAPE: 0.03, Periods: []int{48}, Horizon: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Models["chaotic"] {
+		t.Errorf("chaotic leaf not given a model: %+v", p.Models)
+	}
+	if p.NumModels() < 2 {
+		t.Errorf("models = %d, want root + chaotic", p.NumModels())
+	}
+}
+
+func TestAdviseRecordsSMAPEForAllNodes(t *testing.T) {
+	n := 48 * 8
+	a := leafSeries("a", 1, false, n)
+	b := leafSeries("b", 3, false, n)
+	root, _ := SumChildren("root", a, b)
+	p, err := Advise(root, AdvisorConfig{MaxSMAPE: 0.08, Periods: []int{48}, Horizon: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"root", "a", "b"} {
+		if _, ok := p.SMAPE[name]; !ok {
+			t.Errorf("no SMAPE recorded for %q", name)
+		}
+	}
+}
+
+func TestAdviseThreeLevels(t *testing.T) {
+	// TSO → two BRPs → four prosumers: the EDMS shape.
+	n := 48 * 8
+	p1 := leafSeries("p1", 1, false, n)
+	p2 := leafSeries("p2", 1.5, false, n)
+	p3 := leafSeries("p3", 0.8, false, n)
+	p4 := leafSeries("p4", 1.2, true, n)
+	brp1, err := SumChildren("brp1", p1, p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	brp2, err := SumChildren("brp2", p3, p4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tso, err := SumChildren("tso", brp1, brp2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Advise(tso, AdvisorConfig{MaxSMAPE: 0.04, Periods: []int{48}, Horizon: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Models["tso"] {
+		t.Error("no root model")
+	}
+	// Every node must have an entry.
+	for _, name := range []string{"tso", "brp1", "brp2", "p1", "p2", "p3", "p4"} {
+		if _, ok := p.Models[name]; !ok {
+			t.Errorf("node %q missing from placement", name)
+		}
+	}
+}
+
+func TestFlexOfferForecaster(t *testing.T) {
+	n := 48 * 4
+	mk := func(base float64) []float64 {
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = base + 5*math.Sin(2*math.Pi*float64(i%48)/48)
+		}
+		return out
+	}
+	series := FlexOfferSeries{Components: map[string][]float64{
+		"min_energy": mk(10),
+		"max_energy": mk(30),
+		"count":      mk(100),
+	}}
+	f, err := FitFlexOfferForecaster(series, []int{48}, FitConfig{Options: optimizeOpts()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Components()) != 3 {
+		t.Errorf("components = %v", f.Components())
+	}
+	if err := f.Update(map[string]float64{"min_energy": 10, "max_energy": 30, "count": 101}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Update(map[string]float64{"min_energy": 10}); err == nil {
+		t.Error("missing component accepted")
+	}
+	fc := f.Forecast(24)
+	for i := range fc["min_energy"] {
+		if fc["min_energy"][i] > fc["max_energy"][i] {
+			t.Fatalf("slot %d: min forecast %g > max forecast %g", i, fc["min_energy"][i], fc["max_energy"][i])
+		}
+	}
+}
+
+func TestFlexOfferForecasterEmpty(t *testing.T) {
+	if _, err := FitFlexOfferForecaster(FlexOfferSeries{}, []int{48}, FitConfig{}); err == nil {
+		t.Error("empty series accepted")
+	}
+}

@@ -1,0 +1,235 @@
+// Package forecast implements the MIRABEL forecasting component (paper
+// §5): energy-domain forecast models (the Triple Seasonality Holt-Winters
+// model HWT [Taylor 2009] and the EGRV multi-equation regression model
+// [Ramanathan et al. 1997]), transparent model creation with global
+// parameter estimation, continuous model maintenance with evaluation
+// strategies, context-aware model adaptation (a case-based parameter
+// repository), hierarchical forecasting configuration, publish-subscribe
+// forecast queries, and flex-offer forecasting by multivariate
+// decomposition.
+package forecast
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Model is a univariate forecast model maintained over a stream of
+// observations. Implementations are not safe for concurrent use; wrap
+// them in a Maintainer for concurrent producers/consumers.
+type Model interface {
+	// Name identifies the model type.
+	Name() string
+	// Update consumes the next observation of the series.
+	Update(y float64)
+	// Forecast predicts the next h values after the last observation.
+	Forecast(h int) []float64
+}
+
+// HWT is the exponential smoothing model tailor-made for the energy
+// domain: Taylor's multi-seasonal Holt-Winters with additive seasonal
+// components and a first-order autoregressive residual correction. The
+// classic "triple seasonality" instance uses intra-day, intra-week and
+// intra-year periods; any non-empty subset works.
+//
+// State equations (additive form, no trend — energy series are
+// trend-stationary at these horizons):
+//
+//	level_t = α·(y_t − Σ s_i) + (1−α)·level_{t−1}
+//	s_i,t   = γ_i·(y_t − level_t − Σ_{j≠i} s_j) + (1−γ_i)·s_i,t−m_i
+//	ŷ_t+k   = level_t + Σ s_i,t−m_i+k + φ^k·e_t
+//
+// where e_t is the last one-step-ahead error.
+type HWT struct {
+	periods []int // seasonal cycle lengths, e.g. {48, 336} for half-hourly
+
+	// Smoothing parameters: level α, AR coefficient φ, one γ per period.
+	alpha, phi float64
+	gammas     []float64
+
+	level    float64
+	seasonal [][]float64 // ring buffer per period
+	t        int         // observations consumed
+	lastErr  float64     // one-step-ahead residual
+	resVar   float64     // EWMA of squared residuals (uncertainty capture)
+	ready    bool
+}
+
+// NewHWT creates an HWT model with the given seasonal periods (longest
+// common use: 48 and 336 for half-hourly data with daily and weekly
+// cycles). Parameters start at robust defaults; use SetParams or FitHWT
+// for estimation.
+func NewHWT(periods ...int) (*HWT, error) {
+	if len(periods) == 0 {
+		return nil, errors.New("forecast: HWT needs at least one seasonal period")
+	}
+	for _, p := range periods {
+		if p < 2 {
+			return nil, fmt.Errorf("forecast: invalid seasonal period %d", p)
+		}
+	}
+	m := &HWT{
+		periods: append([]int(nil), periods...),
+		alpha:   0.1,
+		phi:     0.3,
+		gammas:  make([]float64, len(periods)),
+	}
+	for i := range m.gammas {
+		m.gammas[i] = 0.05
+	}
+	m.seasonal = make([][]float64, len(periods))
+	for i, p := range periods {
+		m.seasonal[i] = make([]float64, p)
+	}
+	return m, nil
+}
+
+// Name implements Model.
+func (m *HWT) Name() string { return fmt.Sprintf("HWT%v", m.periods) }
+
+// NumParams returns the length of the parameter vector:
+// [α, φ, γ_1..γ_n].
+func (m *HWT) NumParams() int { return 2 + len(m.periods) }
+
+// Params returns the current parameter vector [α, φ, γ_1..γ_n].
+func (m *HWT) Params() []float64 {
+	out := make([]float64, 0, m.NumParams())
+	out = append(out, m.alpha, m.phi)
+	return append(out, m.gammas...)
+}
+
+// SetParams installs a parameter vector as returned by Params. All
+// values must lie in [0, 1].
+func (m *HWT) SetParams(p []float64) error {
+	if len(p) != m.NumParams() {
+		return fmt.Errorf("forecast: HWT wants %d parameters, got %d", m.NumParams(), len(p))
+	}
+	for i, v := range p {
+		if v < 0 || v > 1 || math.IsNaN(v) {
+			return fmt.Errorf("forecast: HWT parameter %d = %g outside [0,1]", i, v)
+		}
+	}
+	m.alpha = p[0]
+	m.phi = p[1]
+	copy(m.gammas, p[2:])
+	return nil
+}
+
+// Init seeds level and seasonal components from a history window and
+// replays the window through Update so the smoothing state is warm. The
+// history should cover at least two of the longest seasonal cycles.
+func (m *HWT) Init(history []float64) error {
+	longest := m.periods[len(m.periods)-1]
+	if len(history) < longest {
+		return fmt.Errorf("forecast: HWT init needs ≥ %d observations, got %d", longest, len(history))
+	}
+	var mean float64
+	for _, y := range history {
+		mean += y
+	}
+	mean /= float64(len(history))
+	m.level = mean
+
+	// Seed each seasonal component with the average deviation from the
+	// mean at that season position. Components for shorter periods are
+	// seeded first; longer periods absorb the residual structure.
+	residual := make([]float64, len(history))
+	for i, y := range history {
+		residual[i] = y - mean
+	}
+	for i, p := range m.periods {
+		sums := make([]float64, p)
+		counts := make([]int, p)
+		for j, r := range residual {
+			sums[j%p] += r
+			counts[j%p]++
+		}
+		for k := 0; k < p; k++ {
+			if counts[k] > 0 {
+				m.seasonal[i][k] = sums[k] / float64(counts[k])
+			}
+		}
+		// Remove this component from the residual before seeding the
+		// next, so components do not double-count structure.
+		for j := range residual {
+			residual[j] -= m.seasonal[i][j%p]
+		}
+	}
+
+	m.t = 0
+	m.lastErr = 0
+	m.ready = true
+	for _, y := range history {
+		m.Update(y)
+	}
+	return nil
+}
+
+// seasonalAt returns component i's value k steps ahead of the current
+// time (k = 0 means the value that applies to the next observation).
+func (m *HWT) seasonalAt(i, k int) float64 {
+	p := m.periods[i]
+	return m.seasonal[i][(m.t+k)%p]
+}
+
+// Update implements Model.
+func (m *HWT) Update(y float64) {
+	if !m.ready {
+		// Without Init, bootstrap level from the first observation.
+		m.level = y
+		m.ready = true
+	}
+	// One-step-ahead prediction before state update, for the AR term.
+	pred := m.level
+	for i := range m.periods {
+		pred += m.seasonalAt(i, 0)
+	}
+	pred += m.phi * m.lastErr
+
+	var seasonalSum float64
+	for i := range m.periods {
+		seasonalSum += m.seasonalAt(i, 0)
+	}
+	newLevel := m.alpha*(y-seasonalSum) + (1-m.alpha)*m.level
+
+	for i := range m.periods {
+		others := seasonalSum - m.seasonalAt(i, 0)
+		p := m.periods[i]
+		idx := m.t % p
+		m.seasonal[i][idx] = m.gammas[i]*(y-newLevel-others) + (1-m.gammas[i])*m.seasonal[i][idx]
+	}
+	m.level = newLevel
+	m.lastErr = y - pred
+	// Smoothed residual variance feeds the prediction intervals.
+	const varAlpha = 0.02
+	m.resVar += varAlpha * (m.lastErr*m.lastErr - m.resVar)
+	m.t++
+}
+
+// Forecast implements Model.
+func (m *HWT) Forecast(h int) []float64 {
+	out := make([]float64, h)
+	for k := 0; k < h; k++ {
+		v := m.level
+		for i := range m.periods {
+			v += m.seasonalAt(i, k)
+		}
+		v += math.Pow(m.phi, float64(k+1)) * m.lastErr
+		out[k] = v
+	}
+	return out
+}
+
+// OneStepErrors replays ys through a copy of the model and returns the
+// one-step-ahead forecasts; used by the estimation objective and the
+// evaluation strategies.
+func (m *HWT) clone() *HWT {
+	c := *m
+	c.gammas = append([]float64(nil), m.gammas...)
+	c.seasonal = make([][]float64, len(m.seasonal))
+	for i, s := range m.seasonal {
+		c.seasonal[i] = append([]float64(nil), s...)
+	}
+	return &c
+}

@@ -1,0 +1,287 @@
+package forecast
+
+import (
+	"fmt"
+	"sync"
+)
+
+// EvaluationStrategy decides when a maintained model's parameters need
+// re-estimation (paper §5: "we offer different model evaluation
+// strategies (e.g., time- or threshold-based)").
+type EvaluationStrategy interface {
+	// Observe is called after every Update with the symmetric relative
+	// error |y−ŷ| / (|y|+|ŷ|) of the one-step forecast for the value
+	// just consumed; it returns true when a parameter re-estimation
+	// should be triggered.
+	Observe(smape float64) bool
+	// Reset is called after a re-estimation completed.
+	Reset()
+}
+
+// TimeBased triggers a re-estimation every Every observations.
+type TimeBased struct {
+	Every int
+	count int
+}
+
+// Observe implements EvaluationStrategy.
+func (s *TimeBased) Observe(float64) bool {
+	s.count++
+	return s.Every > 0 && s.count >= s.Every
+}
+
+// Reset implements EvaluationStrategy.
+func (s *TimeBased) Reset() { s.count = 0 }
+
+// ThresholdBased triggers a re-estimation when the rolling SMAPE over
+// Window observations exceeds Threshold.
+type ThresholdBased struct {
+	Threshold float64
+	Window    int
+
+	errs []float64
+	pos  int
+	full bool
+}
+
+// Observe implements EvaluationStrategy.
+func (s *ThresholdBased) Observe(smape float64) bool {
+	if s.Window <= 0 {
+		s.Window = 48
+	}
+	if s.errs == nil {
+		s.errs = make([]float64, s.Window)
+	}
+	s.errs[s.pos] = smape
+	s.pos = (s.pos + 1) % s.Window
+	if s.pos == 0 {
+		s.full = true
+	}
+	if !s.full {
+		return false
+	}
+	var sum float64
+	for _, e := range s.errs {
+		sum += e
+	}
+	return sum/float64(s.Window) > s.Threshold
+}
+
+// Reset implements EvaluationStrategy.
+func (s *ThresholdBased) Reset() {
+	s.pos, s.full = 0, false
+	for i := range s.errs {
+		s.errs[i] = 0
+	}
+}
+
+// Maintainer wraps an HWT model with continuous maintenance: every new
+// measurement updates the smoothing state (cheap), an evaluation strategy
+// watches the one-step error, and when triggered the parameters are
+// re-estimated — warm-started from the current parameters and the context
+// repository (paper: "the model adaption exploits the context knowledge
+// of previous model estimations in order to speed up this time-consuming
+// process").
+type Maintainer struct {
+	mu        sync.Mutex
+	model     *HWT
+	history   []float64
+	maxHist   int
+	strategy  EvaluationStrategy
+	fitCfg    FitConfig
+	repo      *ContextRepository // optional
+	ctx       Context
+	reEstims  int
+	listeners []func(*HWT)
+}
+
+// MaintainerConfig assembles a Maintainer.
+type MaintainerConfig struct {
+	Strategy EvaluationStrategy // nil: TimeBased every 2 longest periods
+	FitCfg   FitConfig          // estimation budget for re-estimations
+	Repo     *ContextRepository // optional parameter repository
+	Ctx      Context            // context key for the repository
+	// MaxHistory bounds the retained history window (default 4 longest
+	// periods).
+	MaxHistory int
+}
+
+// NewMaintainer wraps a fitted model. history is the data the model was
+// fitted on (retained, windowed, for re-estimation).
+func NewMaintainer(model *HWT, history []float64, cfg MaintainerConfig) *Maintainer {
+	longest := model.periods[len(model.periods)-1]
+	if cfg.Strategy == nil {
+		cfg.Strategy = &TimeBased{Every: 2 * longest}
+	}
+	if cfg.MaxHistory <= 0 {
+		cfg.MaxHistory = 4 * longest
+	}
+	h := append([]float64(nil), history...)
+	if len(h) > cfg.MaxHistory {
+		h = h[len(h)-cfg.MaxHistory:]
+	}
+	return &Maintainer{
+		model:    model,
+		history:  h,
+		maxHist:  cfg.MaxHistory,
+		strategy: cfg.Strategy,
+		fitCfg:   cfg.FitCfg,
+		repo:     cfg.Repo,
+		ctx:      cfg.Ctx,
+	}
+}
+
+// OnReestimate registers a callback invoked (synchronously, in Update)
+// after each re-estimation with the refreshed model.
+func (mt *Maintainer) OnReestimate(fn func(*HWT)) {
+	mt.mu.Lock()
+	defer mt.mu.Unlock()
+	mt.listeners = append(mt.listeners, fn)
+}
+
+// Update consumes a new measurement: a cheap state update, plus a
+// parameter re-estimation when the evaluation strategy demands one.
+func (mt *Maintainer) Update(y float64) error {
+	mt.mu.Lock()
+	defer mt.mu.Unlock()
+	pred := mt.model.Forecast(1)[0]
+	mt.model.Update(y)
+	mt.history = append(mt.history, y)
+	if len(mt.history) > mt.maxHist {
+		mt.history = mt.history[len(mt.history)-mt.maxHist:]
+	}
+	smape := 0.0
+	if denom := abs(y) + abs(pred); denom > 0 {
+		smape = abs(y-pred) / denom
+	}
+	if !mt.strategy.Observe(smape) {
+		return nil
+	}
+	return mt.reestimate()
+}
+
+// reestimate refits parameters, warm-starting from the current parameters
+// or a context match. Caller holds the lock.
+func (mt *Maintainer) reestimate() error {
+	cfg := mt.fitCfg
+	cfg.Start = mt.model.Params()
+	if mt.repo != nil {
+		if p, ok := mt.repo.Lookup(mt.ctx); ok {
+			cfg.Start = p
+		}
+	}
+	fitted, res, err := FitHWT(mt.history, mt.model.periods, cfg)
+	if err != nil {
+		return fmt.Errorf("forecast: re-estimation failed: %w", err)
+	}
+	*mt.model = *fitted
+	mt.strategy.Reset()
+	mt.reEstims++
+	if mt.repo != nil {
+		mt.repo.Store(mt.ctx, res.X, res.Value)
+	}
+	for _, fn := range mt.listeners {
+		fn(mt.model)
+	}
+	return nil
+}
+
+// Forecast returns the next h values under the lock.
+func (mt *Maintainer) Forecast(h int) []float64 {
+	mt.mu.Lock()
+	defer mt.mu.Unlock()
+	return mt.model.Forecast(h)
+}
+
+// Reestimations reports how many re-estimations have run.
+func (mt *Maintainer) Reestimations() int {
+	mt.mu.Lock()
+	defer mt.mu.Unlock()
+	return mt.reEstims
+}
+
+// Params returns the current model parameters.
+func (mt *Maintainer) Params() []float64 {
+	mt.mu.Lock()
+	defer mt.mu.Unlock()
+	return mt.model.Params()
+}
+
+// SelectModel fits both EGRV and HWT on the training window, compares
+// their one-step SMAPE on the evaluation window, and returns the winner
+// (paper: "If the EGRV model does not provide accurate results, we fall
+// back to the alternative (more robust) HWT-Model").
+func SelectModel(train, evalWindow, trainTemp, evalTemp []float64, periodsPerDay int, hwtPeriods []int, fitCfg FitConfig) (Model, string, error) {
+	hwt, _, hwtErr := FitHWT(train, hwtPeriods, fitCfg)
+	var hwtSMAPE = 1.0
+	if hwtErr == nil {
+		hwtSMAPE = oneStepSMAPE(hwt, evalWindow)
+	}
+
+	var egrvSMAPE = 1.0
+	var egrv *EGRV
+	if e, err := FitEGRV(train, trainTemp, NewEGRVConfig(periodsPerDay)); err == nil {
+		egrv = e
+		em := e.AsModel()
+		egrvSMAPE = oneStepSMAPEWithTemp(e, evalWindow, evalTemp)
+		_ = em
+	}
+
+	switch {
+	case egrv != nil && egrvSMAPE <= hwtSMAPE:
+		return egrv.AsModel(), "EGRV", nil
+	case hwtErr == nil:
+		return hwt, "HWT", nil
+	default:
+		return nil, "", fmt.Errorf("forecast: no model could be fitted: %w", hwtErr)
+	}
+}
+
+func oneStepSMAPE(m Model, eval []float64) float64 {
+	var sum float64
+	n := 0
+	for _, y := range eval {
+		pred := m.Forecast(1)[0]
+		if denom := abs(y) + abs(pred); denom > 0 {
+			sum += abs(y-pred) / denom
+		}
+		m.Update(y)
+		n++
+	}
+	if n == 0 {
+		return 1
+	}
+	return sum / float64(n)
+}
+
+func oneStepSMAPEWithTemp(e *EGRV, eval, temps []float64) float64 {
+	var sum float64
+	n := 0
+	for i, y := range eval {
+		// The weather service supplies the one-step temperature forecast
+		// (taken as the actual temperature here); nil falls back to
+		// persistence.
+		var tempFc []float64
+		if i < len(temps) {
+			tempFc = temps[i : i+1]
+		}
+		preds, err := e.Forecast(1, tempFc)
+		if err != nil {
+			return 1
+		}
+		pred := preds[0]
+		if denom := abs(y) + abs(pred); denom > 0 {
+			sum += abs(y-pred) / denom
+		}
+		t := 0.0
+		if i < len(temps) {
+			t = temps[i]
+		}
+		e.Update(y, t)
+		n++
+	}
+	if n == 0 {
+		return 1
+	}
+	return sum / float64(n)
+}

@@ -1,0 +1,195 @@
+package forecast
+
+import (
+	"math"
+	"testing"
+
+	"mirabel/internal/optimize"
+)
+
+func optimizeOpts() optimize.Options {
+	return optimize.Options{MaxEvaluations: 150, Seed: 7}
+}
+
+func TestTimeBasedStrategy(t *testing.T) {
+	s := &TimeBased{Every: 3}
+	if s.Observe(0.01) || s.Observe(0.01) {
+		t.Error("triggered too early")
+	}
+	if !s.Observe(0.01) {
+		t.Error("did not trigger at Every")
+	}
+	s.Reset()
+	if s.Observe(0.01) {
+		t.Error("triggered right after reset")
+	}
+}
+
+func TestThresholdBasedStrategy(t *testing.T) {
+	s := &ThresholdBased{Threshold: 0.2, Window: 4}
+	// Accurate observations: never triggers.
+	for i := 0; i < 10; i++ {
+		if s.Observe(0.05) {
+			t.Fatal("triggered on accurate forecasts")
+		}
+	}
+	// Large errors fill the window and trigger.
+	triggered := false
+	for i := 0; i < 8; i++ {
+		if s.Observe(0.4) {
+			triggered = true
+			break
+		}
+	}
+	if !triggered {
+		t.Error("did not trigger on large errors")
+	}
+}
+
+func TestMaintainerReestimatesOnSchedule(t *testing.T) {
+	history := synthSeasonal(336 * 2)
+	m, _, err := FitHWT(history, []int{48}, FitConfig{Options: optimizeOpts()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mt := NewMaintainer(m, history, MaintainerConfig{
+		Strategy: &TimeBased{Every: 50},
+		FitCfg:   FitConfig{Options: optimizeOpts()},
+	})
+	var cbCount int
+	mt.OnReestimate(func(*HWT) { cbCount++ })
+	cont := synthSeasonal(336*2 + 120)[336*2:]
+	for _, y := range cont {
+		if err := mt.Update(y); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := mt.Reestimations(); got != 2 {
+		t.Errorf("re-estimations = %d, want 2 (120 updates / 50)", got)
+	}
+	if cbCount != 2 {
+		t.Errorf("callbacks = %d", cbCount)
+	}
+	if fc := mt.Forecast(4); len(fc) != 4 {
+		t.Errorf("forecast len = %d", len(fc))
+	}
+}
+
+func TestMaintainerKeepsAccuracyUnderDrift(t *testing.T) {
+	// The series doubles its amplitude halfway: a threshold-based
+	// maintainer must re-estimate and recover.
+	base := synthSeasonal(336 * 2)
+	m, _, err := FitHWT(base, []int{48}, FitConfig{Options: optimizeOpts()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mt := NewMaintainer(m, base, MaintainerConfig{
+		Strategy: &ThresholdBased{Threshold: 0.05, Window: 48},
+		FitCfg:   FitConfig{Options: optimizeOpts()},
+	})
+	for i := 0; i < 336; i++ {
+		// Structural break: the level jumps by 60% (e.g. a new industrial
+		// consumer joined the balance group).
+		drifted := 160 + 10*math.Sin(2*math.Pi*float64(i%48)/48)
+		if err := mt.Update(drifted); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if mt.Reestimations() == 0 {
+		t.Error("no re-estimation despite drift")
+	}
+}
+
+func TestMaintainerUsesContextRepository(t *testing.T) {
+	repo := NewContextRepository()
+	ctx := Context{EnergyType: "demand", Season: 0, DayType: 0}
+	history := synthSeasonal(336 * 2)
+	m, _, err := FitHWT(history, []int{48}, FitConfig{Options: optimizeOpts()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mt := NewMaintainer(m, history, MaintainerConfig{
+		Strategy: &TimeBased{Every: 30},
+		FitCfg:   FitConfig{Options: optimizeOpts()},
+		Repo:     repo,
+		Ctx:      ctx,
+	})
+	cont := synthSeasonal(336*2 + 40)[336*2:]
+	for _, y := range cont {
+		if err := mt.Update(y); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if repo.Len() == 0 {
+		t.Error("re-estimation did not store parameters in the repository")
+	}
+	if p, ok := repo.Lookup(ctx); !ok || len(p) != 3 {
+		t.Errorf("Lookup = %v, %v", p, ok)
+	}
+}
+
+func TestContextRepositoryFallbacks(t *testing.T) {
+	repo := NewContextRepository()
+	if _, ok := repo.Lookup(Context{}); ok {
+		t.Error("empty repository returned a case")
+	}
+	repo.Store(Context{EnergyType: "demand", Season: 1}, []float64{0.1, 0.2, 0.3}, 0.05)
+	repo.Store(Context{EnergyType: "wind", Season: 2}, []float64{0.9, 0.8, 0.7}, 0.20)
+
+	// Exact hit.
+	p, ok := repo.Lookup(Context{EnergyType: "demand", Season: 1})
+	if !ok || p[0] != 0.1 {
+		t.Errorf("exact lookup = %v, %v", p, ok)
+	}
+	// Same energy type fallback.
+	p, ok = repo.Lookup(Context{EnergyType: "demand", Season: 3})
+	if !ok || p[0] != 0.1 {
+		t.Errorf("type fallback = %v, %v", p, ok)
+	}
+	// Any fallback (unknown type): lowest error case wins.
+	p, ok = repo.Lookup(Context{EnergyType: "solar"})
+	if !ok || p[0] != 0.1 {
+		t.Errorf("global fallback = %v, %v", p, ok)
+	}
+}
+
+func TestContextRepositoryKeepsBest(t *testing.T) {
+	repo := NewContextRepository()
+	ctx := Context{EnergyType: "demand"}
+	repo.Store(ctx, []float64{0.5}, 0.10)
+	repo.Store(ctx, []float64{0.9}, 0.20) // worse: ignored
+	p, _ := repo.Lookup(ctx)
+	if p[0] != 0.5 {
+		t.Errorf("repository overwrote better case: %v", p)
+	}
+	repo.Store(ctx, []float64{0.7}, 0.05) // better: replaces
+	p, _ = repo.Lookup(ctx)
+	if p[0] != 0.7 {
+		t.Errorf("repository kept worse case: %v", p)
+	}
+}
+
+func TestWarmStartSpeedsUpEstimation(t *testing.T) {
+	// With a warm start at the known-good parameters, a tiny budget must
+	// reach an error no worse than a cold start with the same budget.
+	history := synthSeasonal(336 * 2)
+	for i := range history {
+		history[i] += pseudoNoise(i) * 2
+	}
+	good, _, err := FitHWT(history, []int{48}, FitConfig{Options: optimize.Options{MaxEvaluations: 600, Seed: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiny := optimize.Options{MaxEvaluations: 40, Seed: 4}
+	_, cold, err := FitHWT(history, []int{48}, FitConfig{Options: tiny})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, warm, err := FitHWT(history, []int{48}, FitConfig{Options: tiny, Start: good.Params()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Value > cold.Value+1e-9 {
+		t.Errorf("warm start %g worse than cold start %g", warm.Value, cold.Value)
+	}
+}

@@ -1,0 +1,131 @@
+package forecast
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Notification is delivered to a forecast query subscriber when the
+// forecast for its horizon changed significantly.
+type Notification struct {
+	SubscriptionID int
+	Forecast       []float64
+	// MaxRelChange is the largest relative change versus the previously
+	// delivered forecast (1 on the first delivery).
+	MaxRelChange float64
+}
+
+// Hub implements publish-subscribe forecast queries (paper §5: the
+// scheduling component "may register forecast queries as continuous
+// queries in order to obtain notifications whenever the forecast values
+// change significantly" — re-running the expensive scheduler only when
+// warranted).
+type Hub struct {
+	mu    sync.Mutex
+	model interface{ Forecast(int) []float64 }
+	next  int
+	subs  map[int]*subscription
+}
+
+type subscription struct {
+	horizon   int
+	threshold float64 // relative change that triggers a notification
+	last      []float64
+	ch        chan Notification
+}
+
+// NewHub wraps any forecaster (an *HWT, a *Maintainer, ...).
+func NewHub(model interface{ Forecast(int) []float64 }) *Hub {
+	return &Hub{model: model, next: 1, subs: make(map[int]*subscription)}
+}
+
+// Subscribe registers a continuous forecast query: whenever Publish finds
+// that the h-step forecast changed by more than threshold (relative,
+// e.g. 0.05 = 5%) in any slot, a Notification is sent. The returned
+// channel is buffered; a slow subscriber drops superseded notifications
+// rather than blocking the hub.
+func (h *Hub) Subscribe(horizon int, threshold float64) (int, <-chan Notification, error) {
+	if horizon <= 0 {
+		return 0, nil, fmt.Errorf("forecast: non-positive horizon %d", horizon)
+	}
+	if threshold < 0 {
+		return 0, nil, fmt.Errorf("forecast: negative threshold %g", threshold)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	id := h.next
+	h.next++
+	sub := &subscription{horizon: horizon, threshold: threshold, ch: make(chan Notification, 1)}
+	h.subs[id] = sub
+	return id, sub.ch, nil
+}
+
+// Unsubscribe cancels a continuous query and closes its channel.
+func (h *Hub) Unsubscribe(id int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if sub, ok := h.subs[id]; ok {
+		close(sub.ch)
+		delete(h.subs, id)
+	}
+}
+
+// Publish recomputes every subscriber's forecast against the current
+// model state and notifies those whose forecast changed significantly.
+// Call it after feeding new measurements to the model. It returns the
+// number of notifications sent.
+func (h *Hub) Publish() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	sent := 0
+	for id, sub := range h.subs {
+		fc := h.model.Forecast(sub.horizon)
+		change := maxRelChange(sub.last, fc)
+		if sub.last != nil && change <= sub.threshold {
+			continue
+		}
+		sub.last = append(sub.last[:0], fc...)
+		n := Notification{SubscriptionID: id, Forecast: append([]float64(nil), fc...), MaxRelChange: change}
+		select {
+		case sub.ch <- n:
+		default:
+			// Replace a stale pending notification with the fresh one.
+			select {
+			case <-sub.ch:
+			default:
+			}
+			sub.ch <- n
+		}
+		sent++
+	}
+	return sent
+}
+
+// maxRelChange returns the maximum per-slot relative change between two
+// forecasts; 1 when prev is nil (first publication always notifies).
+func maxRelChange(prev, cur []float64) float64 {
+	if prev == nil {
+		return 1
+	}
+	var mx float64
+	for i := range cur {
+		if i >= len(prev) {
+			break
+		}
+		denom := abs(prev[i])
+		if denom < 1e-9 {
+			denom = 1e-9
+		}
+		if c := abs(cur[i]-prev[i]) / denom; c > mx {
+			mx = c
+		}
+	}
+	return mx
+}
+
+// NumSubscribers returns the number of live subscriptions.
+func (h *Hub) NumSubscribers() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.subs)
+}

@@ -1,0 +1,175 @@
+package forecast
+
+import (
+	"testing"
+)
+
+// stubModel returns a programmable forecast.
+type stubModel struct{ fc []float64 }
+
+func (s *stubModel) Forecast(h int) []float64 {
+	out := make([]float64, h)
+	copy(out, s.fc)
+	return out
+}
+
+func TestHubSubscribeValidation(t *testing.T) {
+	h := NewHub(&stubModel{})
+	if _, _, err := h.Subscribe(0, 0.1); err == nil {
+		t.Error("zero horizon should error")
+	}
+	if _, _, err := h.Subscribe(4, -1); err == nil {
+		t.Error("negative threshold should error")
+	}
+}
+
+func TestHubNotifiesOnFirstPublish(t *testing.T) {
+	m := &stubModel{fc: []float64{100, 100}}
+	h := NewHub(m)
+	_, ch, err := h.Subscribe(2, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sent := h.Publish(); sent != 1 {
+		t.Fatalf("sent = %d", sent)
+	}
+	n := <-ch
+	if n.Forecast[0] != 100 || n.MaxRelChange != 1 {
+		t.Errorf("notification = %+v", n)
+	}
+}
+
+func TestHubSuppressesInsignificantChanges(t *testing.T) {
+	m := &stubModel{fc: []float64{100, 100}}
+	h := NewHub(m)
+	_, ch, _ := h.Subscribe(2, 0.05)
+	h.Publish()
+	<-ch
+	m.fc = []float64{102, 101} // 2% change, below 5% threshold
+	if sent := h.Publish(); sent != 0 {
+		t.Errorf("sent = %d for insignificant change", sent)
+	}
+	m.fc = []float64{110, 100} // 10% change in slot 0
+	if sent := h.Publish(); sent != 1 {
+		t.Errorf("sent = %d for significant change", sent)
+	}
+	n := <-ch
+	if n.MaxRelChange < 0.09 {
+		t.Errorf("MaxRelChange = %g", n.MaxRelChange)
+	}
+}
+
+func TestHubBaselineOnlyMovesOnNotify(t *testing.T) {
+	// Repeated sub-threshold drifts must eventually trigger once they
+	// accumulate past the threshold versus the LAST DELIVERED forecast.
+	m := &stubModel{fc: []float64{100}}
+	h := NewHub(m)
+	_, ch, _ := h.Subscribe(1, 0.10)
+	h.Publish()
+	<-ch
+	m.fc = []float64{104}
+	h.Publish() // 4%: suppressed
+	m.fc = []float64{108}
+	h.Publish() // 8% vs 100: suppressed
+	m.fc = []float64{111}
+	if sent := h.Publish(); sent != 1 { // 11% vs 100: notify
+		t.Errorf("accumulated drift did not notify (sent=%d)", sent)
+	}
+	n := <-ch
+	if n.Forecast[0] != 111 {
+		t.Errorf("forecast = %v", n.Forecast)
+	}
+}
+
+func TestHubSlowSubscriberGetsLatest(t *testing.T) {
+	m := &stubModel{fc: []float64{100}}
+	h := NewHub(m)
+	_, ch, _ := h.Subscribe(1, 0.01)
+	h.Publish() // nobody reading yet
+	m.fc = []float64{200}
+	h.Publish() // must replace, not block
+	n := <-ch
+	if n.Forecast[0] != 200 {
+		t.Errorf("stale notification delivered: %v", n.Forecast)
+	}
+}
+
+func TestHubUnsubscribe(t *testing.T) {
+	m := &stubModel{fc: []float64{1}}
+	h := NewHub(m)
+	id, ch, _ := h.Subscribe(1, 0.5)
+	h.Unsubscribe(id)
+	if _, open := <-ch; open {
+		t.Error("channel not closed on unsubscribe")
+	}
+	if h.NumSubscribers() != 0 {
+		t.Error("subscriber count not zero")
+	}
+	if sent := h.Publish(); sent != 0 {
+		t.Error("published to unsubscribed query")
+	}
+}
+
+func TestHubWithMaintainerEndToEnd(t *testing.T) {
+	// The real wiring: a Maintainer feeds measurements, the Hub decides
+	// whether the scheduler needs to re-plan — the paper's
+	// publish-subscribe forecast query loop.
+	history := synthSeasonal(336 * 2)
+	m, _, err := FitHWT(history, []int{48}, FitConfig{Options: optimizeOpts()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mt := NewMaintainer(m, history, MaintainerConfig{Strategy: &TimeBased{Every: 1 << 30}})
+	hub := NewHub(mt)
+	_, ch, err := hub.Subscribe(48, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub.Publish()
+	<-ch // initial delivery
+
+	// In-distribution continuation: no notification.
+	cont := synthSeasonal(336*2 + 48)[336*2:]
+	for _, y := range cont {
+		if err := mt.Update(y); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sent := hub.Publish(); sent != 0 {
+		t.Errorf("notified on in-distribution data (%d)", sent)
+	}
+
+	// Structural break: the forecast moves; the subscriber hears.
+	for i := 0; i < 96; i++ {
+		if err := mt.Update(40); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sent := hub.Publish(); sent != 1 {
+		t.Errorf("no notification after a structural break (%d)", sent)
+	}
+}
+
+func TestHubMultipleSubscribersIndependent(t *testing.T) {
+	m := &stubModel{fc: []float64{100}}
+	h := NewHub(m)
+	_, strict, _ := h.Subscribe(1, 0.01)
+	_, lax, _ := h.Subscribe(1, 0.50)
+	h.Publish()
+	<-strict
+	<-lax
+	m.fc = []float64{110} // 10%
+	if sent := h.Publish(); sent != 1 {
+		t.Errorf("sent = %d, want only the strict subscriber", sent)
+	}
+	select {
+	case <-strict:
+	default:
+		t.Error("strict subscriber missed notification")
+	}
+	select {
+	case <-lax:
+		t.Error("lax subscriber notified below its threshold")
+	default:
+	}
+}

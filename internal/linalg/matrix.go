@@ -1,0 +1,296 @@
+// Package linalg provides the small dense linear algebra substrate needed
+// by the EGRV multi-equation forecast models: dense matrices, QR
+// factorization and ordinary least squares. It is deliberately minimal —
+// just enough numerics, implemented with care, for regression models of a
+// few dozen coefficients.
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols, row-major
+}
+
+// NewMatrix returns a zero matrix of the given shape.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic("linalg: negative dimension")
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from row slices. All rows must have equal length.
+func FromRows(rows [][]float64) (*Matrix, error) {
+	if len(rows) == 0 {
+		return NewMatrix(0, 0), nil
+	}
+	cols := len(rows[0])
+	m := NewMatrix(len(rows), cols)
+	for i, r := range rows {
+		if len(r) != cols {
+			return nil, fmt.Errorf("linalg: row %d has %d columns, want %d", i, len(r), cols)
+		}
+		copy(m.Data[i*cols:(i+1)*cols], r)
+	}
+	return m, nil
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view of row i.
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// MulVec returns m·x.
+func (m *Matrix) MulVec(x []float64) ([]float64, error) {
+	if len(x) != m.Cols {
+		return nil, fmt.Errorf("linalg: MulVec dimension mismatch: %d cols vs %d vector", m.Cols, len(x))
+	}
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// Transpose returns mᵀ.
+func (m *Matrix) Transpose() *Matrix {
+	t := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			t.Set(j, i, m.At(i, j))
+		}
+	}
+	return t
+}
+
+// Mul returns m·n.
+func (m *Matrix) Mul(n *Matrix) (*Matrix, error) {
+	if m.Cols != n.Rows {
+		return nil, fmt.Errorf("linalg: Mul dimension mismatch: %dx%d · %dx%d", m.Rows, m.Cols, n.Rows, n.Cols)
+	}
+	out := NewMatrix(m.Rows, n.Cols)
+	for i := 0; i < m.Rows; i++ {
+		for k := 0; k < m.Cols; k++ {
+			a := m.At(i, k)
+			if a == 0 {
+				continue
+			}
+			nrow := n.Row(k)
+			orow := out.Row(i)
+			for j := range nrow {
+				orow[j] += a * nrow[j]
+			}
+		}
+	}
+	return out, nil
+}
+
+// ErrSingular is returned when a system is (numerically) rank deficient.
+var ErrSingular = errors.New("linalg: matrix is singular or rank deficient")
+
+// SolveLeastSquares solves min ‖A·x − b‖₂ via QR factorization with
+// Householder reflections. A must have Rows ≥ Cols; returns ErrSingular
+// when A is rank deficient.
+func SolveLeastSquares(a *Matrix, b []float64) ([]float64, error) {
+	if len(b) != a.Rows {
+		return nil, fmt.Errorf("linalg: rhs has %d rows, want %d", len(b), a.Rows)
+	}
+	if a.Rows < a.Cols {
+		return nil, fmt.Errorf("linalg: underdetermined system %dx%d", a.Rows, a.Cols)
+	}
+	r := a.Clone()
+	y := make([]float64, len(b))
+	copy(y, b)
+
+	m, n := r.Rows, r.Cols
+	for k := 0; k < n; k++ {
+		// Householder vector for column k below the diagonal.
+		var norm float64
+		for i := k; i < m; i++ {
+			v := r.At(i, k)
+			norm += v * v
+		}
+		norm = math.Sqrt(norm)
+		if norm == 0 {
+			return nil, ErrSingular
+		}
+		if r.At(k, k) < 0 {
+			norm = -norm
+		}
+		// v = x + sign(x0)*‖x‖*e1, normalized so v[k] = 1 implicitly.
+		vk := r.At(k, k) + norm
+		if vk == 0 {
+			return nil, ErrSingular
+		}
+		// Store scaled v in a temp slice.
+		v := make([]float64, m-k)
+		v[0] = 1
+		for i := k + 1; i < m; i++ {
+			v[i-k] = r.At(i, k) / vk
+		}
+		beta := vk / norm // 2/(vᵀv) for this scaling
+		// Apply H = I − beta·v·vᵀ to R columns k..n−1 and to y.
+		for j := k; j < n; j++ {
+			var dot float64
+			for i := k; i < m; i++ {
+				dot += v[i-k] * r.At(i, j)
+			}
+			dot *= beta
+			for i := k; i < m; i++ {
+				r.Set(i, j, r.At(i, j)-dot*v[i-k])
+			}
+		}
+		var dot float64
+		for i := k; i < m; i++ {
+			dot += v[i-k] * y[i]
+		}
+		dot *= beta
+		for i := k; i < m; i++ {
+			y[i] -= dot * v[i-k]
+		}
+	}
+
+	// Back substitution on the upper-triangular R.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		diag := r.At(i, i)
+		if math.Abs(diag) < 1e-12 {
+			return nil, ErrSingular
+		}
+		s := y[i]
+		for j := i + 1; j < n; j++ {
+			s -= r.At(i, j) * x[j]
+		}
+		x[i] = s / diag
+	}
+	return x, nil
+}
+
+// SolveCholesky solves the symmetric positive definite system S·x = b,
+// used for normal-equation solves and ridge regression.
+func SolveCholesky(s *Matrix, b []float64) ([]float64, error) {
+	if s.Rows != s.Cols {
+		return nil, fmt.Errorf("linalg: Cholesky needs a square matrix, got %dx%d", s.Rows, s.Cols)
+	}
+	if len(b) != s.Rows {
+		return nil, fmt.Errorf("linalg: rhs has %d rows, want %d", len(b), s.Rows)
+	}
+	n := s.Rows
+	l := NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		var d float64
+		for k := 0; k < j; k++ {
+			d += l.At(j, k) * l.At(j, k)
+		}
+		d = s.At(j, j) - d
+		if d <= 0 {
+			return nil, ErrSingular
+		}
+		l.Set(j, j, math.Sqrt(d))
+		for i := j + 1; i < n; i++ {
+			var sum float64
+			for k := 0; k < j; k++ {
+				sum += l.At(i, k) * l.At(j, k)
+			}
+			l.Set(i, j, (s.At(i, j)-sum)/l.At(j, j))
+		}
+	}
+	// Forward substitution L·z = b.
+	z := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sum := b[i]
+		for k := 0; k < i; k++ {
+			sum -= l.At(i, k) * z[k]
+		}
+		z[i] = sum / l.At(i, i)
+	}
+	// Back substitution Lᵀ·x = z.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := z[i]
+		for k := i + 1; k < n; k++ {
+			sum -= l.At(k, i) * x[k]
+		}
+		x[i] = sum / l.At(i, i)
+	}
+	return x, nil
+}
+
+// RidgeLeastSquares solves min ‖A·x − b‖² + λ‖x‖² via the regularized
+// normal equations (AᵀA + λI)x = Aᵀb. λ > 0 guarantees a solution even
+// for collinear regressors, which EGRV calendar dummies can produce.
+func RidgeLeastSquares(a *Matrix, b []float64, lambda float64) ([]float64, error) {
+	if len(b) != a.Rows {
+		return nil, fmt.Errorf("linalg: rhs has %d rows, want %d", len(b), a.Rows)
+	}
+	if lambda < 0 {
+		return nil, fmt.Errorf("linalg: negative ridge penalty %g", lambda)
+	}
+	n := a.Cols
+	ata := NewMatrix(n, n)
+	atb := make([]float64, n)
+	for r := 0; r < a.Rows; r++ {
+		row := a.Row(r)
+		for i := 0; i < n; i++ {
+			if row[i] == 0 {
+				continue
+			}
+			atb[i] += row[i] * b[r]
+			arow := ata.Row(i)
+			for j := i; j < n; j++ {
+				arow[j] += row[i] * row[j]
+			}
+		}
+	}
+	// Mirror the upper triangle and add the ridge.
+	for i := 0; i < n; i++ {
+		ata.Set(i, i, ata.At(i, i)+lambda)
+		for j := i + 1; j < n; j++ {
+			ata.Set(j, i, ata.At(i, j))
+		}
+	}
+	return SolveCholesky(ata, atb)
+}
+
+// Dot returns the inner product of two equal-length vectors.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("linalg: Dot length mismatch")
+	}
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of v.
+func Norm2(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}

@@ -1,0 +1,226 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestFromRowsAndAccess(t *testing.T) {
+	m, err := FromRows([][]float64{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(0, 1) != 2 || m.At(1, 0) != 3 {
+		t.Errorf("At values wrong: %+v", m)
+	}
+	m.Set(1, 1, 9)
+	if m.At(1, 1) != 9 {
+		t.Error("Set failed")
+	}
+}
+
+func TestFromRowsRagged(t *testing.T) {
+	if _, err := FromRows([][]float64{{1, 2}, {3}}); err == nil {
+		t.Error("ragged rows should error")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	got, err := m.MulVec([]float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 3 || got[1] != 7 {
+		t.Errorf("MulVec = %v", got)
+	}
+	if _, err := m.MulVec([]float64{1}); err == nil {
+		t.Error("dimension mismatch should error")
+	}
+}
+
+func TestMul(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	b, _ := FromRows([][]float64{{5, 6}, {7, 8}})
+	c, err := a.Mul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if c.At(i, j) != want[i][j] {
+				t.Errorf("Mul[%d][%d] = %g, want %g", i, j, c.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	at := a.Transpose()
+	if at.Rows != 3 || at.Cols != 2 || at.At(2, 1) != 6 || at.At(0, 1) != 4 {
+		t.Errorf("Transpose = %+v", at)
+	}
+}
+
+func TestSolveLeastSquaresExact(t *testing.T) {
+	// Square nonsingular system has exact solution.
+	a, _ := FromRows([][]float64{{2, 0}, {0, 3}})
+	x, err := SolveLeastSquares(a, []float64{4, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(x[0], 2, 1e-10) || !almostEq(x[1], 3, 1e-10) {
+		t.Errorf("x = %v", x)
+	}
+}
+
+func TestSolveLeastSquaresOverdetermined(t *testing.T) {
+	// Fit y = 1 + 2t through noisy-free points: recovery must be exact.
+	rows := [][]float64{}
+	b := []float64{}
+	for tIdx := 0; tIdx < 10; tIdx++ {
+		rows = append(rows, []float64{1, float64(tIdx)})
+		b = append(b, 1+2*float64(tIdx))
+	}
+	a, _ := FromRows(rows)
+	x, err := SolveLeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(x[0], 1, 1e-9) || !almostEq(x[1], 2, 1e-9) {
+		t.Errorf("x = %v, want [1 2]", x)
+	}
+}
+
+func TestSolveLeastSquaresSingular(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 1}, {1, 1}, {1, 1}})
+	if _, err := SolveLeastSquares(a, []float64{1, 2, 3}); err == nil {
+		t.Error("singular system should error")
+	}
+}
+
+func TestSolveLeastSquaresUnderdetermined(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2, 3}})
+	if _, err := SolveLeastSquares(a, []float64{1}); err == nil {
+		t.Error("underdetermined system should error")
+	}
+}
+
+func TestSolveCholesky(t *testing.T) {
+	s, _ := FromRows([][]float64{{4, 2}, {2, 3}})
+	x, err := SolveCholesky(s, []float64{10, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Verify S·x = b.
+	b, _ := s.MulVec(x)
+	if !almostEq(b[0], 10, 1e-9) || !almostEq(b[1], 8, 1e-9) {
+		t.Errorf("S·x = %v", b)
+	}
+}
+
+func TestSolveCholeskyNotPD(t *testing.T) {
+	s, _ := FromRows([][]float64{{0, 0}, {0, 0}})
+	if _, err := SolveCholesky(s, []float64{1, 2}); err == nil {
+		t.Error("non-PD matrix should error")
+	}
+}
+
+func TestRidgeHandlesCollinear(t *testing.T) {
+	// Two identical columns: plain OLS is singular, ridge is not.
+	a, _ := FromRows([][]float64{{1, 1}, {2, 2}, {3, 3}})
+	x, err := RidgeLeastSquares(a, []float64{2, 4, 6}, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prediction should still be accurate: x0+x1 ≈ 2.
+	if !almostEq(x[0]+x[1], 2, 1e-3) {
+		t.Errorf("x = %v, x0+x1 = %g", x, x[0]+x[1])
+	}
+}
+
+func TestRidgeNegativeLambda(t *testing.T) {
+	a, _ := FromRows([][]float64{{1}})
+	if _, err := RidgeLeastSquares(a, []float64{1}, -1); err == nil {
+		t.Error("negative lambda should error")
+	}
+}
+
+func TestDotNorm(t *testing.T) {
+	if Dot([]float64{1, 2}, []float64{3, 4}) != 11 {
+		t.Error("Dot wrong")
+	}
+	if !almostEq(Norm2([]float64{3, 4}), 5, 1e-12) {
+		t.Error("Norm2 wrong")
+	}
+}
+
+// Property: for random well-conditioned overdetermined systems, the QR
+// solution satisfies the normal equations Aᵀ(Ax − b) ≈ 0.
+func TestLeastSquaresPropertyNormalEquations(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed ^ rng.Int63()))
+		rows, cols := 12, 4
+		a := NewMatrix(rows, cols)
+		for i := range a.Data {
+			a.Data[i] = r.NormFloat64()
+		}
+		// Well-conditioned with high probability; add tiny diagonal boost.
+		for j := 0; j < cols; j++ {
+			a.Set(j, j, a.At(j, j)+2)
+		}
+		b := make([]float64, rows)
+		for i := range b {
+			b[i] = r.NormFloat64()
+		}
+		x, err := SolveLeastSquares(a, b)
+		if err != nil {
+			return false
+		}
+		ax, _ := a.MulVec(x)
+		res := make([]float64, rows)
+		for i := range res {
+			res[i] = ax[i] - b[i]
+		}
+		at := a.Transpose()
+		g, _ := at.MulVec(res)
+		return Norm2(g) < 1e-8*(1+Norm2(b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: QR and ridge (tiny lambda) agree on well-conditioned systems.
+func TestQRAndRidgeAgree(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		rows, cols := 20, 5
+		a := NewMatrix(rows, cols)
+		for i := range a.Data {
+			a.Data[i] = r.NormFloat64()
+		}
+		b := make([]float64, rows)
+		for i := range b {
+			b[i] = r.NormFloat64()
+		}
+		x1, err1 := SolveLeastSquares(a, b)
+		x2, err2 := RidgeLeastSquares(a, b, 1e-10)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("solve errors: %v %v", err1, err2)
+		}
+		for j := range x1 {
+			if !almostEq(x1[j], x2[j], 1e-5) {
+				t.Errorf("trial %d: QR %v vs ridge %v", trial, x1, x2)
+				break
+			}
+		}
+	}
+}

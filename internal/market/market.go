@@ -1,0 +1,113 @@
+// Package market simulates the energy market a BRP trades on: a
+// day-ahead market with hourly trading periods, peak/off-peak prices, a
+// bid/ask spread and bounded per-period liquidity. The scheduling
+// component uses it to price "energy sold to (and bought from) the
+// market" (paper §6), and the negotiation component uses its trading
+// periods to marginalize excess assignment flexibility (paper §7).
+package market
+
+import (
+	"fmt"
+	"time"
+
+	"mirabel/internal/flexoffer"
+	"mirabel/internal/timeseries"
+)
+
+// Quote is the market's view of one time slot.
+type Quote struct {
+	// BuyEUR is the price the BRP pays per kWh bought.
+	BuyEUR float64
+	// SellEUR is the price the BRP receives per kWh sold.
+	SellEUR float64
+	// CapacityKWh bounds the energy tradable in the slot in each
+	// direction (liquidity).
+	CapacityKWh float64
+}
+
+// DayAhead is a day-ahead market simulation over hourly trading periods.
+type DayAhead struct {
+	prices      []float64 // EUR/MWh per hour, hour 0 = slot 0 of the epoch
+	spreadFrac  float64   // (buy − sell) / mid
+	capacityKWh float64   // per-slot liquidity
+	gateLead    flexoffer.Time
+}
+
+// Config parameterizes a day-ahead market.
+type Config struct {
+	// Prices is the hourly price series in EUR/MWh (e.g.
+	// workload.PriceSeries). Slot 0 of the flex-offer time axis must
+	// coincide with the series origin.
+	Prices *timeseries.Series
+	// SpreadFrac is the relative bid/ask spread around the mid price
+	// (default 0.05).
+	SpreadFrac float64
+	// CapacityKWh is the per-slot liquidity bound (default 1e6, i.e.
+	// effectively unbounded for household-scale scenarios).
+	CapacityKWh float64
+	// GateClosureLead is how long before delivery a trading period
+	// closes (default 4 slots = 1 hour).
+	GateClosureLead flexoffer.Time
+}
+
+// NewDayAhead builds a day-ahead market from an hourly price series.
+func NewDayAhead(cfg Config) (*DayAhead, error) {
+	if cfg.Prices == nil || cfg.Prices.Len() == 0 {
+		return nil, fmt.Errorf("market: price series required")
+	}
+	if cfg.Prices.Resolution() != time.Hour {
+		return nil, fmt.Errorf("market: prices must be hourly, got %v", cfg.Prices.Resolution())
+	}
+	if cfg.SpreadFrac < 0 || cfg.SpreadFrac >= 1 {
+		return nil, fmt.Errorf("market: spread fraction %g outside [0,1)", cfg.SpreadFrac)
+	}
+	if cfg.SpreadFrac == 0 {
+		cfg.SpreadFrac = 0.05
+	}
+	if cfg.CapacityKWh == 0 {
+		cfg.CapacityKWh = 1e6
+	}
+	if cfg.GateClosureLead == 0 {
+		cfg.GateClosureLead = flexoffer.SlotsPerHour
+	}
+	return &DayAhead{
+		prices:      cfg.Prices.Values(),
+		spreadFrac:  cfg.SpreadFrac,
+		capacityKWh: cfg.CapacityKWh,
+		gateLead:    cfg.GateClosureLead,
+	}, nil
+}
+
+// Quote returns buy/sell prices (EUR/kWh) and liquidity for a slot.
+// Slots beyond the price horizon reuse the last known hour (price
+// persistence).
+func (m *DayAhead) Quote(slot flexoffer.Time) Quote {
+	hour := int(slot) / flexoffer.SlotsPerHour
+	if hour < 0 {
+		hour = 0
+	}
+	if hour >= len(m.prices) {
+		hour = len(m.prices) - 1
+	}
+	midPerKWh := m.prices[hour] / 1000
+	half := midPerKWh * m.spreadFrac / 2
+	return Quote{
+		BuyEUR:      midPerKWh + half,
+		SellEUR:     midPerKWh - half,
+		CapacityKWh: m.capacityKWh,
+	}
+}
+
+// NextGateClosure returns the latest slot at which an order for delivery
+// slot `delivery` can still be placed.
+func (m *DayAhead) NextGateClosure(delivery flexoffer.Time) flexoffer.Time {
+	return delivery - m.gateLead
+}
+
+// NextTradingPeriod returns the first slot of the next hourly trading
+// period strictly after now — the boundary beyond which assignment
+// flexibility is marginalized for the BRP (paper §7).
+func (m *DayAhead) NextTradingPeriod(now flexoffer.Time) flexoffer.Time {
+	h := (int(now)/flexoffer.SlotsPerHour + 1) * flexoffer.SlotsPerHour
+	return flexoffer.Time(h)
+}

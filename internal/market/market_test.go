@@ -1,0 +1,99 @@
+package market
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"mirabel/internal/flexoffer"
+	"mirabel/internal/timeseries"
+	"mirabel/internal/workload"
+)
+
+func hourly(prices ...float64) *timeseries.Series {
+	return timeseries.New(workload.DefaultOrigin, time.Hour, prices)
+}
+
+func TestNewDayAheadValidation(t *testing.T) {
+	if _, err := NewDayAhead(Config{}); err == nil {
+		t.Error("missing prices accepted")
+	}
+	bad := timeseries.New(workload.DefaultOrigin, time.Minute, []float64{1})
+	if _, err := NewDayAhead(Config{Prices: bad}); err == nil {
+		t.Error("non-hourly prices accepted")
+	}
+	if _, err := NewDayAhead(Config{Prices: hourly(50), SpreadFrac: 1.5}); err == nil {
+		t.Error("spread ≥ 1 accepted")
+	}
+}
+
+func TestQuoteSpreadAroundMid(t *testing.T) {
+	m, err := NewDayAhead(Config{Prices: hourly(100), SpreadFrac: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := m.Quote(0)
+	if math.Abs(q.BuyEUR-0.105) > 1e-12 || math.Abs(q.SellEUR-0.095) > 1e-12 {
+		t.Errorf("quote = %+v", q)
+	}
+	if q.BuyEUR <= q.SellEUR {
+		t.Error("buy price not above sell price")
+	}
+}
+
+func TestQuoteHourMapping(t *testing.T) {
+	m, err := NewDayAhead(Config{Prices: hourly(10, 20, 30)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Slot 4..7 is hour 1.
+	q0 := m.Quote(0)
+	q1 := m.Quote(flexoffer.SlotsPerHour)
+	q2 := m.Quote(2*flexoffer.SlotsPerHour + 3)
+	if !(q0.BuyEUR < q1.BuyEUR && q1.BuyEUR < q2.BuyEUR) {
+		t.Errorf("hour mapping wrong: %v %v %v", q0.BuyEUR, q1.BuyEUR, q2.BuyEUR)
+	}
+}
+
+func TestQuotePersistenceBeyondHorizon(t *testing.T) {
+	m, err := NewDayAhead(Config{Prices: hourly(10, 20)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	far := m.Quote(1000 * flexoffer.SlotsPerHour)
+	last := m.Quote(1 * flexoffer.SlotsPerHour)
+	if far != last {
+		t.Error("far future quote does not persist the last hour")
+	}
+	neg := m.Quote(-5)
+	first := m.Quote(0)
+	if neg != first {
+		t.Error("negative slot does not clamp to the first hour")
+	}
+}
+
+func TestGateClosureAndTradingPeriods(t *testing.T) {
+	m, err := NewDayAhead(Config{Prices: hourly(50), GateClosureLead: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.NextGateClosure(100); got != 96 {
+		t.Errorf("NextGateClosure = %d, want 96", got)
+	}
+	if got := m.NextTradingPeriod(0); got != 4 {
+		t.Errorf("NextTradingPeriod(0) = %d, want 4", got)
+	}
+	if got := m.NextTradingPeriod(5); got != 8 {
+		t.Errorf("NextTradingPeriod(5) = %d, want 8", got)
+	}
+}
+
+func TestDefaultCapacity(t *testing.T) {
+	m, err := NewDayAhead(Config{Prices: hourly(50)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Quote(0).CapacityKWh <= 0 {
+		t.Error("default capacity not positive")
+	}
+}

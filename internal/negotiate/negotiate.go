@@ -1,0 +1,214 @@
+// Package negotiate implements the MIRABEL negotiation component (paper
+// §7): it finds an agreement between a prosumer and its BRP about the
+// price for flex-offers. Two price-setting schemes are provided —
+// monetizing flexibility before execution (sigmoid-normalized flexibility
+// potentials combined by a weighted sum) and sharing the realized profit
+// after execution — plus the acceptance decision that lets the BRP reject
+// offers it cannot process in time or profitably.
+package negotiate
+
+import (
+	"fmt"
+	"math"
+
+	"mirabel/internal/flexoffer"
+)
+
+// Sigmoid maps a raw flexibility parameter to a potential in (0, 1)
+// (paper: "applying a function, e.g. the sigmoid function, that maps the
+// flexibility parameter to value between 0 and 1").
+type Sigmoid struct {
+	// Mid is the parameter value mapped to 0.5.
+	Mid float64
+	// Steepness scales the transition; higher is sharper.
+	Steepness float64
+}
+
+// Apply evaluates the sigmoid at x.
+func (s Sigmoid) Apply(x float64) float64 {
+	st := s.Steepness
+	if st == 0 {
+		st = 1
+	}
+	return 1 / (1 + math.Exp(-st*(x-s.Mid)))
+}
+
+// Potentials are the normalized flexibility potentials of one flex-offer.
+type Potentials struct {
+	// Assignment: how much re-scheduling time the BRP gets before the
+	// assignment deadline.
+	Assignment float64
+	// Scheduling: how far execution can be shifted.
+	Scheduling float64
+	// Energy: how much energy is dispatchable.
+	Energy float64
+}
+
+// Weights combine potentials into a flex-offer value.
+type Weights struct {
+	Assignment, Scheduling, Energy float64
+}
+
+// DefaultWeights emphasize scheduling flexibility, the primary lever for
+// balancing.
+var DefaultWeights = Weights{Assignment: 0.2, Scheduling: 0.5, Energy: 0.3}
+
+// Valuator prices flex-offers for a BRP before execution time.
+type Valuator struct {
+	// Weights of the weighted potential sum (default DefaultWeights).
+	Weights Weights
+
+	// AssignmentSig, SchedulingSig, EnergySig normalize the raw
+	// parameters. Zero values get sensible defaults in NewValuator.
+	AssignmentSig Sigmoid // over slots of assignment flexibility
+	SchedulingSig Sigmoid // over slots of time flexibility
+	EnergySig     Sigmoid // over kWh of energy flexibility
+
+	// MinProcessing is the minimum time (slots) the BRP needs to process
+	// an offer ("The BRP needs a minimum of time to process a
+	// flex-offer").
+	MinProcessing flexoffer.Time
+
+	// DayAheadGate is the number of slots until the next trading period
+	// of the day-ahead market; assignment flexibility beyond it "is
+	// marginalized by the option for the BRP to trade on the day-ahead
+	// market".
+	DayAheadGate flexoffer.Time
+
+	// GridCapacityKWh caps the energy flexibility that has value; per
+	// the paper, energy flexibility must be "above zero and [below] the
+	// grid capacity".
+	GridCapacityKWh float64
+
+	// MaxPremiumEUR is the price per kWh paid for a flex-offer of value
+	// 1 (full potentials).
+	MaxPremiumEUR float64
+
+	// MinValue is the acceptance threshold: offers whose value cannot
+	// justify the processing cost are rejected.
+	MinValue float64
+}
+
+// NewValuator returns a Valuator with calibrated defaults: assignment
+// potential saturates around the day-ahead gate (8 hours), scheduling
+// potential around 4 hours of shift, energy potential around 20 kWh.
+func NewValuator() *Valuator {
+	return &Valuator{
+		Weights:         DefaultWeights,
+		AssignmentSig:   Sigmoid{Mid: 4 * flexoffer.SlotsPerHour, Steepness: 0.15},
+		SchedulingSig:   Sigmoid{Mid: 4 * flexoffer.SlotsPerHour, Steepness: 0.25},
+		EnergySig:       Sigmoid{Mid: 20, Steepness: 0.2},
+		MinProcessing:   2,
+		DayAheadGate:    8 * flexoffer.SlotsPerHour,
+		GridCapacityKWh: 1e5,
+		MaxPremiumEUR:   0.04,
+		MinValue:        0.05,
+	}
+}
+
+// Potentials computes the normalized flexibility potentials of f as seen
+// at the decision time now.
+func (v *Valuator) Potentials(f *flexoffer.FlexOffer, now flexoffer.Time) Potentials {
+	// Assignment flexibility: time left for re-scheduling, capped at the
+	// day-ahead gate (extra time is marginalized).
+	assign := f.AssignBefore - now
+	if assign < 0 {
+		assign = 0
+	}
+	if v.DayAheadGate > 0 && assign > v.DayAheadGate {
+		assign = v.DayAheadGate
+	}
+	// Scheduling flexibility: the time flexibility interval.
+	sched := f.TimeFlexibility()
+	// Energy flexibility: dispatchable energy, capped at grid capacity.
+	energy := f.EnergyFlexibility()
+	if v.GridCapacityKWh > 0 && energy > v.GridCapacityKWh {
+		energy = v.GridCapacityKWh
+	}
+	p := Potentials{
+		Assignment: v.AssignmentSig.Apply(float64(assign)),
+		Scheduling: v.SchedulingSig.Apply(float64(sched)),
+		Energy:     v.EnergySig.Apply(energy),
+	}
+	// An offer with zero scheduling flexibility "may still provide a
+	// benefit for the BRP if it offers energy flexibility" — but with
+	// zero energy flexibility too, the potential must be zero, which the
+	// sigmoid alone would not give.
+	if sched == 0 {
+		p.Scheduling = 0
+	}
+	if energy == 0 {
+		p.Energy = 0
+	}
+	if assign == 0 {
+		p.Assignment = 0
+	}
+	// Assignment flexibility is time to re-schedule; with nothing to
+	// re-schedule (no scheduling and no energy flexibility) it is
+	// worthless.
+	if sched == 0 && energy == 0 {
+		p.Assignment = 0
+	}
+	return p
+}
+
+// Value is the total value of the flex-offer: the weighted sum of its
+// flexibility potentials, computable before execution time. The result
+// lies in [0, W] where W is the weight sum.
+func (v *Valuator) Value(f *flexoffer.FlexOffer, now flexoffer.Time) float64 {
+	p := v.Potentials(f, now)
+	return v.Weights.Assignment*p.Assignment + v.Weights.Scheduling*p.Scheduling + v.Weights.Energy*p.Energy
+}
+
+// OfferPrice is the before-execution price setting scheme: the premium
+// per kWh the BRP offers the prosumer, proportional to the flex-offer
+// value. Usable as an acceptance criterion, unlike profit sharing.
+func (v *Valuator) OfferPrice(f *flexoffer.FlexOffer, now flexoffer.Time) float64 {
+	wsum := v.Weights.Assignment + v.Weights.Scheduling + v.Weights.Energy
+	if wsum == 0 {
+		return 0
+	}
+	return v.MaxPremiumEUR * v.Value(f, now) / wsum
+}
+
+// Decision is the outcome of flex-offer acceptance.
+type Decision struct {
+	Accept bool
+	Reason string
+	Value  float64
+	Price  float64 // EUR/kWh premium when accepted
+}
+
+// Decide accepts or rejects a flex-offer (paper: "The BRP must be able
+// to reject a flex-offer that generates loss or can not be processed in
+// time"). Rejection does not forbid the prosumer's consumption — the BRP
+// merely waives the option to control the load.
+func (v *Valuator) Decide(f *flexoffer.FlexOffer, now flexoffer.Time) Decision {
+	if err := f.Validate(); err != nil {
+		return Decision{Accept: false, Reason: fmt.Sprintf("invalid offer: %v", err)}
+	}
+	if now+v.MinProcessing > f.AssignBefore {
+		return Decision{Accept: false, Reason: "cannot be processed before the assignment deadline"}
+	}
+	val := v.Value(f, now)
+	if val < v.MinValue {
+		return Decision{Accept: false, Reason: "flexibility value below the profitability threshold", Value: val}
+	}
+	return Decision{Accept: true, Value: val, Price: v.OfferPrice(f, now)}
+}
+
+// ShareRealizedProfit is the after-execution price setting scheme: the
+// BRP computes the profit a flex-offer realized (cost without the
+// flexibility minus cost with it) and shares a fraction with the
+// prosumer. It cannot serve as an acceptance criterion — the value is
+// only known after execution — but aligns incentives with realized value.
+func ShareRealizedProfit(costWithoutFlex, costWithFlex, shareFrac float64) (prosumerEUR float64, err error) {
+	if shareFrac < 0 || shareFrac > 1 {
+		return 0, fmt.Errorf("negotiate: share fraction %g outside [0,1]", shareFrac)
+	}
+	profit := costWithoutFlex - costWithFlex
+	if profit <= 0 {
+		return 0, nil // no realized profit, nothing to share
+	}
+	return profit * shareFrac, nil
+}

@@ -1,0 +1,193 @@
+package negotiate
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mirabel/internal/flexoffer"
+)
+
+func offer(es, tf, assignLead flexoffer.Time, slices int, emin, emax float64) *flexoffer.FlexOffer {
+	p := make([]flexoffer.Slice, slices)
+	for i := range p {
+		p[i] = flexoffer.Slice{EnergyMin: emin, EnergyMax: emax}
+	}
+	return &flexoffer.FlexOffer{
+		ID: 1, EarliestStart: es, LatestStart: es + tf, AssignBefore: es - assignLead, Profile: p,
+	}
+}
+
+func TestSigmoidShape(t *testing.T) {
+	s := Sigmoid{Mid: 10, Steepness: 0.5}
+	if math.Abs(s.Apply(10)-0.5) > 1e-12 {
+		t.Errorf("Apply(mid) = %g", s.Apply(10))
+	}
+	if s.Apply(100) < 0.99 || s.Apply(-100) > 0.01 {
+		t.Error("sigmoid does not saturate")
+	}
+	// Monotone.
+	prev := -1.0
+	for x := -20.0; x <= 40; x++ {
+		v := s.Apply(x)
+		if v < prev {
+			t.Fatalf("sigmoid decreases at %g", x)
+		}
+		prev = v
+	}
+}
+
+func TestSigmoidDefaultSteepness(t *testing.T) {
+	s := Sigmoid{Mid: 0}
+	if math.Abs(s.Apply(0)-0.5) > 1e-12 {
+		t.Error("zero steepness should default to 1")
+	}
+}
+
+func TestPotentialsZeroFlexibilities(t *testing.T) {
+	v := NewValuator()
+	// Zero time flexibility, zero energy flexibility (min == max), no
+	// assignment lead.
+	f := offer(100, 0, 0, 4, 5, 5)
+	p := v.Potentials(f, 100)
+	if p.Scheduling != 0 || p.Energy != 0 || p.Assignment != 0 {
+		t.Errorf("potentials of inflexible offer = %+v, want zeros", p)
+	}
+	if val := v.Value(f, 100); val != 0 {
+		t.Errorf("value = %g, want 0", val)
+	}
+}
+
+func TestPotentialsMonotoneInFlexibility(t *testing.T) {
+	v := NewValuator()
+	now := flexoffer.Time(0)
+	small := offer(100, 4, 50, 4, 0, 1)
+	big := offer(100, 32, 50, 4, 0, 10)
+	if v.Value(small, now) >= v.Value(big, now) {
+		t.Errorf("more flexible offer not valued higher: %g vs %g",
+			v.Value(small, now), v.Value(big, now))
+	}
+}
+
+func TestAssignmentMarginalizedBeyondGate(t *testing.T) {
+	v := NewValuator()
+	// Two offers identical except assignment lead: 10h vs 100h, both far
+	// beyond the 8h day-ahead gate → same value.
+	a := offer(1000, 8, 40*flexoffer.SlotsPerHour, 4, 0, 2)
+	b := offer(1000, 8, 100*flexoffer.SlotsPerHour, 4, 0, 2)
+	va, vb := v.Value(a, 0), v.Value(b, 0)
+	if math.Abs(va-vb) > 1e-12 {
+		t.Errorf("assignment flexibility beyond the gate not marginalized: %g vs %g", va, vb)
+	}
+	// But below the gate, more remaining lead = more value: the same
+	// offer evaluated one hour before its deadline is worth less than
+	// evaluated long before it.
+	lateNow := a.AssignBefore - 1*flexoffer.SlotsPerHour
+	if v.Value(a, lateNow) >= va {
+		t.Error("short assignment lead valued as high as a long one")
+	}
+}
+
+func TestEnergyCappedAtGridCapacity(t *testing.T) {
+	v := NewValuator()
+	v.GridCapacityKWh = 10
+	a := offer(100, 8, 50, 4, 0, 3)  // 12 kWh flexibility → capped to 10
+	b := offer(100, 8, 50, 4, 0, 30) // 120 kWh → capped to 10
+	if math.Abs(v.Value(a, 0)-v.Value(b, 0)) > 1e-12 {
+		t.Error("energy flexibility beyond grid capacity not capped")
+	}
+}
+
+func TestOfferPriceScalesWithValue(t *testing.T) {
+	v := NewValuator()
+	inflexible := offer(100, 0, 0, 4, 5, 5)
+	flexible := offer(100, 32, 50, 8, 0, 8)
+	if v.OfferPrice(inflexible, 0) != 0 {
+		t.Error("inflexible offer earns a premium")
+	}
+	price := v.OfferPrice(flexible, 0)
+	if price <= 0 || price > v.MaxPremiumEUR {
+		t.Errorf("price = %g outside (0, %g]", price, v.MaxPremiumEUR)
+	}
+}
+
+func TestDecideRejectsLateOffers(t *testing.T) {
+	v := NewValuator()
+	f := offer(100, 16, 1, 4, 0, 5) // assignment deadline at 99
+	d := v.Decide(f, 98)            // MinProcessing 2 → 98+2 > 99
+	if d.Accept {
+		t.Error("accepted an offer that cannot be processed in time")
+	}
+	d = v.Decide(f, 90)
+	if !d.Accept {
+		t.Errorf("rejected a processable offer: %s", d.Reason)
+	}
+}
+
+func TestDecideRejectsWorthlessOffers(t *testing.T) {
+	v := NewValuator()
+	f := offer(100, 0, 50, 4, 5, 5) // no flexibility at all
+	d := v.Decide(f, 0)
+	if d.Accept {
+		t.Error("accepted a worthless offer")
+	}
+	if d.Reason == "" {
+		t.Error("rejection without reason")
+	}
+}
+
+func TestDecideRejectsInvalidOffers(t *testing.T) {
+	v := NewValuator()
+	f := offer(100, 8, 10, 4, 0, 5)
+	f.LatestStart = 50 // invalid
+	if d := v.Decide(f, 0); d.Accept {
+		t.Error("accepted an invalid offer")
+	}
+}
+
+func TestDecideAcceptsAndPrices(t *testing.T) {
+	v := NewValuator()
+	f := offer(200, 24, 40, 6, 0, 6)
+	d := v.Decide(f, 0)
+	if !d.Accept {
+		t.Fatalf("rejected a good offer: %s", d.Reason)
+	}
+	if d.Price <= 0 || d.Value <= 0 {
+		t.Errorf("decision = %+v", d)
+	}
+}
+
+func TestShareRealizedProfit(t *testing.T) {
+	got, err := ShareRealizedProfit(100, 60, 0.25)
+	if err != nil || got != 10 {
+		t.Errorf("share = %g, %v; want 10", got, err)
+	}
+	// No profit → nothing shared.
+	got, err = ShareRealizedProfit(50, 60, 0.25)
+	if err != nil || got != 0 {
+		t.Errorf("negative profit shared: %g", got)
+	}
+	if _, err := ShareRealizedProfit(1, 0, 1.5); err == nil {
+		t.Error("share fraction > 1 accepted")
+	}
+}
+
+// Property: the value is always within [0, weight sum] and the price
+// within [0, MaxPremium].
+func TestPropertyValueBounded(t *testing.T) {
+	v := NewValuator()
+	wsum := v.Weights.Assignment + v.Weights.Scheduling + v.Weights.Energy
+	f := func(tf uint8, lead uint8, emax float64) bool {
+		if math.IsNaN(emax) || math.IsInf(emax, 0) {
+			return true
+		}
+		emax = math.Abs(math.Mod(emax, 100))
+		off := offer(1000, flexoffer.Time(tf), flexoffer.Time(lead), 4, 0, emax)
+		val := v.Value(off, 0)
+		price := v.OfferPrice(off, 0)
+		return val >= 0 && val <= wsum+1e-12 && price >= 0 && price <= v.MaxPremiumEUR+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

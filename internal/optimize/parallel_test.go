@@ -1,0 +1,79 @@
+package optimize
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+)
+
+func TestParallelRestartConvergesOnRastrigin(t *testing.T) {
+	p := &ParallelRestartNelderMead{Workers: 4}
+	res := p.Minimize(rastrigin, bounds2(-5.12, 5.12), Options{MaxEvaluations: 8000, Seed: 1})
+	if res.Value > 1.5 {
+		t.Errorf("parallel RRNM value = %g, want near 0", res.Value)
+	}
+	for i, x := range res.X {
+		if x < -5.12 || x > 5.12 {
+			t.Errorf("X[%d] = %g outside bounds", i, x)
+		}
+	}
+}
+
+func TestParallelRestartBudgetShared(t *testing.T) {
+	var calls atomic.Int64
+	obj := func(x []float64) float64 {
+		calls.Add(1)
+		return sphere([]float64{0.5, 0.5})(x)
+	}
+	p := &ParallelRestartNelderMead{Workers: 8}
+	res := p.Minimize(obj, bounds2(0, 1), Options{MaxEvaluations: 1000, Seed: 2})
+	// Workers may overshoot by at most one in-flight evaluation each.
+	if got := calls.Load(); got > 1000+16 {
+		t.Errorf("objective called %d times for budget 1000", got)
+	}
+	if res.Evaluations > 1000+16 {
+		t.Errorf("reported %d evaluations", res.Evaluations)
+	}
+}
+
+func TestParallelRestartConcurrentObjectiveSafe(t *testing.T) {
+	// The objective builds per-call state; run with many workers to let
+	// the race detector verify the estimator's own bookkeeping.
+	obj := func(x []float64) float64 {
+		local := make([]float64, len(x))
+		copy(local, x)
+		var s float64
+		for _, v := range local {
+			s += (v - 0.3) * (v - 0.3)
+		}
+		return s
+	}
+	p := &ParallelRestartNelderMead{Workers: 8}
+	res := p.Minimize(obj, bounds2(0, 1), Options{MaxEvaluations: 4000, Seed: 3, TraceEvery: 100})
+	if res.Value > 1e-4 {
+		t.Errorf("value = %g", res.Value)
+	}
+	if len(res.Trace) == 0 {
+		t.Error("no trace recorded")
+	}
+	prev := math.Inf(1)
+	for _, tp := range res.Trace {
+		if tp.Best > prev+1e-12 {
+			t.Error("trace not monotone")
+		}
+		prev = tp.Best
+	}
+}
+
+func TestParallelMatchesSequentialQuality(t *testing.T) {
+	// With the same total budget, the parallel estimator must find a
+	// solution at least in the same ballpark as the sequential one.
+	seq := &RandomRestartNelderMead{}
+	par := &ParallelRestartNelderMead{Workers: 4}
+	opt := Options{MaxEvaluations: 6000, Seed: 4}
+	rs := seq.Minimize(rastrigin, bounds2(-5.12, 5.12), opt)
+	rp := par.Minimize(rastrigin, bounds2(-5.12, 5.12), opt)
+	if rp.Value > rs.Value+2.0 {
+		t.Errorf("parallel %g much worse than sequential %g", rp.Value, rs.Value)
+	}
+}

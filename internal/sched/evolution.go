@@ -1,0 +1,220 @@
+package sched
+
+import (
+	"math/rand"
+
+	"mirabel/internal/flexoffer"
+)
+
+// Evolutionary is the paper's evolutionary algorithm [Eiben & Smith
+// 2003]: a population of schedules evolves by tournament selection,
+// uniform crossover and mutation, "to find progressively better
+// solutions". One iteration is one generation.
+type Evolutionary struct {
+	// PopulationSize (default 30).
+	PopulationSize int
+	// Elite individuals copied unchanged into the next generation
+	// (default 2).
+	Elite int
+	// TournamentSize of the selection (default 3).
+	TournamentSize int
+	// CrossoverRate is the probability a child mixes two parents instead
+	// of cloning one (default 0.9).
+	CrossoverRate float64
+	// MutationRate is the per-offer-gene mutation probability (default
+	// 0.1).
+	MutationRate float64
+}
+
+// Name implements Scheduler.
+func (e *Evolutionary) Name() string { return "EA" }
+
+func (e *Evolutionary) defaults() Evolutionary {
+	d := *e
+	if d.PopulationSize <= 0 {
+		d.PopulationSize = 30
+	}
+	if d.Elite <= 0 {
+		d.Elite = 2
+	}
+	if d.Elite >= d.PopulationSize {
+		d.Elite = d.PopulationSize - 1
+	}
+	if d.TournamentSize <= 0 {
+		d.TournamentSize = 3
+	}
+	if d.CrossoverRate <= 0 {
+		d.CrossoverRate = 0.9
+	}
+	if d.MutationRate <= 0 {
+		d.MutationRate = 0.1
+	}
+	return d
+}
+
+// gene is one offer's genotype: the start offset inside the flexibility
+// interval and the energy fraction per slice.
+type gene struct {
+	startOff int
+	fracs    []float64
+}
+
+type individual struct {
+	genes []gene
+	cost  float64
+}
+
+// Schedule implements Scheduler.
+func (e *Evolutionary) Schedule(p *Problem, opt Options) (Result, error) {
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	cfg := e.defaults()
+	rng := rand.New(rand.NewSource(opt.Seed))
+	tr := newTracker(opt)
+
+	pop := make([]individual, cfg.PopulationSize)
+	for i := range pop {
+		pop[i] = cfg.randomIndividual(p, rng)
+		pop[i].cost = p.Evaluate(cfg.decode(p, &pop[i]))
+	}
+
+	scratch := make([]individual, cfg.PopulationSize)
+	for !tr.exhausted() {
+		best := bestOf(pop)
+		tr.observe(cfg.decode(p, &pop[best]), pop[best].cost)
+
+		// Next generation: elites first, then tournament offspring.
+		next := scratch[:0]
+		order := costOrder(pop)
+		for i := 0; i < cfg.Elite; i++ {
+			next = append(next, cloneIndividual(&pop[order[i]]))
+		}
+		for len(next) < cfg.PopulationSize {
+			a := cfg.tournament(pop, rng)
+			child := cloneIndividual(&pop[a])
+			if rng.Float64() < cfg.CrossoverRate {
+				b := cfg.tournament(pop, rng)
+				cfg.crossover(&child, &pop[b], rng)
+			}
+			cfg.mutate(p, &child, rng)
+			child.cost = p.Evaluate(cfg.decode(p, &child))
+			next = append(next, child)
+		}
+		pop, scratch = next, pop
+	}
+	if tr.iter == 0 { // budget too small for a single generation
+		best := bestOf(pop)
+		tr.observe(cfg.decode(p, &pop[best]), pop[best].cost)
+	}
+	return tr.result(), nil
+}
+
+func (e *Evolutionary) randomIndividual(p *Problem, rng *rand.Rand) individual {
+	genes := make([]gene, len(p.Offers))
+	for i, f := range p.Offers {
+		g := gene{
+			startOff: rng.Intn(int(f.TimeFlexibility()) + 1),
+			fracs:    make([]float64, len(f.Profile)),
+		}
+		for j := range g.fracs {
+			g.fracs[j] = rng.Float64()
+		}
+		genes[i] = g
+	}
+	return individual{genes: genes}
+}
+
+// decode maps a genotype to a concrete solution.
+func (e *Evolutionary) decode(p *Problem, ind *individual) *Solution {
+	sol := &Solution{Placements: make([]Placement, len(p.Offers))}
+	for i, f := range p.Offers {
+		g := &ind.genes[i]
+		energy := make([]float64, len(f.Profile))
+		for j, sl := range f.Profile {
+			energy[j] = sl.EnergyMin + g.fracs[j]*(sl.EnergyMax-sl.EnergyMin)
+		}
+		sol.Placements[i] = Placement{Start: f.EarliestStart + flexoffer.Time(g.startOff), Energy: energy}
+	}
+	return sol
+}
+
+func (e *Evolutionary) tournament(pop []individual, rng *rand.Rand) int {
+	best := rng.Intn(len(pop))
+	for i := 1; i < e.TournamentSize; i++ {
+		c := rng.Intn(len(pop))
+		if pop[c].cost < pop[best].cost {
+			best = c
+		}
+	}
+	return best
+}
+
+// crossover mixes parent b into the child uniformly per offer gene.
+func (e *Evolutionary) crossover(child *individual, b *individual, rng *rand.Rand) {
+	for i := range child.genes {
+		if rng.Intn(2) == 0 {
+			child.genes[i].startOff = b.genes[i].startOff
+			copy(child.genes[i].fracs, b.genes[i].fracs)
+		}
+	}
+}
+
+// mutate perturbs offer genes: the start jumps to a random feasible
+// offset, fractions take Gaussian steps.
+func (e *Evolutionary) mutate(p *Problem, ind *individual, rng *rand.Rand) {
+	for i, f := range p.Offers {
+		if rng.Float64() >= e.MutationRate {
+			continue
+		}
+		g := &ind.genes[i]
+		if tf := int(f.TimeFlexibility()); tf > 0 && rng.Intn(2) == 0 {
+			g.startOff = rng.Intn(tf + 1)
+		}
+		j := rng.Intn(len(g.fracs))
+		g.fracs[j] += rng.NormFloat64() * 0.3
+		if g.fracs[j] < 0 {
+			g.fracs[j] = 0
+		}
+		if g.fracs[j] > 1 {
+			g.fracs[j] = 1
+		}
+	}
+}
+
+func cloneIndividual(ind *individual) individual {
+	out := individual{genes: make([]gene, len(ind.genes)), cost: ind.cost}
+	for i, g := range ind.genes {
+		out.genes[i] = gene{startOff: g.startOff, fracs: append([]float64(nil), g.fracs...)}
+	}
+	return out
+}
+
+func bestOf(pop []individual) int {
+	best := 0
+	for i := range pop {
+		if pop[i].cost < pop[best].cost {
+			best = i
+		}
+	}
+	return best
+}
+
+// costOrder returns population indexes sorted by ascending cost (simple
+// selection sort over the few elites needed would do; n is small).
+func costOrder(pop []individual) []int {
+	order := make([]int, len(pop))
+	for i := range order {
+		order[i] = i
+	}
+	for i := 0; i < len(order); i++ {
+		min := i
+		for j := i + 1; j < len(order); j++ {
+			if pop[order[j]].cost < pop[order[min]].cost {
+				min = j
+			}
+		}
+		order[i], order[min] = order[min], order[i]
+	}
+	return order
+}

@@ -1,0 +1,115 @@
+package sched
+
+import (
+	"math"
+	"math/rand"
+
+	"mirabel/internal/flexoffer"
+)
+
+// FillMode selects how per-slice energies are chosen when a single offer
+// is placed.
+type FillMode int
+
+const (
+	// FillGreedy picks, per slice, the energy inside [min, max] that
+	// cancels as much of the current imbalance as possible (default).
+	FillGreedy FillMode = iota
+	// FillMidpoint always uses the middle of the energy range — the
+	// ablation baseline for the energy-fill design decision.
+	FillMidpoint
+)
+
+// RandomizedGreedy is the paper's randomized greedy search: it
+// "constructs the schedule gradually — at each step a randomly chosen
+// flex-offer is scheduled in the best possible position", repeated with
+// fresh random orders until the time budget is exhausted, keeping the
+// best schedule found.
+type RandomizedGreedy struct {
+	// Fill selects the energy-fill rule (default FillGreedy).
+	Fill FillMode
+}
+
+// Name implements Scheduler.
+func (g *RandomizedGreedy) Name() string { return "GS" }
+
+// Schedule implements Scheduler.
+func (g *RandomizedGreedy) Schedule(p *Problem, opt Options) (Result, error) {
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	tr := newTracker(opt)
+	order := make([]int, len(p.Offers))
+	for i := range order {
+		order[i] = i
+	}
+	for !tr.exhausted() {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		sol, cost := g.construct(p, order)
+		tr.observe(sol, cost)
+	}
+	return tr.result(), nil
+}
+
+// construct builds one schedule: offers in the given order, each placed
+// at its locally best start with the fill rule's energies.
+func (g *RandomizedGreedy) construct(p *Problem, order []int) (*Solution, float64) {
+	net := append([]float64(nil), p.Baseline...)
+	sol := &Solution{Placements: make([]Placement, len(p.Offers))}
+	var offerCosts float64
+
+	for _, idx := range order {
+		f := p.Offers[idx]
+		bestDelta := math.Inf(1)
+		var bestStart flexoffer.Time
+		var bestEnergy []float64
+
+		energy := make([]float64, len(f.Profile))
+		for start := f.EarliestStart; start <= f.LatestStart; start++ {
+			base := int(start - p.Start)
+			var delta float64
+			for j, sl := range f.Profile {
+				t := base + j
+				e := g.fill(sl, net[t])
+				energy[j] = e
+				delta += p.slotCost(t, net[t]+e) - p.slotCost(t, net[t])
+			}
+			delta += offerCost(f, energy)
+			if delta < bestDelta {
+				bestDelta = delta
+				bestStart = start
+				bestEnergy = append(bestEnergy[:0], energy...)
+			}
+		}
+
+		base := int(bestStart - p.Start)
+		for j, e := range bestEnergy {
+			net[base+j] += e
+		}
+		offerCosts += offerCost(f, bestEnergy)
+		sol.Placements[idx] = Placement{Start: bestStart, Energy: bestEnergy}
+	}
+
+	var cost float64
+	for t, n := range net {
+		cost += p.slotCost(t, n)
+	}
+	return sol, cost + offerCosts
+}
+
+// fill picks the slice energy for the current net position.
+func (g *RandomizedGreedy) fill(sl flexoffer.Slice, net float64) float64 {
+	if g.Fill == FillMidpoint {
+		return (sl.EnergyMin + sl.EnergyMax) / 2
+	}
+	// Cancel the imbalance: target −net, clamped into the slice range.
+	e := -net
+	if e < sl.EnergyMin {
+		e = sl.EnergyMin
+	}
+	if e > sl.EnergyMax {
+		e = sl.EnergyMax
+	}
+	return e
+}

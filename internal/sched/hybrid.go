@@ -1,0 +1,114 @@
+package sched
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Hybrid implements the paper's research direction of "hybridizing the
+// existing [scheduling algorithms] to improve their efficiency" (§6): a
+// memetic scheme that seeds the evolutionary population with randomized
+// greedy constructions, so evolution starts from good building blocks
+// instead of random noise.
+type Hybrid struct {
+	// Greedy configures the seeding constructions.
+	Greedy RandomizedGreedy
+	// EA configures the evolutionary phase.
+	EA Evolutionary
+	// SeedBudgetFrac is the share of the time budget spent on greedy
+	// seeding (default 0.25).
+	SeedBudgetFrac float64
+}
+
+// Name implements Scheduler.
+func (h *Hybrid) Name() string { return "HYB" }
+
+// Schedule implements Scheduler.
+func (h *Hybrid) Schedule(p *Problem, opt Options) (Result, error) {
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	frac := h.SeedBudgetFrac
+	if frac <= 0 || frac >= 1 {
+		frac = 0.25
+	}
+	total := opt.budget()
+	seedOpt := opt
+	seedOpt.TimeBudget = time.Duration(float64(total) * frac)
+	seedOpt.TraceEvery = 0
+	if opt.MaxIterations > 0 {
+		seedOpt.MaxIterations = opt.MaxIterations/4 + 1
+	}
+
+	// Phase 1: greedy constructions, keeping the distinct best ones.
+	cfg := h.EA.defaults()
+	rng := rand.New(rand.NewSource(opt.Seed ^ 0x5eed))
+	seeds := make([]*Solution, 0, cfg.PopulationSize/2)
+	tr := newTracker(opt)
+	greedyDeadline := time.Now().Add(seedOpt.TimeBudget)
+	order := make([]int, len(p.Offers))
+	for i := range order {
+		order[i] = i
+	}
+	for time.Now().Before(greedyDeadline) && len(seeds) < cap(seeds) {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		sol, cost := h.Greedy.construct(p, order)
+		tr.observe(sol, cost)
+		seeds = append(seeds, cloneSolution(sol))
+	}
+
+	// Phase 2: evolution seeded with the greedy solutions.
+	pop := make([]individual, cfg.PopulationSize)
+	for i := range pop {
+		if i < len(seeds) {
+			pop[i] = cfg.encode(p, seeds[i])
+		} else {
+			pop[i] = cfg.randomIndividual(p, rng)
+		}
+		pop[i].cost = p.Evaluate(cfg.decode(p, &pop[i]))
+	}
+	scratch := make([]individual, cfg.PopulationSize)
+	for !tr.exhausted() {
+		best := bestOf(pop)
+		tr.observe(cfg.decode(p, &pop[best]), pop[best].cost)
+
+		next := scratch[:0]
+		ord := costOrder(pop)
+		for i := 0; i < cfg.Elite; i++ {
+			next = append(next, cloneIndividual(&pop[ord[i]]))
+		}
+		for len(next) < cfg.PopulationSize {
+			a := cfg.tournament(pop, rng)
+			child := cloneIndividual(&pop[a])
+			if rng.Float64() < cfg.CrossoverRate {
+				b := cfg.tournament(pop, rng)
+				cfg.crossover(&child, &pop[b], rng)
+			}
+			cfg.mutate(p, &child, rng)
+			child.cost = p.Evaluate(cfg.decode(p, &child))
+			next = append(next, child)
+		}
+		pop, scratch = next, pop
+	}
+	return tr.result(), nil
+}
+
+// encode converts a concrete solution into an EA genotype — the inverse
+// of decode.
+func (e *Evolutionary) encode(p *Problem, sol *Solution) individual {
+	genes := make([]gene, len(p.Offers))
+	for i, f := range p.Offers {
+		pl := &sol.Placements[i]
+		g := gene{
+			startOff: int(pl.Start - f.EarliestStart),
+			fracs:    make([]float64, len(f.Profile)),
+		}
+		for j, sl := range f.Profile {
+			if flex := sl.EnergyMax - sl.EnergyMin; flex > 0 {
+				g.fracs[j] = (pl.Energy[j] - sl.EnergyMin) / flex
+			}
+		}
+		genes[i] = g
+	}
+	return individual{genes: genes}
+}

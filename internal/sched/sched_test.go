@@ -1,0 +1,361 @@
+package sched
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"mirabel/internal/flexoffer"
+	"mirabel/internal/market"
+	"mirabel/internal/timeseries"
+	"mirabel/internal/workload"
+)
+
+// tinyProblem: 8 slots, surplus of 10 kWh in slots 4..5, one offer that
+// can soak it up if placed there.
+func tinyProblem() *Problem {
+	baseline := []float64{0, 0, 0, 0, -10, -10, 0, 0}
+	prices := []float64{1, 1, 1, 1, 1, 1, 1, 1}
+	offer := &flexoffer.FlexOffer{
+		ID:            1,
+		EarliestStart: 0,
+		LatestStart:   6,
+		Profile:       []flexoffer.Slice{{EnergyMin: 0, EnergyMax: 10}, {EnergyMin: 0, EnergyMax: 10}},
+	}
+	return &Problem{
+		Start:          0,
+		Slots:          8,
+		Baseline:       baseline,
+		ImbalancePrice: prices,
+		Offers:         []*flexoffer.FlexOffer{offer},
+	}
+}
+
+func TestProblemValidate(t *testing.T) {
+	p := tinyProblem()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := tinyProblem()
+	bad.Offers[0].LatestStart = 7 // profile would end at 9 > 8
+	if err := bad.Validate(); err == nil {
+		t.Error("offer outside horizon accepted")
+	}
+	bad2 := tinyProblem()
+	bad2.Baseline = bad2.Baseline[:4]
+	if err := bad2.Validate(); err == nil {
+		t.Error("baseline length mismatch accepted")
+	}
+}
+
+func TestEvaluateKnownCost(t *testing.T) {
+	p := tinyProblem()
+	// Place the offer exactly on the surplus with full energy: perfect
+	// balance, only activation cost (0 per kWh here).
+	sol := &Solution{Placements: []Placement{{Start: 4, Energy: []float64{10, 10}}}}
+	if cost := p.Evaluate(sol); cost != 0 {
+		t.Errorf("balanced cost = %g, want 0", cost)
+	}
+	// Place it at 0: surplus unabsorbed (20 kWh·1) + consumption
+	// unbacked (20 kWh·1) = 40.
+	sol = &Solution{Placements: []Placement{{Start: 0, Energy: []float64{10, 10}}}}
+	if cost := p.Evaluate(sol); cost != 40 {
+		t.Errorf("misplaced cost = %g, want 40", cost)
+	}
+}
+
+func TestEvaluateWithOfferCost(t *testing.T) {
+	p := tinyProblem()
+	p.Offers[0].CostPerKWh = 0.5
+	sol := &Solution{Placements: []Placement{{Start: 4, Energy: []float64{10, 10}}}}
+	if cost := p.Evaluate(sol); math.Abs(cost-10) > 1e-9 {
+		t.Errorf("cost = %g, want 10 (20 kWh · 0.5)", cost)
+	}
+}
+
+func TestSlotCostWithMarket(t *testing.T) {
+	prices := timeseries.New(workload.DefaultOrigin, time.Hour, []float64{100}) // 0.1 EUR/kWh mid
+	m, err := market.NewDayAhead(market.Config{Prices: prices, SpreadFrac: 0.2, CapacityKWh: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := tinyProblem()
+	p.Market = m
+	// Deficit of 8 with capacity 5 at buy 0.11: buy 5, penalize 3.
+	got := p.slotCost(0, 8)
+	want := 5*0.11 + 3*1.0
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("slotCost(deficit) = %g, want %g", got, want)
+	}
+	// Surplus of 3 at sell 0.09: sell all, revenue −0.27.
+	got = p.slotCost(0, -3)
+	if math.Abs(got-(-0.27)) > 1e-9 {
+		t.Errorf("slotCost(surplus) = %g, want −0.27", got)
+	}
+}
+
+func TestSlotCostMarketWorseThanPenalty(t *testing.T) {
+	prices := timeseries.New(workload.DefaultOrigin, time.Hour, []float64{5000}) // 5 EUR/kWh
+	m, err := market.NewDayAhead(market.Config{Prices: prices})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := tinyProblem()
+	p.Market = m // imbalance penalty 1 < buy price 5: do not buy
+	if got := p.slotCost(0, 8); math.Abs(got-8) > 1e-9 {
+		t.Errorf("slotCost = %g, want 8 (pure penalty)", got)
+	}
+}
+
+func TestGreedyFindsTheSurplus(t *testing.T) {
+	g := &RandomizedGreedy{}
+	res, err := g.Schedule(tinyProblem(), Options{MaxIterations: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost > 1e-9 {
+		t.Errorf("greedy cost = %g, want 0", res.Cost)
+	}
+	if res.Solution.Placements[0].Start != 4 {
+		t.Errorf("greedy start = %d, want 4", res.Solution.Placements[0].Start)
+	}
+}
+
+func TestGreedySolutionsAreValid(t *testing.T) {
+	p, err := BuildScenario(ScenarioConfig{Offers: 50, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := &RandomizedGreedy{}
+	res, err := g.Schedule(p, Options{MaxIterations: 3, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.ValidateSolution(res.Solution); err != nil {
+		t.Errorf("greedy produced invalid solution: %v", err)
+	}
+	// Incremental accumulation and re-evaluation may differ by rounding.
+	if ev := p.Evaluate(res.Solution); math.Abs(ev-res.Cost) > 1e-9*(1+math.Abs(ev)) {
+		t.Errorf("reported cost %g != evaluated %g", res.Cost, ev)
+	}
+}
+
+func TestEvolutionarySolutionsAreValidAndImprove(t *testing.T) {
+	p, err := BuildScenario(ScenarioConfig{Offers: 30, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ea := &Evolutionary{}
+	res, err := ea.Schedule(p, Options{MaxIterations: 40, Seed: 5, TraceEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.ValidateSolution(res.Solution); err != nil {
+		t.Fatalf("EA produced invalid solution: %v", err)
+	}
+	first := res.Trace[0].Cost
+	last := res.Trace[len(res.Trace)-1].Cost
+	if last > first {
+		t.Errorf("EA got worse over time: %g → %g", first, last)
+	}
+	if last >= p.BaselineCost() {
+		t.Errorf("EA cost %g not better than unscheduled baseline %g", last, p.BaselineCost())
+	}
+}
+
+func TestTraceMonotoneNonIncreasing(t *testing.T) {
+	p, err := BuildScenario(ScenarioConfig{Offers: 20, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []Scheduler{&RandomizedGreedy{}, &Evolutionary{}} {
+		res, err := s.Schedule(p, Options{MaxIterations: 25, Seed: 7, TraceEvery: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev := math.Inf(1)
+		for i, tp := range res.Trace {
+			if tp.Cost > prev+1e-9 {
+				t.Errorf("%s: trace[%d] cost %g > prev %g", s.Name(), i, tp.Cost, prev)
+			}
+			prev = tp.Cost
+		}
+	}
+}
+
+func TestExhaustiveOptimalOnTiny(t *testing.T) {
+	p := tinyProblem()
+	x := &Exhaustive{}
+	res, err := x.Schedule(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With midpoint energies (5 per slice) the best is soaking 10 of the
+	// 20 surplus: cost 10·1 (residual surplus) + 0 activation.
+	if math.Abs(res.Cost-10) > 1e-9 {
+		t.Errorf("exhaustive cost = %g, want 10", res.Cost)
+	}
+	if res.Solution.Placements[0].Start != 4 {
+		t.Errorf("exhaustive start = %d, want 4", res.Solution.Placements[0].Start)
+	}
+	// 7 start positions enumerated.
+	if res.Iterations != 7 {
+		t.Errorf("iterations = %d, want 7", res.Iterations)
+	}
+}
+
+func TestExhaustiveLimit(t *testing.T) {
+	p, err := BuildScenario(ScenarioConfig{Offers: 40, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := &Exhaustive{Limit: 1000}
+	if _, err := x.Schedule(p, Options{}); err == nil {
+		t.Error("exhaustive accepted an instance over its limit")
+	}
+}
+
+func TestGreedyNearOptimalOnSmallInstances(t *testing.T) {
+	p, err := BuildScenario(ScenarioConfig{Offers: 5, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gap, optimal, heuristic, err := OptimalityGap(p, &RandomizedGreedy{}, Options{MaxIterations: 50, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The heuristic chooses energies freely, so it may beat the
+	// midpoint-energy optimum; it must never be much worse.
+	if gap > 0.25*math.Abs(optimal)+1e-6 {
+		t.Errorf("greedy %g much worse than optimal %g", heuristic, optimal)
+	}
+}
+
+func TestCountSolutions(t *testing.T) {
+	p := tinyProblem()
+	if got := p.CountSolutions(); got != 7 {
+		t.Errorf("CountSolutions = %g, want 7", got)
+	}
+}
+
+func TestBuildScenarioValidation(t *testing.T) {
+	if _, err := BuildScenario(ScenarioConfig{}); err == nil {
+		t.Error("zero offers accepted")
+	}
+	p, err := BuildScenario(ScenarioConfig{Offers: 100, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Offers) != 100 || p.Slots != flexoffer.SlotsPerDay {
+		t.Errorf("scenario shape: offers=%d slots=%d", len(p.Offers), p.Slots)
+	}
+}
+
+func TestSchedulingReducesCostVsBaseline(t *testing.T) {
+	// The headline claim: scheduling flexibilities reduces imbalance
+	// cost versus everyone consuming on their default profile.
+	p, err := BuildScenario(ScenarioConfig{Offers: 200, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := &RandomizedGreedy{}
+	res, err := g.Schedule(p, Options{MaxIterations: 5, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := p.BaselineCost()
+	if res.Cost >= base {
+		t.Errorf("scheduled cost %g >= default cost %g", res.Cost, base)
+	}
+	// The savings should be substantial (> 25%).
+	if res.Cost > 0.75*base {
+		t.Errorf("savings too small: %g vs %g", res.Cost, base)
+	}
+}
+
+func TestGreedyFillAblation(t *testing.T) {
+	// The greedy energy-fill must beat midpoint fill on a scenario with
+	// real surpluses to chase.
+	p, err := BuildScenario(ScenarioConfig{Offers: 100, Seed: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	greedyFill, err := (&RandomizedGreedy{Fill: FillGreedy}).Schedule(p, Options{MaxIterations: 5, Seed: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	midFill, err := (&RandomizedGreedy{Fill: FillMidpoint}).Schedule(p, Options{MaxIterations: 5, Seed: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if greedyFill.Cost >= midFill.Cost {
+		t.Errorf("greedy fill %g not better than midpoint fill %g", greedyFill.Cost, midFill.Cost)
+	}
+}
+
+func TestMarketLowersScheduleCost(t *testing.T) {
+	// With a market, residual imbalances trade at spot instead of paying
+	// the full penalty: the same schedule must cost no more.
+	prices := timeseries.New(workload.DefaultOrigin, time.Hour, repeatVals(60, 48))
+	m, err := market.NewDayAhead(market.Config{Prices: prices, CapacityKWh: 1e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noMarket, err := BuildScenario(ScenarioConfig{Offers: 50, Seed: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	withMarket, err := BuildScenario(ScenarioConfig{Offers: 50, Seed: 16, Market: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := &RandomizedGreedy{}
+	a, err := g.Schedule(noMarket, Options{MaxIterations: 3, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := g.Schedule(withMarket, Options{MaxIterations: 3, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Cost > a.Cost+1e-9 {
+		t.Errorf("market access raised the cost: %g vs %g", b.Cost, a.Cost)
+	}
+}
+
+func repeatVals(v float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+// Property: for random solutions of random scenarios, Evaluate is
+// deterministic and schedules round-trip through Schedules/Validate.
+func TestPropertyEvaluateDeterministicAndValid(t *testing.T) {
+	f := func(seed int64) bool {
+		p, err := BuildScenario(ScenarioConfig{Offers: 10, Seed: seed})
+		if err != nil {
+			return false
+		}
+		g := &RandomizedGreedy{}
+		res, err := g.Schedule(p, Options{MaxIterations: 1, Seed: seed})
+		if err != nil {
+			return false
+		}
+		if p.Evaluate(res.Solution) != p.Evaluate(res.Solution) {
+			return false
+		}
+		for i, s := range p.Schedules(res.Solution) {
+			if p.Offers[i].ValidateSchedule(s) != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,110 @@
+package sched
+
+import (
+	"time"
+)
+
+// TracePoint is one entry of a scheduler convergence trace (the data
+// behind the paper's Figure 6 cost-over-time curves).
+type TracePoint struct {
+	Elapsed    time.Duration
+	Iterations int
+	Cost       float64
+}
+
+// Result is the outcome of one scheduler run.
+type Result struct {
+	Solution   *Solution
+	Cost       float64
+	Iterations int
+	Trace      []TracePoint
+}
+
+// Options bound a scheduler run.
+type Options struct {
+	// TimeBudget stops the search after this wall-clock duration
+	// (default 1s).
+	TimeBudget time.Duration
+	// MaxIterations additionally bounds the iteration count (0 = none).
+	// One iteration is one constructed schedule (greedy) or one
+	// generation (EA).
+	MaxIterations int
+	// Seed makes the stochastic search reproducible.
+	Seed int64
+	// TraceEvery records a trace point every N iterations (0 = only the
+	// final point).
+	TraceEvery int
+}
+
+func (o Options) budget() time.Duration {
+	if o.TimeBudget <= 0 {
+		return time.Second
+	}
+	return o.TimeBudget
+}
+
+// Scheduler is a scheduling strategy.
+type Scheduler interface {
+	// Name identifies the strategy in experiment output.
+	Name() string
+	// Schedule searches for a low-cost solution of p.
+	Schedule(p *Problem, opt Options) (Result, error)
+}
+
+// tracker accumulates the incumbent and trace across iterations.
+type tracker struct {
+	start    time.Time
+	deadline time.Time
+	maxIter  int
+	every    int
+
+	iter  int
+	best  *Solution
+	cost  float64
+	trace []TracePoint
+}
+
+func newTracker(opt Options) *tracker {
+	t := &tracker{
+		start:   time.Now(),
+		maxIter: opt.MaxIterations,
+		every:   opt.TraceEvery,
+		cost:    inf(),
+	}
+	t.deadline = t.start.Add(opt.budget())
+	return t
+}
+
+func inf() float64 { return 1e308 }
+
+func (t *tracker) exhausted() bool {
+	if t.maxIter > 0 && t.iter >= t.maxIter {
+		return true
+	}
+	return time.Now().After(t.deadline)
+}
+
+// observe records a completed iteration with candidate solution and cost.
+func (t *tracker) observe(sol *Solution, cost float64) {
+	t.iter++
+	if cost < t.cost {
+		t.cost = cost
+		t.best = cloneSolution(sol)
+	}
+	if t.every > 0 && t.iter%t.every == 0 {
+		t.trace = append(t.trace, TracePoint{Elapsed: time.Since(t.start), Iterations: t.iter, Cost: t.cost})
+	}
+}
+
+func (t *tracker) result() Result {
+	t.trace = append(t.trace, TracePoint{Elapsed: time.Since(t.start), Iterations: t.iter, Cost: t.cost})
+	return Result{Solution: t.best, Cost: t.cost, Iterations: t.iter, Trace: t.trace}
+}
+
+func cloneSolution(s *Solution) *Solution {
+	out := &Solution{Placements: make([]Placement, len(s.Placements))}
+	for i, pl := range s.Placements {
+		out.Placements[i] = Placement{Start: pl.Start, Energy: append([]float64(nil), pl.Energy...)}
+	}
+	return out
+}

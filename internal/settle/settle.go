@@ -1,0 +1,150 @@
+// Package settle implements execution-time settlement: after scheduled
+// flex-offers have run, the BRP compares metered energy against the
+// agreed schedules, pays the negotiated flexibility premiums, charges
+// deviation penalties, and distributes the profit share (paper §7,
+// "Share Realized Profit": "the BRP calculates the realized profit that
+// this flex-offer has generated and shares it with the Prosumer").
+package settle
+
+import (
+	"fmt"
+	"math"
+
+	"mirabel/internal/flexoffer"
+	"mirabel/internal/negotiate"
+)
+
+// Item is one executed flex-offer with its metered outcome.
+type Item struct {
+	Offer    *flexoffer.FlexOffer
+	Schedule *flexoffer.Schedule
+	// PremiumEUR is the negotiated flexibility premium per kWh.
+	PremiumEUR float64
+	// Metered is the measured energy per schedule slice (kWh).
+	Metered []float64
+}
+
+// Line is the settlement of one flex-offer.
+type Line struct {
+	OfferID      flexoffer.ID
+	Prosumer     string
+	ScheduledKWh float64 // Σ |scheduled energy|
+	MeteredKWh   float64 // Σ |metered energy|
+	DeviationKWh float64 // Σ |metered − scheduled| beyond the tolerance
+	PaymentEUR   float64 // flexibility premium earned
+	PenaltyEUR   float64 // deviation penalty charged
+	NetEUR       float64 // payment − penalty (never below zero)
+	Compliant    bool    // executed within the tolerance band
+}
+
+// Config parameterizes a settlement run.
+type Config struct {
+	// ToleranceFrac is the per-slice deviation tolerated before
+	// penalties apply, relative to the slice's scheduled magnitude
+	// (default 0.05).
+	ToleranceFrac float64
+	// ImbalancePrice prices a deviation in a slot (EUR/kWh); nil means
+	// a flat 0.15.
+	ImbalancePrice func(slot flexoffer.Time) float64
+	// ShareFrac is the fraction of the BRP's realized scheduling profit
+	// distributed on top, weighted by scheduled energy (default 0, i.e.
+	// premium-only settlement).
+	ShareFrac float64
+	// RealizedProfitEUR is the BRP's realized profit of the settled
+	// period (cost without flexibility minus cost with), the pool for
+	// profit sharing.
+	RealizedProfitEUR float64
+}
+
+// Report is the outcome of a settlement run.
+type Report struct {
+	Lines []Line
+	// Totals.
+	TotalPaymentsEUR  float64
+	TotalPenaltiesEUR float64
+	SharedProfitEUR   float64
+	CompliantCount    int
+}
+
+// Settle computes the settlement of the given executed flex-offers.
+func Settle(items []Item, cfg Config) (*Report, error) {
+	if cfg.ToleranceFrac <= 0 {
+		cfg.ToleranceFrac = 0.05
+	}
+	price := cfg.ImbalancePrice
+	if price == nil {
+		price = func(flexoffer.Time) float64 { return 0.15 }
+	}
+	if cfg.ShareFrac < 0 || cfg.ShareFrac > 1 {
+		return nil, fmt.Errorf("settle: share fraction %g outside [0,1]", cfg.ShareFrac)
+	}
+
+	rep := &Report{Lines: make([]Line, 0, len(items))}
+	var totalScheduled float64
+	for _, it := range items {
+		if it.Offer == nil || it.Schedule == nil {
+			return nil, fmt.Errorf("settle: item without offer or schedule")
+		}
+		if len(it.Metered) != len(it.Schedule.Energy) {
+			return nil, fmt.Errorf("settle: offer %d: %d metered slices for %d scheduled",
+				it.Offer.ID, len(it.Metered), len(it.Schedule.Energy))
+		}
+		line := Line{OfferID: it.Offer.ID, Prosumer: it.Offer.Prosumer, Compliant: true}
+		for j, sched := range it.Schedule.Energy {
+			met := it.Metered[j]
+			line.ScheduledKWh += math.Abs(sched)
+			line.MeteredKWh += math.Abs(met)
+			tol := cfg.ToleranceFrac * math.Abs(sched)
+			if dev := math.Abs(met - sched); dev > tol {
+				excess := dev - tol
+				line.DeviationKWh += excess
+				line.PenaltyEUR += excess * price(it.Schedule.Start+flexoffer.Time(j))
+				line.Compliant = false
+			}
+		}
+		line.PaymentEUR = it.PremiumEUR * line.ScheduledKWh
+		line.NetEUR = line.PaymentEUR - line.PenaltyEUR
+		if line.NetEUR < 0 {
+			line.NetEUR = 0 // prosumers never pay to have offered flexibility
+		}
+		if line.Compliant {
+			rep.CompliantCount++
+		}
+		totalScheduled += line.ScheduledKWh
+		rep.TotalPaymentsEUR += line.PaymentEUR
+		rep.TotalPenaltiesEUR += line.PenaltyEUR
+		rep.Lines = append(rep.Lines, line)
+	}
+
+	// Profit sharing: the pool splits in proportion to scheduled energy,
+	// but only compliant executions participate.
+	if cfg.ShareFrac > 0 && cfg.RealizedProfitEUR > 0 && totalScheduled > 0 {
+		pool, err := negotiate.ShareRealizedProfit(cfg.RealizedProfitEUR, 0, cfg.ShareFrac)
+		if err != nil {
+			return nil, err
+		}
+		var compliantScheduled float64
+		for _, l := range rep.Lines {
+			if l.Compliant {
+				compliantScheduled += l.ScheduledKWh
+			}
+		}
+		if compliantScheduled > 0 {
+			for i := range rep.Lines {
+				if !rep.Lines[i].Compliant {
+					continue
+				}
+				share := pool * rep.Lines[i].ScheduledKWh / compliantScheduled
+				rep.Lines[i].NetEUR += share
+				rep.SharedProfitEUR += share
+			}
+		}
+	}
+	return rep, nil
+}
+
+// MeteredFromSchedule builds the metered vector of a perfectly compliant
+// execution — the common case and a convenient test fixture.
+func MeteredFromSchedule(s *flexoffer.Schedule) []float64 {
+	return append([]float64(nil), s.Energy...)
+}

@@ -1,0 +1,199 @@
+package settle
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mirabel/internal/flexoffer"
+)
+
+func item(id flexoffer.ID, premium float64, scheduled, metered []float64) Item {
+	profile := make([]flexoffer.Slice, len(scheduled))
+	for i, e := range scheduled {
+		profile[i] = flexoffer.Slice{EnergyMin: e - 5, EnergyMax: e + 5}
+	}
+	return Item{
+		Offer: &flexoffer.FlexOffer{
+			ID: id, Prosumer: "p", EarliestStart: 10, LatestStart: 20, AssignBefore: 5, Profile: profile,
+		},
+		Schedule:   &flexoffer.Schedule{OfferID: id, Start: 12, Energy: scheduled},
+		PremiumEUR: premium,
+		Metered:    metered,
+	}
+}
+
+func TestSettleCompliantExecution(t *testing.T) {
+	it := item(1, 0.02, []float64{10, 10}, []float64{10, 10})
+	rep, err := Settle([]Item{it}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := rep.Lines[0]
+	if !l.Compliant || l.PenaltyEUR != 0 {
+		t.Errorf("line = %+v", l)
+	}
+	if math.Abs(l.PaymentEUR-0.4) > 1e-12 {
+		t.Errorf("payment = %g, want 0.4 (20 kWh · 0.02)", l.PaymentEUR)
+	}
+	if rep.CompliantCount != 1 {
+		t.Errorf("compliant = %d", rep.CompliantCount)
+	}
+}
+
+func TestSettleWithinToleranceNoPenalty(t *testing.T) {
+	// 4% deviation with 5% tolerance: no penalty.
+	it := item(1, 0.02, []float64{10}, []float64{10.4})
+	rep, err := Settle([]Item{it}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Lines[0].Compliant || rep.Lines[0].PenaltyEUR != 0 {
+		t.Errorf("line = %+v", rep.Lines[0])
+	}
+}
+
+func TestSettleDeviationPenalty(t *testing.T) {
+	// Scheduled 10, metered 12: deviation 2, tolerance 0.5 → excess 1.5.
+	it := item(1, 0.02, []float64{10}, []float64{12})
+	rep, err := Settle([]Item{it}, Config{
+		ImbalancePrice: func(flexoffer.Time) float64 { return 0.2 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := rep.Lines[0]
+	if l.Compliant {
+		t.Error("deviating execution marked compliant")
+	}
+	if math.Abs(l.DeviationKWh-1.5) > 1e-12 {
+		t.Errorf("deviation = %g, want 1.5", l.DeviationKWh)
+	}
+	if math.Abs(l.PenaltyEUR-0.3) > 1e-12 {
+		t.Errorf("penalty = %g, want 0.3", l.PenaltyEUR)
+	}
+}
+
+func TestSettleNetNeverNegative(t *testing.T) {
+	// Tiny premium, huge deviation: net must clamp at zero.
+	it := item(1, 0.001, []float64{10}, []float64{30})
+	rep, err := Settle([]Item{it}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Lines[0].NetEUR != 0 {
+		t.Errorf("net = %g, want 0", rep.Lines[0].NetEUR)
+	}
+}
+
+func TestSettleProfitSharingOnlyCompliant(t *testing.T) {
+	good := item(1, 0.02, []float64{10, 10}, []float64{10, 10})
+	bad := item(2, 0.02, []float64{10, 10}, []float64{30, 30})
+	rep, err := Settle([]Item{good, bad}, Config{
+		ShareFrac:         0.5,
+		RealizedProfitEUR: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.SharedProfitEUR-50) > 1e-9 {
+		t.Errorf("shared = %g, want 50", rep.SharedProfitEUR)
+	}
+	// All of the pool goes to the compliant line.
+	if rep.Lines[0].NetEUR < 50 {
+		t.Errorf("compliant line net = %g, want ≥ 50", rep.Lines[0].NetEUR)
+	}
+	if rep.Lines[1].NetEUR > rep.Lines[1].PaymentEUR {
+		t.Errorf("non-compliant line received profit share: %+v", rep.Lines[1])
+	}
+}
+
+func TestSettleShareSplitsByScheduledEnergy(t *testing.T) {
+	small := item(1, 0, []float64{10}, []float64{10})
+	big := item(2, 0, []float64{30}, []float64{30})
+	rep, err := Settle([]Item{small, big}, Config{ShareFrac: 1, RealizedProfitEUR: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.Lines[0].NetEUR-10) > 1e-9 || math.Abs(rep.Lines[1].NetEUR-30) > 1e-9 {
+		t.Errorf("shares = %g, %g; want 10, 30", rep.Lines[0].NetEUR, rep.Lines[1].NetEUR)
+	}
+}
+
+func TestSettleValidation(t *testing.T) {
+	if _, err := Settle([]Item{{}}, Config{}); err == nil {
+		t.Error("item without offer accepted")
+	}
+	bad := item(1, 0, []float64{1, 2}, []float64{1})
+	bad.Metered = []float64{1}
+	if _, err := Settle([]Item{bad}, Config{}); err == nil {
+		t.Error("metered/scheduled length mismatch accepted")
+	}
+	ok := item(1, 0, []float64{1}, []float64{1})
+	if _, err := Settle([]Item{ok}, Config{ShareFrac: 2}); err == nil {
+		t.Error("share fraction > 1 accepted")
+	}
+}
+
+func TestSettleProductionOffers(t *testing.T) {
+	// Production (negative energies): deviations and payments use
+	// magnitudes.
+	it := item(1, 0.02, []float64{-10, -10}, []float64{-10, -10})
+	rep, err := Settle([]Item{it}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := rep.Lines[0]
+	if l.ScheduledKWh != 20 || !l.Compliant {
+		t.Errorf("line = %+v", l)
+	}
+	if math.Abs(l.PaymentEUR-0.4) > 1e-12 {
+		t.Errorf("payment = %g", l.PaymentEUR)
+	}
+}
+
+func TestMeteredFromSchedule(t *testing.T) {
+	s := &flexoffer.Schedule{Energy: []float64{1, 2}}
+	m := MeteredFromSchedule(s)
+	m[0] = 99
+	if s.Energy[0] == 99 {
+		t.Error("MeteredFromSchedule shares storage")
+	}
+}
+
+// Property: total payments equal Σ premium·scheduled, and penalties are
+// never negative, for arbitrary metering outcomes.
+func TestPropertySettleAccounting(t *testing.T) {
+	f := func(devs []float64, premiumCenti uint8) bool {
+		n := len(devs)
+		if n == 0 {
+			return true
+		}
+		if n > 10 {
+			n = 10
+			devs = devs[:10]
+		}
+		scheduled := make([]float64, n)
+		metered := make([]float64, n)
+		for i := range scheduled {
+			scheduled[i] = 10
+			d := devs[i]
+			if math.IsNaN(d) || math.IsInf(d, 0) {
+				d = 0
+			}
+			metered[i] = 10 + math.Mod(d, 8)
+		}
+		premium := float64(premiumCenti) / 1000
+		it := item(1, premium, scheduled, metered)
+		rep, err := Settle([]Item{it}, Config{})
+		if err != nil {
+			return false
+		}
+		l := rep.Lines[0]
+		wantPay := premium * 10 * float64(n)
+		return math.Abs(l.PaymentEUR-wantPay) < 1e-9 && l.PenaltyEUR >= 0 && l.NetEUR >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

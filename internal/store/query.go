@@ -1,0 +1,172 @@
+package store
+
+import (
+	"sort"
+
+	"mirabel/internal/flexoffer"
+)
+
+// MeasurementFilter selects measurement facts. Zero fields match
+// everything; FromSlot/ToSlot bound the half-open slot range [From, To).
+type MeasurementFilter struct {
+	Actor      string
+	EnergyType string
+	FromSlot   flexoffer.Time
+	ToSlot     flexoffer.Time // 0 = unbounded
+}
+
+func (f MeasurementFilter) matches(m *Measurement) bool {
+	if f.Actor != "" && m.Actor != f.Actor {
+		return false
+	}
+	if f.EnergyType != "" && m.EnergyType != f.EnergyType {
+		return false
+	}
+	if m.Slot < f.FromSlot {
+		return false
+	}
+	if f.ToSlot != 0 && m.Slot >= f.ToSlot {
+		return false
+	}
+	return true
+}
+
+// Measurements returns matching facts ordered by slot (then actor).
+func (s *Store) Measurements(f MeasurementFilter) []Measurement {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []Measurement
+	for k := range s.measurements {
+		m := s.measurements[k]
+		if f.matches(&m) {
+			out = append(out, m)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Slot != out[j].Slot {
+			return out[i].Slot < out[j].Slot
+		}
+		return out[i].Actor < out[j].Actor
+	})
+	return out
+}
+
+// SumEnergyBySlot aggregates matching measurements into a per-slot sum —
+// the star-schema roll-up a BRP runs to build its balance-group load
+// series. The result maps slot → Σ kWh.
+func (s *Store) SumEnergyBySlot(f MeasurementFilter) map[flexoffer.Time]float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[flexoffer.Time]float64)
+	for k := range s.measurements {
+		m := s.measurements[k]
+		if f.matches(&m) {
+			out[m.Slot] += m.KWh
+		}
+	}
+	return out
+}
+
+// SeriesBySlot materializes a contiguous per-slot vector over
+// [from, to) from matching measurements (missing slots are zero) — the
+// form the forecasting component consumes.
+func (s *Store) SeriesBySlot(f MeasurementFilter, from, to flexoffer.Time) []float64 {
+	f.FromSlot, f.ToSlot = from, to
+	sums := s.SumEnergyBySlot(f)
+	out := make([]float64, to-from)
+	for slot, v := range sums {
+		out[slot-from] = v
+	}
+	return out
+}
+
+// OfferFilter selects flex-offer records.
+type OfferFilter struct {
+	Owner string
+	State OfferState
+}
+
+// Offers returns matching flex-offer records in ID order.
+func (s *Store) Offers(f OfferFilter) []OfferRecord {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []OfferRecord
+	for _, r := range s.offers {
+		if f.Owner != "" && r.Owner != f.Owner {
+			continue
+		}
+		if f.State != "" && r.State != f.State {
+			continue
+		}
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Offer.ID < out[j].Offer.ID })
+	return out
+}
+
+// CountOffersByState groups the offer facts by lifecycle state.
+func (s *Store) CountOffersByState() map[OfferState]int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[OfferState]int)
+	for _, r := range s.offers {
+		out[r.State]++
+	}
+	return out
+}
+
+// Forecasts returns the forecast facts of one actor/energy type in
+// [from, to), ordered by slot then horizon.
+func (s *Store) Forecasts(actor, energyType string, from, to flexoffer.Time) []ForecastRecord {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []ForecastRecord
+	for k, r := range s.forecasts {
+		if k.Actor != actor || k.EnergyType != energyType {
+			continue
+		}
+		if k.Slot < from || (to != 0 && k.Slot >= to) {
+			continue
+		}
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Slot != out[j].Slot {
+			return out[i].Slot < out[j].Slot
+		}
+		return out[i].Horizon < out[j].Horizon
+	})
+	return out
+}
+
+// Price returns the stored price of a market area and hour.
+func (s *Store) Price(area string, hour int64) (PriceRecord, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	p, ok := s.prices[priceKey{area, hour}]
+	return p, ok
+}
+
+// Stats summarizes table cardinalities (the UI component's overview).
+type Stats struct {
+	Actors, EnergyTypes, MarketAreas      int
+	Measurements, Offers, Forecasts       int
+	Prices, Contracts, ModelParamsEntries int
+}
+
+// Stats returns current table sizes.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return Stats{
+		Actors:             len(s.actors),
+		EnergyTypes:        len(s.energyTypes),
+		MarketAreas:        len(s.marketAreas),
+		Measurements:       len(s.measurements),
+		Offers:             len(s.offers),
+		Forecasts:          len(s.forecasts),
+		Prices:             len(s.prices),
+		Contracts:          len(s.contracts),
+		ModelParamsEntries: len(s.modelParams),
+	}
+}

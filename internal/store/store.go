@@ -1,0 +1,458 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+
+	"mirabel/internal/flexoffer"
+)
+
+// Store is the node-local multidimensional store. All methods are safe
+// for concurrent use. A Store opened with a directory is durable
+// (WAL + snapshot); NewInMemory gives a volatile store for simulations.
+type Store struct {
+	mu  sync.RWMutex
+	dir string
+	log *wal
+
+	actors       map[string]Actor
+	energyTypes  map[string]EnergyType
+	marketAreas  map[string]MarketArea
+	measurements map[measurementKey]Measurement
+	offers       map[flexoffer.ID]OfferRecord
+	forecasts    map[forecastKey]ForecastRecord
+	prices       map[priceKey]PriceRecord
+	contracts    map[contractKey]Contract
+	modelParams  map[modelKey]ModelParams
+}
+
+// snapshotImage is the serialized form of the full store state.
+type snapshotImage struct {
+	Actors       []Actor          `json:"actors"`
+	EnergyTypes  []EnergyType     `json:"energy_types"`
+	MarketAreas  []MarketArea     `json:"market_areas"`
+	Measurements []Measurement    `json:"measurements"`
+	Offers       []OfferRecord    `json:"offers"`
+	Forecasts    []ForecastRecord `json:"forecasts"`
+	Prices       []PriceRecord    `json:"prices"`
+	Contracts    []Contract       `json:"contracts"`
+	ModelParams  []ModelParams    `json:"model_params"`
+}
+
+func newStore() *Store {
+	return &Store{
+		actors:       make(map[string]Actor),
+		energyTypes:  make(map[string]EnergyType),
+		marketAreas:  make(map[string]MarketArea),
+		measurements: make(map[measurementKey]Measurement),
+		offers:       make(map[flexoffer.ID]OfferRecord),
+		forecasts:    make(map[forecastKey]ForecastRecord),
+		prices:       make(map[priceKey]PriceRecord),
+		contracts:    make(map[contractKey]Contract),
+		modelParams:  make(map[modelKey]ModelParams),
+	}
+}
+
+// NewInMemory returns a volatile store (no durability), used by
+// simulations and tests.
+func NewInMemory() *Store { return newStore() }
+
+// Open loads (or creates) a durable store in dir: snapshot first, then
+// the WAL tail.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: create dir: %w", err)
+	}
+	s := newStore()
+	s.dir = dir
+
+	if raw, err := os.ReadFile(snapshotPath(dir)); err == nil {
+		var img snapshotImage
+		if err := json.Unmarshal(raw, &img); err != nil {
+			return nil, fmt.Errorf("store: corrupt snapshot: %w", err)
+		}
+		s.load(&img)
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	}
+
+	if err := replayWAL(walPath(dir), s.applyLogged); err != nil {
+		return nil, err
+	}
+
+	log, err := openWAL(walPath(dir))
+	if err != nil {
+		return nil, err
+	}
+	s.log = log
+	return s, nil
+}
+
+// Close flushes and closes the WAL.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.log == nil {
+		return nil
+	}
+	err := s.log.close()
+	s.log = nil
+	return err
+}
+
+// Sync fsyncs the WAL.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.log == nil {
+		return nil
+	}
+	return s.log.sync()
+}
+
+// Snapshot writes a point-in-time image and truncates the WAL. A crash
+// between the two steps leaves the old WAL, whose replay is idempotent
+// (puts are upserts).
+func (s *Store) Snapshot() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dir == "" {
+		return fmt.Errorf("store: snapshot of an in-memory store")
+	}
+	img := s.dump()
+	raw, err := json.Marshal(img)
+	if err != nil {
+		return fmt.Errorf("store: marshal snapshot: %w", err)
+	}
+	tmp := snapshotPath(s.dir) + ".tmp"
+	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, snapshotPath(s.dir)); err != nil {
+		return err
+	}
+	// Truncate the log: everything is in the snapshot now.
+	if s.log != nil {
+		if err := s.log.close(); err != nil {
+			return err
+		}
+	}
+	if err := os.Truncate(walPath(s.dir), 0); err != nil {
+		return err
+	}
+	log, err := openWAL(walPath(s.dir))
+	if err != nil {
+		return err
+	}
+	s.log = log
+	return nil
+}
+
+func (s *Store) dump() *snapshotImage {
+	img := &snapshotImage{}
+	for _, v := range s.actors {
+		img.Actors = append(img.Actors, v)
+	}
+	for _, v := range s.energyTypes {
+		img.EnergyTypes = append(img.EnergyTypes, v)
+	}
+	for _, v := range s.marketAreas {
+		img.MarketAreas = append(img.MarketAreas, v)
+	}
+	for _, v := range s.measurements {
+		img.Measurements = append(img.Measurements, v)
+	}
+	for _, v := range s.offers {
+		img.Offers = append(img.Offers, v)
+	}
+	for _, v := range s.forecasts {
+		img.Forecasts = append(img.Forecasts, v)
+	}
+	for _, v := range s.prices {
+		img.Prices = append(img.Prices, v)
+	}
+	for _, v := range s.contracts {
+		img.Contracts = append(img.Contracts, v)
+	}
+	for _, v := range s.modelParams {
+		img.ModelParams = append(img.ModelParams, v)
+	}
+	return img
+}
+
+func (s *Store) load(img *snapshotImage) {
+	for _, v := range img.Actors {
+		s.actors[v.ID] = v
+	}
+	for _, v := range img.EnergyTypes {
+		s.energyTypes[v.ID] = v
+	}
+	for _, v := range img.MarketAreas {
+		s.marketAreas[v.ID] = v
+	}
+	for _, v := range img.Measurements {
+		s.measurements[measurementKey{v.Actor, v.EnergyType, v.Slot}] = v
+	}
+	for _, v := range img.Offers {
+		s.offers[v.Offer.ID] = v
+	}
+	for _, v := range img.Forecasts {
+		s.forecasts[forecastKey{v.Actor, v.EnergyType, v.Slot, v.Horizon}] = v
+	}
+	for _, v := range img.Prices {
+		s.prices[priceKey{v.MarketArea, v.Hour}] = v
+	}
+	for _, v := range img.Contracts {
+		s.contracts[contractKey{v.Prosumer, v.BRP}] = v
+	}
+	for _, v := range img.ModelParams {
+		s.modelParams[modelKey{v.Actor, v.EnergyType, v.ModelName}] = v
+	}
+}
+
+// applyLogged applies one WAL record during recovery.
+func (s *Store) applyLogged(table, op string, data json.RawMessage) error {
+	if op != "put" {
+		return fmt.Errorf("store: unknown wal op %q", op)
+	}
+	switch table {
+	case tActor:
+		var v Actor
+		if err := json.Unmarshal(data, &v); err != nil {
+			return err
+		}
+		s.actors[v.ID] = v
+	case tEnergyType:
+		var v EnergyType
+		if err := json.Unmarshal(data, &v); err != nil {
+			return err
+		}
+		s.energyTypes[v.ID] = v
+	case tMarketArea:
+		var v MarketArea
+		if err := json.Unmarshal(data, &v); err != nil {
+			return err
+		}
+		s.marketAreas[v.ID] = v
+	case tMeasurement:
+		var v Measurement
+		if err := json.Unmarshal(data, &v); err != nil {
+			return err
+		}
+		s.measurements[measurementKey{v.Actor, v.EnergyType, v.Slot}] = v
+	case tOffer:
+		var v OfferRecord
+		if err := json.Unmarshal(data, &v); err != nil {
+			return err
+		}
+		s.offers[v.Offer.ID] = v
+	case tForecast:
+		var v ForecastRecord
+		if err := json.Unmarshal(data, &v); err != nil {
+			return err
+		}
+		s.forecasts[forecastKey{v.Actor, v.EnergyType, v.Slot, v.Horizon}] = v
+	case tPrice:
+		var v PriceRecord
+		if err := json.Unmarshal(data, &v); err != nil {
+			return err
+		}
+		s.prices[priceKey{v.MarketArea, v.Hour}] = v
+	case tContract:
+		var v Contract
+		if err := json.Unmarshal(data, &v); err != nil {
+			return err
+		}
+		s.contracts[contractKey{v.Prosumer, v.BRP}] = v
+	case tModelParams:
+		var v ModelParams
+		if err := json.Unmarshal(data, &v); err != nil {
+			return err
+		}
+		s.modelParams[modelKey{v.Actor, v.EnergyType, v.ModelName}] = v
+	default:
+		return fmt.Errorf("store: unknown wal table %q", table)
+	}
+	return nil
+}
+
+// logPut appends a put to the WAL when durable. Caller holds the lock.
+func (s *Store) logPut(table string, v any) error {
+	if s.log == nil {
+		return nil
+	}
+	return s.log.append(table, "put", v)
+}
+
+// --- dimension upserts -------------------------------------------------
+
+// PutActor upserts an actor dimension record.
+func (s *Store) PutActor(a Actor) error {
+	if a.ID == "" {
+		return fmt.Errorf("store: actor without id")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.logPut(tActor, a); err != nil {
+		return err
+	}
+	s.actors[a.ID] = a
+	return nil
+}
+
+// GetActor returns an actor by ID.
+func (s *Store) GetActor(id string) (Actor, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	a, ok := s.actors[id]
+	return a, ok
+}
+
+// Children returns the actors whose Parent is id, in ID order (the
+// hierarchy walk of the snowflake dimension).
+func (s *Store) Children(id string) []Actor {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []Actor
+	for _, a := range s.actors {
+		if a.Parent == id {
+			out = append(out, a)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// PutEnergyType upserts an energy type dimension record.
+func (s *Store) PutEnergyType(e EnergyType) error {
+	if e.ID == "" {
+		return fmt.Errorf("store: energy type without id")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.logPut(tEnergyType, e); err != nil {
+		return err
+	}
+	s.energyTypes[e.ID] = e
+	return nil
+}
+
+// GetEnergyType returns an energy type by ID.
+func (s *Store) GetEnergyType(id string) (EnergyType, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.energyTypes[id]
+	return e, ok
+}
+
+// PutMarketArea upserts a market area dimension record.
+func (s *Store) PutMarketArea(m MarketArea) error {
+	if m.ID == "" {
+		return fmt.Errorf("store: market area without id")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.logPut(tMarketArea, m); err != nil {
+		return err
+	}
+	s.marketAreas[m.ID] = m
+	return nil
+}
+
+// --- fact upserts ------------------------------------------------------
+
+// PutMeasurement upserts a metered value.
+func (s *Store) PutMeasurement(m Measurement) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.logPut(tMeasurement, m); err != nil {
+		return err
+	}
+	s.measurements[measurementKey{m.Actor, m.EnergyType, m.Slot}] = m
+	return nil
+}
+
+// PutOffer upserts a flex-offer record.
+func (s *Store) PutOffer(r OfferRecord) error {
+	if r.Offer == nil {
+		return fmt.Errorf("store: offer record without offer")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.logPut(tOffer, r); err != nil {
+		return err
+	}
+	s.offers[r.Offer.ID] = r
+	return nil
+}
+
+// GetOffer returns a flex-offer record by ID.
+func (s *Store) GetOffer(id flexoffer.ID) (OfferRecord, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	r, ok := s.offers[id]
+	return r, ok
+}
+
+// PutForecast upserts a published forecast value.
+func (s *Store) PutForecast(f ForecastRecord) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.logPut(tForecast, f); err != nil {
+		return err
+	}
+	s.forecasts[forecastKey{f.Actor, f.EnergyType, f.Slot, f.Horizon}] = f
+	return nil
+}
+
+// PutPrice upserts a market price.
+func (s *Store) PutPrice(p PriceRecord) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.logPut(tPrice, p); err != nil {
+		return err
+	}
+	s.prices[priceKey{p.MarketArea, p.Hour}] = p
+	return nil
+}
+
+// PutContract upserts a contract.
+func (s *Store) PutContract(c Contract) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.logPut(tContract, c); err != nil {
+		return err
+	}
+	s.contracts[contractKey{c.Prosumer, c.BRP}] = c
+	return nil
+}
+
+// GetContract returns the contract between a prosumer and a BRP.
+func (s *Store) GetContract(prosumer, brp string) (Contract, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c, ok := s.contracts[contractKey{prosumer, brp}]
+	return c, ok
+}
+
+// PutModelParams persists forecast model parameters.
+func (s *Store) PutModelParams(m ModelParams) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.logPut(tModelParams, m); err != nil {
+		return err
+	}
+	s.modelParams[modelKey{m.Actor, m.EnergyType, m.ModelName}] = m
+	return nil
+}
+
+// GetModelParams returns persisted model parameters.
+func (s *Store) GetModelParams(actor, energyType, modelName string) (ModelParams, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	m, ok := s.modelParams[modelKey{actor, energyType, modelName}]
+	return m, ok
+}

@@ -1,0 +1,354 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"mirabel/internal/flexoffer"
+)
+
+func testOffer(id flexoffer.ID) *flexoffer.FlexOffer {
+	return &flexoffer.FlexOffer{
+		ID: id, EarliestStart: 10, LatestStart: 20, AssignBefore: 5,
+		Profile: []flexoffer.Slice{{EnergyMin: 1, EnergyMax: 2}},
+	}
+}
+
+func TestInMemoryCRUD(t *testing.T) {
+	s := NewInMemory()
+	if err := s.PutActor(Actor{ID: "brp1", Role: RoleBRP}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutActor(Actor{ID: "p1", Role: RoleProsumer, Parent: "brp1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutActor(Actor{ID: "p2", Role: RoleProsumer, Parent: "brp1"}); err != nil {
+		t.Fatal(err)
+	}
+	a, ok := s.GetActor("p1")
+	if !ok || a.Parent != "brp1" {
+		t.Errorf("GetActor = %+v, %v", a, ok)
+	}
+	kids := s.Children("brp1")
+	if len(kids) != 2 || kids[0].ID != "p1" {
+		t.Errorf("Children = %+v", kids)
+	}
+	if err := s.PutActor(Actor{}); err == nil {
+		t.Error("actor without id accepted")
+	}
+}
+
+func TestMeasurementQueries(t *testing.T) {
+	s := NewInMemory()
+	for slot := flexoffer.Time(0); slot < 10; slot++ {
+		for _, actor := range []string{"p1", "p2"} {
+			if err := s.PutMeasurement(Measurement{Actor: actor, EnergyType: "demand", Slot: slot, KWh: 1}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := s.PutMeasurement(Measurement{Actor: "p1", EnergyType: "solar", Slot: 3, KWh: -2}); err != nil {
+		t.Fatal(err)
+	}
+
+	ms := s.Measurements(MeasurementFilter{Actor: "p1", EnergyType: "demand", FromSlot: 2, ToSlot: 5})
+	if len(ms) != 3 {
+		t.Fatalf("filtered measurements = %d, want 3", len(ms))
+	}
+	for i := 1; i < len(ms); i++ {
+		if ms[i].Slot < ms[i-1].Slot {
+			t.Error("measurements not ordered by slot")
+		}
+	}
+
+	sums := s.SumEnergyBySlot(MeasurementFilter{EnergyType: "demand"})
+	if sums[0] != 2 {
+		t.Errorf("slot 0 sum = %g, want 2", sums[0])
+	}
+
+	series := s.SeriesBySlot(MeasurementFilter{EnergyType: "demand"}, 0, 12)
+	if len(series) != 12 || series[9] != 2 || series[11] != 0 {
+		t.Errorf("series = %v", series)
+	}
+}
+
+func TestMeasurementUpsertOverwrites(t *testing.T) {
+	s := NewInMemory()
+	m := Measurement{Actor: "p1", EnergyType: "demand", Slot: 1, KWh: 5}
+	if err := s.PutMeasurement(m); err != nil {
+		t.Fatal(err)
+	}
+	m.KWh = 7 // meter correction
+	if err := s.PutMeasurement(m); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.SumEnergyBySlot(MeasurementFilter{})[1]; got != 7 {
+		t.Errorf("upsert kept old value: %g", got)
+	}
+}
+
+func TestOfferLifecycle(t *testing.T) {
+	s := NewInMemory()
+	if err := s.PutOffer(OfferRecord{Offer: testOffer(1), Owner: "p1", State: OfferReceived}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutOffer(OfferRecord{Offer: testOffer(2), Owner: "p1", State: OfferAccepted}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutOffer(OfferRecord{}); err == nil {
+		t.Error("record without offer accepted")
+	}
+	r, ok := s.GetOffer(1)
+	if !ok || r.State != OfferReceived {
+		t.Errorf("GetOffer = %+v, %v", r, ok)
+	}
+	counts := s.CountOffersByState()
+	if counts[OfferReceived] != 1 || counts[OfferAccepted] != 1 {
+		t.Errorf("counts = %+v", counts)
+	}
+	if got := s.Offers(OfferFilter{State: OfferAccepted}); len(got) != 1 || got[0].Offer.ID != 2 {
+		t.Errorf("Offers filter = %+v", got)
+	}
+}
+
+func TestContractsAndPrices(t *testing.T) {
+	s := NewInMemory()
+	if err := s.PutContract(Contract{Prosumer: "p1", BRP: "brp1", BaseTariffEUR: 0.3, FlexPremium: 0.02}); err != nil {
+		t.Fatal(err)
+	}
+	c, ok := s.GetContract("p1", "brp1")
+	if !ok || c.FlexPremium != 0.02 {
+		t.Errorf("GetContract = %+v, %v", c, ok)
+	}
+	if err := s.PutPrice(PriceRecord{MarketArea: "dk1", Hour: 7, EURPerMWh: 55}); err != nil {
+		t.Fatal(err)
+	}
+	p, ok := s.Price("dk1", 7)
+	if !ok || p.EURPerMWh != 55 {
+		t.Errorf("Price = %+v, %v", p, ok)
+	}
+	if _, ok := s.Price("dk1", 8); ok {
+		t.Error("missing price found")
+	}
+}
+
+func TestForecastsQuery(t *testing.T) {
+	s := NewInMemory()
+	for slot := flexoffer.Time(0); slot < 6; slot++ {
+		if err := s.PutForecast(ForecastRecord{Actor: "brp1", EnergyType: "demand", Slot: slot, Horizon: 1, KWh: float64(slot)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := s.Forecasts("brp1", "demand", 2, 5)
+	if len(got) != 3 || got[0].Slot != 2 {
+		t.Errorf("Forecasts = %+v", got)
+	}
+}
+
+func TestDurabilityWALReplay(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutActor(Actor{ID: "brp1", Role: RoleBRP}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutMeasurement(Measurement{Actor: "p1", EnergyType: "demand", Slot: 4, KWh: 9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutOffer(OfferRecord{Offer: testOffer(3), Owner: "p1", State: OfferScheduled,
+		Schedule: &flexoffer.Schedule{OfferID: 3, Start: 12, Energy: []float64{1.5}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: WAL replay must restore everything.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if _, ok := s2.GetActor("brp1"); !ok {
+		t.Error("actor lost")
+	}
+	if got := s2.SumEnergyBySlot(MeasurementFilter{})[4]; got != 9 {
+		t.Errorf("measurement lost: %g", got)
+	}
+	r, ok := s2.GetOffer(3)
+	if !ok || r.State != OfferScheduled || r.Schedule.Start != 12 {
+		t.Errorf("offer lost: %+v, %v", r, ok)
+	}
+}
+
+func TestDurabilitySnapshotPlusTail(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutActor(Actor{ID: "a1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	// Post-snapshot writes land in the fresh WAL tail.
+	if err := s.PutActor(Actor{ID: "a2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if _, ok := s2.GetActor("a1"); !ok {
+		t.Error("snapshot record lost")
+	}
+	if _, ok := s2.GetActor("a2"); !ok {
+		t.Error("wal tail record lost")
+	}
+}
+
+func TestTornWALTailIgnored(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutActor(Actor{ID: "good"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a torn write.
+	f, err := os.OpenFile(walPath(dir), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"table":"actors","op":"put","da`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("recovery failed on torn tail: %v", err)
+	}
+	defer s2.Close()
+	if _, ok := s2.GetActor("good"); !ok {
+		t.Error("good record lost with torn tail")
+	}
+}
+
+func TestCorruptCRCDropped(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutActor(Actor{ID: "good"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Append a record with a wrong checksum.
+	f, _ := os.OpenFile(walPath(dir), os.O_APPEND|os.O_WRONLY, 0o644)
+	f.WriteString(`{"table":"actors","op":"put","data":{"id":"evil"},"crc":12345}` + "\n")
+	f.Close()
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if _, ok := s2.GetActor("evil"); ok {
+		t.Error("corrupt record applied")
+	}
+	if _, ok := s2.GetActor("good"); !ok {
+		t.Error("good record lost")
+	}
+}
+
+func TestSnapshotInMemoryErrors(t *testing.T) {
+	if err := NewInMemory().Snapshot(); err == nil {
+		t.Error("snapshot of in-memory store should error")
+	}
+}
+
+func TestStats(t *testing.T) {
+	s := NewInMemory()
+	s.PutActor(Actor{ID: "a"})
+	s.PutEnergyType(EnergyType{ID: "demand", Kind: "consumption"})
+	s.PutMarketArea(MarketArea{ID: "dk1"})
+	s.PutMeasurement(Measurement{Actor: "a", EnergyType: "demand", Slot: 1, KWh: 1})
+	s.PutModelParams(ModelParams{Actor: "a", EnergyType: "demand", ModelName: "HWT", Params: []float64{0.1}})
+	st := s.Stats()
+	if st.Actors != 1 || st.EnergyTypes != 1 || st.MarketAreas != 1 || st.Measurements != 1 || st.ModelParamsEntries != 1 {
+		t.Errorf("Stats = %+v", st)
+	}
+	if mp, ok := s.GetModelParams("a", "demand", "HWT"); !ok || mp.Params[0] != 0.1 {
+		t.Errorf("GetModelParams = %+v, %v", mp, ok)
+	}
+}
+
+// Property: durable store state after Close/Open equals in-memory state
+// for random measurement batches.
+func TestPropertyRecoveryEquivalence(t *testing.T) {
+	dir := t.TempDir()
+	i := 0
+	f := func(slots []uint8, vals []float64) bool {
+		i++
+		sub := filepath.Join(dir, "case", string(rune('a'+i%26)), "x")
+		n := len(slots)
+		if len(vals) < n {
+			n = len(vals)
+		}
+		s, err := Open(sub)
+		if err != nil {
+			return false
+		}
+		want := make(map[flexoffer.Time]float64)
+		for j := 0; j < n; j++ {
+			v := vals[j]
+			if v != v || v > 1e100 || v < -1e100 { // NaN/huge guards
+				v = 1
+			}
+			m := Measurement{Actor: "p", EnergyType: "demand", Slot: flexoffer.Time(slots[j]), KWh: v}
+			if err := s.PutMeasurement(m); err != nil {
+				return false
+			}
+			want[m.Slot] = v
+		}
+		if err := s.Close(); err != nil {
+			return false
+		}
+		s2, err := Open(sub)
+		if err != nil {
+			return false
+		}
+		defer s2.Close()
+		got := s2.SumEnergyBySlot(MeasurementFilter{})
+		if len(got) != len(want) {
+			return false
+		}
+		for k, v := range want {
+			if got[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,131 @@
+// Package store implements the MIRABEL Data Management component (paper
+// §3): the node-local persistent store for "all historical and current
+// time demand/supply, forecasting model parameters, flex-offers, price
+// and contracts". Data lives in a multidimensional schema — dimension
+// tables (actors, energy types, market areas) and fact tables
+// (measurements, flex-offers, forecasts, prices, contracts) — "a
+// combination of star and snowflake schemas" flexible enough that actors
+// at all levels use subparts of it.
+//
+// Durability follows the classic embedded-engine recipe: every mutation
+// is appended to a write-ahead log before being applied in memory;
+// Snapshot() compacts the log into a point-in-time image; Open() recovers
+// by loading the snapshot and replaying the log tail. Records are
+// checksummed JSON lines, so a torn final write is detected and dropped.
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// walRecord is one logged mutation.
+type walRecord struct {
+	Table string          `json:"table"`
+	Op    string          `json:"op"` // "put" or "delete"
+	Data  json.RawMessage `json:"data"`
+	CRC   uint32          `json:"crc"` // over Table|Op|Data
+}
+
+func (r *walRecord) checksum() uint32 {
+	h := crc32.NewIEEE()
+	h.Write([]byte(r.Table))
+	h.Write([]byte{'|'})
+	h.Write([]byte(r.Op))
+	h.Write([]byte{'|'})
+	h.Write(r.Data)
+	return h.Sum32()
+}
+
+// wal is an append-only JSON-lines log.
+type wal struct {
+	f *os.File
+	w *bufio.Writer
+}
+
+func openWAL(path string) (*wal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: open wal: %w", err)
+	}
+	return &wal{f: f, w: bufio.NewWriter(f)}, nil
+}
+
+// append logs one mutation. The record hits the OS on every append
+// (buffered writer flushed); full fsync is deferred to Sync/Snapshot —
+// the usual throughput/durability trade-off for measurement streams.
+func (w *wal) append(table, op string, data any) error {
+	raw, err := json.Marshal(data)
+	if err != nil {
+		return fmt.Errorf("store: marshal wal record: %w", err)
+	}
+	rec := walRecord{Table: table, Op: op, Data: raw}
+	rec.CRC = rec.checksum()
+	line, err := json.Marshal(&rec)
+	if err != nil {
+		return fmt.Errorf("store: marshal wal line: %w", err)
+	}
+	if _, err := w.w.Write(line); err != nil {
+		return err
+	}
+	if err := w.w.WriteByte('\n'); err != nil {
+		return err
+	}
+	return w.w.Flush()
+}
+
+// sync flushes and fsyncs the log.
+func (w *wal) sync() error {
+	if err := w.w.Flush(); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+func (w *wal) close() error {
+	if err := w.w.Flush(); err != nil {
+		return err
+	}
+	return w.f.Close()
+}
+
+// replayWAL streams the log's valid records to apply; it stops silently
+// at the first corrupt or torn line (everything after a torn write is
+// unreachable anyway).
+func replayWAL(path string, apply func(table, op string, data json.RawMessage) error) error {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: open wal for replay: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	for sc.Scan() {
+		var rec walRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			return nil // torn tail
+		}
+		if rec.checksum() != rec.CRC {
+			return nil // corrupt tail
+		}
+		if err := apply(rec.Table, rec.Op, rec.Data); err != nil {
+			return err
+		}
+	}
+	if err := sc.Err(); err != nil && err != io.EOF {
+		return fmt.Errorf("store: scan wal: %w", err)
+	}
+	return nil
+}
+
+// snapshotPath and walPath name the store's on-disk artifacts.
+func snapshotPath(dir string) string { return filepath.Join(dir, "snapshot.json") }
+func walPath(dir string) string      { return filepath.Join(dir, "wal.log") }

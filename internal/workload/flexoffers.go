@@ -1,0 +1,214 @@
+package workload
+
+import (
+	"math/rand"
+
+	"mirabel/internal/flexoffer"
+)
+
+// DeviceClass describes one category of flexible load (or production)
+// from which flex-offers are drawn. The paper stresses that MIRABEL
+// handles "all forms of both flexible demand, e.g., heat pumps,
+// dishwashers, washing machines, freezers, and supply, e.g., from private
+// solar panels, in a completely general way" — the default mix below
+// covers exactly those.
+type DeviceClass struct {
+	Name   string
+	Weight float64 // relative frequency in the generated population
+
+	// Profile geometry.
+	MinSlices, MaxSlices int     // execution length range (15-min slots)
+	EnergyPerSlot        float64 // typical |energy| per slot (kWh)
+	EnergyJitter         float64 // multiplicative jitter (0..1)
+	EnergyFlexFrac       float64 // per-slice (max−min)/max ratio
+
+	// Flexibility geometry: typical time flexibilities in slots; a value
+	// is picked from TFChoices and jittered by ±TFJitter slots.
+	TFChoices []int
+	TFJitter  int
+
+	// StartHourWeights biases the earliest start hour of day (len 24);
+	// nil means uniform.
+	StartHourWeights []float64
+
+	// Production marks generation offers (negative energies).
+	Production bool
+}
+
+// DefaultDeviceClasses is the standard household mix.
+func DefaultDeviceClasses() []DeviceClass {
+	evening := hourBias(18, 5.0)
+	morning := hourBias(8, 4.0)
+	midday := hourBias(12, 4.0)
+	return []DeviceClass{
+		{
+			Name: "ev-charger", Weight: 0.30,
+			MinSlices: 6, MaxSlices: 12,
+			EnergyPerSlot: 6.0, EnergyJitter: 0.3, EnergyFlexFrac: 0.5,
+			TFChoices: []int{20, 24, 28, 32, 36}, TFJitter: 4,
+			StartHourWeights: evening,
+		},
+		{
+			Name: "dishwasher", Weight: 0.22,
+			MinSlices: 4, MaxSlices: 8,
+			EnergyPerSlot: 0.4, EnergyJitter: 0.2, EnergyFlexFrac: 0.1,
+			TFChoices: []int{8, 12, 16, 24}, TFJitter: 3,
+			StartHourWeights: evening,
+		},
+		{
+			Name: "washing-machine", Weight: 0.20,
+			MinSlices: 4, MaxSlices: 8,
+			EnergyPerSlot: 0.5, EnergyJitter: 0.2, EnergyFlexFrac: 0.1,
+			TFChoices: []int{8, 12, 16, 20}, TFJitter: 3,
+			StartHourWeights: morning,
+		},
+		{
+			Name: "heat-pump", Weight: 0.18,
+			MinSlices: 2, MaxSlices: 6,
+			EnergyPerSlot: 1.5, EnergyJitter: 0.4, EnergyFlexFrac: 0.6,
+			TFChoices: []int{4, 8, 12}, TFJitter: 2,
+		},
+		{
+			Name: "solar-panel", Weight: 0.10,
+			MinSlices: 8, MaxSlices: 16,
+			EnergyPerSlot: 2.0, EnergyJitter: 0.4, EnergyFlexFrac: 0.3,
+			TFChoices: []int{0, 2, 4}, TFJitter: 1,
+			StartHourWeights: midday,
+			Production:       true,
+		},
+	}
+}
+
+// hourBias returns 24 hour weights with a peak of the given width centred
+// on peakHour.
+func hourBias(peakHour int, width float64) []float64 {
+	w := make([]float64, 24)
+	for h := 0; h < 24; h++ {
+		d := float64(h - peakHour)
+		// Wrap around midnight.
+		if d > 12 {
+			d -= 24
+		}
+		if d < -12 {
+			d += 24
+		}
+		w[h] = 0.15 + gauss(d, 0, width)
+	}
+	return w
+}
+
+// FlexOfferConfig parameterizes the flex-offer dataset generator.
+type FlexOfferConfig struct {
+	Count       int           // number of offers
+	HorizonDays int           // earliest starts spread over this many days (default 28)
+	Classes     []DeviceClass // device mix (default DefaultDeviceClasses)
+	Seed        int64
+}
+
+// GenerateFlexOffers produces an artificial flex-offer dataset comparable
+// to the ~800 000-offer dataset of the paper's aggregation experiment:
+// earliest start times are spread widely (slot-granular over the horizon,
+// concentrated at device-typical hours) while time flexibilities cluster
+// on device-typical values — the asymmetry that makes the P0–P3 threshold
+// combinations behave as reported.
+func GenerateFlexOffers(cfg FlexOfferConfig) []*flexoffer.FlexOffer {
+	if cfg.HorizonDays == 0 {
+		cfg.HorizonDays = 28
+	}
+	classes := cfg.Classes
+	if classes == nil {
+		classes = DefaultDeviceClasses()
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Class sampling by cumulative weight.
+	cum := make([]float64, len(classes))
+	var total float64
+	for i, c := range classes {
+		total += c.Weight
+		cum[i] = total
+	}
+
+	offers := make([]*flexoffer.FlexOffer, cfg.Count)
+	for i := range offers {
+		c := &classes[pickClass(rng, cum, total)]
+		offers[i] = generateOffer(rng, flexoffer.ID(i+1), c, cfg.HorizonDays)
+	}
+	return offers
+}
+
+func pickClass(rng *rand.Rand, cum []float64, total float64) int {
+	x := rng.Float64() * total
+	for i, c := range cum {
+		if x <= c {
+			return i
+		}
+	}
+	return len(cum) - 1
+}
+
+func generateOffer(rng *rand.Rand, id flexoffer.ID, c *DeviceClass, horizonDays int) *flexoffer.FlexOffer {
+	nSlices := c.MinSlices
+	if c.MaxSlices > c.MinSlices {
+		nSlices += rng.Intn(c.MaxSlices - c.MinSlices + 1)
+	}
+	profile := make([]flexoffer.Slice, nSlices)
+	sign := 1.0
+	if c.Production {
+		sign = -1
+	}
+	for j := range profile {
+		e := c.EnergyPerSlot * (1 + c.EnergyJitter*(rng.Float64()*2-1))
+		maxE := sign * e
+		minE := maxE * (1 - c.EnergyFlexFrac)
+		if c.Production {
+			// For production, min is the more negative bound.
+			minE, maxE = maxE, minE
+		}
+		profile[j] = flexoffer.Slice{EnergyMin: minE, EnergyMax: maxE}
+	}
+
+	// Earliest start: pick a day uniformly, an hour by class bias, and a
+	// slot within the hour uniformly — wide slot-granular spread.
+	day := rng.Intn(horizonDays)
+	hour := pickHour(rng, c.StartHourWeights)
+	slotInHour := rng.Intn(flexoffer.SlotsPerHour)
+	es := flexoffer.Time(day*flexoffer.SlotsPerDay + hour*flexoffer.SlotsPerHour + slotInHour)
+
+	// Time flexibility: class-typical value with small jitter.
+	tf := c.TFChoices[rng.Intn(len(c.TFChoices))]
+	if c.TFJitter > 0 {
+		tf += rng.Intn(2*c.TFJitter+1) - c.TFJitter
+	}
+	if tf < 0 {
+		tf = 0
+	}
+
+	return &flexoffer.FlexOffer{
+		ID:            id,
+		Prosumer:      c.Name,
+		EarliestStart: es,
+		LatestStart:   es + flexoffer.Time(tf),
+		AssignBefore:  es - flexoffer.Time(2*flexoffer.SlotsPerHour),
+		Profile:       profile,
+		CostPerKWh:    0.01 + 0.02*rng.Float64(),
+	}
+}
+
+func pickHour(rng *rand.Rand, weights []float64) int {
+	if weights == nil {
+		return rng.Intn(24)
+	}
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	x := rng.Float64() * total
+	for h, w := range weights {
+		x -= w
+		if x <= 0 {
+			return h
+		}
+	}
+	return 23
+}
