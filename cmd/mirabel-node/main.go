@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -42,6 +43,8 @@ func main() {
 		dataDir   = flag.String("data", "", "durable store directory (empty: in-memory)")
 		routes    = flag.String("route", "", "comma-separated name=addr routes to peers")
 		demoOffer = flag.Bool("demo-offer", false, "submit one demo flex-offer to the parent and exit")
+		pingPeer  = flag.String("ping", "", "ping the named peer over the typed client and exit")
+		verbose   = flag.Bool("v", false, "log every handled message")
 	)
 	flag.Parse()
 	if *name == "" || *role == "" {
@@ -75,25 +78,42 @@ func main() {
 		}
 	}
 
+	var mw []comm.Middleware
+	if *verbose {
+		mw = append(mw, comm.Logging(log.Printf))
+	}
 	node, err := core.NewNode(core.Config{
-		Name:      *name,
-		Role:      store.Role(*role),
-		Parent:    *parent,
-		Transport: client,
-		Store:     st,
-		AggParams: agg.ParamsP3,
-		SchedOpts: sched.Options{TimeBudget: 2 * time.Second},
+		Name:       *name,
+		Role:       store.Role(*role),
+		Parent:     *parent,
+		Transport:  client,
+		Store:      st,
+		AggParams:  agg.ParamsP3,
+		SchedOpts:  sched.Options{TimeBudget: 2 * time.Second},
+		Middleware: mw,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	srv, err := comm.ListenTCP(*listen, node.Handle)
+	srv, err := comm.ListenTCP(*listen, node.Handler())
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer srv.Close()
 	log.Printf("%s (%s) serving on %s", *name, *role, srv.Addr())
+
+	ctx := context.Background()
+	if *pingPeer != "" {
+		// Typed-client liveness probe against a routed peer.
+		rpc := comm.NewClient(*name, client, comm.WithRequestTimeout(3*time.Second))
+		t0 := time.Now()
+		if err := rpc.Ping(ctx, *pingPeer); err != nil {
+			log.Fatalf("ping %s: %v", *pingPeer, err)
+		}
+		fmt.Printf("ping %s: ok in %v\n", *pingPeer, time.Since(t0).Round(time.Microsecond))
+		return
+	}
 
 	if *demoOffer {
 		profile := make([]flexoffer.Slice, 8)
@@ -108,7 +128,9 @@ func main() {
 			AssignBefore:  86,
 			Profile:       profile,
 		}
-		decision, err := node.SubmitOfferTo(offer)
+		submitCtx, cancel := context.WithTimeout(ctx, 10*time.Second)
+		defer cancel()
+		decision, err := node.SubmitOfferTo(submitCtx, offer)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -36,6 +37,7 @@ func main() {
 	useDevices := flag.Bool("devices", false, "drive offers from appliance state machines instead of the dataset generator")
 	flag.Parse()
 
+	ctx := context.Background()
 	bus := comm.NewBus()
 	prices := workload.PriceSeries(workload.PriceConfig{Days: 2, Seed: *seed})
 	dayAhead, err := market.NewDayAhead(market.Config{Prices: prices, CapacityKWh: 5000})
@@ -53,7 +55,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	bus.Register("tso", tso.Handle)
+	bus.Register("tso", tso.Handler())
 
 	// Level 2: the BRPs.
 	brps := make([]*core.Node, *nBRPs)
@@ -68,7 +70,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		bus.Register(name, brps[i].Handle)
+		bus.Register(name, brps[i].Handler())
 	}
 
 	// Level 1: prosumers issue flex-offers for today — either from the
@@ -100,7 +102,7 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			bus.Register(name, p.Handle)
+			bus.Register(name, p.Handler())
 			nodes[name] = p
 		}
 		if f.LatestEnd() > flexoffer.SlotsPerDay {
@@ -109,7 +111,7 @@ func main() {
 				continue
 			}
 		}
-		d, err := p.SubmitOfferTo(f)
+		d, err := p.SubmitOfferTo(ctx, f)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -118,7 +120,7 @@ func main() {
 		}
 		// Report a few metered slots so the BRP stores see traffic.
 		if i%50 == 0 {
-			if err := p.ReportMeasurement("demand", flexoffer.Time(i%96), 0.5); err != nil {
+			if err := p.ReportMeasurement(ctx, "demand", flexoffer.Time(i%96), 0.5); err != nil {
 				log.Fatal(err)
 			}
 		}
@@ -145,7 +147,7 @@ func main() {
 	// essentially repeated at a higher level").
 	var totalCost, totalDefault float64
 	for _, brp := range brps[:len(brps)-1] {
-		rep, err := brp.RunSchedulingCycle(0, core.StaticForecast(baseline), nil, nil)
+		rep, err := brp.RunSchedulingCycle(ctx, 0, core.StaticForecast(baseline), nil, nil)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -164,11 +166,11 @@ func main() {
 	// aggregates across them, schedules, and its schedules flow back
 	// down through the BRP to the prosumers.
 	delegating := brps[len(brps)-1]
-	forwarded, err := delegating.ForwardAggregates()
+	forwarded, err := delegating.ForwardAggregates(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
-	rep, err := tso.RunSchedulingCycle(0, core.StaticForecast(baseline), nil, nil)
+	rep, err := tso.RunSchedulingCycle(ctx, 0, core.StaticForecast(baseline), nil, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -181,5 +183,16 @@ func main() {
 		st := brp.Store().Stats()
 		fmt.Printf("store %s: %d offers, %d measurements, %d actors\n",
 			brp.Name(), st.Offers, st.Measurements, st.Actors)
+	}
+
+	// The handler-chain metrics of the busiest nodes: message mix,
+	// error counts and worst-case latency per type.
+	for _, n := range append([]*core.Node{tso}, brps[0]) {
+		m := n.Metrics()
+		fmt.Printf("fabric %s: %d messages handled, %d errors\n", n.Name(), m.Handled(), m.Errors())
+		for msgType, tm := range m.Snapshot() {
+			fmt.Printf("  %-20s n=%-7d errs=%-4d max_latency=%v\n",
+				msgType, tm.Handled, tm.Errors, tm.MaxLatency.Round(time.Microsecond))
+		}
 	}
 }

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -69,6 +70,7 @@ func main() {
 	}
 
 	// --- Nodes -----------------------------------------------------------
+	ctx := context.Background()
 	bus := comm.NewBus()
 	valuator := negotiate.NewValuator()
 	brp, err := core.NewNode(core.Config{
@@ -80,11 +82,13 @@ func main() {
 		Market:    dayAhead,
 		// Plan day 28 (slots are counted from the epoch).
 		HorizonSlots: flexoffer.SlotsPerDay,
+		// Serve MsgForecastRequest queries from the fitted demand model.
+		Forecast: core.StaticForecast(demandFc),
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	bus.Register("brp-north", brp.Handle)
+	bus.Register("brp-north", brp.Handler())
 
 	// Prosumer offers for day 28.
 	day28 := flexoffer.Time((days - 1) * flexoffer.SlotsPerDay)
@@ -98,7 +102,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		bus.Register(name, p.Handle)
+		bus.Register(name, p.Handler())
 		// Move the offer into day 28 and keep it inside the horizon.
 		shift := day28 - flexoffer.Time(int(f.EarliestStart)/flexoffer.SlotsPerDay*flexoffer.SlotsPerDay)
 		f.EarliestStart += shift
@@ -110,7 +114,7 @@ func main() {
 				continue // does not fit the day at all
 			}
 		}
-		d, err := p.SubmitOfferTo(f)
+		d, err := p.SubmitOfferTo(ctx, f)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -121,6 +125,16 @@ func main() {
 		}
 	}
 	fmt.Printf("negotiation: %d offers accepted, %d rejected\n", accepted, rejected)
+
+	// Any node can query the BRP's forecast through the typed client —
+	// the paper's explicit forecast exchange between nodes.
+	rpc := comm.NewClient("analyst", bus, comm.WithRequestTimeout(time.Second))
+	fcReply, err := rpc.QueryForecast(ctx, "brp-north", "demand", 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("forecast query: brp-north expects %.1f MW demand over the next %d slots\n",
+		fcReply.Values[0], len(fcReply.Values))
 
 	// --- Scheduling cycle --------------------------------------------------
 	imbPrices := make([]float64, flexoffer.SlotsPerDay)
@@ -133,7 +147,7 @@ func main() {
 		// MW over 15 min → kWh/4; demand minus wind production.
 		baseline[t] = (demandFc[t] - windFc[t]) * 1000 / 4 / 1000 // scale to the group (≈ MWh→kWh/1000 group share)
 	}
-	rep, err := brp.RunSchedulingCycle(day28, core.StaticForecast(baseline), nil, imbPrices)
+	rep, err := brp.RunSchedulingCycle(ctx, day28, core.StaticForecast(baseline), nil, imbPrices)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -70,7 +71,7 @@ func main() {
 			baseline[t] -= 60 // night wind surplus to soak up
 		}
 	}
-	rep, err := brp.RunSchedulingCycle(0, core.StaticForecast(baseline), nil, nil)
+	rep, err := brp.RunSchedulingCycle(context.Background(), 0, core.StaticForecast(baseline), nil, nil)
 	if err != nil {
 		log.Fatal(err)
 	}

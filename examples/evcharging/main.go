@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -33,6 +34,7 @@ func slotClock(slot flexoffer.Time) string {
 }
 
 func main() {
+	ctx := context.Background()
 	bus := comm.NewBus()
 
 	brp, err := core.NewNode(core.Config{
@@ -46,7 +48,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	bus.Register("trader", brp.Handle)
+	bus.Register("trader", brp.Handler())
 
 	household, err := core.NewNode(core.Config{
 		Name: "household-17", Role: store.RoleProsumer, Parent: "trader", Transport: bus,
@@ -54,7 +56,15 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	bus.Register("household-17", household.Handle)
+	bus.Register("household-17", household.Handler())
+
+	// Step 0: before issuing anything, the household's typed client
+	// checks that the trader is alive.
+	rpc := comm.NewClient("household-17", bus, comm.WithRequestTimeout(time.Second))
+	if err := rpc.Ping(ctx, "trader"); err != nil {
+		log.Fatalf("trader unreachable: %v", err)
+	}
+	fmt.Println("step 0: trader responds to ping — fabric is up")
 
 	// Step 1+2: the EV needs 8 slots (2 h) × 6.25 kWh = 50 kWh, earliest
 	// start 22:00 (slot 88), latest start 05:00 next day (slot 116), so
@@ -74,7 +84,7 @@ func main() {
 	fmt.Printf("step 2: flex-offer issued — window %s … %s, %g kWh max\n",
 		slotClock(evOffer.EarliestStart), slotClock(evOffer.LatestStart), evOffer.MaxTotalEnergy())
 
-	decision, err := household.SubmitOfferTo(evOffer)
+	decision, err := household.SubmitOfferTo(ctx, evOffer)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -92,7 +102,7 @@ func main() {
 			baseline[t] = -9 // night wind surplus
 		}
 	}
-	rep, err := brp.RunSchedulingCycle(80, core.StaticForecast(baseline[80:]), nil, nil)
+	rep, err := brp.RunSchedulingCycle(ctx, 80, core.StaticForecast(baseline[80:]), nil, nil)
 	if err != nil {
 		log.Fatal(err)
 	}

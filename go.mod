@@ -1,0 +1,3 @@
+module mirabel
+
+go 1.21

@@ -1,28 +1,47 @@
 package comm
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
 )
 
 // Handler processes an incoming envelope and optionally returns a reply.
-// Handlers must be safe for concurrent use.
-type Handler func(Envelope) (*Envelope, error)
+// The context carries the request's cancellation and deadline: handlers
+// doing slow work should watch ctx.Done() and bail early. Handlers must
+// be safe for concurrent use.
+type Handler func(ctx context.Context, env Envelope) (*Envelope, error)
 
-// Transport moves envelopes between named endpoints.
+// Transport moves envelopes between named endpoints. Cancellation and
+// deadlines travel in the context; a transport with no deadline on the
+// context applies DefaultTimeout to requests.
 type Transport interface {
 	// Send delivers fire-and-forget; the receiver's reply (if any) is
 	// discarded.
-	Send(to string, env Envelope) error
-	// Request delivers and waits for the handler's reply.
-	Request(to string, env Envelope, timeout time.Duration) (Envelope, error)
+	Send(ctx context.Context, to string, env Envelope) error
+	// Request delivers and waits for the handler's reply or ctx
+	// expiry, whichever comes first.
+	Request(ctx context.Context, to string, env Envelope) (Envelope, error)
 }
+
+// DefaultTimeout bounds a Request whose context carries no deadline.
+const DefaultTimeout = 5 * time.Second
+
+// ErrUnreachable is wrapped by Send/Request when the destination is not
+// registered (Bus) or has no route (TCPClient). Match with errors.Is.
+var ErrUnreachable = errors.New("comm: destination unreachable")
+
+// ErrNoReply is wrapped by Request when the handler returned neither a
+// reply nor an error.
+var ErrNoReply = errors.New("comm: handler returned no reply")
 
 // Bus is the in-process transport: a registry of named endpoints, used
 // to simulate large node populations in one process. Handlers run on the
-// caller's goroutine for Request and on a fresh goroutine for Send —
-// matching the asynchrony of a real network without its flakiness.
+// caller's goroutine context for Request and on a fresh goroutine for
+// Send — matching the asynchrony of a real network without its
+// flakiness.
 type Bus struct {
 	mu       sync.RWMutex
 	handlers map[string]Handler
@@ -49,10 +68,6 @@ func (b *Bus) Unregister(name string) {
 	delete(b.handlers, name)
 }
 
-// ErrUnreachable is wrapped by Send/Request when the destination is not
-// registered.
-var ErrUnreachable = fmt.Errorf("comm: destination unreachable")
-
 func (b *Bus) handler(name string) (Handler, error) {
 	b.mu.RLock()
 	defer b.mu.RUnlock()
@@ -63,26 +78,40 @@ func (b *Bus) handler(name string) (Handler, error) {
 	return h, nil
 }
 
-// Send implements Transport.
-func (b *Bus) Send(to string, env Envelope) error {
+// Send implements Transport. The handler runs detached from the
+// caller's cancellation (the message is already "on the wire") but
+// still sees its values.
+func (b *Bus) Send(ctx context.Context, to string, env Envelope) error {
 	h, err := b.handler(to)
 	if err != nil {
 		return err
 	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	detached := context.WithoutCancel(ctx)
 	go func() {
-		_, _ = h(env)
+		_, _ = h(detached, env)
 	}()
 	return nil
 }
 
-// Request implements Transport.
-func (b *Bus) Request(to string, env Envelope, timeout time.Duration) (Envelope, error) {
+// Request implements Transport. The handler observes ctx directly, so a
+// canceled request tells the handler to stop; the worker goroutine
+// never blocks on delivering its result (buffered channel), so an
+// abandoned request cannot leak it.
+func (b *Bus) Request(ctx context.Context, to string, env Envelope) (Envelope, error) {
 	h, err := b.handler(to)
 	if err != nil {
 		return Envelope{}, err
 	}
-	if timeout <= 0 {
-		timeout = 5 * time.Second
+	if err := ctx.Err(); err != nil {
+		return Envelope{}, fmt.Errorf("comm: request to %s: %w", to, err)
+	}
+	if _, ok := ctx.Deadline(); !ok {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, DefaultTimeout)
+		defer cancel()
 	}
 	type outcome struct {
 		reply *Envelope
@@ -90,7 +119,7 @@ func (b *Bus) Request(to string, env Envelope, timeout time.Duration) (Envelope,
 	}
 	ch := make(chan outcome, 1)
 	go func() {
-		r, err := h(env)
+		r, err := h(ctx, env)
 		ch <- outcome{r, err}
 	}()
 	select {
@@ -99,11 +128,11 @@ func (b *Bus) Request(to string, env Envelope, timeout time.Duration) (Envelope,
 			return Envelope{}, o.err
 		}
 		if o.reply == nil {
-			return Envelope{}, fmt.Errorf("comm: %s returned no reply", to)
+			return Envelope{}, fmt.Errorf("%w: from %s", ErrNoReply, to)
 		}
 		return *o.reply, nil
-	case <-time.After(timeout):
-		return Envelope{}, fmt.Errorf("comm: request to %s timed out after %v", to, timeout)
+	case <-ctx.Done():
+		return Envelope{}, fmt.Errorf("comm: request to %s: %w", to, ctx.Err())
 	}
 }
 

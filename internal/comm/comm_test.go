@@ -1,6 +1,7 @@
 package comm
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -40,12 +41,12 @@ func TestDecodeWrongType(t *testing.T) {
 
 func TestBusRequestReply(t *testing.T) {
 	bus := NewBus()
-	bus.Register("brp1", func(env Envelope) (*Envelope, error) {
+	bus.Register("brp1", func(ctx context.Context, env Envelope) (*Envelope, error) {
 		reply, err := NewEnvelope(MsgPong, "brp1", env.From, nil)
 		return &reply, err
 	})
 	env, _ := NewEnvelope(MsgPing, "p1", "brp1", nil)
-	reply, err := bus.Request("brp1", env, time.Second)
+	reply, err := bus.Request(context.Background(), "brp1", env)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,18 +56,19 @@ func TestBusRequestReply(t *testing.T) {
 }
 
 func TestBusUnreachable(t *testing.T) {
+	ctx := context.Background()
 	bus := NewBus()
 	env, _ := NewEnvelope(MsgPing, "p1", "ghost", nil)
-	if err := bus.Send("ghost", env); !errors.Is(err, ErrUnreachable) {
+	if err := bus.Send(ctx, "ghost", env); !errors.Is(err, ErrUnreachable) {
 		t.Errorf("Send err = %v", err)
 	}
-	if _, err := bus.Request("ghost", env, time.Second); !errors.Is(err, ErrUnreachable) {
+	if _, err := bus.Request(ctx, "ghost", env); !errors.Is(err, ErrUnreachable) {
 		t.Errorf("Request err = %v", err)
 	}
 	// A node can drop off the bus (paper: "nodes unreachable").
-	bus.Register("x", func(Envelope) (*Envelope, error) { return nil, nil })
+	bus.Register("x", func(context.Context, Envelope) (*Envelope, error) { return nil, nil })
 	bus.Unregister("x")
-	if err := bus.Send("x", env); !errors.Is(err, ErrUnreachable) {
+	if err := bus.Send(ctx, "x", env); !errors.Is(err, ErrUnreachable) {
 		t.Errorf("Send after Unregister err = %v", err)
 	}
 }
@@ -75,7 +77,7 @@ func TestBusSendAsync(t *testing.T) {
 	bus := NewBus()
 	var count atomic.Int32
 	done := make(chan struct{})
-	bus.Register("sink", func(Envelope) (*Envelope, error) {
+	bus.Register("sink", func(context.Context, Envelope) (*Envelope, error) {
 		if count.Add(1) == 10 {
 			close(done)
 		}
@@ -83,7 +85,7 @@ func TestBusSendAsync(t *testing.T) {
 	})
 	env, _ := NewEnvelope(MsgPing, "src", "sink", nil)
 	for i := 0; i < 10; i++ {
-		if err := bus.Send("sink", env); err != nil {
+		if err := bus.Send(context.Background(), "sink", env); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -94,15 +96,46 @@ func TestBusSendAsync(t *testing.T) {
 	}
 }
 
-func TestBusRequestTimeout(t *testing.T) {
+func TestBusSendOutlivesCallerCancellation(t *testing.T) {
+	// A message accepted by Send is "on the wire": the handler must run
+	// even if the caller's context is canceled immediately after.
 	bus := NewBus()
-	bus.Register("slow", func(Envelope) (*Envelope, error) {
-		time.Sleep(200 * time.Millisecond)
+	delivered := make(chan struct{})
+	bus.Register("sink", func(ctx context.Context, _ Envelope) (*Envelope, error) {
+		if err := ctx.Err(); err != nil {
+			t.Errorf("handler context already canceled: %v", err)
+		}
+		close(delivered)
 		return nil, nil
 	})
+	ctx, cancel := context.WithCancel(context.Background())
+	env, _ := NewEnvelope(MsgPing, "src", "sink", nil)
+	if err := bus.Send(ctx, "sink", env); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	select {
+	case <-delivered:
+	case <-time.After(2 * time.Second):
+		t.Fatal("send dropped after caller cancellation")
+	}
+}
+
+func TestBusRequestDeadline(t *testing.T) {
+	bus := NewBus()
+	bus.Register("slow", func(ctx context.Context, _ Envelope) (*Envelope, error) {
+		select {
+		case <-time.After(5 * time.Second):
+		case <-ctx.Done():
+		}
+		return nil, ctx.Err()
+	})
 	env, _ := NewEnvelope(MsgPing, "p", "slow", nil)
-	if _, err := bus.Request("slow", env, 20*time.Millisecond); err == nil {
-		t.Error("timeout not enforced")
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, err := bus.Request(ctx, "slow", env)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v, want DeadlineExceeded", err)
 	}
 }
 
@@ -114,9 +147,9 @@ func TestBusConcurrentRegisterAndSend(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			name := fmt.Sprintf("n%d", i)
-			bus.Register(name, func(Envelope) (*Envelope, error) { return nil, nil })
+			bus.Register(name, func(context.Context, Envelope) (*Envelope, error) { return nil, nil })
 			env, _ := NewEnvelope(MsgPing, "x", name, nil)
-			_ = bus.Send(name, env)
+			_ = bus.Send(context.Background(), name, env)
 		}(i)
 	}
 	wg.Wait()
@@ -126,7 +159,7 @@ func TestBusConcurrentRegisterAndSend(t *testing.T) {
 }
 
 func TestTCPRequestReply(t *testing.T) {
-	srv, err := ListenTCP("127.0.0.1:0", func(env Envelope) (*Envelope, error) {
+	srv, err := ListenTCP("127.0.0.1:0", func(ctx context.Context, env Envelope) (*Envelope, error) {
 		if env.Type != MsgForecastRequest {
 			return nil, fmt.Errorf("unexpected %s", env.Type)
 		}
@@ -145,7 +178,7 @@ func TestTCPRequestReply(t *testing.T) {
 	client.SetRoute("brp1", srv.Addr())
 
 	env, _ := NewEnvelope(MsgForecastRequest, "p1", "brp1", ForecastRequest{EnergyType: "demand", Horizon: 3})
-	reply, err := client.Request("brp1", env, time.Second)
+	reply, err := client.Request(context.Background(), "brp1", env)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,7 +195,7 @@ func TestTCPRequestReply(t *testing.T) {
 }
 
 func TestTCPHandlerErrorPropagates(t *testing.T) {
-	srv, err := ListenTCP("127.0.0.1:0", func(Envelope) (*Envelope, error) {
+	srv, err := ListenTCP("127.0.0.1:0", func(context.Context, Envelope) (*Envelope, error) {
 		return nil, fmt.Errorf("no capacity")
 	})
 	if err != nil {
@@ -173,14 +206,14 @@ func TestTCPHandlerErrorPropagates(t *testing.T) {
 	defer client.Close()
 	client.SetRoute("brp1", srv.Addr())
 	env, _ := NewEnvelope(MsgPing, "p1", "brp1", nil)
-	if _, err := client.Request("brp1", env, time.Second); err == nil {
+	if _, err := client.Request(context.Background(), "brp1", env); err == nil {
 		t.Error("handler error not propagated")
 	}
 }
 
 func TestTCPFireAndForgetGetsPong(t *testing.T) {
 	var count atomic.Int32
-	srv, err := ListenTCP("127.0.0.1:0", func(Envelope) (*Envelope, error) {
+	srv, err := ListenTCP("127.0.0.1:0", func(context.Context, Envelope) (*Envelope, error) {
 		count.Add(1)
 		return nil, nil
 	})
@@ -193,7 +226,7 @@ func TestTCPFireAndForgetGetsPong(t *testing.T) {
 	client.SetRoute("brp1", srv.Addr())
 	env, _ := NewEnvelope(MsgMeasurementReport, "p1", "brp1", MeasurementReport{Actor: "p1", Slot: 3, KWh: 1})
 	for i := 0; i < 5; i++ {
-		if err := client.Send("brp1", env); err != nil {
+		if err := client.Send(context.Background(), "brp1", env); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -206,13 +239,13 @@ func TestTCPNoRoute(t *testing.T) {
 	client := NewTCPClient("p1")
 	defer client.Close()
 	env, _ := NewEnvelope(MsgPing, "p1", "ghost", nil)
-	if _, err := client.Request("ghost", env, time.Second); !errors.Is(err, ErrUnreachable) {
+	if _, err := client.Request(context.Background(), "ghost", env); !errors.Is(err, ErrUnreachable) {
 		t.Errorf("err = %v", err)
 	}
 }
 
 func TestTCPReconnectAfterServerRestart(t *testing.T) {
-	handler := func(env Envelope) (*Envelope, error) {
+	handler := func(ctx context.Context, env Envelope) (*Envelope, error) {
 		reply, err := NewEnvelope(MsgPong, "srv", env.From, nil)
 		return &reply, err
 	}
@@ -225,7 +258,7 @@ func TestTCPReconnectAfterServerRestart(t *testing.T) {
 	defer client.Close()
 	client.SetRoute("srv", addr)
 	env, _ := NewEnvelope(MsgPing, "p1", "srv", nil)
-	if _, err := client.Request("srv", env, time.Second); err != nil {
+	if _, err := client.Request(context.Background(), "srv", env); err != nil {
 		t.Fatal(err)
 	}
 	// Restart the server on the same address.
@@ -236,13 +269,13 @@ func TestTCPReconnectAfterServerRestart(t *testing.T) {
 	}
 	defer srv2.Close()
 	// The pooled connection is stale; the client must redial.
-	if _, err := client.Request("srv", env, time.Second); err != nil {
+	if _, err := client.Request(context.Background(), "srv", env); err != nil {
 		t.Errorf("request after restart: %v", err)
 	}
 }
 
 func TestTCPConcurrentClients(t *testing.T) {
-	srv, err := ListenTCP("127.0.0.1:0", func(env Envelope) (*Envelope, error) {
+	srv, err := ListenTCP("127.0.0.1:0", func(ctx context.Context, env Envelope) (*Envelope, error) {
 		reply, err := NewEnvelope(MsgPong, "srv", env.From, nil)
 		return &reply, err
 	})
@@ -261,7 +294,7 @@ func TestTCPConcurrentClients(t *testing.T) {
 			c.SetRoute("srv", srv.Addr())
 			env, _ := NewEnvelope(MsgPing, c.from, "srv", nil)
 			for j := 0; j < 20; j++ {
-				if _, err := c.Request("srv", env, time.Second); err != nil {
+				if _, err := c.Request(context.Background(), "srv", env); err != nil {
 					errs <- err
 					return
 				}

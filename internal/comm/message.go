@@ -1,9 +1,43 @@
 // Package comm is the MIRABEL Communication component (paper §3):
 // message exchange between LEDMS nodes — "flex-offers, supply and demand
-// measurements, forecasts, etc." Messages are typed JSON envelopes; two
-// transports are provided, an in-process Bus for large simulations and a
-// TCP transport (length-prefixed frames) for real deployments, both with
-// request/response and fire-and-forget semantics.
+// measurements, forecasts, etc." — for an EDMS that "consists of
+// millions of homogeneous nodes".
+//
+// The package is layered, context-first throughout:
+//
+//   - Envelope is the wire unit: a typed JSON payload with routing
+//     metadata. Two Transports move envelopes: an in-process Bus for
+//     population-scale simulation and a TCP transport (length-prefixed
+//     frames, pooled connections) for real deployments. Both offer
+//     request/response and fire-and-forget semantics and honor
+//     context cancellation and deadlines: a canceled Request returns
+//     ctx.Err() promptly on both transports. On the Bus the serving
+//     Handler observes the caller's cancellation directly; over TCP
+//     the handler runs under a server-scoped context (canceled on
+//     shutdown) and a caller's mid-flight cancel unblocks only the
+//     calling side.
+//
+//   - Client is the typed RPC surface applications use: SubmitOffer,
+//     QueryForecast, NotifySchedules, ReportMeasurement, Ping. It owns
+//     envelope construction and reply decoding; callers never touch
+//     NewEnvelope/Decode.
+//
+//   - Mux routes inbound envelopes to per-MsgType Handlers, and
+//     Middleware (Recover, Logging, Metrics.Collect — composed with
+//     Chain) layers cross-cutting behaviour over every handler
+//     uniformly.
+//
+// A minimal node:
+//
+//	mux := comm.NewMux()
+//	mux.Handle(comm.MsgPing, func(ctx context.Context, env comm.Envelope) (*comm.Envelope, error) {
+//		pong, err := comm.NewEnvelope(comm.MsgPong, "me", env.From, nil)
+//		return &pong, err
+//	})
+//	bus.Register("me", comm.Chain(mux.Serve, comm.Recover()))
+//
+//	client := comm.NewClient("you", bus)
+//	err := client.Ping(ctx, "me")
 package comm
 
 import (

@@ -1,0 +1,73 @@
+package comm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrNoHandler is wrapped when a Mux receives a message type nothing
+// registered for. Match with errors.Is.
+var ErrNoHandler = errors.New("comm: no handler for message type")
+
+// Mux dispatches envelopes to per-MsgType handlers — the node fabric's
+// replacement for monolithic type switches. Register handlers with
+// Handle, then attach mux.Serve (optionally wrapped in middleware via
+// Chain) to a transport.
+type Mux struct {
+	mu       sync.RWMutex
+	handlers map[MsgType]Handler
+	fallback Handler
+}
+
+// NewMux returns an empty dispatch registry.
+func NewMux() *Mux {
+	return &Mux{handlers: make(map[MsgType]Handler)}
+}
+
+// Handle registers h for message type t, replacing any previous
+// registration. It panics on a nil handler — registration is wiring,
+// not data flow.
+func (m *Mux) Handle(t MsgType, h Handler) {
+	if h == nil {
+		panic(fmt.Sprintf("comm: nil handler for %s", t))
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.handlers[t] = h
+}
+
+// HandleFallback registers a handler for message types with no explicit
+// registration (nil restores the default ErrNoHandler behaviour).
+func (m *Mux) HandleFallback(h Handler) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.fallback = h
+}
+
+// Types returns the registered message types (diagnostics).
+func (m *Mux) Types() []MsgType {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]MsgType, 0, len(m.handlers))
+	for t := range m.handlers {
+		out = append(out, t)
+	}
+	return out
+}
+
+// Serve is a Handler: it routes env to the handler registered for its
+// type.
+func (m *Mux) Serve(ctx context.Context, env Envelope) (*Envelope, error) {
+	m.mu.RLock()
+	h, ok := m.handlers[env.Type]
+	if !ok {
+		h = m.fallback
+	}
+	m.mu.RUnlock()
+	if h == nil {
+		return nil, fmt.Errorf("%w: %s", ErrNoHandler, env.Type)
+	}
+	return h(ctx, env)
+}

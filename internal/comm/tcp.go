@@ -2,6 +2,7 @@ package comm
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
@@ -55,10 +56,14 @@ func readFrame(r io.Reader) (Envelope, error) {
 	return env, nil
 }
 
-// TCPServer serves a node endpoint over TCP.
+// TCPServer serves a node endpoint over TCP. Handlers receive a context
+// that is canceled when the server shuts down, so in-flight work stops
+// with the listener.
 type TCPServer struct {
 	ln      net.Listener
 	handler Handler
+	baseCtx context.Context
+	cancel  context.CancelFunc
 	wg      sync.WaitGroup
 	mu      sync.Mutex
 	closed  bool
@@ -72,7 +77,8 @@ func ListenTCP(addr string, h Handler) (*TCPServer, error) {
 	if err != nil {
 		return nil, fmt.Errorf("comm: listen %s: %w", addr, err)
 	}
-	s := &TCPServer{ln: ln, handler: h, conns: make(map[net.Conn]struct{})}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &TCPServer{ln: ln, handler: h, baseCtx: ctx, cancel: cancel, conns: make(map[net.Conn]struct{})}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -81,9 +87,10 @@ func ListenTCP(addr string, h Handler) (*TCPServer, error) {
 // Addr returns the bound address.
 func (s *TCPServer) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the listener, drops open connections and waits for their
-// goroutines.
+// Close cancels in-flight handlers, stops the listener, drops open
+// connections and waits for their goroutines.
 func (s *TCPServer) Close() error {
+	s.cancel()
 	s.mu.Lock()
 	s.closed = true
 	for conn := range s.conns {
@@ -139,7 +146,7 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 		if err != nil {
 			return // EOF or protocol error: drop the connection
 		}
-		reply, err := s.handler(env)
+		reply, err := s.handler(s.baseCtx, env)
 		switch {
 		case err != nil:
 			e := ErrorEnvelope(&env, env.To, err.Error())
@@ -192,8 +199,20 @@ func (c *TCPClient) Close() error {
 }
 
 // roundTrip sends env and reads the reply over the pooled connection,
-// redialing once on a stale connection.
-func (c *TCPClient) roundTrip(to string, env Envelope, timeout time.Duration) (Envelope, error) {
+// redialing once on a stale connection. The context's deadline maps
+// onto the connection deadline; cancellation mid-flight unblocks the
+// pending read/write immediately.
+func (c *TCPClient) roundTrip(ctx context.Context, to string, env Envelope) (Envelope, error) {
+	if err := ctx.Err(); err != nil {
+		return Envelope{}, fmt.Errorf("comm: request to %s: %w", to, err)
+	}
+	if _, ok := ctx.Deadline(); !ok {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, DefaultTimeout)
+		defer cancel()
+	}
+	deadline, _ := ctx.Deadline()
+
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	addr, ok := c.addrs[to]
@@ -205,27 +224,50 @@ func (c *TCPClient) roundTrip(to string, env Envelope, timeout time.Duration) (E
 	env.From = c.from
 	env.To = to
 
-	deadline := time.Now().Add(timeout)
 	for attempt := 0; attempt < 2; attempt++ {
 		conn := c.conns[to]
 		if conn == nil {
 			var err error
-			conn, err = net.DialTimeout("tcp", addr, timeout)
+			var d net.Dialer
+			conn, err = d.DialContext(ctx, "tcp", addr)
 			if err != nil {
+				if cerr := ctx.Err(); cerr != nil {
+					return Envelope{}, fmt.Errorf("comm: dial %s: %w", addr, cerr)
+				}
 				return Envelope{}, fmt.Errorf("comm: dial %s: %w", addr, err)
 			}
 			c.conns[to] = conn
 		}
 		conn.SetDeadline(deadline)
+		// Cancellation mid-flight: expire the connection deadline so a
+		// blocked read/write returns now instead of at the deadline.
+		stop := context.AfterFunc(ctx, func() {
+			conn.SetDeadline(time.Unix(1, 0))
+		})
 		if err := writeFrame(conn, &env); err != nil {
+			stop()
 			conn.Close()
 			delete(c.conns, to)
+			if cerr := ctx.Err(); cerr != nil {
+				return Envelope{}, fmt.Errorf("comm: request to %s: %w", to, cerr)
+			}
 			continue // stale pooled connection: retry once on a fresh dial
 		}
 		reply, err := readFrame(conn)
+		if !stop() && err == nil {
+			// The cancel callback already started: it may expire the
+			// deadline after a later request resets it. Don't pool a
+			// connection that can be poisoned under the next caller.
+			conn.Close()
+			delete(c.conns, to)
+			return reply, nil
+		}
 		if err != nil {
 			conn.Close()
 			delete(c.conns, to)
+			if cerr := ctx.Err(); cerr != nil {
+				return Envelope{}, fmt.Errorf("comm: request to %s: %w", to, cerr)
+			}
 			if attempt == 1 {
 				return Envelope{}, fmt.Errorf("comm: read reply from %s: %w", to, err)
 			}
@@ -238,17 +280,14 @@ func (c *TCPClient) roundTrip(to string, env Envelope, timeout time.Duration) (E
 
 // Send implements Transport (the reply frame is read and discarded to
 // keep the stream in lock-step).
-func (c *TCPClient) Send(to string, env Envelope) error {
-	_, err := c.roundTrip(to, env, 5*time.Second)
+func (c *TCPClient) Send(ctx context.Context, to string, env Envelope) error {
+	_, err := c.roundTrip(ctx, to, env)
 	return err
 }
 
 // Request implements Transport.
-func (c *TCPClient) Request(to string, env Envelope, timeout time.Duration) (Envelope, error) {
-	if timeout <= 0 {
-		timeout = 5 * time.Second
-	}
-	reply, err := c.roundTrip(to, env, timeout)
+func (c *TCPClient) Request(ctx context.Context, to string, env Envelope) (Envelope, error) {
+	reply, err := c.roundTrip(ctx, to, env)
 	if err != nil {
 		return Envelope{}, err
 	}

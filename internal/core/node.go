@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -43,12 +44,25 @@ type Config struct {
 	SchedOpts      sched.Options        // per-cycle scheduling budget
 	Market         *market.DayAhead     // optional market access
 	HorizonSlots   int                  // scheduling horizon (default one day)
-	RequestTimeout time.Duration        // transport request timeout (default 5s)
+	RequestTimeout time.Duration        // transport request timeout (default comm.DefaultTimeout)
+
+	// Forecast optionally serves MsgForecastRequest queries from peers
+	// (a forecast.Maintainer, a StaticForecast, ...). Nil nodes answer
+	// forecast queries with an error.
+	Forecast forecaster
+
+	// Middleware is appended to the node's built-in handler chain
+	// (recovery, metrics) — the seam where logging, tracing or
+	// rate-limiting layer in without touching dispatch.
+	Middleware []comm.Middleware
 }
 
 // Node is one LEDMS instance.
 type Node struct {
-	cfg Config
+	cfg     Config
+	client  *comm.Client
+	handler comm.Handler
+	metrics *comm.Metrics
 
 	mu       sync.Mutex
 	store    *store.Store
@@ -71,7 +85,8 @@ type Node struct {
 }
 
 // NewNode builds a node and registers nothing — attach it to a transport
-// with Handler() or comm.Bus.Register(name, node.Handle).
+// with comm.Bus.Register(name, node.Handler()) or
+// comm.ListenTCP(addr, node.Handler()).
 func NewNode(cfg Config) (*Node, error) {
 	if cfg.Name == "" {
 		return nil, fmt.Errorf("core: node needs a name")
@@ -92,10 +107,11 @@ func NewNode(cfg Config) (*Node, error) {
 		cfg.HorizonSlots = flexoffer.SlotsPerDay
 	}
 	if cfg.RequestTimeout <= 0 {
-		cfg.RequestTimeout = 5 * time.Second
+		cfg.RequestTimeout = comm.DefaultTimeout
 	}
 	n := &Node{
 		cfg:       cfg,
+		metrics:   &comm.Metrics{},
 		store:     cfg.Store,
 		pipeline:  agg.NewPipeline(cfg.AggParams, cfg.BinPacker),
 		valuator:  cfg.Valuator,
@@ -104,6 +120,27 @@ func NewNode(cfg Config) (*Node, error) {
 		forwarded: make(map[flexoffer.ID]flexoffer.ID),
 		nextFwdID: 1 << 32, // forwarded macro offers use a disjoint id space
 	}
+	if cfg.Transport != nil {
+		n.client = comm.NewClient(cfg.Name, cfg.Transport, comm.WithRequestTimeout(cfg.RequestTimeout))
+	}
+
+	// Dispatch: one registered handler per message type, wrapped in the
+	// node's middleware chain. Recover sits innermost so a handler
+	// panic surfaces as an ordinary error to the configured middleware
+	// (logging sees it) and to Collect (metrics count it).
+	mux := comm.NewMux()
+	mux.Handle(comm.MsgFlexOfferSubmit, n.handleOfferSubmit)
+	mux.Handle(comm.MsgMeasurementReport, n.handleMeasurement)
+	mux.Handle(comm.MsgScheduleNotify, n.handleScheduleNotify)
+	mux.Handle(comm.MsgForecastRequest, n.handleForecastRequest)
+	mux.Handle(comm.MsgPing, n.handlePing)
+	mux.HandleFallback(func(ctx context.Context, env comm.Envelope) (*comm.Envelope, error) {
+		return nil, fmt.Errorf("core: %s cannot handle %s", n.cfg.Name, env.Type)
+	})
+	chain := append([]comm.Middleware{n.metrics.Collect()}, cfg.Middleware...)
+	chain = append(chain, comm.Recover())
+	n.handler = comm.Chain(mux.Serve, chain...)
+
 	if err := n.store.PutActor(store.Actor{ID: cfg.Name, Name: cfg.Name, Role: cfg.Role, Parent: cfg.Parent}); err != nil {
 		return nil, err
 	}
@@ -116,29 +153,60 @@ func (n *Node) Name() string { return n.cfg.Name }
 // Store exposes the node's data management component.
 func (n *Node) Store() *store.Store { return n.store }
 
-// Handle is the node's message entry point (register it on a transport).
-func (n *Node) Handle(env comm.Envelope) (*comm.Envelope, error) {
-	switch env.Type {
-	case comm.MsgFlexOfferSubmit:
-		return n.handleOfferSubmit(&env)
-	case comm.MsgMeasurementReport:
-		return nil, n.handleMeasurement(&env)
-	case comm.MsgScheduleNotify:
-		return nil, n.handleScheduleNotify(&env)
-	case comm.MsgPing:
-		reply, err := comm.NewEnvelope(comm.MsgPong, n.cfg.Name, env.From, nil)
-		if err != nil {
-			return nil, err
-		}
-		return &reply, nil
-	default:
-		return nil, fmt.Errorf("core: %s cannot handle %s", n.cfg.Name, env.Type)
+// Metrics exposes the node's per-message-type handler statistics.
+func (n *Node) Metrics() *comm.Metrics { return n.metrics }
+
+// Handler returns the node's message entry point — the per-type
+// dispatch wrapped in its middleware chain — for registration on a
+// transport.
+func (n *Node) Handler() comm.Handler { return n.handler }
+
+// Handle processes one envelope through the full handler chain
+// (convenience for in-process callers and tests).
+func (n *Node) Handle(ctx context.Context, env comm.Envelope) (*comm.Envelope, error) {
+	return n.handler(ctx, env)
+}
+
+// handlePing answers liveness probes.
+func (n *Node) handlePing(ctx context.Context, env comm.Envelope) (*comm.Envelope, error) {
+	reply, err := comm.NewEnvelope(comm.MsgPong, n.cfg.Name, env.From, nil)
+	if err != nil {
+		return nil, err
 	}
+	return &reply, nil
+}
+
+// handleForecastRequest serves forecast queries from the node's
+// configured forecast source (paper §3: forecasts are first-class
+// messages between nodes).
+func (n *Node) handleForecastRequest(ctx context.Context, env comm.Envelope) (*comm.Envelope, error) {
+	var req comm.ForecastRequest
+	if err := env.Decode(comm.MsgForecastRequest, &req); err != nil {
+		return nil, err
+	}
+	if n.cfg.Forecast == nil {
+		return nil, fmt.Errorf("core: %s has no forecast source", n.cfg.Name)
+	}
+	if req.Horizon <= 0 {
+		return nil, fmt.Errorf("core: forecast horizon must be positive, got %d", req.Horizon)
+	}
+	n.mu.Lock()
+	now := n.nowLocked()
+	n.mu.Unlock()
+	reply, err := comm.NewEnvelope(comm.MsgForecastReply, n.cfg.Name, env.From, comm.ForecastReply{
+		EnergyType: req.EnergyType,
+		FirstSlot:  now,
+		Values:     n.cfg.Forecast.Forecast(req.Horizon),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &reply, nil
 }
 
 // handleOfferSubmit runs negotiation and feeds accepted offers into the
 // aggregation pipeline (BRP/TSO duty).
-func (n *Node) handleOfferSubmit(env *comm.Envelope) (*comm.Envelope, error) {
+func (n *Node) handleOfferSubmit(ctx context.Context, env comm.Envelope) (*comm.Envelope, error) {
 	if n.cfg.Role == store.RoleProsumer {
 		return nil, fmt.Errorf("core: prosumer %s does not take flex-offers", n.cfg.Name)
 	}
@@ -199,12 +267,12 @@ func (n *Node) AcceptOffer(f *flexoffer.FlexOffer, owner string) negotiate.Decis
 func (n *Node) nowLocked() flexoffer.Time { return 0 }
 
 // handleMeasurement stores a reported measurement (BRP duty).
-func (n *Node) handleMeasurement(env *comm.Envelope) error {
+func (n *Node) handleMeasurement(ctx context.Context, env comm.Envelope) (*comm.Envelope, error) {
 	var body comm.MeasurementReport
 	if err := env.Decode(comm.MsgMeasurementReport, &body); err != nil {
-		return err
+		return nil, err
 	}
-	return n.store.PutMeasurement(store.Measurement{
+	return nil, n.store.PutMeasurement(store.Measurement{
 		Actor: body.Actor, EnergyType: body.EnergyType, Slot: body.Slot, KWh: body.KWh,
 	})
 }
@@ -216,17 +284,17 @@ func (n *Node) handleMeasurement(env *comm.Envelope) error {
 // TSO's node forwards back scheduled flex-offers to the trader, they are
 // disaggregated and reported back to respective prosumers in the same
 // way as locally managed flex-offers").
-func (n *Node) handleScheduleNotify(env *comm.Envelope) error {
+func (n *Node) handleScheduleNotify(ctx context.Context, env comm.Envelope) (*comm.Envelope, error) {
 	var body comm.ScheduleNotify
 	if err := env.Decode(comm.MsgScheduleNotify, &body); err != nil {
-		return err
+		return nil, err
 	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	for _, s := range body.Schedules {
 		if localID, ok := n.forwarded[s.OfferID]; ok {
-			if err := n.relayForwardedSchedule(localID, s); err != nil {
-				return err
+			if err := n.relayForwardedSchedule(ctx, localID, s); err != nil {
+				return nil, err
 			}
 			delete(n.forwarded, s.OfferID)
 			continue
@@ -236,22 +304,22 @@ func (n *Node) handleScheduleNotify(env *comm.Envelope) error {
 			rec.State = store.OfferScheduled
 			rec.Schedule = s
 			if err := n.store.PutOffer(rec); err != nil {
-				return err
+				return nil, err
 			}
 		}
 	}
-	return nil
+	return nil, nil
 }
 
 // relayForwardedSchedule disaggregates a schedule for a delegated macro
 // flex-offer and delivers the micro schedules. Caller holds the lock.
-func (n *Node) relayForwardedSchedule(localID flexoffer.ID, s *flexoffer.Schedule) error {
+func (n *Node) relayForwardedSchedule(ctx context.Context, localID flexoffer.ID, s *flexoffer.Schedule) error {
 	translated := &flexoffer.Schedule{OfferID: localID, Start: s.Start, Energy: s.Energy}
 	micro, err := n.pipeline.Disaggregate([]*flexoffer.Schedule{translated})
 	if err != nil {
 		return err
 	}
-	if _, err := n.deliverMicroSchedules(micro); err != nil {
+	if _, err := n.deliverMicroSchedules(ctx, micro); err != nil {
 		return err
 	}
 	// The scheduled members leave the pipeline and the pending set.
@@ -273,7 +341,7 @@ func (n *Node) relayForwardedSchedule(localID flexoffer.ID, s *flexoffer.Schedul
 // deliverMicroSchedules stores and sends micro schedules to their
 // owners; unreachable owners are counted, not fatal. Caller holds the
 // lock.
-func (n *Node) deliverMicroSchedules(micro []*flexoffer.Schedule) (notifyFailures int, err error) {
+func (n *Node) deliverMicroSchedules(ctx context.Context, micro []*flexoffer.Schedule) (notifyFailures int, err error) {
 	byOwner := make(map[string][]*flexoffer.Schedule)
 	for _, s := range micro {
 		rec, ok := n.store.GetOffer(s.OfferID)
@@ -287,15 +355,11 @@ func (n *Node) deliverMicroSchedules(micro []*flexoffer.Schedule) (notifyFailure
 		}
 		byOwner[rec.Owner] = append(byOwner[rec.Owner], s)
 	}
-	if n.cfg.Transport == nil {
+	if n.client == nil {
 		return 0, nil
 	}
 	for owner, scheds := range byOwner {
-		env, err := comm.NewEnvelope(comm.MsgScheduleNotify, n.cfg.Name, owner, comm.ScheduleNotify{Schedules: scheds})
-		if err != nil {
-			return notifyFailures, err
-		}
-		if err := n.cfg.Transport.Send(owner, env); err != nil {
+		if err := n.client.NotifySchedules(ctx, owner, scheds); err != nil {
 			notifyFailures++
 		}
 	}
@@ -309,8 +373,8 @@ func (n *Node) deliverMicroSchedules(micro []*flexoffer.Schedule) (notifyFailure
 // through handleScheduleNotify; if none arrive, they time out like any
 // other pending flexibility. Returns how many aggregates the parent
 // accepted.
-func (n *Node) ForwardAggregates() (int, error) {
-	if n.cfg.Transport == nil || n.cfg.Parent == "" {
+func (n *Node) ForwardAggregates(ctx context.Context) (int, error) {
+	if n.client == nil || n.cfg.Parent == "" {
 		return 0, fmt.Errorf("core: %s has no parent to forward to", n.cfg.Name)
 	}
 	n.mu.Lock()
@@ -331,17 +395,16 @@ func (n *Node) ForwardAggregates() (int, error) {
 
 	accepted := 0
 	for _, f := range fwds {
-		env, err := comm.NewEnvelope(comm.MsgFlexOfferSubmit, n.cfg.Name, n.cfg.Parent, comm.FlexOfferSubmit{Offer: f.offer})
-		if err != nil {
+		if err := ctx.Err(); err != nil {
 			return accepted, err
 		}
-		reply, err := n.cfg.Transport.Request(n.cfg.Parent, env, n.cfg.RequestTimeout)
+		decision, err := n.client.SubmitOffer(ctx, n.cfg.Parent, f.offer)
 		if err != nil {
+			// A canceled caller is not an unreachable parent: surface it.
+			if cerr := ctx.Err(); cerr != nil {
+				return accepted, cerr
+			}
 			continue // unreachable parent: offers stay pending and may time out
-		}
-		var decision comm.FlexOfferDecision
-		if err := reply.Decode(comm.MsgFlexOfferDecision, &decision); err != nil {
-			return accepted, err
 		}
 		if decision.Accept {
 			n.mu.Lock()
@@ -409,12 +472,13 @@ type forecaster interface {
 // RunSchedulingCycle executes the full BRP workflow at planning time now
 // for [now, now+horizon): drop expired offers, schedule the aggregates
 // against the forecast baseline, disaggregate, store and deliver the
-// micro schedules to their owners.
+// micro schedules to their owners. Cancelling ctx stops outbound
+// schedule deliveries.
 //
 // demandFc and resFc forecast the non-flexible consumption and RES
 // production of the balance group; imbalancePrices gives the per-slot
 // mismatch penalty (nil = flat 0.15 EUR/kWh).
-func (n *Node) RunSchedulingCycle(now flexoffer.Time, demandFc, resFc forecaster, imbalancePrices []float64) (*CycleReport, error) {
+func (n *Node) RunSchedulingCycle(ctx context.Context, now flexoffer.Time, demandFc, resFc forecaster, imbalancePrices []float64) (*CycleReport, error) {
 	if n.cfg.Role == store.RoleProsumer {
 		return nil, fmt.Errorf("core: prosumer %s does not schedule", n.cfg.Name)
 	}
@@ -504,7 +568,7 @@ func (n *Node) RunSchedulingCycle(now flexoffer.Time, demandFc, resFc forecaster
 
 	// 5. Record and deliver. Unreachable prosumers are counted, not
 	// fatal: their offers will time out and fall back gracefully.
-	failures, err := n.deliverMicroSchedules(micro)
+	failures, err := n.deliverMicroSchedules(ctx, micro)
 	if err != nil {
 		return nil, err
 	}
@@ -569,23 +633,15 @@ func (n *Node) SettleExecuted(metered map[flexoffer.ID][]float64, cfg settle.Con
 
 // SubmitOfferTo sends a flex-offer to the node's parent and returns the
 // decision (prosumer duty).
-func (n *Node) SubmitOfferTo(f *flexoffer.FlexOffer) (comm.FlexOfferDecision, error) {
-	if n.cfg.Transport == nil || n.cfg.Parent == "" {
+func (n *Node) SubmitOfferTo(ctx context.Context, f *flexoffer.FlexOffer) (comm.FlexOfferDecision, error) {
+	if n.client == nil || n.cfg.Parent == "" {
 		return comm.FlexOfferDecision{}, fmt.Errorf("core: %s has no parent to submit to", n.cfg.Name)
 	}
 	if err := n.store.PutOffer(store.OfferRecord{Offer: f, Owner: n.cfg.Name, State: store.OfferReceived}); err != nil {
 		return comm.FlexOfferDecision{}, err
 	}
-	env, err := comm.NewEnvelope(comm.MsgFlexOfferSubmit, n.cfg.Name, n.cfg.Parent, comm.FlexOfferSubmit{Offer: f})
+	decision, err := n.client.SubmitOffer(ctx, n.cfg.Parent, f)
 	if err != nil {
-		return comm.FlexOfferDecision{}, err
-	}
-	reply, err := n.cfg.Transport.Request(n.cfg.Parent, env, n.cfg.RequestTimeout)
-	if err != nil {
-		return comm.FlexOfferDecision{}, err
-	}
-	var decision comm.FlexOfferDecision
-	if err := reply.Decode(comm.MsgFlexOfferDecision, &decision); err != nil {
 		return comm.FlexOfferDecision{}, err
 	}
 	rec, _ := n.store.GetOffer(f.ID)
@@ -604,20 +660,25 @@ func (n *Node) SubmitOfferTo(f *flexoffer.FlexOffer) (comm.FlexOfferDecision, er
 
 // ReportMeasurement sends a metered value to the parent and stores it
 // locally (prosumer duty).
-func (n *Node) ReportMeasurement(energyType string, slot flexoffer.Time, kwh float64) error {
+func (n *Node) ReportMeasurement(ctx context.Context, energyType string, slot flexoffer.Time, kwh float64) error {
 	if err := n.store.PutMeasurement(store.Measurement{Actor: n.cfg.Name, EnergyType: energyType, Slot: slot, KWh: kwh}); err != nil {
 		return err
 	}
-	if n.cfg.Transport == nil || n.cfg.Parent == "" {
+	if n.client == nil || n.cfg.Parent == "" {
 		return nil
 	}
-	env, err := comm.NewEnvelope(comm.MsgMeasurementReport, n.cfg.Name, n.cfg.Parent, comm.MeasurementReport{
+	return n.client.ReportMeasurement(ctx, n.cfg.Parent, comm.MeasurementReport{
 		Actor: n.cfg.Name, EnergyType: energyType, Slot: slot, KWh: kwh,
 	})
-	if err != nil {
-		return err
+}
+
+// QueryParentForecast asks the parent node for its forecast of
+// energyType over horizon slots (prosumer/BRP duty).
+func (n *Node) QueryParentForecast(ctx context.Context, energyType string, horizon int) (comm.ForecastReply, error) {
+	if n.client == nil || n.cfg.Parent == "" {
+		return comm.ForecastReply{}, fmt.Errorf("core: %s has no parent to query", n.cfg.Name)
 	}
-	return n.cfg.Transport.Send(n.cfg.Parent, env)
+	return n.client.QueryForecast(ctx, n.cfg.Parent, energyType, horizon)
 }
 
 // ensure forecast.Maintainer satisfies the forecaster seam.

@@ -1,6 +1,9 @@
 package core
 
 import (
+	"context"
+	"errors"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -37,7 +40,7 @@ func newBRP(t *testing.T, bus *comm.Bus) *Node {
 		t.Fatal(err)
 	}
 	if bus != nil {
-		bus.Register("brp1", n.Handle)
+		bus.Register("brp1", n.Handler())
 	}
 	return n
 }
@@ -53,7 +56,7 @@ func newProsumer(t *testing.T, bus *comm.Bus, name string) *Node {
 	if err != nil {
 		t.Fatal(err)
 	}
-	bus.Register(name, n.Handle)
+	bus.Register(name, n.Handler())
 	return n
 }
 
@@ -72,7 +75,7 @@ func TestOfferSubmissionRoundtrip(t *testing.T) {
 	p1 := newProsumer(t, bus, "p1")
 
 	offer := testOffer(1, 40, 16, 4, 5)
-	decision, err := p1.SubmitOfferTo(offer)
+	decision, err := p1.SubmitOfferTo(context.Background(), offer)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +103,7 @@ func TestInflexibleOfferRejected(t *testing.T) {
 	p1 := newProsumer(t, bus, "p1")
 	rigid := testOffer(2, 40, 0, 4, 5)
 	rigid.Profile = []flexoffer.Slice{{EnergyMin: 5, EnergyMax: 5}}
-	decision, err := p1.SubmitOfferTo(rigid)
+	decision, err := p1.SubmitOfferTo(context.Background(), rigid)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,10 +123,10 @@ func TestSchedulingCycleEndToEnd(t *testing.T) {
 
 	o1 := testOffer(1, 40, 16, 4, 5)
 	o2 := testOffer(2, 42, 12, 4, 5)
-	if d, err := p1.SubmitOfferTo(o1); err != nil || !d.Accept {
+	if d, err := p1.SubmitOfferTo(context.Background(), o1); err != nil || !d.Accept {
 		t.Fatalf("submit o1: %v %+v", err, d)
 	}
-	if d, err := p2.SubmitOfferTo(o2); err != nil || !d.Accept {
+	if d, err := p2.SubmitOfferTo(context.Background(), o2); err != nil || !d.Accept {
 		t.Fatalf("submit o2: %v %+v", err, d)
 	}
 
@@ -133,7 +136,7 @@ func TestSchedulingCycleEndToEnd(t *testing.T) {
 		baseline[i] = -8
 	}
 	res := StaticForecast(make([]float64, flexoffer.SlotsPerDay))
-	rep, err := brp.RunSchedulingCycle(0, StaticForecast(baseline), res, nil)
+	rep, err := brp.RunSchedulingCycle(context.Background(), 0, StaticForecast(baseline), res, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,7 +173,7 @@ func TestExpiredOfferFallsBackToDefault(t *testing.T) {
 	newBRP(t, bus)
 	p1 := newProsumer(t, bus, "p1")
 	offer := testOffer(1, 40, 16, 4, 5)
-	if _, err := p1.SubmitOfferTo(offer); err != nil {
+	if _, err := p1.SubmitOfferTo(context.Background(), offer); err != nil {
 		t.Fatal(err)
 	}
 	// No schedule arrives; after the assignment deadline the prosumer
@@ -197,7 +200,7 @@ func TestCycleExpiresStaleOffers(t *testing.T) {
 	if d := brp.AcceptOffer(stale, "p9"); !d.Accept {
 		t.Fatalf("rejected: %s", d.Reason)
 	}
-	rep, err := brp.RunSchedulingCycle(36, nil, nil, nil)
+	rep, err := brp.RunSchedulingCycle(context.Background(), 36, nil, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,11 +217,11 @@ func TestUnreachableProsumerDoesNotFailCycle(t *testing.T) {
 	brp := newBRP(t, bus)
 	p1 := newProsumer(t, bus, "p1")
 	offer := testOffer(1, 40, 16, 4, 5)
-	if _, err := p1.SubmitOfferTo(offer); err != nil {
+	if _, err := p1.SubmitOfferTo(context.Background(), offer); err != nil {
 		t.Fatal(err)
 	}
 	bus.Unregister("p1") // the node drops off the network
-	rep, err := brp.RunSchedulingCycle(0, nil, nil, nil)
+	rep, err := brp.RunSchedulingCycle(context.Background(), 0, nil, nil, nil)
 	if err != nil {
 		t.Fatalf("cycle failed on unreachable prosumer: %v", err)
 	}
@@ -231,7 +234,7 @@ func TestMeasurementReporting(t *testing.T) {
 	bus := comm.NewBus()
 	brp := newBRP(t, bus)
 	p1 := newProsumer(t, bus, "p1")
-	if err := p1.ReportMeasurement("demand", 5, 2.5); err != nil {
+	if err := p1.ReportMeasurement(context.Background(), "demand", 5, 2.5); err != nil {
 		t.Fatal(err)
 	}
 	// Local store immediately.
@@ -253,7 +256,7 @@ func TestProsumerRefusesOffers(t *testing.T) {
 	bus := comm.NewBus()
 	p1 := newProsumer(t, bus, "p1")
 	env, _ := comm.NewEnvelope(comm.MsgFlexOfferSubmit, "x", "p1", comm.FlexOfferSubmit{Offer: testOffer(1, 40, 8, 2, 1)})
-	if _, err := p1.Handle(env); err == nil {
+	if _, err := p1.Handle(context.Background(), env); err == nil {
 		t.Error("prosumer accepted a flex-offer submission")
 	}
 }
@@ -261,7 +264,7 @@ func TestProsumerRefusesOffers(t *testing.T) {
 func TestPingPong(t *testing.T) {
 	brp := newBRP(t, nil)
 	env, _ := comm.NewEnvelope(comm.MsgPing, "x", "brp1", nil)
-	reply, err := brp.Handle(env)
+	reply, err := brp.Handle(context.Background(), env)
 	if err != nil || reply == nil || reply.Type != comm.MsgPong {
 		t.Errorf("ping reply = %+v, %v", reply, err)
 	}
@@ -300,7 +303,7 @@ func TestForwardedAggregatesRelaySchedulesToProsumers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	bus.Register("tso", tso.Handle)
+	bus.Register("tso", tso.Handler())
 	brp, err := NewNode(Config{
 		Name: "brp1", Role: store.RoleBRP, Parent: "tso", Transport: bus,
 		AggParams: agg.ParamsP3,
@@ -308,23 +311,23 @@ func TestForwardedAggregatesRelaySchedulesToProsumers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	bus.Register("brp1", brp.Handle)
+	bus.Register("brp1", brp.Handler())
 	p1 := newProsumer(t, bus, "p1")
 
 	offer := testOffer(1, 40, 16, 4, 5)
-	if d, err := p1.SubmitOfferTo(offer); err != nil || !d.Accept {
+	if d, err := p1.SubmitOfferTo(context.Background(), offer); err != nil || !d.Accept {
 		t.Fatalf("submit: %v %+v", err, d)
 	}
 
 	// The BRP delegates its aggregate upward instead of scheduling.
-	n, err := brp.ForwardAggregates()
+	n, err := brp.ForwardAggregates(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if n != 1 {
 		t.Fatalf("forwarded = %d, want 1", n)
 	}
-	if _, err := tso.RunSchedulingCycle(0, nil, nil, nil); err != nil {
+	if _, err := tso.RunSchedulingCycle(context.Background(), 0, nil, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 
@@ -347,7 +350,7 @@ func TestForwardedAggregatesRelaySchedulesToProsumers(t *testing.T) {
 
 func TestForwardAggregatesRequiresParent(t *testing.T) {
 	brp := newBRP(t, nil)
-	if _, err := brp.ForwardAggregates(); err == nil {
+	if _, err := brp.ForwardAggregates(context.Background()); err == nil {
 		t.Error("forwarding without parent should error")
 	}
 }
@@ -357,7 +360,7 @@ func TestSettleExecutedOffers(t *testing.T) {
 	brp := newBRP(t, bus)
 	p1 := newProsumer(t, bus, "p1")
 	offer := testOffer(1, 40, 16, 4, 5)
-	d, err := p1.SubmitOfferTo(offer)
+	d, err := p1.SubmitOfferTo(context.Background(), offer)
 	if err != nil || !d.Accept {
 		t.Fatalf("submit: %v %+v", err, d)
 	}
@@ -368,7 +371,7 @@ func TestSettleExecutedOffers(t *testing.T) {
 	for i := 48; i < 56; i++ {
 		baseline[i] = -5
 	}
-	rep, err := brp.RunSchedulingCycle(0, StaticForecast(baseline), nil, nil)
+	rep, err := brp.RunSchedulingCycle(context.Background(), 0, StaticForecast(baseline), nil, nil)
 	if err != nil || rep.MicroSchedules != 1 {
 		t.Fatalf("cycle: %v %+v", err, rep)
 	}
@@ -427,7 +430,7 @@ func TestTSOLevelAggregationOfBRPs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	bus.Register("tso", tso.Handle)
+	bus.Register("tso", tso.Handler())
 
 	brp, err := NewNode(Config{
 		Name: "brp1", Role: store.RoleBRP, Parent: "tso", Transport: bus,
@@ -436,21 +439,159 @@ func TestTSOLevelAggregationOfBRPs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	bus.Register("brp1", brp.Handle)
+	bus.Register("brp1", brp.Handler())
 
 	macro := testOffer(100, 40, 16, 6, 50) // an aggregated offer
-	d, err := brp.SubmitOfferTo(macro)
+	d, err := brp.SubmitOfferTo(context.Background(), macro)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !d.Accept {
 		t.Fatalf("TSO rejected macro offer: %s", d.Reason)
 	}
-	rep, err := tso.RunSchedulingCycle(0, nil, nil, nil)
+	rep, err := tso.RunSchedulingCycle(context.Background(), 0, nil, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if rep.MicroSchedules != 1 {
 		t.Errorf("TSO cycle report = %+v", rep)
+	}
+}
+
+func TestNodeServesForecastQueries(t *testing.T) {
+	bus := comm.NewBus()
+	brp, err := NewNode(Config{
+		Name: "brp1", Role: store.RoleBRP, Transport: bus,
+		AggParams: agg.ParamsP3,
+		Forecast:  StaticForecast{5, 6, 7},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus.Register("brp1", brp.Handler())
+	p1 := newProsumer(t, bus, "p1")
+
+	reply, err := p1.QueryParentForecast(context.Background(), "demand", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{5, 6, 7, 7}
+	if reply.EnergyType != "demand" || len(reply.Values) != 4 {
+		t.Fatalf("reply = %+v", reply)
+	}
+	for i := range want {
+		if reply.Values[i] != want[i] {
+			t.Errorf("Values[%d] = %g, want %g", i, reply.Values[i], want[i])
+		}
+	}
+}
+
+func TestNodeForecastQueryWithoutSourceErrors(t *testing.T) {
+	bus := comm.NewBus()
+	newBRP(t, bus) // no Forecast configured
+	p1 := newProsumer(t, bus, "p1")
+	if _, err := p1.QueryParentForecast(context.Background(), "demand", 4); err == nil {
+		t.Error("forecast query without source should error")
+	}
+}
+
+func TestNodeMetricsCountHandledMessages(t *testing.T) {
+	bus := comm.NewBus()
+	brp := newBRP(t, bus)
+	p1 := newProsumer(t, bus, "p1")
+	if _, err := p1.SubmitOfferTo(context.Background(), testOffer(1, 40, 16, 4, 5)); err != nil {
+		t.Fatal(err)
+	}
+	env, _ := comm.NewEnvelope(comm.MsgPing, "x", "brp1", nil)
+	if _, err := brp.Handle(context.Background(), env); err != nil {
+		t.Fatal(err)
+	}
+	snap := brp.Metrics().Snapshot()
+	if snap[comm.MsgFlexOfferSubmit].Handled != 1 {
+		t.Errorf("submit metrics = %+v", snap[comm.MsgFlexOfferSubmit])
+	}
+	if snap[comm.MsgPing].Handled != 1 {
+		t.Errorf("ping metrics = %+v", snap[comm.MsgPing])
+	}
+	if brp.Metrics().Errors() != 0 {
+		t.Errorf("errors = %d", brp.Metrics().Errors())
+	}
+}
+
+func TestNodeMiddlewareSeamAndRecovery(t *testing.T) {
+	var seen atomic.Int32
+	counting := func(next comm.Handler) comm.Handler {
+		return func(ctx context.Context, env comm.Envelope) (*comm.Envelope, error) {
+			seen.Add(1)
+			return next(ctx, env)
+		}
+	}
+	n, err := NewNode(Config{
+		Name: "brp1", Role: store.RoleBRP,
+		AggParams:  agg.ParamsP3,
+		Middleware: []comm.Middleware{counting},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, _ := comm.NewEnvelope(comm.MsgPing, "x", "brp1", nil)
+	if _, err := n.Handle(context.Background(), env); err != nil {
+		t.Fatal(err)
+	}
+	if seen.Load() != 1 {
+		t.Errorf("custom middleware saw %d messages", seen.Load())
+	}
+	// A malformed body must surface as an error, not a crash, and count
+	// in the metrics.
+	bad := comm.Envelope{Type: comm.MsgFlexOfferSubmit, From: "x", To: "brp1", Body: []byte("{")}
+	if _, err := n.Handle(context.Background(), bad); err == nil {
+		t.Error("malformed body accepted")
+	}
+	if n.Metrics().Errors() == 0 {
+		t.Error("handler error not counted")
+	}
+}
+
+func TestNodeRejectsUnknownMessageType(t *testing.T) {
+	brp := newBRP(t, nil)
+	env := comm.Envelope{Type: comm.MsgType("gossip"), From: "x", To: "brp1"}
+	if _, err := brp.Handle(context.Background(), env); err == nil {
+		t.Error("unknown message type accepted")
+	}
+}
+
+func TestSubmitOfferHonorsCanceledContext(t *testing.T) {
+	bus := comm.NewBus()
+	newBRP(t, bus)
+	p1 := newProsumer(t, bus, "p1")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := p1.SubmitOfferTo(ctx, testOffer(3, 40, 16, 4, 5)); err == nil {
+		t.Error("canceled submission succeeded")
+	}
+}
+
+func TestForwardAggregatesSurfacesCancellation(t *testing.T) {
+	bus := comm.NewBus()
+	brp, err := NewNode(Config{
+		Name: "brp1", Role: store.RoleBRP, Parent: "tso", Transport: bus,
+		AggParams: agg.ParamsP3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A stalled TSO: requests only end via the caller's context.
+	bus.Register("tso", func(ctx context.Context, _ comm.Envelope) (*comm.Envelope, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	if d := brp.AcceptOffer(testOffer(1, 40, 16, 4, 5), "p1"); !d.Accept {
+		t.Fatalf("rejected: %s", d.Reason)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	n, err := brp.ForwardAggregates(ctx)
+	if n != 0 || !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("ForwardAggregates = %d, %v; want 0, DeadlineExceeded", n, err)
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -33,7 +34,7 @@ func TestNodesOverTCP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	brpSrv, err := comm.ListenTCP("127.0.0.1:0", brp.Handle)
+	brpSrv, err := comm.ListenTCP("127.0.0.1:0", brp.Handler())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +53,7 @@ func TestNodesOverTCP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pSrv, err := comm.ListenTCP("127.0.0.1:0", p1.Handle)
+	pSrv, err := comm.ListenTCP("127.0.0.1:0", p1.Handler())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +62,7 @@ func TestNodesOverTCP(t *testing.T) {
 
 	// Submit an offer over the wire.
 	offer := testOffer(1, 40, 16, 4, 5)
-	decision, err := p1.SubmitOfferTo(offer)
+	decision, err := p1.SubmitOfferTo(context.Background(), offer)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +75,7 @@ func TestNodesOverTCP(t *testing.T) {
 	for i := 40; i < 60; i++ {
 		baseline[i] = -5
 	}
-	rep, err := brp.RunSchedulingCycle(0, StaticForecast(baseline), nil, nil)
+	rep, err := brp.RunSchedulingCycle(context.Background(), 0, StaticForecast(baseline), nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
