@@ -6,16 +6,20 @@
 package mirabel
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"testing"
 	"time"
 
 	"mirabel/internal/agg"
+	"mirabel/internal/comm"
+	"mirabel/internal/core"
 	"mirabel/internal/flexoffer"
 	"mirabel/internal/forecast"
 	"mirabel/internal/optimize"
 	"mirabel/internal/sched"
+	"mirabel/internal/store"
 	"mirabel/internal/workload"
 )
 
@@ -217,7 +221,7 @@ func BenchmarkFig6Scheduling(b *testing.B) {
 			b.Run(fmt.Sprintf("%s/%d", s.Name(), n), func(b *testing.B) {
 				var cost float64
 				for i := 0; i < b.N; i++ {
-					res, err := s.Schedule(p, sched.Options{TimeBudget: budget, Seed: 7})
+					res, err := s.Schedule(context.Background(), p, sched.Options{TimeBudget: budget, Seed: 7})
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -272,7 +276,7 @@ func BenchmarkAblationEnergyFill(b *testing.B) {
 		b.Run(tc.name, func(b *testing.B) {
 			var cost float64
 			for i := 0; i < b.N; i++ {
-				res, err := (&sched.RandomizedGreedy{Fill: tc.fill}).Schedule(p, sched.Options{MaxIterations: 5, Seed: 10})
+				res, err := (&sched.RandomizedGreedy{Fill: tc.fill}).Schedule(context.Background(), p, sched.Options{MaxIterations: 5, Seed: 10})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -332,7 +336,7 @@ func BenchmarkAblationTimeFlexibility(b *testing.B) {
 		b.Run(fmt.Sprintf("maxTF%d", maxTF), func(b *testing.B) {
 			var cost float64
 			for i := 0; i < b.N; i++ {
-				res, err := (&sched.RandomizedGreedy{}).Schedule(p, sched.Options{TimeBudget: 100 * time.Millisecond, Seed: 32})
+				res, err := (&sched.RandomizedGreedy{}).Schedule(context.Background(), p, sched.Options{TimeBudget: 100 * time.Millisecond, Seed: 32})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -371,4 +375,121 @@ func BenchmarkAblationIncrementalAggregation(b *testing.B) {
 			}
 		}
 	})
+}
+
+// --- scheduling-cycle benchmarks (snapshot/plan/commit/deliver) -------
+
+func benchCycleOffer(id flexoffer.ID) *flexoffer.FlexOffer {
+	p := make([]flexoffer.Slice, 4)
+	for i := range p {
+		p[i] = flexoffer.Slice{EnergyMin: 0, EnergyMax: 5}
+	}
+	return &flexoffer.FlexOffer{ID: id, EarliestStart: 40, LatestStart: 56, AssignBefore: 32, Profile: p}
+}
+
+// BenchmarkCycleDeliveryFanOut measures a scheduling cycle's deliver
+// phase against a slow transport: with the bounded fan-out the wall
+// time is governed by the slowest prosumer, not the sum over prosumers
+// (limit=1 reproduces the old serialized behaviour as the baseline;
+// the "deliver/slowest" metric is ~1 when fanned out, ~#owners when
+// serialized).
+func BenchmarkCycleDeliveryFanOut(b *testing.B) {
+	const owners = 16
+	const delay = 2 * time.Millisecond
+	for _, limit := range []int{1, owners} {
+		b.Run(fmt.Sprintf("limit%d", limit), func(b *testing.B) {
+			bus := comm.NewBus()
+			brp, err := core.NewNode(core.Config{
+				Name: "brp1", Role: store.RoleBRP,
+				Transport:   comm.Latency(bus, delay),
+				AggParams:   agg.ParamsP3,
+				SchedOpts:   sched.Options{MaxIterations: 1, Seed: 1},
+				NotifyLimit: limit,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			bus.Register("brp1", brp.Handler())
+			for i := 0; i < owners; i++ {
+				bus.Register(fmt.Sprintf("p%d", i), func(ctx context.Context, env comm.Envelope) (*comm.Envelope, error) {
+					return nil, nil
+				})
+			}
+			var id flexoffer.ID
+			var deliver time.Duration
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				for j := 0; j < owners; j++ {
+					id++
+					if d := brp.AcceptOffer(benchCycleOffer(id), fmt.Sprintf("p%d", j)); !d.Accept {
+						b.Fatalf("offer rejected: %s", d.Reason)
+					}
+				}
+				b.StartTimer()
+				rep, err := brp.RunSchedulingCycle(context.Background(), 0, nil, nil, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.NotifyFailures != 0 {
+					b.Fatalf("notify failures: %d", rep.NotifyFailures)
+				}
+				deliver = rep.DeliveryTime
+			}
+			b.ReportMetric(float64(deliver)/float64(time.Millisecond), "deliver_ms")
+			b.ReportMetric(float64(deliver)/float64(delay), "deliver/slowest")
+		})
+	}
+}
+
+// BenchmarkIntakeDuringSlowDelivery measures AcceptOffer latency while
+// scheduling cycles deliver over a slow transport in the background:
+// ns/op is the intake latency, which must not queue behind the deliver
+// phase (it would be milliseconds per offer if it did).
+func BenchmarkIntakeDuringSlowDelivery(b *testing.B) {
+	const owners = 8
+	bus := comm.NewBus()
+	brp, err := core.NewNode(core.Config{
+		Name: "brp1", Role: store.RoleBRP,
+		Transport: comm.Latency(bus, time.Millisecond),
+		AggParams: agg.ParamsP3,
+		SchedOpts: sched.Options{MaxIterations: 1, Seed: 1},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	bus.Register("brp1", brp.Handler())
+	for i := 0; i < owners; i++ {
+		bus.Register(fmt.Sprintf("p%d", i), func(ctx context.Context, env comm.Envelope) (*comm.Envelope, error) {
+			return nil, nil
+		})
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			rep, err := brp.RunSchedulingCycle(context.Background(), 0, nil, nil, nil)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			if rep.Aggregates == 0 {
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+	var id flexoffer.ID = 1 << 20 // clear of any cycle-scheduled ids
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id++
+		brp.AcceptOffer(benchCycleOffer(id), fmt.Sprintf("p%d", i%owners))
+	}
+	b.StopTimer()
+	close(stop)
+	<-done
 }

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -19,18 +20,21 @@ import (
 	"time"
 
 	"mirabel/internal/agg"
+	"mirabel/internal/comm"
+	"mirabel/internal/core"
 	"mirabel/internal/flexoffer"
 	"mirabel/internal/forecast"
 	"mirabel/internal/market"
 	"mirabel/internal/optimize"
 	"mirabel/internal/sched"
+	"mirabel/internal/store"
 	"mirabel/internal/workload"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("mirabel-bench: ")
-	exp := flag.String("exp", "all", "experiment: all | fig5a | fig5b | fig5c | fig5d | fig5 | fig4a | fig4b | fig6 | exhaustive")
+	exp := flag.String("exp", "all", "experiment: all | fig5a | fig5b | fig5c | fig5d | fig5 | fig4a | fig4b | fig6 | exhaustive | cycle")
 	maxOffers := flag.Int("maxoffers", 800000, "largest flex-offer count of the Figure 5 sweep")
 	budget := flag.Duration("budget", 10*time.Second, "time budget of the largest Figure 6 instance")
 	seed := flag.Int64("seed", 1, "workload seed")
@@ -43,6 +47,7 @@ func main() {
 		fig4b(*seed)
 		fig6(*budget, *seed)
 		exhaustive(*seed)
+		cycleExp()
 	case "fig5", "fig5a", "fig5b", "fig5c", "fig5d":
 		fig5(*maxOffers, *seed)
 	case "fig4a":
@@ -53,6 +58,8 @@ func main() {
 		fig6(*budget, *seed)
 	case "exhaustive":
 		exhaustive(*seed)
+	case "cycle":
+		cycleExp()
 	default:
 		log.Printf("unknown experiment %q", *exp)
 		flag.Usage()
@@ -204,7 +211,7 @@ func fig6(maxBudget time.Duration, seed int64) {
 		// EA and GS are the paper's two algorithms; HYB is the
 		// greedy-seeded hybrid from the research directions.
 		for _, s := range []sched.Scheduler{&sched.Evolutionary{}, &sched.RandomizedGreedy{}, &sched.Hybrid{}} {
-			res, err := s.Schedule(p, sched.Options{TimeBudget: budget, Seed: seed + 7, TraceEvery: traceStride(n)})
+			res, err := s.Schedule(context.Background(), p, sched.Options{TimeBudget: budget, Seed: seed + 7, TraceEvery: traceStride(n)})
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -253,18 +260,74 @@ func exhaustive(seed int64) {
 	fmt.Printf("6 flex-offers, %.0f start combinations\n", p.CountSolutions())
 	x := &sched.Exhaustive{}
 	t0 := time.Now()
-	opt, err := x.Schedule(p, sched.Options{})
+	opt, err := x.Schedule(context.Background(), p, sched.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("optimal (midpoint energies): %.2f EUR in %v (%d schedules evaluated)\n",
 		opt.Cost, time.Since(t0).Round(time.Millisecond), opt.Iterations)
 	for _, s := range []sched.Scheduler{&sched.RandomizedGreedy{}, &sched.Evolutionary{}} {
-		res, err := s.Schedule(p, sched.Options{TimeBudget: time.Second, Seed: seed + 8})
+		res, err := s.Schedule(context.Background(), p, sched.Options{TimeBudget: time.Second, Seed: seed + 8})
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("%-3s: %.2f EUR (gap to enumerated optimum: %+.2f — negative means the heuristic's free energy choice beats midpoint energies)\n",
 			s.Name(), res.Cost, res.Cost-opt.Cost)
+	}
+}
+
+// cycleExp measures the scheduling cycle's deliver phase over a slow
+// transport: with the bounded fan-out, delivery wall time tracks the
+// slowest prosumer (per wave of the limit), not the sum of all
+// prosumer latencies. limit=1 reproduces the old serialized delivery
+// as the baseline.
+func cycleExp() {
+	fmt.Println("== Scheduling cycle: delivery fan-out over a slow transport ==")
+	const delay = 5 * time.Millisecond
+	fmt.Printf("per-send latency %v\n", delay)
+	fmt.Println("prosumers  limit  deliver_wall  x_slowest  serial_sum")
+	for _, n := range []int{8, 32, 128} {
+		for _, limit := range []int{1, comm.DefaultFanOutLimit} {
+			bus := comm.NewBus()
+			brp, err := core.NewNode(core.Config{
+				Name: "brp", Role: store.RoleBRP,
+				Transport:   comm.Latency(bus, delay),
+				AggParams:   agg.ParamsP3,
+				SchedOpts:   sched.Options{MaxIterations: 1, Seed: 1},
+				NotifyLimit: limit,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			bus.Register("brp", brp.Handler())
+			for i := 0; i < n; i++ {
+				bus.Register(fmt.Sprintf("p%d", i), func(ctx context.Context, env comm.Envelope) (*comm.Envelope, error) {
+					return nil, nil
+				})
+			}
+			for i := 0; i < n; i++ {
+				p := make([]flexoffer.Slice, 4)
+				for j := range p {
+					p[j] = flexoffer.Slice{EnergyMin: 0, EnergyMax: 5}
+				}
+				f := &flexoffer.FlexOffer{
+					ID: flexoffer.ID(i + 1), EarliestStart: 40, LatestStart: 56,
+					AssignBefore: 32, Profile: p,
+				}
+				if d := brp.AcceptOffer(f, fmt.Sprintf("p%d", i)); !d.Accept {
+					log.Fatalf("offer %d rejected: %s", i+1, d.Reason)
+				}
+			}
+			rep, err := brp.RunSchedulingCycle(context.Background(), 0, nil, nil, nil)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if rep.NotifyFailures != 0 {
+				log.Fatalf("%d prosumers unreachable", rep.NotifyFailures)
+			}
+			fmt.Printf("%-10d %-6d %-13v %-10.1f %v\n",
+				n, limit, rep.DeliveryTime.Round(100*time.Microsecond),
+				float64(rep.DeliveryTime)/float64(delay), time.Duration(n)*delay)
+		}
 	}
 }

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -90,7 +91,7 @@ func main() {
 		len(macro), problem.CountSolutions())
 
 	greedy := &sched.RandomizedGreedy{}
-	res, err := greedy.Schedule(problem, sched.Options{TimeBudget: 2 * time.Second, Seed: 7})
+	res, err := greedy.Schedule(context.Background(), problem, sched.Options{TimeBudget: 2 * time.Second, Seed: 7})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -479,3 +479,54 @@ func TestUpdateKindStrings(t *testing.T) {
 		t.Error("unknown kinds should still stringify")
 	}
 }
+
+func TestSnapshotSurvivesPipelineMutation(t *testing.T) {
+	p := NewPipeline(ParamsP0, BinPackerOptions{})
+	f1 := offer(1, 100, 8, 2, 0, 2)
+	f2 := offer(2, 100, 8, 2, 0, 2)
+	if _, err := p.Apply(inserts(f1, f2)...); err != nil {
+		t.Fatal(err)
+	}
+	live := p.Aggregates()[0]
+	snap := live.Snapshot()
+
+	// Mutate the live aggregate after the snapshot: a new member joins
+	// and an old one leaves.
+	if _, err := p.Apply(FlexOfferUpdate{Kind: Insert, Offer: offer(3, 100, 8, 2, 0, 2)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Apply(FlexOfferUpdate{Kind: Delete, Offer: f1}); err != nil {
+		t.Fatal(err)
+	}
+
+	if snap.NumMembers() != 2 {
+		t.Fatalf("snapshot members = %d, want the 2 at snapshot time", snap.NumMembers())
+	}
+	// Disaggregating the snapshot yields schedules for exactly the
+	// snapshot-time members, all valid.
+	sched := &flexoffer.Schedule{
+		OfferID: snap.Offer.ID,
+		Start:   snap.Offer.EarliestStart,
+		Energy:  midEnergies(snap.Offer),
+	}
+	micro, err := snap.Disaggregate(sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(micro) != 2 {
+		t.Fatalf("micro schedules = %d, want 2", len(micro))
+	}
+	for _, ms := range micro {
+		if ms.OfferID != 1 && ms.OfferID != 2 {
+			t.Errorf("unexpected member %d in snapshot disaggregation", ms.OfferID)
+		}
+	}
+}
+
+func midEnergies(f *flexoffer.FlexOffer) []float64 {
+	out := make([]float64, f.NumSlices())
+	for j, sl := range f.Profile {
+		out[j] = (sl.EnergyMin + sl.EnergyMax) / 2
+	}
+	return out
+}

@@ -62,6 +62,22 @@ func (a *Aggregate) TimeFlexibilityLoss() flexoffer.Time {
 	return loss
 }
 
+// Snapshot returns an independent copy of the aggregate that stays
+// valid — in particular for Disaggregate — while the live pipeline
+// keeps mutating. The combined offer is deep-copied and the member
+// list is fixed; the member flex-offers themselves are shared, which
+// is safe because accepted offers are immutable.
+func (a *Aggregate) Snapshot() *Aggregate {
+	return &Aggregate{
+		Offer:     a.Offer.Clone(),
+		members:   append([]*flexoffer.FlexOffer(nil), a.members...),
+		TotalMin:  a.TotalMin,
+		TotalMax:  a.TotalMax,
+		costSum:   a.costSum,
+		energySum: a.energySum,
+	}
+}
+
 // newAggregate starts an aggregate from its first member.
 func newAggregate(id flexoffer.ID, first *flexoffer.FlexOffer) *Aggregate {
 	a := &Aggregate{

@@ -1,0 +1,90 @@
+package comm
+
+import (
+	"context"
+	"sync"
+
+	"mirabel/internal/flexoffer"
+)
+
+// DefaultFanOutLimit bounds the concurrency of the Client's batch
+// helpers when the caller passes limit <= 0. It trades goroutine and
+// connection pressure against wall time: with l slots, a batch of n
+// destinations completes in ceil(n/l) waves of the slowest member.
+const DefaultFanOutLimit = 32
+
+// fanOut runs fn(i) for every i in [0, n) with at most limit
+// invocations in flight and waits for all of them to finish. fn must
+// put its outcome somewhere indexed by i; slots are claimed before a
+// goroutine is spawned, so at most limit goroutines ever exist.
+func fanOut(n, limit int, fn func(i int)) {
+	if n == 0 {
+		return
+	}
+	if limit <= 0 {
+		limit = DefaultFanOutLimit
+	}
+	if limit > n {
+		limit = n
+	}
+	sem := make(chan struct{}, limit)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// NotifySchedulesAll delivers each owner's schedules concurrently with
+// at most limit (default DefaultFanOutLimit) deliveries in flight. The
+// returned map holds one entry per destination that failed; an empty
+// map means every owner was notified. Because deliveries overlap, the
+// wall time of a batch is bounded by its slowest destination (per wave
+// of limit), not by the sum over destinations — the scheduling cycle's
+// deliver phase depends on this.
+//
+// Cancelling ctx fails the remaining deliveries fast with ctx.Err();
+// deliveries already on the wire are not recalled.
+func (c *Client) NotifySchedulesAll(ctx context.Context, byOwner map[string][]*flexoffer.Schedule, limit int) map[string]error {
+	owners := make([]string, 0, len(byOwner))
+	for o := range byOwner {
+		owners = append(owners, o)
+	}
+	errs := make([]error, len(owners))
+	fanOut(len(owners), limit, func(i int) {
+		errs[i] = c.NotifySchedules(ctx, owners[i], byOwner[owners[i]])
+	})
+	failed := make(map[string]error)
+	for i, err := range errs {
+		if err != nil {
+			failed[owners[i]] = err
+		}
+	}
+	return failed
+}
+
+// SubmitResult pairs one offer of a SubmitOffersAll batch with its
+// outcome. Exactly one of Decision and Err is meaningful.
+type SubmitResult struct {
+	Offer    *flexoffer.FlexOffer
+	Decision FlexOfferDecision
+	Err      error
+}
+
+// SubmitOffersAll submits a batch of flex-offers to one destination
+// with at most limit (default DefaultFanOutLimit) requests in flight,
+// returning one result per offer in input order.
+func (c *Client) SubmitOffersAll(ctx context.Context, to string, offers []*flexoffer.FlexOffer, limit int) []SubmitResult {
+	out := make([]SubmitResult, len(offers))
+	fanOut(len(offers), limit, func(i int) {
+		d, err := c.SubmitOffer(ctx, to, offers[i])
+		out[i] = SubmitResult{Offer: offers[i], Decision: d, Err: err}
+	})
+	return out
+}

@@ -1,0 +1,43 @@
+package comm
+
+import (
+	"context"
+	"time"
+)
+
+// Latency wraps a transport so every Send and Request waits d before
+// touching the wire — an artificially slow network for simulations,
+// benchmarks and tests (e.g. proving a scheduling cycle's delivery
+// fan-out is bounded by the slowest peer, not the sum). Cancelling ctx
+// during the wait fails the operation with ctx.Err().
+func Latency(t Transport, d time.Duration) Transport {
+	return &latencyTransport{inner: t, d: d}
+}
+
+type latencyTransport struct {
+	inner Transport
+	d     time.Duration
+}
+
+func (l *latencyTransport) wait(ctx context.Context) error {
+	select {
+	case <-time.After(l.d):
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (l *latencyTransport) Send(ctx context.Context, to string, env Envelope) error {
+	if err := l.wait(ctx); err != nil {
+		return err
+	}
+	return l.inner.Send(ctx, to, env)
+}
+
+func (l *latencyTransport) Request(ctx context.Context, to string, env Envelope) (Envelope, error) {
+	if err := l.wait(ctx); err != nil {
+		return Envelope{}, err
+	}
+	return l.inner.Request(ctx, to, env)
+}

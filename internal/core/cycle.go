@@ -1,0 +1,268 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"mirabel/internal/agg"
+	"mirabel/internal/flexoffer"
+	"mirabel/internal/market"
+	"mirabel/internal/sched"
+	"mirabel/internal/store"
+)
+
+// CycleReport summarizes one scheduling cycle of a BRP/TSO node.
+type CycleReport struct {
+	Offers         int     // pending micro flex-offers considered
+	Aggregates     int     // macro flex-offers scheduled
+	ScheduleCost   float64 // cost of the chosen schedule (EUR)
+	BaselineCost   float64 // cost had no flexibility been used
+	MicroSchedules int     // disaggregated schedules produced by the plan
+	Expired        int     // offers dropped because their deadline passed
+	// Reconciled counts planned micro schedules dropped at commit
+	// because their offer was scheduled or expired by a concurrent flow
+	// while the plan ran outside the lock.
+	Reconciled      int
+	NotifyFailures  int // prosumers that could not be reached
+	AggregationTime time.Duration
+	SchedulingTime  time.Duration
+	DeliveryTime    time.Duration // wall time of the fan-out deliver phase
+}
+
+// RunSchedulingCycle executes the full BRP workflow at planning time now
+// for [now, now+horizon): drop expired offers, schedule the aggregates
+// against the forecast baseline, disaggregate, store and deliver the
+// micro schedules to their owners. Cancelling ctx stops the scheduler
+// search and outbound schedule deliveries.
+//
+// The cycle runs in four phases:
+//
+//	snapshot — under the node lock: advance the planning time, expire
+//	           stale offers and capture an immutable copy of the
+//	           current aggregates;
+//	plan     — without the lock: build the problem from the forecasts,
+//	           run the (possibly long) scheduler search and
+//	           disaggregate on the snapshot;
+//	commit   — under the lock again: reconcile the planned micro
+//	           schedules against the live pending set, persist the
+//	           survivors and retire them from the pipeline;
+//	deliver  — without the lock: fan the schedules out to their owners
+//	           with bounded concurrency (Config.NotifyLimit).
+//
+// The node lock is therefore never held across transport I/O or the
+// scheduler search: offer intake and every other handler stay
+// responsive for the whole cycle, and delivery wall time is bounded by
+// the slowest prosumer per fan-out wave, not the sum over prosumers.
+//
+// demandFc and resFc forecast the non-flexible consumption and RES
+// production of the balance group; imbalancePrices gives the per-slot
+// mismatch penalty (nil = flat 0.15 EUR/kWh).
+func (n *Node) RunSchedulingCycle(ctx context.Context, now flexoffer.Time, demandFc, resFc forecaster, imbalancePrices []float64) (*CycleReport, error) {
+	if n.cfg.Role == store.RoleProsumer {
+		return nil, fmt.Errorf("core: prosumer %s does not schedule", n.cfg.Name)
+	}
+	n.cycleMu.Lock()
+	defer n.cycleMu.Unlock()
+
+	rep := &CycleReport{}
+	horizon := n.cfg.HorizonSlots
+
+	// Phase 1: snapshot.
+	aggregates, err := n.snapshotForPlanning(now, horizon, rep)
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 2: plan — no lock from here until commit. Forecast sources
+	// may be arbitrarily slow (a remote maintainer, a model fit), and
+	// the search is budgeted in wall-clock seconds.
+	problem := buildProblem(now, horizon, aggregates, demandFc, resFc, imbalancePrices, n.cfg.Market)
+	rep.BaselineCost = problem.BaselineCost()
+	if len(aggregates) == 0 {
+		return rep, nil
+	}
+	t0 := time.Now()
+	res, err := n.cfg.Scheduler.Schedule(ctx, problem, n.cfg.SchedOpts)
+	if err != nil {
+		return nil, err
+	}
+	rep.SchedulingTime = time.Since(t0)
+	rep.ScheduleCost = res.Cost
+
+	micro, err := disaggregateSnapshots(aggregates, problem.Schedules(res.Solution))
+	if err != nil {
+		return nil, err
+	}
+	rep.MicroSchedules = len(micro)
+
+	// Phase 3: commit.
+	byOwner, reconciled, err := n.commitMicroSchedules(micro)
+	if err != nil {
+		return nil, err
+	}
+	rep.Reconciled = reconciled
+
+	// Phase 4: deliver. Unreachable prosumers are counted, not fatal:
+	// their offers will time out and fall back gracefully.
+	t0 = time.Now()
+	rep.NotifyFailures = n.deliver(ctx, byOwner)
+	rep.DeliveryTime = time.Since(t0)
+	return rep, nil
+}
+
+// snapshotForPlanning is the cycle's only pass over mutable state
+// before commit. Under the node lock it advances the planning time,
+// expires pending offers whose assignment deadline passed or whose
+// execution window no longer fits the horizon, and captures an
+// immutable snapshot of the aggregates for the planner.
+func (n *Node) snapshotForPlanning(now flexoffer.Time, horizon int, rep *CycleReport) ([]*agg.Aggregate, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if now > n.planTime {
+		n.planTime = now
+	}
+	end := now + flexoffer.Time(horizon)
+	var expired []agg.FlexOfferUpdate
+	for id, f := range n.pending {
+		if now >= f.AssignBefore || f.EarliestStart < now || f.LatestEnd() > end {
+			expired = append(expired, agg.FlexOfferUpdate{Kind: agg.Delete, Offer: f})
+			delete(n.pending, id)
+			rep.Expired++
+			_, _ = n.store.UpdateOffer(id, func(rec *store.OfferRecord) {
+				rec.State = store.OfferExpired
+			})
+		}
+	}
+	t0 := time.Now()
+	if len(expired) > 0 {
+		if _, err := n.pipeline.Apply(expired...); err != nil {
+			return nil, err
+		}
+	}
+	live := n.pipeline.Aggregates()
+	snaps := make([]*agg.Aggregate, len(live))
+	for i, a := range live {
+		snaps[i] = a.Snapshot()
+	}
+	rep.AggregationTime = time.Since(t0)
+	rep.Offers = len(n.pending)
+	rep.Aggregates = len(snaps)
+	return snaps, nil
+}
+
+// buildProblem assembles the scheduling instance from an aggregate
+// snapshot and the forecasts.
+func buildProblem(now flexoffer.Time, horizon int, aggregates []*agg.Aggregate, demandFc, resFc forecaster, imbalancePrices []float64, m *market.DayAhead) *sched.Problem {
+	baseline := make([]float64, horizon)
+	if demandFc != nil {
+		copy(baseline, demandFc.Forecast(horizon))
+	}
+	if resFc != nil {
+		for i, v := range resFc.Forecast(horizon) {
+			if i < horizon {
+				baseline[i] -= v
+			}
+		}
+	}
+	if imbalancePrices == nil {
+		imbalancePrices = make([]float64, horizon)
+		for i := range imbalancePrices {
+			imbalancePrices[i] = 0.15
+		}
+	}
+	offers := make([]*flexoffer.FlexOffer, len(aggregates))
+	for i, a := range aggregates {
+		offers[i] = a.Offer
+	}
+	return &sched.Problem{
+		Start:          now,
+		Slots:          horizon,
+		Baseline:       baseline,
+		ImbalancePrice: imbalancePrices,
+		Offers:         offers,
+		Market:         m,
+	}
+}
+
+// disaggregateSnapshots turns the planner's macro schedules into micro
+// schedules using the snapshot aggregates — never the live pipeline,
+// which may have changed while the plan ran.
+func disaggregateSnapshots(snaps []*agg.Aggregate, scheds []*flexoffer.Schedule) ([]*flexoffer.Schedule, error) {
+	byID := make(map[flexoffer.ID]*agg.Aggregate, len(snaps))
+	for _, a := range snaps {
+		byID[a.Offer.ID] = a
+	}
+	var out []*flexoffer.Schedule
+	for _, s := range scheds {
+		a, ok := byID[s.OfferID]
+		if !ok {
+			return nil, fmt.Errorf("core: schedule for unknown aggregate %d", s.OfferID)
+		}
+		ms, err := a.Disaggregate(s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ms...)
+	}
+	return out, nil
+}
+
+// ForwardAggregates delegates the node's current macro flex-offers to
+// its parent (paper §2: "the aggregated flex-offers are sent to a TSO's
+// node for further aggregation, scheduling, and disaggregation"). The
+// members stay pending locally until the parent's schedules come back
+// through handleScheduleNotify; if none arrive, they time out like any
+// other pending flexibility. Returns how many aggregates the parent
+// accepted.
+//
+// The same phase discipline as the cycle applies: macro offers are
+// cloned under the lock, submitted to the parent concurrently (bounded
+// by Config.NotifyLimit) without it, and the accepted delegations are
+// committed under the lock once the decisions are in.
+func (n *Node) ForwardAggregates(ctx context.Context) (int, error) {
+	if n.client == nil || n.cfg.Parent == "" {
+		return 0, fmt.Errorf("core: %s has no parent to forward to", n.cfg.Name)
+	}
+	n.cycleMu.Lock()
+	defer n.cycleMu.Unlock()
+
+	// Snapshot: clone the macro offers under the lock and register the
+	// macro→local mapping up front, so a fast parent whose schedules
+	// come back while the rest of the batch is still submitting finds
+	// the relay route already in place.
+	n.mu.Lock()
+	aggregates := n.pipeline.Aggregates()
+	offers := make([]*flexoffer.FlexOffer, 0, len(aggregates))
+	for _, a := range aggregates {
+		macro := a.Offer.Clone()
+		macro.ID = n.nextFwdID
+		macro.Prosumer = n.cfg.Name
+		n.nextFwdID++
+		offers = append(offers, macro)
+		n.forwarded[macro.ID] = a.Offer.ID
+	}
+	n.mu.Unlock()
+
+	// Plan/deliver: submit to the parent outside the lock, in parallel.
+	results := n.client.SubmitOffersAll(ctx, n.cfg.Parent, offers, n.cfg.NotifyLimit)
+
+	// Commit: keep the accepted delegations, withdraw the rest.
+	accepted := 0
+	n.mu.Lock()
+	for _, r := range results {
+		if r.Err != nil || !r.Decision.Accept {
+			// Unreachable parent or rejection: drop the provisional
+			// mapping; the members stay pending and may time out.
+			delete(n.forwarded, r.Offer.ID)
+			continue
+		}
+		accepted++
+	}
+	n.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		// A canceled caller is not an unreachable parent: surface it.
+		return accepted, err
+	}
+	return accepted, nil
+}

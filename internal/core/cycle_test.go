@@ -1,0 +1,406 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"mirabel/internal/agg"
+	"mirabel/internal/comm"
+	"mirabel/internal/flexoffer"
+	"mirabel/internal/sched"
+	"mirabel/internal/store"
+)
+
+// gatedTransport blocks outbound sends until the gate is released, to
+// hold a scheduling cycle in its deliver phase at a known point.
+type gatedTransport struct {
+	comm.Transport
+	gate chan struct{} // close to release
+}
+
+func (g *gatedTransport) Send(ctx context.Context, to string, env comm.Envelope) error {
+	select {
+	case <-g.gate:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	return g.Transport.Send(ctx, to, env)
+}
+
+// notifyCounter registers a bus endpoint that counts schedule
+// deliveries per offer ID.
+type notifyCounter struct {
+	mu     sync.Mutex
+	counts map[flexoffer.ID]int
+}
+
+func newNotifyCounter(bus *comm.Bus, name string) *notifyCounter {
+	c := &notifyCounter{counts: make(map[flexoffer.ID]int)}
+	bus.Register(name, func(ctx context.Context, env comm.Envelope) (*comm.Envelope, error) {
+		if env.Type != comm.MsgScheduleNotify {
+			return nil, nil
+		}
+		var body comm.ScheduleNotify
+		if err := env.Decode(comm.MsgScheduleNotify, &body); err != nil {
+			return nil, err
+		}
+		c.mu.Lock()
+		for _, s := range body.Schedules {
+			c.counts[s.OfferID]++
+		}
+		c.mu.Unlock()
+		return nil, nil
+	})
+	return c
+}
+
+func (c *notifyCounter) count(id flexoffer.ID) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.counts[id]
+}
+
+func (c *notifyCounter) total() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, v := range c.counts {
+		n += v
+	}
+	return n
+}
+
+// TestIntakeNotBlockedDuringDelivery drives a cycle into its deliver
+// phase against a blocked transport and proves that offer intake — and
+// the full handler chain — stays responsive while delivery is stuck.
+func TestIntakeNotBlockedDuringDelivery(t *testing.T) {
+	bus := comm.NewBus()
+	gate := make(chan struct{})
+	gt := &gatedTransport{Transport: bus, gate: gate}
+	brp, err := NewNode(Config{
+		Name: "brp1", Role: store.RoleBRP, Transport: gt,
+		AggParams: agg.ParamsP3,
+		SchedOpts: sched.Options{MaxIterations: 2, Seed: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus.Register("brp1", brp.Handler())
+	counter := newNotifyCounter(bus, "p1")
+
+	if d := brp.AcceptOffer(testOffer(1, 40, 16, 4, 5), "p1"); !d.Accept {
+		t.Fatalf("rejected: %s", d.Reason)
+	}
+
+	cycleDone := make(chan *CycleReport, 1)
+	go func() {
+		rep, err := brp.RunSchedulingCycle(context.Background(), 0, nil, nil, nil)
+		if err != nil {
+			t.Errorf("cycle: %v", err)
+		}
+		cycleDone <- rep
+	}()
+
+	// The commit phase removes the offer from pending before delivery
+	// starts; once pending is empty the cycle is parked on the gate.
+	deadline := time.Now().Add(2 * time.Second)
+	for brp.PendingOffers() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("cycle never reached its deliver phase")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Intake must complete promptly while delivery is blocked.
+	accepted := make(chan bool, 1)
+	go func() {
+		accepted <- brp.AcceptOffer(testOffer(2, 40, 16, 4, 5), "p1").Accept
+	}()
+	select {
+	case ok := <-accepted:
+		if !ok {
+			t.Fatal("mid-cycle offer rejected")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("AcceptOffer blocked behind the deliver phase")
+	}
+	// The full handler chain too: a ping must answer mid-delivery.
+	env, _ := comm.NewEnvelope(comm.MsgPing, "x", "brp1", nil)
+	pinged := make(chan error, 1)
+	go func() {
+		_, err := brp.Handle(context.Background(), env)
+		pinged <- err
+	}()
+	select {
+	case err := <-pinged:
+		if err != nil {
+			t.Fatalf("ping mid-cycle: %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Handle blocked behind the deliver phase")
+	}
+
+	close(gate)
+	rep := <-cycleDone
+	if rep == nil {
+		t.Fatal("cycle failed (see goroutine error above)")
+	}
+	if rep.NotifyFailures != 0 {
+		t.Errorf("notify failures = %d", rep.NotifyFailures)
+	}
+	// The mid-cycle offer was accepted after the snapshot: it must
+	// still be pending, not lost and not scheduled.
+	if got := brp.PendingOffers(); got != 1 {
+		t.Errorf("pending after cycle = %d, want the mid-cycle offer", got)
+	}
+	waitFor(t, time.Second, func() bool { return counter.count(1) == 1 })
+	if n := counter.count(2); n != 0 {
+		t.Errorf("mid-cycle offer delivered %d times without being scheduled", n)
+	}
+}
+
+// TestConcurrentIntakeAndCyclesLoseNothing floods a BRP with offers
+// from a writer goroutine while scheduling cycles run over a slow
+// transport, then checks the commit reconciliation's invariant: every
+// accepted offer is delivered exactly once or still pending — none
+// lost, none double-scheduled. Run with -race.
+func TestConcurrentIntakeAndCyclesLoseNothing(t *testing.T) {
+	bus := comm.NewBus()
+	lt := comm.Latency(bus, 200*time.Microsecond)
+	brp, err := NewNode(Config{
+		Name: "brp1", Role: store.RoleBRP, Transport: lt,
+		AggParams: agg.ParamsP3,
+		SchedOpts: sched.Options{MaxIterations: 2, Seed: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus.Register("brp1", brp.Handler())
+	const owners = 4
+	counters := make([]*notifyCounter, owners)
+	for i := range counters {
+		counters[i] = newNotifyCounter(bus, fmt.Sprintf("p%d", i))
+	}
+
+	const total = 120
+	accepted := make(chan flexoffer.ID, total)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for id := flexoffer.ID(1); id <= total; id++ {
+			owner := fmt.Sprintf("p%d", int(id)%owners)
+			if d := brp.AcceptOffer(testOffer(id, 40, 16, 4, 5), owner); d.Accept {
+				accepted <- id
+			}
+			if id%10 == 0 {
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+	// Cycles race the writer.
+	for i := 0; i < 6; i++ {
+		if _, err := brp.RunSchedulingCycle(context.Background(), 0, nil, nil, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	close(accepted)
+	// One final cycle schedules whatever the writer added last.
+	rep, err := brp.RunSchedulingCycle(context.Background(), 0, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.NotifyFailures != 0 {
+		t.Errorf("notify failures = %d", rep.NotifyFailures)
+	}
+
+	var ids []flexoffer.ID
+	for id := range accepted {
+		ids = append(ids, id)
+	}
+	pending := brp.PendingOffers()
+	delivered := 0
+	waitFor(t, 2*time.Second, func() bool {
+		delivered = 0
+		for _, c := range counters {
+			delivered += c.total()
+		}
+		return delivered+pending == len(ids)
+	})
+	for _, id := range ids {
+		n := counters[int(id)%owners].count(id)
+		if n > 1 {
+			t.Errorf("offer %d delivered %d times", id, n)
+		}
+	}
+	if delivered+pending != len(ids) {
+		t.Errorf("delivered %d + pending %d != accepted %d: offers lost", delivered, pending, len(ids))
+	}
+}
+
+// TestCycleAndRelayReconcileDoubleScheduling races a local scheduling
+// cycle against a parent's schedules for the same (forwarded) members:
+// whichever commit comes second must drop the already-scheduled offers
+// instead of double-delivering them.
+func TestCycleAndRelayReconcileDoubleScheduling(t *testing.T) {
+	bus := comm.NewBus()
+	lt := comm.Latency(bus, 100*time.Microsecond)
+	tso, err := NewNode(Config{
+		Name: "tso", Role: store.RoleTSO, Transport: lt,
+		AggParams: agg.ParamsP3,
+		SchedOpts: sched.Options{MaxIterations: 2, Seed: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus.Register("tso", tso.Handler())
+	brp, err := NewNode(Config{
+		Name: "brp1", Role: store.RoleBRP, Parent: "tso", Transport: lt,
+		AggParams: agg.ParamsP3,
+		SchedOpts: sched.Options{MaxIterations: 2, Seed: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus.Register("brp1", brp.Handler())
+
+	const total = 40
+	counters := make(map[string]*notifyCounter)
+	for i := 0; i < 4; i++ {
+		name := fmt.Sprintf("p%d", i)
+		counters[name] = newNotifyCounter(bus, name)
+	}
+	for id := flexoffer.ID(1); id <= total; id++ {
+		owner := fmt.Sprintf("p%d", int(id)%4)
+		if d := brp.AcceptOffer(testOffer(id, 40, 16, 4, 5), owner); !d.Accept {
+			t.Fatalf("offer %d rejected: %s", id, d.Reason)
+		}
+	}
+
+	// Delegate upward and, racing the parent's schedules coming back,
+	// schedule the same members locally.
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		if _, err := brp.ForwardAggregates(context.Background()); err != nil {
+			t.Errorf("forward: %v", err)
+		}
+		if _, err := tso.RunSchedulingCycle(context.Background(), 0, nil, nil, nil); err != nil {
+			t.Errorf("tso cycle: %v", err)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		if _, err := brp.RunSchedulingCycle(context.Background(), 0, nil, nil, nil); err != nil {
+			t.Errorf("brp cycle: %v", err)
+		}
+	}()
+	wg.Wait()
+
+	// Let the TSO→BRP notify and the BRP relay drain.
+	waitFor(t, 2*time.Second, func() bool {
+		delivered := 0
+		for _, c := range counters {
+			delivered += c.total()
+		}
+		return delivered+brp.PendingOffers() >= total
+	})
+	for id := flexoffer.ID(1); id <= total; id++ {
+		owner := fmt.Sprintf("p%d", int(id)%4)
+		if n := counters[owner].count(id); n > 1 {
+			t.Errorf("offer %d delivered %d times: double-scheduled", id, n)
+		}
+	}
+}
+
+// TestForecastReplyAnchoredAtPlanningTime is the satellite fix: replies
+// carry the latest cycle's planning time as FirstSlot, not a zero
+// placeholder.
+func TestForecastReplyAnchoredAtPlanningTime(t *testing.T) {
+	bus := comm.NewBus()
+	brp, err := NewNode(Config{
+		Name: "brp1", Role: store.RoleBRP, Transport: bus,
+		AggParams: agg.ParamsP3,
+		Forecast:  StaticForecast{1, 2, 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus.Register("brp1", brp.Handler())
+	p1 := newProsumer(t, bus, "p1")
+
+	reply, err := p1.QueryParentForecast(context.Background(), "demand", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.FirstSlot != 0 {
+		t.Errorf("pre-cycle FirstSlot = %d, want 0", reply.FirstSlot)
+	}
+	if _, err := brp.RunSchedulingCycle(context.Background(), 96, nil, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	reply, err = p1.QueryParentForecast(context.Background(), "demand", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.FirstSlot != 96 {
+		t.Errorf("FirstSlot = %d, want the planning time 96", reply.FirstSlot)
+	}
+	if got := brp.PlanningTime(); got != 96 {
+		t.Errorf("PlanningTime = %d, want 96", got)
+	}
+}
+
+// TestCycleDeliveryBoundedBySlowestProsumer is the phase split's
+// headline property at test scale: with n prosumers behind a
+// fixed-latency transport, delivery wall time is near one latency, not
+// n of them.
+func TestCycleDeliveryBoundedBySlowestProsumer(t *testing.T) {
+	bus := comm.NewBus()
+	const delay = 50 * time.Millisecond
+	const owners = 8
+	lt := comm.Latency(bus, delay)
+	brp, err := NewNode(Config{
+		Name: "brp1", Role: store.RoleBRP, Transport: lt,
+		AggParams: agg.ParamsP3,
+		SchedOpts: sched.Options{MaxIterations: 2, Seed: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus.Register("brp1", brp.Handler())
+	for i := 0; i < owners; i++ {
+		name := fmt.Sprintf("p%d", i)
+		newNotifyCounter(bus, name)
+		if d := brp.AcceptOffer(testOffer(flexoffer.ID(i+1), 40, 16, 4, 5), name); !d.Accept {
+			t.Fatalf("rejected: %s", d.Reason)
+		}
+	}
+	rep, err := brp.RunSchedulingCycle(context.Background(), 0, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.NotifyFailures != 0 {
+		t.Errorf("notify failures = %d", rep.NotifyFailures)
+	}
+	if rep.DeliveryTime >= owners*delay/2 {
+		t.Errorf("delivery took %v: serialized, want near the single latency %v", rep.DeliveryTime, delay)
+	}
+}
+
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in time")
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

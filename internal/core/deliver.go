@@ -1,0 +1,181 @@
+package core
+
+import (
+	"context"
+	"errors"
+
+	"mirabel/internal/agg"
+	"mirabel/internal/comm"
+	"mirabel/internal/flexoffer"
+	"mirabel/internal/store"
+)
+
+// handleScheduleNotify records schedules sent back by the parent. On a
+// prosumer the schedule is final; on a BRP whose aggregates were
+// delegated upward, the schedule addresses a forwarded macro flex-offer
+// and is disaggregated and relayed to the prosumers (paper §2: "when the
+// TSO's node forwards back scheduled flex-offers to the trader, they are
+// disaggregated and reported back to respective prosumers in the same
+// way as locally managed flex-offers").
+//
+// The relay follows the same snapshot → plan → commit → deliver
+// discipline as the scheduling cycle: the node lock is released before
+// disaggregation and before any outbound delivery, so a slow or
+// unreachable prosumer cannot block the node's intake while a batch of
+// forwarded schedules is relayed downward.
+func (n *Node) handleScheduleNotify(ctx context.Context, env comm.Envelope) (*comm.Envelope, error) {
+	var body comm.ScheduleNotify
+	if err := env.Decode(comm.MsgScheduleNotify, &body); err != nil {
+		return nil, err
+	}
+
+	// Snapshot: final schedules commit immediately; forwarded macros
+	// only capture an immutable copy of their local aggregate here. The
+	// forwarded mapping is resolved at commit, not now, so a failed
+	// relay leaves it in place for a retried notify.
+	type relay struct {
+		macroID flexoffer.ID
+		agg     *agg.Aggregate
+		sched   *flexoffer.Schedule
+	}
+	var relays []relay
+	n.mu.Lock()
+	for _, s := range body.Schedules {
+		if localID, ok := n.forwarded[s.OfferID]; ok {
+			a, ok := n.pipeline.Aggregator.Lookup(localID)
+			if !ok {
+				// The local aggregate was consumed (scheduled locally or
+				// expired) while its macro twin was with the parent:
+				// nothing left to relay; commit reconciliation below
+				// guards the member level the same way.
+				delete(n.forwarded, s.OfferID)
+				continue
+			}
+			relays = append(relays, relay{
+				macroID: s.OfferID,
+				agg:     a.Snapshot(),
+				sched:   &flexoffer.Schedule{OfferID: localID, Start: s.Start, Energy: s.Energy},
+			})
+			continue
+		}
+		n.schedules[s.OfferID] = s
+		sched := s
+		if _, err := n.store.UpdateOffer(s.OfferID, func(rec *store.OfferRecord) {
+			rec.State = store.OfferScheduled
+			rec.Schedule = sched
+		}); err != nil && !errors.Is(err, store.ErrUnknownOffer) {
+			n.mu.Unlock()
+			return nil, err
+		}
+	}
+	n.mu.Unlock()
+	if len(relays) == 0 {
+		return nil, nil
+	}
+
+	// Plan: disaggregate the snapshots without the lock.
+	var micro []*flexoffer.Schedule
+	for _, r := range relays {
+		ms, err := r.agg.Disaggregate(r.sched)
+		if err != nil {
+			return nil, err
+		}
+		micro = append(micro, ms...)
+	}
+
+	// Commit + deliver, shared with the cycle path. Unreachable owners
+	// are not fatal here either: their offers are already persisted as
+	// scheduled and time out downstream.
+	byOwner, _, err := n.commitMicroSchedules(micro)
+	if err != nil {
+		return nil, err
+	}
+	// The delegations are resolved only now that their members are
+	// committed; a concurrent duplicate notify between snapshot and
+	// here relays the same members again, and reconciliation drops the
+	// second commit.
+	n.mu.Lock()
+	for _, r := range relays {
+		delete(n.forwarded, r.macroID)
+	}
+	n.mu.Unlock()
+	n.deliver(ctx, byOwner)
+	return nil, nil
+}
+
+// commitMicroSchedules is the commit phase shared by the scheduling
+// cycle and the forwarded-schedule relay. Under the node lock it
+// reconciles planned micro schedules against the live pending set: an
+// offer that was scheduled, expired or otherwise removed while the plan
+// ran without the lock is dropped (reported in the reconciled count)
+// rather than double-scheduled. Survivors are persisted as scheduled,
+// leave the pending set and the aggregation pipeline, and are grouped
+// by owner for the deliver phase. Offers accepted mid-plan are
+// untouched: they were never in the snapshot, stay pending and keep
+// their place in the live pipeline for the next cycle.
+func (n *Node) commitMicroSchedules(micro []*flexoffer.Schedule) (map[string][]*flexoffer.Schedule, int, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	byOwner := make(map[string][]*flexoffer.Schedule)
+	reconciled := 0
+	var done []agg.FlexOfferUpdate
+	for _, s := range micro {
+		f, ok := n.pending[s.OfferID]
+		if !ok {
+			reconciled++
+			continue
+		}
+		sched := s
+		rec, err := n.store.UpdateOffer(s.OfferID, func(r *store.OfferRecord) {
+			r.State = store.OfferScheduled
+			r.Schedule = sched
+		})
+		if err != nil {
+			if errors.Is(err, store.ErrUnknownOffer) {
+				reconciled++
+				continue
+			}
+			return nil, reconciled, err
+		}
+		delete(n.pending, s.OfferID)
+		done = append(done, agg.FlexOfferUpdate{Kind: agg.Delete, Offer: f})
+		byOwner[rec.Owner] = append(byOwner[rec.Owner], s)
+	}
+	if len(done) > 0 {
+		if _, err := n.pipeline.Apply(done...); err != nil {
+			return nil, reconciled, err
+		}
+	}
+	return byOwner, reconciled, nil
+}
+
+// deliver fans the committed schedules out to their owners with bounded
+// concurrency, outside the node lock, and returns the number of owners
+// that could not be reached.
+func (n *Node) deliver(ctx context.Context, byOwner map[string][]*flexoffer.Schedule) int {
+	if n.client == nil || len(byOwner) == 0 {
+		return 0
+	}
+	return len(n.client.NotifySchedulesAll(ctx, byOwner, n.cfg.NotifyLimit))
+}
+
+// ScheduleFor returns the schedule a prosumer received for an offer, or
+// the offer's default schedule after its assignment deadline passed (the
+// paper's graceful fallback: "pending flexibilities simply timeout and
+// customers fall back to the open contract").
+func (n *Node) ScheduleFor(f *flexoffer.FlexOffer, now flexoffer.Time) *flexoffer.Schedule {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if s, ok := n.schedules[f.ID]; ok {
+		return s
+	}
+	if now >= f.AssignBefore {
+		_, _ = n.store.UpdateOffer(f.ID, func(rec *store.OfferRecord) {
+			if rec.State != store.OfferScheduled {
+				rec.State = store.OfferExpired
+			}
+		})
+		return f.DefaultSchedule()
+	}
+	return nil
+}

@@ -3,6 +3,14 @@
 // scheduling and negotiation inside one node of the EDMS hierarchy. The
 // same node type serves all three levels (the EDMS "consists of millions
 // of homogeneous nodes"); the role only selects which duties are active.
+//
+// The node's planner-driven flows — the scheduling cycle, the
+// forwarded-schedule relay and aggregate forwarding — follow a strict
+// snapshot → plan → commit → deliver discipline (cycle.go, deliver.go):
+// the node mutex is held only to capture immutable snapshots and to
+// commit results, never across the scheduler search, aggregation-snapshot
+// disaggregation or transport I/O, so offer intake stays responsive for
+// the whole cycle no matter how slow the search or the prosumers are.
 package core
 
 import (
@@ -46,6 +54,11 @@ type Config struct {
 	HorizonSlots   int                  // scheduling horizon (default one day)
 	RequestTimeout time.Duration        // transport request timeout (default comm.DefaultTimeout)
 
+	// NotifyLimit caps the concurrent outbound requests of the deliver
+	// phase — schedule fan-out and parent submissions (default
+	// comm.DefaultFanOutLimit).
+	NotifyLimit int
+
 	// Forecast optionally serves MsgForecastRequest queries from peers
 	// (a forecast.Maintainer, a StaticForecast, ...). Nil nodes answer
 	// forecast queries with an error.
@@ -64,10 +77,22 @@ type Node struct {
 	handler comm.Handler
 	metrics *comm.Metrics
 
+	// cycleMu serializes the planner-driven flows (RunSchedulingCycle,
+	// ForwardAggregates) against each other. It is never held while mu
+	// is wanted by message handlers, and it IS held across transport
+	// I/O — that is its point: long plan and deliver phases proceed
+	// under cycleMu alone while intake keeps flowing under mu.
+	cycleMu sync.Mutex
+
 	mu       sync.Mutex
 	store    *store.Store
 	pipeline *agg.Pipeline
 	valuator *negotiate.Valuator
+
+	// planTime is the node's latest planning time: the start slot of
+	// the most recent scheduling cycle. Offer valuation and forecast
+	// replies are anchored at it.
+	planTime flexoffer.Time
 
 	// pending maps accepted-but-unscheduled offers (the paper's pending
 	// flexibilities that may time out).
@@ -178,7 +203,8 @@ func (n *Node) handlePing(ctx context.Context, env comm.Envelope) (*comm.Envelop
 
 // handleForecastRequest serves forecast queries from the node's
 // configured forecast source (paper §3: forecasts are first-class
-// messages between nodes).
+// messages between nodes). Replies are anchored at the node's latest
+// planning time, so the caller knows which slot Values[0] refers to.
 func (n *Node) handleForecastRequest(ctx context.Context, env comm.Envelope) (*comm.Envelope, error) {
 	var req comm.ForecastRequest
 	if err := env.Decode(comm.MsgForecastRequest, &req); err != nil {
@@ -190,12 +216,9 @@ func (n *Node) handleForecastRequest(ctx context.Context, env comm.Envelope) (*c
 	if req.Horizon <= 0 {
 		return nil, fmt.Errorf("core: forecast horizon must be positive, got %d", req.Horizon)
 	}
-	n.mu.Lock()
-	now := n.nowLocked()
-	n.mu.Unlock()
 	reply, err := comm.NewEnvelope(comm.MsgForecastReply, n.cfg.Name, env.From, comm.ForecastReply{
 		EnergyType: req.EnergyType,
-		FirstSlot:  now,
+		FirstSlot:  n.PlanningTime(),
 		Values:     n.cfg.Forecast.Forecast(req.Horizon),
 	})
 	if err != nil {
@@ -229,7 +252,9 @@ func (n *Node) handleOfferSubmit(ctx context.Context, env comm.Envelope) (*comm.
 
 // AcceptOffer is the in-process form of flex-offer submission: the
 // negotiation component decides; accepted offers enter the store and the
-// aggregation pipeline as pending flexibilities.
+// aggregation pipeline as pending flexibilities. It never blocks on a
+// running scheduling cycle — intake only needs the node mutex, which
+// the cycle releases for its plan and deliver phases.
 func (n *Node) AcceptOffer(f *flexoffer.FlexOffer, owner string) negotiate.Decision {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -261,10 +286,18 @@ func (n *Node) AcceptOffer(f *flexoffer.FlexOffer, owner string) negotiate.Decis
 	return decision
 }
 
-// nowLocked estimates the node's planning time: without a wall clock the
-// simulation drives time explicitly, so "now" is zero until offers give
-// it context. Kept as a method for future wall-clock integration.
-func (n *Node) nowLocked() flexoffer.Time { return 0 }
+// nowLocked is the node's planning time: the start slot of the most
+// recent scheduling cycle (zero until the first cycle runs — the
+// simulation drives time explicitly). Caller holds mu.
+func (n *Node) nowLocked() flexoffer.Time { return n.planTime }
+
+// PlanningTime returns the node's latest planning time — the anchor of
+// forecast replies and offer valuation.
+func (n *Node) PlanningTime() flexoffer.Time {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.planTime
+}
 
 // handleMeasurement stores a reported measurement (BRP duty).
 func (n *Node) handleMeasurement(ctx context.Context, env comm.Envelope) (*comm.Envelope, error) {
@@ -275,165 +308,6 @@ func (n *Node) handleMeasurement(ctx context.Context, env comm.Envelope) (*comm.
 	return nil, n.store.PutMeasurement(store.Measurement{
 		Actor: body.Actor, EnergyType: body.EnergyType, Slot: body.Slot, KWh: body.KWh,
 	})
-}
-
-// handleScheduleNotify records schedules sent back by the parent. On a
-// prosumer the schedule is final; on a BRP whose aggregates were
-// delegated upward, the schedule addresses a forwarded macro flex-offer
-// and is disaggregated and relayed to the prosumers (paper §2: "when the
-// TSO's node forwards back scheduled flex-offers to the trader, they are
-// disaggregated and reported back to respective prosumers in the same
-// way as locally managed flex-offers").
-func (n *Node) handleScheduleNotify(ctx context.Context, env comm.Envelope) (*comm.Envelope, error) {
-	var body comm.ScheduleNotify
-	if err := env.Decode(comm.MsgScheduleNotify, &body); err != nil {
-		return nil, err
-	}
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	for _, s := range body.Schedules {
-		if localID, ok := n.forwarded[s.OfferID]; ok {
-			if err := n.relayForwardedSchedule(ctx, localID, s); err != nil {
-				return nil, err
-			}
-			delete(n.forwarded, s.OfferID)
-			continue
-		}
-		n.schedules[s.OfferID] = s
-		if rec, ok := n.store.GetOffer(s.OfferID); ok {
-			rec.State = store.OfferScheduled
-			rec.Schedule = s
-			if err := n.store.PutOffer(rec); err != nil {
-				return nil, err
-			}
-		}
-	}
-	return nil, nil
-}
-
-// relayForwardedSchedule disaggregates a schedule for a delegated macro
-// flex-offer and delivers the micro schedules. Caller holds the lock.
-func (n *Node) relayForwardedSchedule(ctx context.Context, localID flexoffer.ID, s *flexoffer.Schedule) error {
-	translated := &flexoffer.Schedule{OfferID: localID, Start: s.Start, Energy: s.Energy}
-	micro, err := n.pipeline.Disaggregate([]*flexoffer.Schedule{translated})
-	if err != nil {
-		return err
-	}
-	if _, err := n.deliverMicroSchedules(ctx, micro); err != nil {
-		return err
-	}
-	// The scheduled members leave the pipeline and the pending set.
-	var done []agg.FlexOfferUpdate
-	for _, ms := range micro {
-		if f, ok := n.pending[ms.OfferID]; ok {
-			done = append(done, agg.FlexOfferUpdate{Kind: agg.Delete, Offer: f})
-			delete(n.pending, ms.OfferID)
-		}
-	}
-	if len(done) > 0 {
-		if _, err := n.pipeline.Apply(done...); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// deliverMicroSchedules stores and sends micro schedules to their
-// owners; unreachable owners are counted, not fatal. Caller holds the
-// lock.
-func (n *Node) deliverMicroSchedules(ctx context.Context, micro []*flexoffer.Schedule) (notifyFailures int, err error) {
-	byOwner := make(map[string][]*flexoffer.Schedule)
-	for _, s := range micro {
-		rec, ok := n.store.GetOffer(s.OfferID)
-		if !ok {
-			continue
-		}
-		rec.State = store.OfferScheduled
-		rec.Schedule = s
-		if err := n.store.PutOffer(rec); err != nil {
-			return notifyFailures, err
-		}
-		byOwner[rec.Owner] = append(byOwner[rec.Owner], s)
-	}
-	if n.client == nil {
-		return 0, nil
-	}
-	for owner, scheds := range byOwner {
-		if err := n.client.NotifySchedules(ctx, owner, scheds); err != nil {
-			notifyFailures++
-		}
-	}
-	return notifyFailures, nil
-}
-
-// ForwardAggregates delegates the node's current macro flex-offers to
-// its parent (paper §2: "the aggregated flex-offers are sent to a TSO's
-// node for further aggregation, scheduling, and disaggregation"). The
-// members stay pending locally until the parent's schedules come back
-// through handleScheduleNotify; if none arrive, they time out like any
-// other pending flexibility. Returns how many aggregates the parent
-// accepted.
-func (n *Node) ForwardAggregates(ctx context.Context) (int, error) {
-	if n.client == nil || n.cfg.Parent == "" {
-		return 0, fmt.Errorf("core: %s has no parent to forward to", n.cfg.Name)
-	}
-	n.mu.Lock()
-	aggregates := n.pipeline.Aggregates()
-	type fwd struct {
-		offer   *flexoffer.FlexOffer
-		localID flexoffer.ID
-	}
-	fwds := make([]fwd, 0, len(aggregates))
-	for _, a := range aggregates {
-		macro := a.Offer.Clone()
-		macro.ID = n.nextFwdID
-		macro.Prosumer = n.cfg.Name
-		n.nextFwdID++
-		fwds = append(fwds, fwd{offer: macro, localID: a.Offer.ID})
-	}
-	n.mu.Unlock()
-
-	accepted := 0
-	for _, f := range fwds {
-		if err := ctx.Err(); err != nil {
-			return accepted, err
-		}
-		decision, err := n.client.SubmitOffer(ctx, n.cfg.Parent, f.offer)
-		if err != nil {
-			// A canceled caller is not an unreachable parent: surface it.
-			if cerr := ctx.Err(); cerr != nil {
-				return accepted, cerr
-			}
-			continue // unreachable parent: offers stay pending and may time out
-		}
-		if decision.Accept {
-			n.mu.Lock()
-			n.forwarded[f.offer.ID] = f.localID
-			n.mu.Unlock()
-			accepted++
-		}
-	}
-	return accepted, nil
-}
-
-// ScheduleFor returns the schedule a prosumer received for an offer, or
-// the offer's default schedule after its assignment deadline passed (the
-// paper's graceful fallback: "pending flexibilities simply timeout and
-// customers fall back to the open contract").
-func (n *Node) ScheduleFor(f *flexoffer.FlexOffer, now flexoffer.Time) *flexoffer.Schedule {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if s, ok := n.schedules[f.ID]; ok {
-		return s
-	}
-	if now >= f.AssignBefore {
-		if rec, ok := n.store.GetOffer(f.ID); ok && rec.State != store.OfferScheduled {
-			rec.State = store.OfferExpired
-			_ = n.store.PutOffer(rec)
-		}
-		return f.DefaultSchedule()
-	}
-	return nil
 }
 
 // PendingOffers returns the accepted, not-yet-scheduled offers.
@@ -448,146 +322,6 @@ func (n *Node) Aggregates() []*agg.Aggregate {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return n.pipeline.Aggregates()
-}
-
-// CycleReport summarizes one scheduling cycle of a BRP/TSO node.
-type CycleReport struct {
-	Offers          int     // pending micro flex-offers considered
-	Aggregates      int     // macro flex-offers scheduled
-	ScheduleCost    float64 // cost of the chosen schedule (EUR)
-	BaselineCost    float64 // cost had no flexibility been used
-	MicroSchedules  int     // disaggregated schedules produced
-	Expired         int     // offers dropped because their deadline passed
-	NotifyFailures  int     // prosumers that could not be reached
-	AggregationTime time.Duration
-	SchedulingTime  time.Duration
-}
-
-// forecaster produces the baseline for a horizon; the node's scheduling
-// cycle accepts any source (a forecast.Maintainer, a fixed series, ...).
-type forecaster interface {
-	Forecast(h int) []float64
-}
-
-// RunSchedulingCycle executes the full BRP workflow at planning time now
-// for [now, now+horizon): drop expired offers, schedule the aggregates
-// against the forecast baseline, disaggregate, store and deliver the
-// micro schedules to their owners. Cancelling ctx stops outbound
-// schedule deliveries.
-//
-// demandFc and resFc forecast the non-flexible consumption and RES
-// production of the balance group; imbalancePrices gives the per-slot
-// mismatch penalty (nil = flat 0.15 EUR/kWh).
-func (n *Node) RunSchedulingCycle(ctx context.Context, now flexoffer.Time, demandFc, resFc forecaster, imbalancePrices []float64) (*CycleReport, error) {
-	if n.cfg.Role == store.RoleProsumer {
-		return nil, fmt.Errorf("core: prosumer %s does not schedule", n.cfg.Name)
-	}
-	n.mu.Lock()
-	defer n.mu.Unlock()
-
-	rep := &CycleReport{}
-	horizon := n.cfg.HorizonSlots
-
-	// 1. Expire pending offers whose assignment deadline has passed or
-	// whose execution window no longer fits the horizon.
-	end := now + flexoffer.Time(horizon)
-	var expired []agg.FlexOfferUpdate
-	for id, f := range n.pending {
-		if now >= f.AssignBefore || f.EarliestStart < now || f.LatestEnd() > end {
-			expired = append(expired, agg.FlexOfferUpdate{Kind: agg.Delete, Offer: f})
-			delete(n.pending, id)
-			rep.Expired++
-			if rec, ok := n.store.GetOffer(id); ok {
-				rec.State = store.OfferExpired
-				_ = n.store.PutOffer(rec)
-			}
-		}
-	}
-	t0 := time.Now()
-	if len(expired) > 0 {
-		if _, err := n.pipeline.Apply(expired...); err != nil {
-			return nil, err
-		}
-	}
-	aggregates := n.pipeline.Aggregates()
-	rep.AggregationTime = time.Since(t0)
-	rep.Offers = len(n.pending)
-	rep.Aggregates = len(aggregates)
-
-	// 2. Build the scheduling problem from the forecasts.
-	baseline := make([]float64, horizon)
-	if demandFc != nil {
-		copy(baseline, demandFc.Forecast(horizon))
-	}
-	if resFc != nil {
-		for i, v := range resFc.Forecast(horizon) {
-			if i < horizon {
-				baseline[i] -= v
-			}
-		}
-	}
-	if imbalancePrices == nil {
-		imbalancePrices = make([]float64, horizon)
-		for i := range imbalancePrices {
-			imbalancePrices[i] = 0.15
-		}
-	}
-	offers := make([]*flexoffer.FlexOffer, len(aggregates))
-	for i, a := range aggregates {
-		offers[i] = a.Offer
-	}
-	problem := &sched.Problem{
-		Start:          now,
-		Slots:          horizon,
-		Baseline:       baseline,
-		ImbalancePrice: imbalancePrices,
-		Offers:         offers,
-		Market:         n.cfg.Market,
-	}
-	rep.BaselineCost = problem.BaselineCost()
-
-	if len(aggregates) == 0 {
-		return rep, nil
-	}
-
-	// 3. Schedule the macro flex-offers.
-	t0 = time.Now()
-	res, err := n.cfg.Scheduler.Schedule(problem, n.cfg.SchedOpts)
-	if err != nil {
-		return nil, err
-	}
-	rep.SchedulingTime = time.Since(t0)
-	rep.ScheduleCost = res.Cost
-
-	// 4. Disaggregate into micro schedules.
-	micro, err := n.pipeline.Disaggregate(problem.Schedules(res.Solution))
-	if err != nil {
-		return nil, err
-	}
-	rep.MicroSchedules = len(micro)
-
-	// 5. Record and deliver. Unreachable prosumers are counted, not
-	// fatal: their offers will time out and fall back gracefully.
-	failures, err := n.deliverMicroSchedules(ctx, micro)
-	if err != nil {
-		return nil, err
-	}
-	rep.NotifyFailures = failures
-	for _, s := range micro {
-		delete(n.pending, s.OfferID)
-	}
-
-	// The scheduled offers leave the aggregation pipeline.
-	var done []agg.FlexOfferUpdate
-	for _, a := range aggregates {
-		for _, m := range a.Members() {
-			done = append(done, agg.FlexOfferUpdate{Kind: agg.Delete, Offer: m})
-		}
-	}
-	if _, err := n.pipeline.Apply(done...); err != nil {
-		return nil, err
-	}
-	return rep, nil
 }
 
 // SettleExecuted settles all scheduled flex-offers against their metered
@@ -644,15 +378,19 @@ func (n *Node) SubmitOfferTo(ctx context.Context, f *flexoffer.FlexOffer) (comm.
 	if err != nil {
 		return comm.FlexOfferDecision{}, err
 	}
-	rec, _ := n.store.GetOffer(f.ID)
+	state := store.OfferRejected
 	if decision.Accept {
-		rec.State = store.OfferAccepted
-	} else {
-		rec.State = store.OfferRejected
+		state = store.OfferAccepted
 	}
-	rec.Offer = f
-	rec.Owner = n.cfg.Name
-	if err := n.store.PutOffer(rec); err != nil {
+	// One atomic round-trip: if the parent's schedule already arrived
+	// (delivery can race the decision reply), the record has moved past
+	// the handshake and keeps its schedule and state instead of being
+	// stomped back to the decision.
+	if _, err := n.store.UpdateOffer(f.ID, func(rec *store.OfferRecord) {
+		if rec.State == store.OfferReceived {
+			rec.State = state
+		}
+	}); err != nil {
 		return comm.FlexOfferDecision{}, err
 	}
 	return decision, nil
@@ -679,6 +417,12 @@ func (n *Node) QueryParentForecast(ctx context.Context, energyType string, horiz
 		return comm.ForecastReply{}, fmt.Errorf("core: %s has no parent to query", n.cfg.Name)
 	}
 	return n.client.QueryForecast(ctx, n.cfg.Parent, energyType, horizon)
+}
+
+// forecaster produces the baseline for a horizon; the node's scheduling
+// cycle accepts any source (a forecast.Maintainer, a fixed series, ...).
+type forecaster interface {
+	Forecast(h int) []float64
 }
 
 // ensure forecast.Maintainer satisfies the forecaster seam.

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"math/rand"
 
 	"mirabel/internal/flexoffer"
@@ -65,16 +66,21 @@ type individual struct {
 }
 
 // Schedule implements Scheduler.
-func (e *Evolutionary) Schedule(p *Problem, opt Options) (Result, error) {
+func (e *Evolutionary) Schedule(ctx context.Context, p *Problem, opt Options) (Result, error) {
 	if err := p.Validate(); err != nil {
 		return Result{}, err
 	}
 	cfg := e.defaults()
 	rng := rand.New(rand.NewSource(opt.Seed))
-	tr := newTracker(opt)
+	tr := newTracker(ctx, opt)
 
 	pop := make([]individual, cfg.PopulationSize)
 	for i := range pop {
+		// Initialization evaluates a whole population; on big instances
+		// that alone can be slow, so cancellation is honored here too.
+		if ctx.Err() != nil {
+			return tr.result(), ctx.Err()
+		}
 		pop[i] = cfg.randomIndividual(p, rng)
 		pop[i].cost = p.Evaluate(cfg.decode(p, &pop[i]))
 	}
@@ -107,7 +113,7 @@ func (e *Evolutionary) Schedule(p *Problem, opt Options) (Result, error) {
 		best := bestOf(pop)
 		tr.observe(cfg.decode(p, &pop[best]), pop[best].cost)
 	}
-	return tr.result(), nil
+	return tr.result(), ctx.Err()
 }
 
 func (e *Evolutionary) randomIndividual(p *Problem, rng *rand.Rand) individual {

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 )
 
@@ -22,8 +23,9 @@ type Exhaustive struct {
 func (x *Exhaustive) Name() string { return "Exhaustive" }
 
 // Schedule implements Scheduler. Options are ignored except for tracing:
-// the enumeration always runs to completion.
-func (x *Exhaustive) Schedule(p *Problem, opt Options) (Result, error) {
+// the enumeration runs to completion unless ctx is canceled (a partial
+// enumeration is not the optimum, so cancellation returns ctx.Err()).
+func (x *Exhaustive) Schedule(ctx context.Context, p *Problem, opt Options) (Result, error) {
 	if err := p.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -45,7 +47,7 @@ func (x *Exhaustive) Schedule(p *Problem, opt Options) (Result, error) {
 		energies[i] = e
 	}
 
-	tr := newTracker(Options{TimeBudget: 1 << 40, TraceEvery: opt.TraceEvery}) // no deadline: exact enumeration
+	tr := newTracker(nil, Options{TimeBudget: 1 << 40, TraceEvery: opt.TraceEvery}) // no deadline: exact enumeration
 	net := append([]float64(nil), p.Baseline...)
 	sol := &Solution{Placements: make([]Placement, len(p.Offers))}
 
@@ -56,6 +58,7 @@ func (x *Exhaustive) Schedule(p *Problem, opt Options) (Result, error) {
 		sol.Placements[i] = Placement{Energy: energies[i]}
 	}
 
+	canceled := false
 	var recurse func(i int)
 	recurse = func(i int) {
 		if i == len(p.Offers) {
@@ -64,10 +67,14 @@ func (x *Exhaustive) Schedule(p *Problem, opt Options) (Result, error) {
 				cost += p.slotCost(t, n)
 			}
 			tr.observe(sol, cost+actCost)
+			// ctx.Err is a synchronized load; amortize it over leaves.
+			if tr.iter&1023 == 0 && ctx.Err() != nil {
+				canceled = true
+			}
 			return
 		}
 		f := p.Offers[i]
-		for start := f.EarliestStart; start <= f.LatestStart; start++ {
+		for start := f.EarliestStart; start <= f.LatestStart && !canceled; start++ {
 			base := int(start - p.Start)
 			for j, e := range energies[i] {
 				net[base+j] += e
@@ -80,7 +87,7 @@ func (x *Exhaustive) Schedule(p *Problem, opt Options) (Result, error) {
 		}
 	}
 	recurse(0)
-	return tr.result(), nil
+	return tr.result(), ctx.Err()
 }
 
 // OptimalityGap runs the exhaustive enumerator and a heuristic on the
@@ -88,13 +95,13 @@ func (x *Exhaustive) Schedule(p *Problem, opt Options) (Result, error) {
 // tiny gap certifies the heuristic on instances small enough to verify
 // (the heuristic may also beat the enumerator's fixed midpoint energies,
 // yielding a negative gap).
-func OptimalityGap(p *Problem, s Scheduler, opt Options) (gap, optimal, heuristic float64, err error) {
+func OptimalityGap(ctx context.Context, p *Problem, s Scheduler, opt Options) (gap, optimal, heuristic float64, err error) {
 	x := &Exhaustive{}
-	optRes, err := x.Schedule(p, Options{})
+	optRes, err := x.Schedule(ctx, p, Options{})
 	if err != nil {
 		return 0, 0, 0, err
 	}
-	hRes, err := s.Schedule(p, opt)
+	hRes, err := s.Schedule(ctx, p, opt)
 	if err != nil {
 		return 0, 0, 0, err
 	}

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
@@ -34,12 +35,12 @@ type RandomizedGreedy struct {
 func (g *RandomizedGreedy) Name() string { return "GS" }
 
 // Schedule implements Scheduler.
-func (g *RandomizedGreedy) Schedule(p *Problem, opt Options) (Result, error) {
+func (g *RandomizedGreedy) Schedule(ctx context.Context, p *Problem, opt Options) (Result, error) {
 	if err := p.Validate(); err != nil {
 		return Result{}, err
 	}
 	rng := rand.New(rand.NewSource(opt.Seed))
-	tr := newTracker(opt)
+	tr := newTracker(ctx, opt)
 	order := make([]int, len(p.Offers))
 	for i := range order {
 		order[i] = i
@@ -49,7 +50,7 @@ func (g *RandomizedGreedy) Schedule(p *Problem, opt Options) (Result, error) {
 		sol, cost := g.construct(p, order)
 		tr.observe(sol, cost)
 	}
-	return tr.result(), nil
+	return tr.result(), ctx.Err()
 }
 
 // construct builds one schedule: offers in the given order, each placed

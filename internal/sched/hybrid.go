@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"math/rand"
 	"time"
 )
@@ -24,7 +25,7 @@ type Hybrid struct {
 func (h *Hybrid) Name() string { return "HYB" }
 
 // Schedule implements Scheduler.
-func (h *Hybrid) Schedule(p *Problem, opt Options) (Result, error) {
+func (h *Hybrid) Schedule(ctx context.Context, p *Problem, opt Options) (Result, error) {
 	if err := p.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -44,13 +45,13 @@ func (h *Hybrid) Schedule(p *Problem, opt Options) (Result, error) {
 	cfg := h.EA.defaults()
 	rng := rand.New(rand.NewSource(opt.Seed ^ 0x5eed))
 	seeds := make([]*Solution, 0, cfg.PopulationSize/2)
-	tr := newTracker(opt)
+	tr := newTracker(ctx, opt)
 	greedyDeadline := time.Now().Add(seedOpt.TimeBudget)
 	order := make([]int, len(p.Offers))
 	for i := range order {
 		order[i] = i
 	}
-	for time.Now().Before(greedyDeadline) && len(seeds) < cap(seeds) {
+	for ctx.Err() == nil && time.Now().Before(greedyDeadline) && len(seeds) < cap(seeds) {
 		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
 		sol, cost := h.Greedy.construct(p, order)
 		tr.observe(sol, cost)
@@ -60,6 +61,9 @@ func (h *Hybrid) Schedule(p *Problem, opt Options) (Result, error) {
 	// Phase 2: evolution seeded with the greedy solutions.
 	pop := make([]individual, cfg.PopulationSize)
 	for i := range pop {
+		if ctx.Err() != nil {
+			return tr.result(), ctx.Err()
+		}
 		if i < len(seeds) {
 			pop[i] = cfg.encode(p, seeds[i])
 		} else {
@@ -90,7 +94,7 @@ func (h *Hybrid) Schedule(p *Problem, opt Options) (Result, error) {
 		}
 		pop, scratch = next, pop
 	}
-	return tr.result(), nil
+	return tr.result(), ctx.Err()
 }
 
 // encode converts a concrete solution into an EA genotype — the inverse

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"math"
 	"testing"
 	"time"
@@ -12,7 +13,7 @@ func TestHybridProducesValidSolutions(t *testing.T) {
 		t.Fatal(err)
 	}
 	h := &Hybrid{}
-	res, err := h.Schedule(p, Options{TimeBudget: 300 * time.Millisecond, Seed: 22, TraceEvery: 1})
+	res, err := h.Schedule(context.Background(), p, Options{TimeBudget: 300 * time.Millisecond, Seed: 22, TraceEvery: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -30,7 +31,7 @@ func TestHybridEncodeDecodeRoundtrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	g := &RandomizedGreedy{}
-	res, err := g.Schedule(p, Options{MaxIterations: 1, Seed: 24})
+	res, err := g.Schedule(context.Background(), p, Options{MaxIterations: 1, Seed: 24})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,11 +63,11 @@ func TestHybridAtLeastAsGoodAsSeeds(t *testing.T) {
 		t.Fatal(err)
 	}
 	h := &Hybrid{SeedBudgetFrac: 0.3}
-	res, err := h.Schedule(p, Options{TimeBudget: 400 * time.Millisecond, Seed: 26})
+	res, err := h.Schedule(context.Background(), p, Options{TimeBudget: 400 * time.Millisecond, Seed: 26})
 	if err != nil {
 		t.Fatal(err)
 	}
-	seedOnly, err := (&RandomizedGreedy{}).Schedule(p, Options{TimeBudget: 120 * time.Millisecond, Seed: 26})
+	seedOnly, err := (&RandomizedGreedy{}).Schedule(context.Background(), p, Options{TimeBudget: 120 * time.Millisecond, Seed: 26})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +84,7 @@ func TestHybridTraceMonotone(t *testing.T) {
 		t.Fatal(err)
 	}
 	h := &Hybrid{}
-	res, err := h.Schedule(p, Options{TimeBudget: 200 * time.Millisecond, Seed: 28, TraceEvery: 1})
+	res, err := h.Schedule(context.Background(), p, Options{TimeBudget: 200 * time.Millisecond, Seed: 28, TraceEvery: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

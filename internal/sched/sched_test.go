@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
@@ -110,7 +111,7 @@ func TestSlotCostMarketWorseThanPenalty(t *testing.T) {
 
 func TestGreedyFindsTheSurplus(t *testing.T) {
 	g := &RandomizedGreedy{}
-	res, err := g.Schedule(tinyProblem(), Options{MaxIterations: 1, Seed: 1})
+	res, err := g.Schedule(context.Background(), tinyProblem(), Options{MaxIterations: 1, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +129,7 @@ func TestGreedySolutionsAreValid(t *testing.T) {
 		t.Fatal(err)
 	}
 	g := &RandomizedGreedy{}
-	res, err := g.Schedule(p, Options{MaxIterations: 3, Seed: 3})
+	res, err := g.Schedule(context.Background(), p, Options{MaxIterations: 3, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +148,7 @@ func TestEvolutionarySolutionsAreValidAndImprove(t *testing.T) {
 		t.Fatal(err)
 	}
 	ea := &Evolutionary{}
-	res, err := ea.Schedule(p, Options{MaxIterations: 40, Seed: 5, TraceEvery: 1})
+	res, err := ea.Schedule(context.Background(), p, Options{MaxIterations: 40, Seed: 5, TraceEvery: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,7 +171,7 @@ func TestTraceMonotoneNonIncreasing(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, s := range []Scheduler{&RandomizedGreedy{}, &Evolutionary{}} {
-		res, err := s.Schedule(p, Options{MaxIterations: 25, Seed: 7, TraceEvery: 1})
+		res, err := s.Schedule(context.Background(), p, Options{MaxIterations: 25, Seed: 7, TraceEvery: 1})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -187,7 +188,7 @@ func TestTraceMonotoneNonIncreasing(t *testing.T) {
 func TestExhaustiveOptimalOnTiny(t *testing.T) {
 	p := tinyProblem()
 	x := &Exhaustive{}
-	res, err := x.Schedule(p, Options{})
+	res, err := x.Schedule(context.Background(), p, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -211,7 +212,7 @@ func TestExhaustiveLimit(t *testing.T) {
 		t.Fatal(err)
 	}
 	x := &Exhaustive{Limit: 1000}
-	if _, err := x.Schedule(p, Options{}); err == nil {
+	if _, err := x.Schedule(context.Background(), p, Options{}); err == nil {
 		t.Error("exhaustive accepted an instance over its limit")
 	}
 }
@@ -221,7 +222,7 @@ func TestGreedyNearOptimalOnSmallInstances(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	gap, optimal, heuristic, err := OptimalityGap(p, &RandomizedGreedy{}, Options{MaxIterations: 50, Seed: 10})
+	gap, optimal, heuristic, err := OptimalityGap(context.Background(), p, &RandomizedGreedy{}, Options{MaxIterations: 50, Seed: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -260,7 +261,7 @@ func TestSchedulingReducesCostVsBaseline(t *testing.T) {
 		t.Fatal(err)
 	}
 	g := &RandomizedGreedy{}
-	res, err := g.Schedule(p, Options{MaxIterations: 5, Seed: 13})
+	res, err := g.Schedule(context.Background(), p, Options{MaxIterations: 5, Seed: 13})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -281,11 +282,11 @@ func TestGreedyFillAblation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	greedyFill, err := (&RandomizedGreedy{Fill: FillGreedy}).Schedule(p, Options{MaxIterations: 5, Seed: 15})
+	greedyFill, err := (&RandomizedGreedy{Fill: FillGreedy}).Schedule(context.Background(), p, Options{MaxIterations: 5, Seed: 15})
 	if err != nil {
 		t.Fatal(err)
 	}
-	midFill, err := (&RandomizedGreedy{Fill: FillMidpoint}).Schedule(p, Options{MaxIterations: 5, Seed: 15})
+	midFill, err := (&RandomizedGreedy{Fill: FillMidpoint}).Schedule(context.Background(), p, Options{MaxIterations: 5, Seed: 15})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -311,11 +312,11 @@ func TestMarketLowersScheduleCost(t *testing.T) {
 		t.Fatal(err)
 	}
 	g := &RandomizedGreedy{}
-	a, err := g.Schedule(noMarket, Options{MaxIterations: 3, Seed: 17})
+	a, err := g.Schedule(context.Background(), noMarket, Options{MaxIterations: 3, Seed: 17})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := g.Schedule(withMarket, Options{MaxIterations: 3, Seed: 17})
+	b, err := g.Schedule(context.Background(), withMarket, Options{MaxIterations: 3, Seed: 17})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -341,7 +342,7 @@ func TestPropertyEvaluateDeterministicAndValid(t *testing.T) {
 			return false
 		}
 		g := &RandomizedGreedy{}
-		res, err := g.Schedule(p, Options{MaxIterations: 1, Seed: seed})
+		res, err := g.Schedule(context.Background(), p, Options{MaxIterations: 1, Seed: seed})
 		if err != nil {
 			return false
 		}
@@ -357,5 +358,40 @@ func TestPropertyEvaluateDeterministicAndValid(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestSchedulersHonorCancellation(t *testing.T) {
+	// A big instance with a generous budget: only cancellation can end
+	// the search quickly. Every strategy must return ctx.Err() promptly.
+	p, err := BuildScenario(ScenarioConfig{Offers: 400, Seed: 18})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []Scheduler{&RandomizedGreedy{}, &Evolutionary{}, &Hybrid{}} {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+		t0 := time.Now()
+		_, err := s.Schedule(ctx, p, Options{TimeBudget: time.Hour, Seed: 19})
+		cancel()
+		if err == nil {
+			t.Errorf("%s: canceled search returned nil error", s.Name())
+		}
+		// Prompt means well under the one-hour budget; allow slack for a
+		// single in-flight iteration on a loaded machine.
+		if elapsed := time.Since(t0); elapsed > 5*time.Second {
+			t.Errorf("%s: cancellation took %v", s.Name(), elapsed)
+		}
+	}
+}
+
+func TestExhaustiveHonorsCancellation(t *testing.T) {
+	p, err := BuildScenario(ScenarioConfig{Offers: 8, Seed: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := (&Exhaustive{}).Schedule(ctx, p, Options{}); err == nil {
+		t.Error("canceled enumeration returned nil error")
 	}
 }

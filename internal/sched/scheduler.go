@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"time"
 )
 
@@ -47,12 +48,17 @@ func (o Options) budget() time.Duration {
 type Scheduler interface {
 	// Name identifies the strategy in experiment output.
 	Name() string
-	// Schedule searches for a low-cost solution of p.
-	Schedule(p *Problem, opt Options) (Result, error)
+	// Schedule searches for a low-cost solution of p within opt's
+	// budget. Cancelling ctx stops the search promptly: the strategy
+	// returns the best solution found so far (which may be nil if no
+	// iteration completed) together with ctx.Err(). A nil error always
+	// means a run that terminated by its own budget.
+	Schedule(ctx context.Context, p *Problem, opt Options) (Result, error)
 }
 
 // tracker accumulates the incumbent and trace across iterations.
 type tracker struct {
+	ctx      context.Context
 	start    time.Time
 	deadline time.Time
 	maxIter  int
@@ -64,8 +70,9 @@ type tracker struct {
 	trace []TracePoint
 }
 
-func newTracker(opt Options) *tracker {
+func newTracker(ctx context.Context, opt Options) *tracker {
 	t := &tracker{
+		ctx:     ctx,
 		start:   time.Now(),
 		maxIter: opt.MaxIterations,
 		every:   opt.TraceEvery,
@@ -78,6 +85,9 @@ func newTracker(opt Options) *tracker {
 func inf() float64 { return 1e308 }
 
 func (t *tracker) exhausted() bool {
+	if t.ctx != nil && t.ctx.Err() != nil {
+		return true
+	}
 	if t.maxIter > 0 && t.iter >= t.maxIter {
 		return true
 	}

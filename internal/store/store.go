@@ -2,6 +2,7 @@ package store
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"sort"
@@ -9,6 +10,10 @@ import (
 
 	"mirabel/internal/flexoffer"
 )
+
+// ErrUnknownOffer is wrapped by UpdateOffer when no record exists for
+// the given ID. Match with errors.Is.
+var ErrUnknownOffer = errors.New("store: unknown offer")
 
 // Store is the node-local multidimensional store. All methods are safe
 // for concurrent use. A Store opened with a directory is durable
@@ -387,6 +392,30 @@ func (s *Store) PutOffer(r OfferRecord) error {
 	}
 	s.offers[r.Offer.ID] = r
 	return nil
+}
+
+// UpdateOffer applies mutate to the stored record in one atomic
+// read-modify-write round-trip and returns the stored result. Use it
+// for state transitions that must not interleave with a concurrent
+// writer between a GetOffer and a PutOffer (e.g. a negotiation
+// decision racing the schedule that the decision unlocked). Returns
+// ErrUnknownOffer when no record exists.
+func (s *Store) UpdateOffer(id flexoffer.ID, mutate func(*OfferRecord)) (OfferRecord, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.offers[id]
+	if !ok {
+		return OfferRecord{}, fmt.Errorf("%w: %d", ErrUnknownOffer, id)
+	}
+	mutate(&r)
+	if r.Offer == nil {
+		return OfferRecord{}, fmt.Errorf("store: offer record without offer")
+	}
+	if err := s.logPut(tOffer, r); err != nil {
+		return OfferRecord{}, err
+	}
+	s.offers[id] = r
+	return r, nil
 }
 
 // GetOffer returns a flex-offer record by ID.

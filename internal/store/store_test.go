@@ -1,6 +1,7 @@
 package store
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
@@ -350,5 +351,38 @@ func TestPropertyRecoveryEquivalence(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestUpdateOfferAtomicTransition(t *testing.T) {
+	s := NewInMemory()
+	f := &flexoffer.FlexOffer{ID: 7, EarliestStart: 40, LatestStart: 48, AssignBefore: 32,
+		Profile: []flexoffer.Slice{{EnergyMin: 0, EnergyMax: 5}}}
+	if err := s.PutOffer(OfferRecord{Offer: f, Owner: "p7", State: OfferReceived}); err != nil {
+		t.Fatal(err)
+	}
+	// A concurrent writer advanced the record (a schedule arrived).
+	sched := &flexoffer.Schedule{OfferID: 7, Start: 40, Energy: []float64{1}}
+	if _, err := s.UpdateOffer(7, func(r *OfferRecord) {
+		r.State = OfferScheduled
+		r.Schedule = sched
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// The guarded transition observes the current state and declines,
+	// preserving the schedule instead of stomping it.
+	rec, err := s.UpdateOffer(7, func(r *OfferRecord) {
+		if r.State == OfferReceived {
+			r.State = OfferAccepted
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.State != OfferScheduled || rec.Schedule != sched || rec.Owner != "p7" {
+		t.Errorf("record = %+v, want scheduled state and fields preserved", rec)
+	}
+	if _, err := s.UpdateOffer(99, func(r *OfferRecord) {}); !errors.Is(err, ErrUnknownOffer) {
+		t.Errorf("unknown offer err = %v, want ErrUnknownOffer", err)
 	}
 }
