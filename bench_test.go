@@ -9,6 +9,8 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -375,6 +377,210 @@ func BenchmarkAblationIncrementalAggregation(b *testing.B) {
 			}
 		}
 	})
+}
+
+// --- storage-engine benchmarks ----------------------------------------
+
+// benchStoreFacts populates an in-memory store with a synthetic meter
+// stream of n facts over 128 actors.
+func benchStoreFacts(b *testing.B, n int) *store.Store {
+	b.Helper()
+	st := store.NewInMemory()
+	if err := st.PutMeasurementsBatch(workload.GenerateMeasurements(workload.MeasurementConfig{Count: n, Actors: 128, Seed: 1})); err != nil {
+		b.Fatal(err)
+	}
+	return st
+}
+
+// BenchmarkStoreMeasurementsWindow measures the indexed slot-window
+// query against fact tables of growing size. The series-clustered
+// layout makes the cost track the result rows (metric "rows"), not the
+// table: ns/op should stay near-flat across the 16× table sweep.
+func BenchmarkStoreMeasurementsWindow(b *testing.B) {
+	for _, n := range []int{20000, 80000, 320000} {
+		st := benchStoreFacts(b, n)
+		slots := flexoffer.Time(n / 128)
+		filter := store.MeasurementFilter{Actor: workload.MeasurementActor(5), EnergyType: "demand",
+			FromSlot: slots / 2, ToSlot: slots/2 + 64}
+		b.Run(fmt.Sprintf("facts%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			var rows int
+			for i := 0; i < b.N; i++ {
+				rows = len(st.Measurements(filter))
+			}
+			b.ReportMetric(float64(rows), "rows")
+		})
+	}
+}
+
+// BenchmarkStoreSeriesBySlot measures the forecast-input materialization
+// over a fixed window while the fact table grows around it.
+func BenchmarkStoreSeriesBySlot(b *testing.B) {
+	for _, n := range []int{20000, 80000, 320000} {
+		st := benchStoreFacts(b, n)
+		slots := flexoffer.Time(n / 128)
+		f := store.MeasurementFilter{Actor: workload.MeasurementActor(9), EnergyType: "demand"}
+		b.Run(fmt.Sprintf("facts%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				st.SeriesBySlot(f, slots/4, slots/4+96)
+			}
+		})
+	}
+}
+
+// BenchmarkStoreOffersByState measures the by-state secondary index: a
+// fixed 500-record result fished out of offer tables of growing size.
+func BenchmarkStoreOffersByState(b *testing.B) {
+	for _, n := range []int{2000, 8000, 32000} {
+		st := store.NewInMemory()
+		offers := workload.GenerateFlexOffers(workload.FlexOfferConfig{Count: n, Seed: 1})
+		for i, f := range offers {
+			state := store.OfferRejected
+			if i < 500 {
+				state = store.OfferScheduled
+			}
+			if err := st.PutOffer(store.OfferRecord{Offer: f, Owner: fmt.Sprintf("p%d", i%50), State: state}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.Run(fmt.Sprintf("offers%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			var hits int
+			for i := 0; i < b.N; i++ {
+				hits = len(st.Offers(store.OfferFilter{State: store.OfferScheduled}))
+			}
+			b.ReportMetric(float64(hits), "hits")
+		})
+	}
+}
+
+// BenchmarkStoreIngest compares single-put ingestion against the
+// batched path (one WAL group per 256 facts) on a durable store; the
+// "recs/group" metric is the committer's amortization factor.
+func BenchmarkStoreIngest(b *testing.B) {
+	facts := workload.GenerateMeasurements(workload.MeasurementConfig{Count: 100000, Actors: 128, Seed: 1})
+	b.Run("single", func(b *testing.B) {
+		st, err := store.Open(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer st.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := st.PutMeasurement(facts[i%len(facts)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("batch256", func(b *testing.B) {
+		st, err := store.Open(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer st.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			lo := (i * 256) % (len(facts) - 256)
+			if err := st.PutMeasurementsBatch(facts[lo : lo+256]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		ls := st.WALStats()
+		if ls.Groups > 0 {
+			b.ReportMetric(float64(ls.Records)/float64(ls.Groups), "recs/group")
+		}
+		b.ReportMetric(256, "facts/op")
+	})
+}
+
+// BenchmarkStoreConcurrentMixed hammers the striped tables from all
+// procs at once — measurement puts, offer transitions and indexed
+// queries — the contention profile the seed's single store-wide mutex
+// serialized.
+func BenchmarkStoreConcurrentMixed(b *testing.B) {
+	st := benchStoreFacts(b, 50000)
+	for id := flexoffer.ID(1); id <= 512; id++ {
+		if err := st.PutOffer(store.OfferRecord{Offer: benchCycleOffer(id), Owner: workload.MeasurementActor(int(id) % 128), State: store.OfferAccepted}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var seq atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		worker := int(seq.Add(1))
+		actor := workload.MeasurementActor(worker % 128)
+		slot := flexoffer.Time(1 << 20)
+		i := 0
+		for pb.Next() {
+			switch i % 4 {
+			case 0:
+				if err := st.PutMeasurement(store.Measurement{Actor: actor, EnergyType: "demand", Slot: slot, KWh: 1}); err != nil {
+					b.Error(err)
+					return
+				}
+				slot++
+			case 1:
+				st.Measurements(store.MeasurementFilter{Actor: actor, EnergyType: "demand", FromSlot: 0, ToSlot: 64})
+			case 2:
+				id := flexoffer.ID(worker*31%512 + 1)
+				if _, err := st.UpdateOffer(id, func(r *store.OfferRecord) { r.State = store.OfferAccepted }); err != nil {
+					b.Error(err)
+					return
+				}
+			case 3:
+				st.CountOffersByState()
+			}
+			i++
+		}
+	})
+}
+
+// BenchmarkStoreSnapshotUnderLoad measures Snapshot() of a 100k-fact
+// durable store while a background writer keeps appending; the
+// "writes_during" metric counts the writer's committed puts per
+// snapshot — zero would mean the snapshot still blocks the store.
+func BenchmarkStoreSnapshotUnderLoad(b *testing.B) {
+	st, err := store.Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.PutMeasurementsBatch(workload.GenerateMeasurements(workload.MeasurementConfig{Count: 100000, Actors: 128, Seed: 1})); err != nil {
+		b.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var writes atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		slot := flexoffer.Time(1 << 20)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := st.PutMeasurement(store.Measurement{Actor: "bg", EnergyType: "demand", Slot: slot, KWh: 1}); err != nil {
+				b.Error(err)
+				return
+			}
+			writes.Add(1)
+			slot++
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := st.Snapshot(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	close(stop)
+	wg.Wait()
+	b.ReportMetric(float64(writes.Load())/float64(b.N), "writes_during")
 }
 
 // --- scheduling-cycle benchmarks (snapshot/plan/commit/deliver) -------

@@ -17,6 +17,9 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"mirabel/internal/agg"
@@ -34,8 +37,9 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("mirabel-bench: ")
-	exp := flag.String("exp", "all", "experiment: all | fig5a | fig5b | fig5c | fig5d | fig5 | fig4a | fig4b | fig6 | exhaustive | cycle")
+	exp := flag.String("exp", "all", "experiment: all | fig5a | fig5b | fig5c | fig5d | fig5 | fig4a | fig4b | fig6 | exhaustive | cycle | store")
 	maxOffers := flag.Int("maxoffers", 800000, "largest flex-offer count of the Figure 5 sweep")
+	maxFacts := flag.Int("maxfacts", 1600000, "largest measurement count of the storage-engine sweep")
 	budget := flag.Duration("budget", 10*time.Second, "time budget of the largest Figure 6 instance")
 	seed := flag.Int64("seed", 1, "workload seed")
 	flag.Parse()
@@ -48,6 +52,7 @@ func main() {
 		fig6(*budget, *seed)
 		exhaustive(*seed)
 		cycleExp()
+		storeExp(*maxFacts, *seed)
 	case "fig5", "fig5a", "fig5b", "fig5c", "fig5d":
 		fig5(*maxOffers, *seed)
 	case "fig4a":
@@ -60,6 +65,8 @@ func main() {
 		exhaustive(*seed)
 	case "cycle":
 		cycleExp()
+	case "store":
+		storeExp(*maxFacts, *seed)
 	default:
 		log.Printf("unknown experiment %q", *exp)
 		flag.Usage()
@@ -274,6 +281,204 @@ func exhaustive(seed int64) {
 		fmt.Printf("%-3s: %.2f EUR (gap to enumerated optimum: %+.2f — negative means the heuristic's free energy choice beats midpoint energies)\n",
 			s.Name(), res.Cost, res.Cost-opt.Cost)
 	}
+}
+
+// storeExp exercises the storage engine the way a loaded BRP node does:
+// concurrent meter-stream ingestion (single puts vs WAL-group-committed
+// batches), indexed slot-window queries against fact tables of growing
+// size, and a snapshot taken while readers and writers keep running.
+func storeExp(maxFacts int, seed int64) {
+	fmt.Println("== Storage engine: ingestion, indexed queries, snapshot under load ==")
+
+	// --- ingestion: single puts vs batches, 4 concurrent writers -----
+	const writers = 4
+	ingestN := maxFacts / 8
+	if ingestN > 200000 {
+		ingestN = 200000
+	}
+	facts := workload.GenerateMeasurements(workload.MeasurementConfig{Count: ingestN, Actors: 256, Seed: seed})
+	fmt.Printf("-- ingestion: %d facts, %d concurrent writers, durable store --\n", ingestN, writers)
+	fmt.Println("mode                 wall_s   facts/s     wal_records  wal_groups  recs/group  fsyncs")
+	for _, tc := range []struct {
+		mode   string
+		batch  bool
+		policy store.SyncPolicy
+	}{
+		{"single/flush", false, store.SyncFlush},
+		{"batch-256/flush", true, store.SyncFlush},
+		{"single/always", false, store.SyncAlways},
+		{"batch-256/always", true, store.SyncAlways},
+	} {
+		mode := tc.mode
+		// The fsync-per-commit rows are the group committer's showcase:
+		// without coalescing they would cost one fsync per fact.
+		factsForMode := facts
+		if tc.policy == store.SyncAlways && !tc.batch {
+			factsForMode = facts[:min(len(facts), 20000)]
+		}
+		dir, err := os.MkdirTemp("", "mirabel-storebench")
+		if err != nil {
+			log.Fatal(err)
+		}
+		st, err := store.Open(dir, store.WithSyncPolicy(tc.policy))
+		if err != nil {
+			log.Fatal(err)
+		}
+		t0 := time.Now()
+		var wg sync.WaitGroup
+		per := (len(factsForMode) + writers - 1) / writers
+		for w := 0; w < writers; w++ {
+			lo := w * per
+			hi := min(lo+per, len(factsForMode))
+			if lo >= hi {
+				continue
+			}
+			wg.Add(1)
+			go func(part []store.Measurement) {
+				defer wg.Done()
+				if !tc.batch {
+					for _, m := range part {
+						if err := st.PutMeasurement(m); err != nil {
+							log.Fatal(err)
+						}
+					}
+					return
+				}
+				for off := 0; off < len(part); off += 256 {
+					if err := st.PutMeasurementsBatch(part[off:min(off+256, len(part))]); err != nil {
+						log.Fatal(err)
+					}
+				}
+			}(factsForMode[lo:hi])
+		}
+		wg.Wait()
+		wall := time.Since(t0)
+		ls := st.WALStats()
+		fmt.Printf("%-20s %-8.3f %-11.0f %-12d %-11d %-11.1f %d\n",
+			mode, wall.Seconds(), float64(len(factsForMode))/wall.Seconds(),
+			ls.Records, ls.Groups, float64(ls.Records)/float64(ls.Groups), ls.Syncs)
+		st.Close()
+		os.RemoveAll(dir)
+	}
+
+	// --- indexed queries: fixed 64-slot window, growing table --------
+	fmt.Println("-- indexed queries: one actor, 64-slot window, growing fact table --")
+	fmt.Println("facts     rows  query_us  sum_by_slot_us  offers_by_state_us(1000 hits)")
+	startFacts := maxFacts / 16
+	if startFacts < 1 {
+		startFacts = 1 // tiny -maxfacts: a single sweep point, not a zero-stride loop
+	}
+	for n := startFacts; n <= maxFacts; n *= 4 {
+		st := store.NewInMemory()
+		actors := 256
+		if err := st.PutMeasurementsBatch(workload.GenerateMeasurements(workload.MeasurementConfig{Count: n, Actors: actors, Seed: seed})); err != nil {
+			log.Fatal(err)
+		}
+		// 1000 scheduled offers drowned in rejected ones, so the
+		// by-state index has something to prove.
+		offers := workload.GenerateFlexOffers(workload.FlexOfferConfig{Count: 10000, Seed: seed})
+		for i, f := range offers {
+			state := store.OfferRejected
+			if i < 1000 {
+				state = store.OfferScheduled
+			}
+			if err := st.PutOffer(store.OfferRecord{Offer: f, Owner: "p", State: state}); err != nil {
+				log.Fatal(err)
+			}
+		}
+		slots := flexoffer.Time(n / actors)
+		filter := store.MeasurementFilter{Actor: workload.MeasurementActor(7), EnergyType: "demand",
+			FromSlot: slots / 2, ToSlot: slots/2 + 64}
+		runtime.GC() // settle the post-population heap before timing
+		const reps = 200
+		var rows int
+		t0 := time.Now()
+		for i := 0; i < reps; i++ {
+			rows = len(st.Measurements(filter))
+		}
+		queryUS := float64(time.Since(t0).Microseconds()) / reps
+		t0 = time.Now()
+		for i := 0; i < reps; i++ {
+			st.SumEnergyBySlot(filter)
+		}
+		sumUS := float64(time.Since(t0).Microseconds()) / reps
+		t0 = time.Now()
+		for i := 0; i < reps; i++ {
+			st.Offers(store.OfferFilter{State: store.OfferScheduled})
+		}
+		offersUS := float64(time.Since(t0).Microseconds()) / reps
+		fmt.Printf("%-9d %-5d %-9.1f %-15.1f %.1f\n", n, rows, queryUS, sumUS, offersUS)
+	}
+
+	// --- snapshot under load -----------------------------------------
+	snapN := maxFacts / 4
+	fmt.Printf("-- snapshot of %d facts while 2 writers + 1 reader keep running --\n", snapN)
+	dir, err := os.MkdirTemp("", "mirabel-storebench")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	st, err := store.Open(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.PutMeasurementsBatch(workload.GenerateMeasurements(workload.MeasurementConfig{Count: snapN, Actors: 256, Seed: seed})); err != nil {
+		log.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var maxStall int64 // atomic, ns
+	var writes, reads int64
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			slot := flexoffer.Time(snapN)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				t0 := time.Now()
+				if err := st.PutMeasurement(store.Measurement{Actor: workload.MeasurementActor(w), EnergyType: "demand", Slot: slot, KWh: 1}); err != nil {
+					log.Fatal(err)
+				}
+				for d := int64(time.Since(t0)); ; {
+					cur := atomic.LoadInt64(&maxStall)
+					if d <= cur || atomic.CompareAndSwapInt64(&maxStall, cur, d) {
+						break
+					}
+				}
+				atomic.AddInt64(&writes, 1)
+				slot++
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			st.SumEnergyBySlot(store.MeasurementFilter{Actor: workload.MeasurementActor(3), EnergyType: "demand"})
+			atomic.AddInt64(&reads, 1)
+		}
+	}()
+	t0 := time.Now()
+	if err := st.Snapshot(); err != nil {
+		log.Fatal(err)
+	}
+	snapWall := time.Since(t0)
+	close(stop)
+	wg.Wait()
+	fmt.Printf("snapshot_wall_s %.3f   writes_during %d   reads_during %d   max_write_stall_ms %.2f\n",
+		snapWall.Seconds(), atomic.LoadInt64(&writes), atomic.LoadInt64(&reads),
+		float64(atomic.LoadInt64(&maxStall))/1e6)
 }
 
 // cycleExp measures the scheduling cycle's deliver phase over a slow

@@ -1,12 +1,18 @@
 // mirabel-inspect is the User Interface component's command-line
 // surrogate (paper §3: "physical users can interact with LEDMS, set
 // parameters, and analyze the data"): it opens a node's durable store
-// read-only-style and prints the multidimensional schema's contents —
+// read-only and prints the multidimensional schema's contents —
 // table cardinalities, the flex-offer lifecycle breakdown, per-actor
-// energy totals and recent schedules.
+// energy totals and recent schedules. Inspection never mutates the
+// store: a mistyped path is an error, not a fabricated empty store.
 //
 //	mirabel-inspect -data /tmp/brp1
 //	mirabel-inspect -data /tmp/brp1 -offers -measurements
+//
+// The one write it can perform is explicit: -prune-before runs the
+// store's retention sweep (WAL-logged) and reports what fell.
+//
+//	mirabel-inspect -data /tmp/brp1 -prune-before 480
 package main
 
 import (
@@ -25,17 +31,37 @@ func main() {
 	dataDir := flag.String("data", "", "store directory")
 	showOffers := flag.Bool("offers", false, "list flex-offer records")
 	showMeasurements := flag.Bool("measurements", false, "summarize measurements per actor")
+	pruneBefore := flag.Int64("prune-before", -1, "prune measurements with slot < this value (opens the store writable)")
 	flag.Parse()
 	if *dataDir == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
 
-	st, err := store.Open(*dataDir)
+	// Validate the path read-only first: even the prune path must not
+	// fabricate an empty store out of a typo.
+	st, err := store.OpenReadOnly(*dataDir)
 	if err != nil {
 		log.Fatal(err)
 	}
+	if *pruneBefore >= 0 {
+		if err := st.Close(); err != nil {
+			log.Fatal(err)
+		}
+		st, err = store.Open(*dataDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
 	defer st.Close()
+
+	if *pruneBefore >= 0 {
+		n, err := st.PruneMeasurements(flexoffer.Time(*pruneBefore))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("pruned %d measurements before slot %d\n", n, *pruneBefore)
+	}
 
 	stats := st.Stats()
 	fmt.Printf("store %s\n", *dataDir)

@@ -41,6 +41,10 @@ func main() {
 		parent    = flag.String("parent", "", "parent node name")
 		listen    = flag.String("listen", "127.0.0.1:0", "TCP listen address")
 		dataDir   = flag.String("data", "", "durable store directory (empty: in-memory)")
+		fsync     = flag.String("fsync", "flush", "WAL fsync policy: flush | always | interval")
+		fsyncIvl  = flag.Duration("fsync-interval", 100*time.Millisecond, "background fsync cadence for -fsync interval")
+		retain    = flag.Int64("retain-slots", 0, "measurement retention window in slots (0: keep forever)")
+		retainIvl = flag.Duration("retain-every", time.Minute, "how often the retention sweep runs")
 		routes    = flag.String("route", "", "comma-separated name=addr routes to peers")
 		demoOffer = flag.Bool("demo-offer", false, "submit one demo flex-offer to the parent and exit")
 		pingPeer  = flag.String("ping", "", "ping the named peer over the typed client and exit")
@@ -54,8 +58,18 @@ func main() {
 
 	var st *store.Store
 	if *dataDir != "" {
+		var opts []store.Option
+		switch *fsync {
+		case "flush":
+		case "always":
+			opts = append(opts, store.WithSyncPolicy(store.SyncAlways))
+		case "interval":
+			opts = append(opts, store.WithSyncInterval(*fsyncIvl))
+		default:
+			log.Fatalf("unknown -fsync policy %q (want flush | always | interval)", *fsync)
+		}
 		var err error
-		st, err = store.Open(*dataDir)
+		st, err = store.Open(*dataDir, opts...)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -137,6 +151,35 @@ func main() {
 		fmt.Printf("demo offer %d: accept=%v premium=%.3f EUR/kWh reason=%q\n",
 			offer.ID, decision.Accept, decision.PremiumEUR, decision.Reason)
 		return
+	}
+
+	// Retention: periodically drop measurements that slid out of the
+	// node's window behind its planning time (durable stores only — an
+	// in-memory node dies with its data anyway).
+	if *retain > 0 && st != nil {
+		stopRetention := make(chan struct{})
+		defer close(stopRetention)
+		go func() {
+			t := time.NewTicker(*retainIvl)
+			defer t.Stop()
+			for {
+				select {
+				case <-stopRetention:
+					return
+				case <-t.C:
+					before := int64(node.PlanningTime()) - *retain
+					if before <= 0 {
+						continue
+					}
+					n, err := st.PruneMeasurements(flexoffer.Time(before))
+					if err != nil {
+						log.Printf("retention sweep: %v", err)
+					} else if n > 0 && *verbose {
+						log.Printf("retention sweep: pruned %d measurements before slot %d", n, before)
+					}
+				}
+			}
+		}()
 	}
 
 	// Serve until interrupted.

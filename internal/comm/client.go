@@ -114,6 +114,22 @@ func (c *Client) ReportMeasurement(ctx context.Context, to string, m Measurement
 	return c.t.Send(ctx, to, env)
 }
 
+// ReportMeasurements reports a batch of metered values upstream in one
+// message; the receiver stores them as one group commit.
+// Fire-and-forget.
+func (c *Client) ReportMeasurements(ctx context.Context, to string, ms []MeasurementReport) error {
+	if len(ms) == 0 {
+		return nil
+	}
+	env, err := NewEnvelope(MsgMeasurementBatch, c.from, to, MeasurementBatch{Reports: ms})
+	if err != nil {
+		return err
+	}
+	ctx, cancel := c.withDeadline(ctx)
+	defer cancel()
+	return c.t.Send(ctx, to, env)
+}
+
 // Ping checks an endpoint's liveness.
 func (c *Client) Ping(ctx context.Context, to string) error {
 	return c.call(ctx, to, MsgPing, nil, MsgPong, nil)

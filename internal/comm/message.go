@@ -61,6 +61,9 @@ const (
 	// MsgScheduleNotify: BRP → prosumer: the scheduled instantiation of
 	// a previously accepted flex-offer.
 	MsgScheduleNotify MsgType = "schedule_notify"
+	// MsgMeasurementBatch: prosumer → BRP: a batch of metered values
+	// (one message, one store group commit at the receiver).
+	MsgMeasurementBatch MsgType = "measurement_batch"
 	// MsgMeasurementReport: prosumer → BRP: metered consumption or
 	// production.
 	MsgMeasurementReport MsgType = "measurement_report"
@@ -109,6 +112,11 @@ type MeasurementReport struct {
 	EnergyType string         `json:"energy_type"`
 	Slot       flexoffer.Time `json:"slot"`
 	KWh        float64        `json:"kwh"`
+}
+
+// MeasurementBatch is the body of MsgMeasurementBatch.
+type MeasurementBatch struct {
+	Reports []MeasurementReport `json:"reports"`
 }
 
 // ForecastRequest is the body of MsgForecastRequest.

@@ -124,14 +124,22 @@ func (n *Node) snapshotForPlanning(now flexoffer.Time, horizon int, rep *CycleRe
 	}
 	end := now + flexoffer.Time(horizon)
 	var expired []agg.FlexOfferUpdate
+	var expiredIDs []store.OfferUpdate
 	for id, f := range n.pending {
 		if now >= f.AssignBefore || f.EarliestStart < now || f.LatestEnd() > end {
 			expired = append(expired, agg.FlexOfferUpdate{Kind: agg.Delete, Offer: f})
 			delete(n.pending, id)
 			rep.Expired++
-			_, _ = n.store.UpdateOffer(id, func(rec *store.OfferRecord) {
+			expiredIDs = append(expiredIDs, store.OfferUpdate{ID: id, Mutate: func(rec *store.OfferRecord) {
 				rec.State = store.OfferExpired
-			})
+			}})
+		}
+	}
+	if len(expiredIDs) > 0 {
+		// One WAL group for the whole sweep; unknown ids are reported
+		// per-update and ignored, like the per-offer path did.
+		if _, err := n.store.UpdateOffers(expiredIDs); err != nil {
+			return nil, err
 		}
 	}
 	t0 := time.Now()

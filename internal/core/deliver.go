@@ -118,28 +118,43 @@ func (n *Node) commitMicroSchedules(micro []*flexoffer.Schedule) (map[string][]*
 	defer n.mu.Unlock()
 	byOwner := make(map[string][]*flexoffer.Schedule)
 	reconciled := 0
-	var done []agg.FlexOfferUpdate
+
+	// Stage the transitions of every schedule still pending, then apply
+	// them as one UpdateOffers batch: a single WAL group commit instead
+	// of one log append per micro schedule.
+	var updates []store.OfferUpdate
+	var staged []*flexoffer.Schedule
 	for _, s := range micro {
-		f, ok := n.pending[s.OfferID]
-		if !ok {
+		if _, ok := n.pending[s.OfferID]; !ok {
 			reconciled++
 			continue
 		}
 		sched := s
-		rec, err := n.store.UpdateOffer(s.OfferID, func(r *store.OfferRecord) {
+		updates = append(updates, store.OfferUpdate{ID: s.OfferID, Mutate: func(r *store.OfferRecord) {
 			r.State = store.OfferScheduled
 			r.Schedule = sched
-		})
-		if err != nil {
-			if errors.Is(err, store.ErrUnknownOffer) {
+		}})
+		staged = append(staged, s)
+	}
+	results, err := n.store.UpdateOffers(updates)
+	if err != nil {
+		return nil, reconciled, err
+	}
+
+	var done []agg.FlexOfferUpdate
+	for i, res := range results {
+		s := staged[i]
+		if res.Err != nil {
+			if errors.Is(res.Err, store.ErrUnknownOffer) {
 				reconciled++
 				continue
 			}
-			return nil, reconciled, err
+			return nil, reconciled, res.Err
 		}
+		f := n.pending[s.OfferID]
 		delete(n.pending, s.OfferID)
 		done = append(done, agg.FlexOfferUpdate{Kind: agg.Delete, Offer: f})
-		byOwner[rec.Owner] = append(byOwner[rec.Owner], s)
+		byOwner[res.Record.Owner] = append(byOwner[res.Record.Owner], s)
 	}
 	if len(done) > 0 {
 		if _, err := n.pipeline.Apply(done...); err != nil {

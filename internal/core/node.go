@@ -156,6 +156,7 @@ func NewNode(cfg Config) (*Node, error) {
 	mux := comm.NewMux()
 	mux.Handle(comm.MsgFlexOfferSubmit, n.handleOfferSubmit)
 	mux.Handle(comm.MsgMeasurementReport, n.handleMeasurement)
+	mux.Handle(comm.MsgMeasurementBatch, n.handleMeasurementBatch)
 	mux.Handle(comm.MsgScheduleNotify, n.handleScheduleNotify)
 	mux.Handle(comm.MsgForecastRequest, n.handleForecastRequest)
 	mux.Handle(comm.MsgPing, n.handlePing)
@@ -310,6 +311,27 @@ func (n *Node) handleMeasurement(ctx context.Context, env comm.Envelope) (*comm.
 	})
 }
 
+// handleMeasurementBatch stores a reported meter-stream batch through
+// the store's batch path: the whole report is one WAL group commit.
+func (n *Node) handleMeasurementBatch(ctx context.Context, env comm.Envelope) (*comm.Envelope, error) {
+	var body comm.MeasurementBatch
+	if err := env.Decode(comm.MsgMeasurementBatch, &body); err != nil {
+		return nil, err
+	}
+	ms := make([]store.Measurement, len(body.Reports))
+	for i, r := range body.Reports {
+		ms[i] = store.Measurement{Actor: r.Actor, EnergyType: r.EnergyType, Slot: r.Slot, KWh: r.KWh}
+	}
+	return nil, n.store.PutMeasurementsBatch(ms)
+}
+
+// IngestMeasurements stores a batch of metered values locally in one
+// WAL group commit — the bulk intake path for meter streams and
+// backfills (the remote form is Client.ReportMeasurements).
+func (n *Node) IngestMeasurements(ms []store.Measurement) error {
+	return n.store.PutMeasurementsBatch(ms)
+}
+
 // PendingOffers returns the accepted, not-yet-scheduled offers.
 func (n *Node) PendingOffers() int {
 	n.mu.Lock()
@@ -356,10 +378,21 @@ func (n *Node) SettleExecuted(metered map[flexoffer.ID][]float64, cfg settle.Con
 	if err != nil {
 		return nil, err
 	}
-	for _, rec := range recs {
-		rec.State = store.OfferExecuted
-		if err := n.store.PutOffer(rec); err != nil {
-			return nil, err
+	// One batched transition (single WAL group) moves the settled set to
+	// the executed state.
+	updates := make([]store.OfferUpdate, len(recs))
+	for i, rec := range recs {
+		updates[i] = store.OfferUpdate{ID: rec.Offer.ID, Mutate: func(r *store.OfferRecord) {
+			r.State = store.OfferExecuted
+		}}
+	}
+	results, err := n.store.UpdateOffers(updates)
+	if err != nil {
+		return nil, err
+	}
+	for _, res := range results {
+		if res.Err != nil {
+			return nil, res.Err
 		}
 	}
 	return rep, nil

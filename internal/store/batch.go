@@ -1,0 +1,322 @@
+package store
+
+import (
+	"fmt"
+	"sort"
+
+	"mirabel/internal/flexoffer"
+)
+
+// Batch collects upserts to be applied in one call. A batch is logged
+// as a single WAL group (one buffered append, one fsync under
+// SyncAlways) and applied while every touched stripe is locked at once,
+// so concurrent readers on other stripes keep flowing and concurrent
+// writers to the same batch coalesce with it in the committer.
+//
+// A batch is not a transaction: a crash mid-group can persist a prefix
+// of its records. Every record is an idempotent upsert, so the prefix
+// is a valid (earlier) state. Ops on the same key apply in insertion
+// order.
+type Batch struct {
+	ops []batchOp
+	err error // first validation failure, surfaced by ApplyBatch
+}
+
+type batchOp struct {
+	table string
+	val   any
+}
+
+// NewBatch returns an empty batch.
+func NewBatch() *Batch { return &Batch{} }
+
+// Len reports the number of queued ops.
+func (b *Batch) Len() int { return len(b.ops) }
+
+func (b *Batch) add(table string, val any) {
+	b.ops = append(b.ops, batchOp{table: table, val: val})
+}
+
+// PutActor queues an actor upsert.
+func (b *Batch) PutActor(a Actor) {
+	if a.ID == "" && b.err == nil {
+		b.err = fmt.Errorf("store: batch actor without id")
+	}
+	b.add(tActor, a)
+}
+
+// PutEnergyType queues an energy type upsert.
+func (b *Batch) PutEnergyType(e EnergyType) {
+	if e.ID == "" && b.err == nil {
+		b.err = fmt.Errorf("store: batch energy type without id")
+	}
+	b.add(tEnergyType, e)
+}
+
+// PutMarketArea queues a market area upsert.
+func (b *Batch) PutMarketArea(m MarketArea) {
+	if m.ID == "" && b.err == nil {
+		b.err = fmt.Errorf("store: batch market area without id")
+	}
+	b.add(tMarketArea, m)
+}
+
+// PutMeasurement queues a metered value upsert.
+func (b *Batch) PutMeasurement(m Measurement) { b.add(tMeasurement, m) }
+
+// PutOffer queues a flex-offer record upsert.
+func (b *Batch) PutOffer(r OfferRecord) {
+	if r.Offer == nil && b.err == nil {
+		b.err = fmt.Errorf("store: batch offer record without offer")
+	}
+	b.add(tOffer, r)
+}
+
+// PutForecast queues a forecast value upsert.
+func (b *Batch) PutForecast(f ForecastRecord) { b.add(tForecast, f) }
+
+// PutPrice queues a market price upsert.
+func (b *Batch) PutPrice(p PriceRecord) { b.add(tPrice, p) }
+
+// PutContract queues a contract upsert.
+func (b *Batch) PutContract(c Contract) { b.add(tContract, c) }
+
+// PutModelParams queues a model parameter upsert.
+func (b *Batch) PutModelParams(m ModelParams) { b.add(tModelParams, m) }
+
+// ApplyBatch applies every queued op: encode outside locks, lock the
+// touched stripes/series in the global (table, unit) order, log the
+// whole batch as one WAL group, apply, unlock. The batch is reusable
+// input (it is not consumed) but must not be mutated concurrently.
+func (s *Store) ApplyBatch(b *Batch) error {
+	if s.readOnly {
+		return ErrReadOnly
+	}
+	if b.err != nil {
+		return b.err
+	}
+	if len(b.ops) == 0 {
+		return nil
+	}
+
+	// Encode every record before any lock is taken.
+	var lines [][]byte
+	if s.w != nil {
+		lines = make([][]byte, len(b.ops))
+		for i, op := range b.ops {
+			line, err := encodeRecord(op.table, opPut, op.val)
+			if err != nil {
+				return err
+			}
+			lines[i] = line
+		}
+	}
+
+	// Build the lock plan. Measurement series are created up front so
+	// their (stable) creation ids can order the plan — and their
+	// pointers are captured now, because once the plan's locks are held
+	// no path may touch the series index again (a lookup's read lock
+	// can deadlock three-way with a pending series creation and a
+	// prune sweep).
+	units := make([]lockUnit, 0, len(b.ops))
+	series := make([]*slotSeries, len(b.ops))
+	for i, op := range b.ops {
+		switch v := op.val.(type) {
+		case Actor:
+			units = append(units, lockUnit{lockActors, uint64(s.actors.shardIndex(v.ID)), &s.actors.shard(v.ID).mu})
+		case EnergyType:
+			units = append(units, lockUnit{lockEnergyTypes, uint64(s.energyTypes.shardIndex(v.ID)), &s.energyTypes.shard(v.ID).mu})
+		case MarketArea:
+			units = append(units, lockUnit{lockMarketAreas, uint64(s.marketAreas.shardIndex(v.ID)), &s.marketAreas.shard(v.ID).mu})
+		case Measurement:
+			ss := s.meas.ensure(seriesKey{v.Actor, v.EnergyType})
+			series[i] = ss
+			units = append(units, lockUnit{lockMeasurements, ss.id, &ss.mu})
+		case OfferRecord:
+			id := v.Offer.ID
+			units = append(units, lockUnit{lockOffers, uint64(s.offers.shardIndex(id)), &s.offers.shard(id).mu})
+		case ForecastRecord:
+			k := forecastKey{v.Actor, v.EnergyType, v.Slot, v.Horizon}
+			units = append(units, lockUnit{lockForecasts, uint64(s.forecasts.shardIndex(k)), &s.forecasts.shard(k).mu})
+		case PriceRecord:
+			k := priceKey{v.MarketArea, v.Hour}
+			units = append(units, lockUnit{lockPrices, uint64(s.prices.shardIndex(k)), &s.prices.shard(k).mu})
+		case Contract:
+			k := contractKey{v.Prosumer, v.BRP}
+			units = append(units, lockUnit{lockContracts, uint64(s.contracts.shardIndex(k)), &s.contracts.shard(k).mu})
+		case ModelParams:
+			k := modelKey{v.Actor, v.EnergyType, v.ModelName}
+			units = append(units, lockUnit{lockModelParams, uint64(s.modelParams.shardIndex(k)), &s.modelParams.shard(k).mu})
+		default:
+			return fmt.Errorf("store: unknown batch op %T", op.val)
+		}
+	}
+	units = sortLockUnits(units)
+	for i := range units {
+		units[i].mu.Lock()
+	}
+	defer func() {
+		for i := len(units) - 1; i >= 0; i-- {
+			units[i].mu.Unlock()
+		}
+	}()
+
+	// One group commit for the whole batch.
+	if s.w != nil {
+		if err := s.w.commit(lines); err != nil {
+			return err
+		}
+	}
+
+	// Apply under the held locks.
+	for i, op := range b.ops {
+		switch v := op.val.(type) {
+		case Actor:
+			putLocked(s.actors, v.ID, v)
+		case EnergyType:
+			putLocked(s.energyTypes, v.ID, v)
+		case MarketArea:
+			putLocked(s.marketAreas, v.ID, v)
+		case Measurement:
+			series[i].insertLocked(v.Slot, v.KWh)
+		case OfferRecord:
+			id := v.Offer.ID
+			sh := s.offers.shard(id)
+			old, had := sh.m[id]
+			sh.m[id] = v
+			s.offerIdx.update(id, old, had, v)
+		case ForecastRecord:
+			putLocked(s.forecasts, forecastKey{v.Actor, v.EnergyType, v.Slot, v.Horizon}, v)
+		case PriceRecord:
+			putLocked(s.prices, priceKey{v.MarketArea, v.Hour}, v)
+		case Contract:
+			putLocked(s.contracts, contractKey{v.Prosumer, v.BRP}, v)
+		case ModelParams:
+			putLocked(s.modelParams, modelKey{v.Actor, v.EnergyType, v.ModelName}, v)
+		}
+	}
+	return nil
+}
+
+// putLocked upserts into a stripe whose lock the caller already holds.
+func putLocked[K comparable, V any](t *shardedTable[K, V], k K, v V) {
+	t.shard(k).m[k] = v
+}
+
+// PutMeasurementsBatch stores a slice of metered values as one batch:
+// the bulk-ingestion path for meter streams (one WAL group, one lock
+// round per touched series).
+func (s *Store) PutMeasurementsBatch(ms []Measurement) error {
+	if len(ms) == 0 {
+		return nil
+	}
+	b := NewBatch()
+	for _, m := range ms {
+		b.PutMeasurement(m)
+	}
+	return s.ApplyBatch(b)
+}
+
+// OfferUpdate names one offer transition of an UpdateOffers batch.
+type OfferUpdate struct {
+	ID     flexoffer.ID
+	Mutate func(*OfferRecord)
+}
+
+// OfferUpdateResult is the per-update outcome of UpdateOffers: the
+// stored record after the mutation, or ErrUnknownOffer (match with
+// errors.Is) when no record existed.
+type OfferUpdateResult struct {
+	Record OfferRecord
+	Err    error
+}
+
+// UpdateOffers applies a batch of atomic offer transitions: all touched
+// stripes are locked at once (in stripe order), every surviving
+// mutation is logged as one WAL group, then applied. Per-update
+// failures (unknown id, record left without an offer) are reported in
+// the result slice without failing the batch; the returned error is
+// reserved for log failures, in which case nothing was applied.
+//
+// Updates listing the same id chain: each mutation sees its
+// predecessor's result.
+func (s *Store) UpdateOffers(updates []OfferUpdate) ([]OfferUpdateResult, error) {
+	if s.readOnly {
+		return nil, ErrReadOnly
+	}
+	if len(updates) == 0 {
+		return nil, nil
+	}
+
+	// Lock plan over the touched stripes.
+	units := make([]lockUnit, 0, len(updates))
+	for _, u := range updates {
+		units = append(units, lockUnit{lockOffers, uint64(s.offers.shardIndex(u.ID)), &s.offers.shard(u.ID).mu})
+	}
+	units = sortLockUnits(units)
+	for i := range units {
+		units[i].mu.Lock()
+	}
+	defer func() {
+		for i := len(units) - 1; i >= 0; i-- {
+			units[i].mu.Unlock()
+		}
+	}()
+
+	// Stage every mutation under the locks, chaining same-id updates.
+	results := make([]OfferUpdateResult, len(updates))
+	staged := make(map[flexoffer.ID]OfferRecord)
+	firstOld := make(map[flexoffer.ID]OfferRecord) // pre-batch records, for index maintenance
+	var lines [][]byte
+	type appliedUpdate struct {
+		id  flexoffer.ID
+		rec OfferRecord
+	}
+	var applied []appliedUpdate
+	for i, u := range updates {
+		old, ok := staged[u.ID]
+		if !ok {
+			var had bool
+			old, had = s.offers.shard(u.ID).m[u.ID]
+			if !had {
+				results[i].Err = fmt.Errorf("%w: %d", ErrUnknownOffer, u.ID)
+				continue
+			}
+			firstOld[u.ID] = old
+		}
+		r := old
+		u.Mutate(&r)
+		if r.Offer == nil {
+			results[i].Err = fmt.Errorf("store: offer record without offer")
+			continue
+		}
+		if s.w != nil {
+			line, err := encodeRecord(tOffer, opPut, r)
+			if err != nil {
+				return nil, err
+			}
+			lines = append(lines, line)
+		}
+		staged[u.ID] = r
+		results[i].Record = r
+		applied = append(applied, appliedUpdate{u.ID, r})
+	}
+
+	// One group commit, then apply. On a log failure nothing changes.
+	if s.w != nil && len(lines) > 0 {
+		if err := s.w.commit(lines); err != nil {
+			return nil, err
+		}
+	}
+	for _, a := range applied {
+		s.offers.shard(a.id).m[a.id] = a.rec
+	}
+	for id, r := range staged {
+		s.offerIdx.update(id, firstOld[id], true, r)
+	}
+	return results, nil
+}
+
+func sortSeriesByID(series []*slotSeries) {
+	sort.Slice(series, func(i, j int) bool { return series[i].id < series[j].id })
+}

@@ -1,0 +1,284 @@
+package store
+
+import (
+	"sort"
+	"sync"
+
+	"mirabel/internal/flexoffer"
+)
+
+// --- offer secondary indexes -------------------------------------------
+
+// offerIndex maintains the two secondary indexes over the offer fact
+// table: state → ids and owner → ids. Offers, CountOffersByState and
+// the settlement sweep read only the matching ids instead of scanning
+// every offer record.
+//
+// The index is updated while the offer's table stripe is write-locked
+// (stripe lock → index lock, never the reverse), so an index hit always
+// refers to a record that existed at some point; readers re-check the
+// filter against the record they fetch, which absorbs the brief window
+// between releasing the index lock and locking the record's stripe.
+type offerIndex struct {
+	mu      sync.RWMutex
+	byState map[OfferState]map[flexoffer.ID]struct{}
+	byOwner map[string]map[flexoffer.ID]struct{}
+}
+
+func newOfferIndex() *offerIndex {
+	return &offerIndex{
+		byState: make(map[OfferState]map[flexoffer.ID]struct{}),
+		byOwner: make(map[string]map[flexoffer.ID]struct{}),
+	}
+}
+
+// update moves id between index buckets after an upsert. Caller holds
+// the offer's stripe write lock.
+func (ix *offerIndex) update(id flexoffer.ID, old OfferRecord, had bool, now OfferRecord) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if had {
+		if old.State != now.State {
+			removeFromSet(ix.byState, old.State, id)
+		}
+		if old.Owner != now.Owner {
+			removeFromSet(ix.byOwner, old.Owner, id)
+		}
+	}
+	addToSet(ix.byState, now.State, id)
+	addToSet(ix.byOwner, now.Owner, id)
+}
+
+// idsByState copies the ids currently recorded in state.
+func (ix *offerIndex) idsByState(state OfferState) []flexoffer.ID {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return copySet(ix.byState[state])
+}
+
+// idsByOwner copies the ids currently recorded for owner.
+func (ix *offerIndex) idsByOwner(owner string) []flexoffer.ID {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return copySet(ix.byOwner[owner])
+}
+
+// idsByStateAndOwner intersects the two indexes, iterating the smaller
+// set.
+func (ix *offerIndex) idsByStateAndOwner(state OfferState, owner string) []flexoffer.ID {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	a, b := ix.byState[state], ix.byOwner[owner]
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	out := make([]flexoffer.ID, 0, len(a))
+	for id := range a {
+		if _, ok := b[id]; ok {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// countByState reads the per-state cardinalities straight off the
+// index: O(states), not O(offers).
+func (ix *offerIndex) countByState() map[OfferState]int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	out := make(map[OfferState]int, len(ix.byState))
+	for state, ids := range ix.byState {
+		if len(ids) > 0 {
+			out[state] = len(ids)
+		}
+	}
+	return out
+}
+
+func addToSet[K comparable](sets map[K]map[flexoffer.ID]struct{}, k K, id flexoffer.ID) {
+	set, ok := sets[k]
+	if !ok {
+		set = make(map[flexoffer.ID]struct{})
+		sets[k] = set
+	}
+	set[id] = struct{}{}
+}
+
+func removeFromSet[K comparable](sets map[K]map[flexoffer.ID]struct{}, k K, id flexoffer.ID) {
+	if set, ok := sets[k]; ok {
+		delete(set, id)
+		if len(set) == 0 {
+			delete(sets, k)
+		}
+	}
+}
+
+func copySet(set map[flexoffer.ID]struct{}) []flexoffer.ID {
+	out := make([]flexoffer.ID, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	return out
+}
+
+// --- measurement series storage ----------------------------------------
+
+// seriesKey is the dimension pair a measurement series hangs off.
+type seriesKey struct {
+	Actor      string
+	EnergyType string
+}
+
+// slotSeries holds one (actor, energy type) measurement series as two
+// parallel slices kept sorted by slot — the clustered layout behind
+// Measurements, SumEnergyBySlot and SeriesBySlot. A slot-range query is
+// a binary search plus a contiguous copy: cost scales with the result,
+// not with the fact table.
+//
+// Meter streams arrive in slot order, so the insert fast path is an
+// append; backdated corrections pay one memmove.
+type slotSeries struct {
+	key seriesKey
+	// id is the series' creation sequence number. It is the series'
+	// position in the global batch lock order (lockMeasurements, id):
+	// unique and stable, so concurrent multi-series writers (batches,
+	// prune) acquire series locks in one total order.
+	id uint64
+
+	mu    sync.RWMutex
+	slots []flexoffer.Time // sorted ascending, unique
+	kwh   []float64        // kwh[i] is the value at slots[i]
+}
+
+// insertLocked upserts one value. Caller holds mu.
+func (ss *slotSeries) insertLocked(slot flexoffer.Time, kwh float64) {
+	n := len(ss.slots)
+	if n == 0 || slot > ss.slots[n-1] { // in-order meter stream
+		ss.slots = append(ss.slots, slot)
+		ss.kwh = append(ss.kwh, kwh)
+		return
+	}
+	i := sort.Search(n, func(j int) bool { return ss.slots[j] >= slot })
+	if i < n && ss.slots[i] == slot { // upsert (meter correction)
+		ss.kwh[i] = kwh
+		return
+	}
+	ss.slots = append(ss.slots, 0)
+	ss.kwh = append(ss.kwh, 0)
+	copy(ss.slots[i+1:], ss.slots[i:])
+	copy(ss.kwh[i+1:], ss.kwh[i:])
+	ss.slots[i] = slot
+	ss.kwh[i] = kwh
+}
+
+// rangeLocked returns the index bounds [lo, hi) of the half-open slot
+// window [from, to); to == 0 means unbounded. Caller holds mu (read).
+func (ss *slotSeries) rangeLocked(from, to flexoffer.Time) (int, int) {
+	lo := sort.Search(len(ss.slots), func(j int) bool { return ss.slots[j] >= from })
+	hi := len(ss.slots)
+	if to != 0 {
+		hi = sort.Search(len(ss.slots), func(j int) bool { return ss.slots[j] >= to })
+	}
+	return lo, hi
+}
+
+// pruneLocked drops every slot < before and returns how many fell.
+// Caller holds mu. The survivors move to fresh slices so the pruned
+// prefix is actually released.
+func (ss *slotSeries) pruneLocked(before flexoffer.Time) int {
+	i := sort.Search(len(ss.slots), func(j int) bool { return ss.slots[j] >= before })
+	if i == 0 {
+		return 0
+	}
+	ss.slots = append(make([]flexoffer.Time, 0, len(ss.slots)-i), ss.slots[i:]...)
+	ss.kwh = append(make([]float64, 0, len(ss.kwh)-i), ss.kwh[i:]...)
+	return i
+}
+
+// measurementIndex is the measurement fact table itself: series
+// partitioned by (actor, energy type) with one lock per series — the
+// finest useful stripe for a fact whose writers are per-meter streams.
+// The outer map only grows (a series with all slots pruned stays as an
+// empty shell), guarded by mu; each series guards its own slices.
+type measurementIndex struct {
+	mu     sync.RWMutex
+	series map[seriesKey]*slotSeries
+	nextID uint64
+}
+
+func newMeasurementIndex() *measurementIndex {
+	return &measurementIndex{series: make(map[seriesKey]*slotSeries)}
+}
+
+// lookup returns the series for k if it exists.
+func (ix *measurementIndex) lookup(k seriesKey) (*slotSeries, bool) {
+	ix.mu.RLock()
+	ss, ok := ix.series[k]
+	ix.mu.RUnlock()
+	return ss, ok
+}
+
+// ensure returns the series for k, creating it if needed.
+func (ix *measurementIndex) ensure(k seriesKey) *slotSeries {
+	if ss, ok := ix.lookup(k); ok {
+		return ss
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if ss, ok := ix.series[k]; ok {
+		return ss
+	}
+	ss := &slotSeries{key: k, id: ix.nextID}
+	ix.nextID++
+	ix.series[k] = ss
+	return ss
+}
+
+// match collects the series whose dimensions satisfy the (possibly
+// empty) actor / energy type equality filters. O(series), never
+// O(measurements): the series population is actors × energy types.
+func (ix *measurementIndex) match(actor, energyType string) []*slotSeries {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if actor != "" && energyType != "" {
+		if ss, ok := ix.series[seriesKey{actor, energyType}]; ok {
+			return []*slotSeries{ss}
+		}
+		return nil
+	}
+	var out []*slotSeries
+	for k, ss := range ix.series {
+		if actor != "" && k.Actor != actor {
+			continue
+		}
+		if energyType != "" && k.EnergyType != energyType {
+			continue
+		}
+		out = append(out, ss)
+	}
+	return out
+}
+
+// all returns every series, sorted by creation id — the canonical
+// acquisition order for operations that lock many series (prune).
+func (ix *measurementIndex) all() []*slotSeries {
+	ix.mu.RLock()
+	out := make([]*slotSeries, 0, len(ix.series))
+	for _, ss := range ix.series {
+		out = append(out, ss)
+	}
+	ix.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// count sums the series lengths under brief read locks.
+func (ix *measurementIndex) count() int {
+	n := 0
+	for _, ss := range ix.all() {
+		ss.mu.RLock()
+		n += len(ss.slots)
+		ss.mu.RUnlock()
+	}
+	return n
+}

@@ -15,39 +15,31 @@ type MeasurementFilter struct {
 	ToSlot     flexoffer.Time // 0 = unbounded
 }
 
-func (f MeasurementFilter) matches(m *Measurement) bool {
-	if f.Actor != "" && m.Actor != f.Actor {
-		return false
-	}
-	if f.EnergyType != "" && m.EnergyType != f.EnergyType {
-		return false
-	}
-	if m.Slot < f.FromSlot {
-		return false
-	}
-	if f.ToSlot != 0 && m.Slot >= f.ToSlot {
-		return false
-	}
-	return true
-}
-
 // Measurements returns matching facts ordered by slot (then actor).
+// The dimension filters select whole series off the measurement index
+// and the slot window is a binary search per series, so the cost scales
+// with the result set, not the fact table.
 func (s *Store) Measurements(f MeasurementFilter) []Measurement {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	series := s.meas.match(f.Actor, f.EnergyType)
 	var out []Measurement
-	for k := range s.measurements {
-		m := s.measurements[k]
-		if f.matches(&m) {
-			out = append(out, m)
+	for _, ss := range series {
+		ss.mu.RLock()
+		lo, hi := ss.rangeLocked(f.FromSlot, f.ToSlot)
+		for i := lo; i < hi; i++ {
+			out = append(out, Measurement{
+				Actor: ss.key.Actor, EnergyType: ss.key.EnergyType, Slot: ss.slots[i], KWh: ss.kwh[i],
+			})
 		}
+		ss.mu.RUnlock()
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Slot != out[j].Slot {
-			return out[i].Slot < out[j].Slot
-		}
-		return out[i].Actor < out[j].Actor
-	})
+	if len(series) > 1 {
+		sort.Slice(out, func(i, j int) bool {
+			if out[i].Slot != out[j].Slot {
+				return out[i].Slot < out[j].Slot
+			}
+			return out[i].Actor < out[j].Actor
+		})
+	}
 	return out
 }
 
@@ -55,27 +47,34 @@ func (s *Store) Measurements(f MeasurementFilter) []Measurement {
 // the star-schema roll-up a BRP runs to build its balance-group load
 // series. The result maps slot → Σ kWh.
 func (s *Store) SumEnergyBySlot(f MeasurementFilter) map[flexoffer.Time]float64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	out := make(map[flexoffer.Time]float64)
-	for k := range s.measurements {
-		m := s.measurements[k]
-		if f.matches(&m) {
-			out[m.Slot] += m.KWh
+	for _, ss := range s.meas.match(f.Actor, f.EnergyType) {
+		ss.mu.RLock()
+		lo, hi := ss.rangeLocked(f.FromSlot, f.ToSlot)
+		for i := lo; i < hi; i++ {
+			out[ss.slots[i]] += ss.kwh[i]
 		}
+		ss.mu.RUnlock()
 	}
 	return out
 }
 
 // SeriesBySlot materializes a contiguous per-slot vector over
 // [from, to) from matching measurements (missing slots are zero) — the
-// form the forecasting component consumes.
+// form the forecasting component consumes. The slot-sorted series
+// layout makes this a ranged merge: no map, no full-table scan.
 func (s *Store) SeriesBySlot(f MeasurementFilter, from, to flexoffer.Time) []float64 {
-	f.FromSlot, f.ToSlot = from, to
-	sums := s.SumEnergyBySlot(f)
+	if to <= from {
+		return nil
+	}
 	out := make([]float64, to-from)
-	for slot, v := range sums {
-		out[slot-from] = v
+	for _, ss := range s.meas.match(f.Actor, f.EnergyType) {
+		ss.mu.RLock()
+		lo, hi := ss.rangeLocked(from, to)
+		for i := lo; i < hi; i++ {
+			out[ss.slots[i]-from] += ss.kwh[i]
+		}
+		ss.mu.RUnlock()
 	}
 	return out
 }
@@ -86,12 +85,37 @@ type OfferFilter struct {
 	State OfferState
 }
 
-// Offers returns matching flex-offer records in ID order.
+// Offers returns matching flex-offer records in ID order. Filtered
+// queries resolve through the by-state / by-owner secondary indexes and
+// fetch only the matching records; the unfiltered form is a full-table
+// listing by definition.
 func (s *Store) Offers(f OfferFilter) []OfferRecord {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	var out []OfferRecord
-	for _, r := range s.offers {
+	switch {
+	case f.State != "" && f.Owner != "":
+		out = s.fetchOffers(s.offerIdx.idsByStateAndOwner(f.State, f.Owner), f)
+	case f.State != "":
+		out = s.fetchOffers(s.offerIdx.idsByState(f.State), f)
+	case f.Owner != "":
+		out = s.fetchOffers(s.offerIdx.idsByOwner(f.Owner), f)
+	default:
+		s.offers.scan(func(_ flexoffer.ID, r OfferRecord) {
+			out = append(out, r)
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Offer.ID < out[j].Offer.ID })
+	return out
+}
+
+// fetchOffers resolves index hits to records, re-checking the filter:
+// a record may have transitioned between the index read and the fetch.
+func (s *Store) fetchOffers(ids []flexoffer.ID, f OfferFilter) []OfferRecord {
+	out := make([]OfferRecord, 0, len(ids))
+	for _, id := range ids {
+		r, ok := s.offers.get(id)
+		if !ok {
+			continue
+		}
 		if f.Owner != "" && r.Owner != f.Owner {
 			continue
 		}
@@ -100,36 +124,28 @@ func (s *Store) Offers(f OfferFilter) []OfferRecord {
 		}
 		out = append(out, r)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Offer.ID < out[j].Offer.ID })
 	return out
 }
 
-// CountOffersByState groups the offer facts by lifecycle state.
+// CountOffersByState groups the offer facts by lifecycle state —
+// straight off the secondary index, O(states).
 func (s *Store) CountOffersByState() map[OfferState]int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make(map[OfferState]int)
-	for _, r := range s.offers {
-		out[r.State]++
-	}
-	return out
+	return s.offerIdx.countByState()
 }
 
 // Forecasts returns the forecast facts of one actor/energy type in
 // [from, to), ordered by slot then horizon.
 func (s *Store) Forecasts(actor, energyType string, from, to flexoffer.Time) []ForecastRecord {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	var out []ForecastRecord
-	for k, r := range s.forecasts {
+	s.forecasts.scan(func(k forecastKey, r ForecastRecord) {
 		if k.Actor != actor || k.EnergyType != energyType {
-			continue
+			return
 		}
 		if k.Slot < from || (to != 0 && k.Slot >= to) {
-			continue
+			return
 		}
 		out = append(out, r)
-	}
+	})
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Slot != out[j].Slot {
 			return out[i].Slot < out[j].Slot
@@ -141,10 +157,7 @@ func (s *Store) Forecasts(actor, energyType string, from, to flexoffer.Time) []F
 
 // Price returns the stored price of a market area and hour.
 func (s *Store) Price(area string, hour int64) (PriceRecord, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	p, ok := s.prices[priceKey{area, hour}]
-	return p, ok
+	return s.prices.get(priceKey{area, hour})
 }
 
 // Stats summarizes table cardinalities (the UI component's overview).
@@ -156,17 +169,19 @@ type Stats struct {
 
 // Stats returns current table sizes.
 func (s *Store) Stats() Stats {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	return Stats{
-		Actors:             len(s.actors),
-		EnergyTypes:        len(s.energyTypes),
-		MarketAreas:        len(s.marketAreas),
-		Measurements:       len(s.measurements),
-		Offers:             len(s.offers),
-		Forecasts:          len(s.forecasts),
-		Prices:             len(s.prices),
-		Contracts:          len(s.contracts),
-		ModelParamsEntries: len(s.modelParams),
+		Actors:             s.actors.length(),
+		EnergyTypes:        s.energyTypes.length(),
+		MarketAreas:        s.marketAreas.length(),
+		Measurements:       s.meas.count(),
+		Offers:             s.offers.length(),
+		Forecasts:          s.forecasts.length(),
+		Prices:             s.prices.length(),
+		Contracts:          s.contracts.length(),
+		ModelParamsEntries: s.modelParams.length(),
 	}
+}
+
+func sortActorsByID(actors []Actor) {
+	sort.Slice(actors, func(i, j int) bool { return actors[i].ID < actors[j].ID })
 }

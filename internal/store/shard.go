@@ -1,0 +1,200 @@
+package store
+
+import (
+	"sort"
+	"sync"
+
+	"mirabel/internal/flexoffer"
+)
+
+// numShards is the stripe count of every hashed table. Power of two so
+// shard selection is a mask. 32 stripes keep writer collisions rare at
+// the node's concurrency levels (handler goroutines + one cycle) while
+// the per-table footprint stays small.
+const numShards = 32
+
+// tableShard is one stripe of a hashed table: a mutex and the map it
+// guards. Writers hold the stripe's write lock across the WAL commit of
+// the record they are about to apply, which is what keeps the log order
+// and the memory order of any single key identical (recovery replays
+// the log and must converge to the same state).
+type tableShard[K comparable, V any] struct {
+	mu sync.RWMutex
+	m  map[K]V
+}
+
+// shardedTable is a hash-striped map: the concurrent replacement for
+// the seed engine's single map under the store-wide mutex. Independent
+// keys land on independent stripes, so measurement ingestion, offer
+// transitions and forecast writes stop contending on one lock.
+type shardedTable[K comparable, V any] struct {
+	hash   func(K) uint64
+	shards [numShards]tableShard[K, V]
+}
+
+func newShardedTable[K comparable, V any](hash func(K) uint64) *shardedTable[K, V] {
+	t := &shardedTable[K, V]{hash: hash}
+	for i := range t.shards {
+		t.shards[i].m = make(map[K]V)
+	}
+	return t
+}
+
+// shard returns the stripe owning k.
+func (t *shardedTable[K, V]) shard(k K) *tableShard[K, V] {
+	return &t.shards[t.hash(k)&(numShards-1)]
+}
+
+// shardIndex returns the stripe number owning k (the table-local half
+// of a batch lock-plan key).
+func (t *shardedTable[K, V]) shardIndex(k K) int {
+	return int(t.hash(k) & (numShards - 1))
+}
+
+func (t *shardedTable[K, V]) get(k K) (V, bool) {
+	sh := t.shard(k)
+	sh.mu.RLock()
+	v, ok := sh.m[k]
+	sh.mu.RUnlock()
+	return v, ok
+}
+
+// length sums the stripe sizes (each under a brief read lock).
+func (t *shardedTable[K, V]) length() int {
+	n := 0
+	for i := range t.shards {
+		t.shards[i].mu.RLock()
+		n += len(t.shards[i].m)
+		t.shards[i].mu.RUnlock()
+	}
+	return n
+}
+
+// snapshotValues copies every value out, one stripe at a time under
+// brief read locks — the per-shard-consistent view Snapshot serializes
+// outside any lock.
+func (t *shardedTable[K, V]) snapshotValues() []V {
+	out := make([]V, 0, t.length())
+	for i := range t.shards {
+		t.shards[i].mu.RLock()
+		for _, v := range t.shards[i].m {
+			out = append(out, v)
+		}
+		t.shards[i].mu.RUnlock()
+	}
+	return out
+}
+
+// scan calls fn for every entry, one stripe at a time under read locks.
+// Used by the residual full-table queries (dimension walks, unfiltered
+// listings) whose result is the table anyway.
+func (t *shardedTable[K, V]) scan(fn func(K, V)) {
+	for i := range t.shards {
+		t.shards[i].mu.RLock()
+		for k, v := range t.shards[i].m {
+			fn(k, v)
+		}
+		t.shards[i].mu.RUnlock()
+	}
+}
+
+// --- key hashing -------------------------------------------------------
+
+// hashString is 64-bit FNV-1a, inlined to avoid the hash.Hash64
+// allocation on every shard lookup.
+func hashString(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}
+
+// hashUint64 is the splitmix64 finalizer: cheap avalanche for integer
+// keys (offer IDs are often sequential, which would otherwise pile
+// consecutive offers onto consecutive stripes of a weaker mix).
+func hashUint64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+func hashCombine(a, b uint64) uint64 {
+	return hashUint64(a ^ (b*0x9e3779b97f4a7c15 + 0x85ebca6b))
+}
+
+func hashOfferID(id flexoffer.ID) uint64 { return hashUint64(uint64(id)) }
+
+func hashForecastKey(k forecastKey) uint64 {
+	h := hashCombine(hashString(k.Actor), hashString(k.EnergyType))
+	h = hashCombine(h, uint64(k.Slot))
+	return hashCombine(h, uint64(k.Horizon))
+}
+
+func hashPriceKey(k priceKey) uint64 {
+	return hashCombine(hashString(k.MarketArea), uint64(k.Hour))
+}
+
+func hashContractKey(k contractKey) uint64 {
+	return hashCombine(hashString(k.Prosumer), hashString(k.BRP))
+}
+
+func hashModelKey(k modelKey) uint64 {
+	return hashCombine(hashCombine(hashString(k.Actor), hashString(k.EnergyType)), hashString(k.ModelName))
+}
+
+// --- batch lock plans --------------------------------------------------
+
+// Table order for the batch lock plan. Any two writers that lock more
+// than one unit acquire them in (table, unit) order, so multi-stripe
+// batches cannot deadlock each other.
+const (
+	lockActors = iota
+	lockEnergyTypes
+	lockMarketAreas
+	lockOffers
+	lockForecasts
+	lockPrices
+	lockContracts
+	lockModelParams
+	lockMeasurements // series units sort after the hashed tables
+)
+
+// lockUnit is one mutex a batch must hold, with its position in the
+// global acquisition order. For hashed tables unit is the stripe index;
+// for measurement series it is the series' creation id (unique, stable,
+// totally ordered — see measurementIndex).
+type lockUnit struct {
+	table int
+	unit  uint64
+	mu    *sync.RWMutex
+}
+
+// sortLockUnits orders and dedupes a lock plan in place, returning the
+// deduped slice. Two ops hitting the same stripe collapse to one lock.
+func sortLockUnits(units []lockUnit) []lockUnit {
+	sort.Slice(units, func(i, j int) bool {
+		if units[i].table != units[j].table {
+			return units[i].table < units[j].table
+		}
+		return units[i].unit < units[j].unit
+	})
+	out := units[:0]
+	var last *sync.RWMutex
+	for _, u := range units {
+		if u.mu == last {
+			continue
+		}
+		out = append(out, u)
+		last = u.mu
+	}
+	return out
+}

@@ -5,8 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"os"
-	"sort"
 	"sync"
+	"time"
 
 	"mirabel/internal/flexoffer"
 )
@@ -15,23 +15,92 @@ import (
 // the given ID. Match with errors.Is.
 var ErrUnknownOffer = errors.New("store: unknown offer")
 
+// ErrReadOnly is returned by every mutator of a store opened with
+// OpenReadOnly.
+var ErrReadOnly = errors.New("store: read-only")
+
+// SyncPolicy selects when logged records are fsynced to stable storage.
+type SyncPolicy int
+
+const (
+	// SyncFlush (the default) flushes every group commit to the OS but
+	// fsyncs only on Sync, Snapshot and Close: a crash of the process
+	// loses nothing, a crash of the machine can lose the tail since the
+	// last explicit sync. This is the seed engine's behaviour, made
+	// explicit.
+	SyncFlush SyncPolicy = iota
+	// SyncAlways fsyncs every group commit: machine-crash durable, one
+	// fsync amortized over all writers in the group.
+	SyncAlways
+	// SyncInterval fsyncs in the background every Options interval
+	// (default 100ms): bounded machine-crash loss window at near
+	// SyncFlush throughput.
+	SyncInterval
+)
+
+// Option configures Open.
+type Option func(*options)
+
+type options struct {
+	policy   SyncPolicy
+	interval time.Duration
+}
+
+func defaultOptions() options {
+	return options{policy: SyncFlush, interval: 100 * time.Millisecond}
+}
+
+// WithSyncPolicy selects the WAL fsync policy.
+func WithSyncPolicy(p SyncPolicy) Option {
+	return func(o *options) { o.policy = p }
+}
+
+// WithSyncInterval sets the background fsync cadence and implies
+// SyncInterval.
+func WithSyncInterval(d time.Duration) Option {
+	return func(o *options) {
+		o.policy = SyncInterval
+		if d > 0 {
+			o.interval = d
+		}
+	}
+}
+
 // Store is the node-local multidimensional store. All methods are safe
 // for concurrent use. A Store opened with a directory is durable
 // (WAL + snapshot); NewInMemory gives a volatile store for simulations.
+//
+// Internally each dimension and fact table is hash-striped (shard.go);
+// measurements are clustered into per-(actor, energy type) slot-sorted
+// series (index.go) and offers carry by-state and by-owner secondary
+// indexes, so the hot queries read only matching rows. Durable writers
+// append through a group committer (wal.go) while holding only their
+// stripe's lock, and Snapshot serializes a per-shard-consistent copy
+// outside every lock.
 type Store struct {
-	mu  sync.RWMutex
-	dir string
-	log *wal
+	dir      string
+	readOnly bool
+	w        *committer
 
-	actors       map[string]Actor
-	energyTypes  map[string]EnergyType
-	marketAreas  map[string]MarketArea
-	measurements map[measurementKey]Measurement
-	offers       map[flexoffer.ID]OfferRecord
-	forecasts    map[forecastKey]ForecastRecord
-	prices       map[priceKey]PriceRecord
-	contracts    map[contractKey]Contract
-	modelParams  map[modelKey]ModelParams
+	actors      *shardedTable[string, Actor]
+	energyTypes *shardedTable[string, EnergyType]
+	marketAreas *shardedTable[string, MarketArea]
+	offers      *shardedTable[flexoffer.ID, OfferRecord]
+	forecasts   *shardedTable[forecastKey, ForecastRecord]
+	prices      *shardedTable[priceKey, PriceRecord]
+	contracts   *shardedTable[contractKey, Contract]
+	modelParams *shardedTable[modelKey, ModelParams]
+
+	meas     *measurementIndex
+	offerIdx *offerIndex
+
+	snapMu  sync.Mutex // one snapshot at a time; Close waits for it
+	pruneMu sync.Mutex // one retention sweep at a time
+
+	// serializeHook, when set (tests only), runs between the in-memory
+	// copy and the serialization of a snapshot — the window in which
+	// readers and writers must keep making progress.
+	serializeHook func()
 }
 
 // snapshotImage is the serialized form of the full store state.
@@ -49,15 +118,16 @@ type snapshotImage struct {
 
 func newStore() *Store {
 	return &Store{
-		actors:       make(map[string]Actor),
-		energyTypes:  make(map[string]EnergyType),
-		marketAreas:  make(map[string]MarketArea),
-		measurements: make(map[measurementKey]Measurement),
-		offers:       make(map[flexoffer.ID]OfferRecord),
-		forecasts:    make(map[forecastKey]ForecastRecord),
-		prices:       make(map[priceKey]PriceRecord),
-		contracts:    make(map[contractKey]Contract),
-		modelParams:  make(map[modelKey]ModelParams),
+		actors:      newShardedTable[string, Actor](hashString),
+		energyTypes: newShardedTable[string, EnergyType](hashString),
+		marketAreas: newShardedTable[string, MarketArea](hashString),
+		offers:      newShardedTable[flexoffer.ID, OfferRecord](hashOfferID),
+		forecasts:   newShardedTable[forecastKey, ForecastRecord](hashForecastKey),
+		prices:      newShardedTable[priceKey, PriceRecord](hashPriceKey),
+		contracts:   newShardedTable[contractKey, Contract](hashContractKey),
+		modelParams: newShardedTable[modelKey, ModelParams](hashModelKey),
+		meas:        newMeasurementIndex(),
+		offerIdx:    newOfferIndex(),
 	}
 }
 
@@ -66,161 +136,293 @@ func newStore() *Store {
 func NewInMemory() *Store { return newStore() }
 
 // Open loads (or creates) a durable store in dir: snapshot first, then
-// the WAL tail.
-func Open(dir string) (*Store, error) {
+// the sealed pre-snapshot WAL tail (if a crash interrupted a snapshot),
+// then the live WAL.
+func Open(dir string, opts ...Option) (*Store, error) {
+	o := defaultOptions()
+	for _, opt := range opts {
+		opt(&o)
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: create dir: %w", err)
 	}
 	s := newStore()
 	s.dir = dir
-
-	if raw, err := os.ReadFile(snapshotPath(dir)); err == nil {
-		var img snapshotImage
-		if err := json.Unmarshal(raw, &img); err != nil {
-			return nil, fmt.Errorf("store: corrupt snapshot: %w", err)
-		}
-		s.load(&img)
-	} else if !os.IsNotExist(err) {
+	if err := s.recover(dir); err != nil {
 		return nil, err
 	}
-
-	if err := replayWAL(walPath(dir), s.applyLogged); err != nil {
-		return nil, err
-	}
-
-	log, err := openWAL(walPath(dir))
+	w, err := newCommitter(walPath(dir), o.policy)
 	if err != nil {
 		return nil, err
 	}
-	s.log = log
+	s.w = w
+	if o.policy == SyncInterval {
+		w.stopTick = make(chan struct{})
+		w.tickDone = make(chan struct{})
+		go func(stop, done chan struct{}) {
+			defer close(done)
+			t := time.NewTicker(o.interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-t.C:
+					_ = w.sync()
+				}
+			}
+		}(w.stopTick, w.tickDone)
+	}
 	return s, nil
 }
 
-// Close flushes and closes the WAL.
+// OpenReadOnly loads an existing durable store without creating,
+// appending to or truncating anything on disk: the inspection mode.
+// It fails if dir does not exist or holds no store artifacts (so
+// inspecting a mistyped path reports the mistake instead of fabricating
+// an empty store), and every mutator returns ErrReadOnly.
+func OpenReadOnly(dir string) (*Store, error) {
+	fi, err := os.Stat(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: open read-only: %w", err)
+	}
+	if !fi.IsDir() {
+		return nil, fmt.Errorf("store: open read-only: %s is not a directory", dir)
+	}
+	found := false
+	for _, p := range []string{snapshotPath(dir), walOldPath(dir), walPath(dir)} {
+		if _, err := os.Stat(p); err == nil {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("store: open read-only: no store artifacts in %s", dir)
+	}
+	s := newStore()
+	s.dir = dir
+	s.readOnly = true
+	if err := s.recover(dir); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// recover rebuilds the in-memory state: snapshot image, then the sealed
+// pre-snapshot tail, then the live log. Replaying a sealed tail whose
+// snapshot completed is an idempotent no-op (puts are upserts, prunes
+// re-prune nothing).
+func (s *Store) recover(dir string) error {
+	if raw, err := os.ReadFile(snapshotPath(dir)); err == nil {
+		var img snapshotImage
+		if err := json.Unmarshal(raw, &img); err != nil {
+			return fmt.Errorf("store: corrupt snapshot: %w", err)
+		}
+		s.load(&img)
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	if err := replayWAL(walOldPath(dir), s.applyLogged); err != nil {
+		return err
+	}
+	return replayWAL(walPath(dir), s.applyLogged)
+}
+
+// Close flushes and closes the WAL. The store must not be used after.
 func (s *Store) Close() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.log == nil {
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	if s.w == nil {
 		return nil
 	}
-	err := s.log.close()
-	s.log = nil
-	return err
+	return s.w.close()
 }
 
 // Sync fsyncs the WAL.
 func (s *Store) Sync() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.log == nil {
+	if s.w == nil {
 		return nil
 	}
-	return s.log.sync()
+	return s.w.sync()
 }
 
-// Snapshot writes a point-in-time image and truncates the WAL. A crash
-// between the two steps leaves the old WAL, whose replay is idempotent
-// (puts are upserts).
+// WALStats reports the group committer's record/group/fsync counters
+// (zero for in-memory and read-only stores).
+func (s *Store) WALStats() LogStats {
+	if s.w == nil {
+		return LogStats{}
+	}
+	return s.w.stats()
+}
+
+// Snapshot writes a point-in-time image and retires the WAL records it
+// covers — without blocking readers or writers while the image is
+// serialized and written. The sequence:
+//
+//  1. rotate: the live WAL is sealed as wal.old and a fresh log starts;
+//  2. copy: every table is copied out one stripe at a time under brief
+//     locks. Each record sealed in step 1 was applied under its stripe
+//     lock before that lock was released, so the copy covers wal.old;
+//  3. serialize: the copy is marshaled and written to a temp file,
+//     fsynced and renamed over the snapshot — no lock held;
+//  4. retire: wal.old is removed.
+//
+// A crash before 3 completes leaves the old snapshot plus wal.old plus
+// the fresh log — exactly the recovery input. A crash between 3 and 4
+// replays wal.old over a snapshot that already contains it, which is
+// idempotent.
 func (s *Store) Snapshot() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.dir == "" {
 		return fmt.Errorf("store: snapshot of an in-memory store")
 	}
+	if s.readOnly {
+		return ErrReadOnly
+	}
+	s.snapMu.Lock()
+	defer s.snapMu.Unlock()
+	if err := s.w.rotate(walPath(s.dir), walOldPath(s.dir)); err != nil {
+		return err
+	}
 	img := s.dump()
+	if s.serializeHook != nil {
+		s.serializeHook()
+	}
 	raw, err := json.Marshal(img)
 	if err != nil {
 		return fmt.Errorf("store: marshal snapshot: %w", err)
 	}
 	tmp := snapshotPath(s.dir) + ".tmp"
-	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(raw); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
 		return err
 	}
 	if err := os.Rename(tmp, snapshotPath(s.dir)); err != nil {
 		return err
 	}
-	// Truncate the log: everything is in the snapshot now.
-	if s.log != nil {
-		if err := s.log.close(); err != nil {
-			return err
-		}
-	}
-	if err := os.Truncate(walPath(s.dir), 0); err != nil {
+	if err := os.Remove(walOldPath(s.dir)); err != nil && !os.IsNotExist(err) {
 		return err
 	}
-	log, err := openWAL(walPath(s.dir))
-	if err != nil {
-		return err
-	}
-	s.log = log
 	return nil
 }
 
+// dump copies the full state, stripe by stripe under brief read locks.
 func (s *Store) dump() *snapshotImage {
-	img := &snapshotImage{}
-	for _, v := range s.actors {
-		img.Actors = append(img.Actors, v)
+	img := &snapshotImage{
+		Actors:      s.actors.snapshotValues(),
+		EnergyTypes: s.energyTypes.snapshotValues(),
+		MarketAreas: s.marketAreas.snapshotValues(),
+		Offers:      s.offers.snapshotValues(),
+		Forecasts:   s.forecasts.snapshotValues(),
+		Prices:      s.prices.snapshotValues(),
+		Contracts:   s.contracts.snapshotValues(),
+		ModelParams: s.modelParams.snapshotValues(),
 	}
-	for _, v := range s.energyTypes {
-		img.EnergyTypes = append(img.EnergyTypes, v)
-	}
-	for _, v := range s.marketAreas {
-		img.MarketAreas = append(img.MarketAreas, v)
-	}
-	for _, v := range s.measurements {
-		img.Measurements = append(img.Measurements, v)
-	}
-	for _, v := range s.offers {
-		img.Offers = append(img.Offers, v)
-	}
-	for _, v := range s.forecasts {
-		img.Forecasts = append(img.Forecasts, v)
-	}
-	for _, v := range s.prices {
-		img.Prices = append(img.Prices, v)
-	}
-	for _, v := range s.contracts {
-		img.Contracts = append(img.Contracts, v)
-	}
-	for _, v := range s.modelParams {
-		img.ModelParams = append(img.ModelParams, v)
+	for _, ss := range s.meas.all() {
+		ss.mu.RLock()
+		for i, slot := range ss.slots {
+			img.Measurements = append(img.Measurements, Measurement{
+				Actor: ss.key.Actor, EnergyType: ss.key.EnergyType, Slot: slot, KWh: ss.kwh[i],
+			})
+		}
+		ss.mu.RUnlock()
 	}
 	return img
 }
 
 func (s *Store) load(img *snapshotImage) {
 	for _, v := range img.Actors {
-		s.actors[v.ID] = v
+		applyPut(s.actors, v.ID, v, nil)
 	}
 	for _, v := range img.EnergyTypes {
-		s.energyTypes[v.ID] = v
+		applyPut(s.energyTypes, v.ID, v, nil)
 	}
 	for _, v := range img.MarketAreas {
-		s.marketAreas[v.ID] = v
+		applyPut(s.marketAreas, v.ID, v, nil)
 	}
 	for _, v := range img.Measurements {
-		s.measurements[measurementKey{v.Actor, v.EnergyType, v.Slot}] = v
+		s.applyMeasurement(v)
 	}
 	for _, v := range img.Offers {
-		s.offers[v.Offer.ID] = v
+		s.applyOffer(v)
 	}
 	for _, v := range img.Forecasts {
-		s.forecasts[forecastKey{v.Actor, v.EnergyType, v.Slot, v.Horizon}] = v
+		applyPut(s.forecasts, forecastKey{v.Actor, v.EnergyType, v.Slot, v.Horizon}, v, nil)
 	}
 	for _, v := range img.Prices {
-		s.prices[priceKey{v.MarketArea, v.Hour}] = v
+		applyPut(s.prices, priceKey{v.MarketArea, v.Hour}, v, nil)
 	}
 	for _, v := range img.Contracts {
-		s.contracts[contractKey{v.Prosumer, v.BRP}] = v
+		applyPut(s.contracts, contractKey{v.Prosumer, v.BRP}, v, nil)
 	}
 	for _, v := range img.ModelParams {
-		s.modelParams[modelKey{v.Actor, v.EnergyType, v.ModelName}] = v
+		applyPut(s.modelParams, modelKey{v.Actor, v.EnergyType, v.ModelName}, v, nil)
 	}
+}
+
+// applyPut is the lock-taking, log-free upsert used by recovery and the
+// snapshot loader (and, via its *Locked twin in batch.go, by batches).
+func applyPut[K comparable, V any](t *shardedTable[K, V], k K, v V, post func(old V, had bool)) {
+	sh := t.shard(k)
+	sh.mu.Lock()
+	old, had := sh.m[k]
+	sh.m[k] = v
+	if post != nil {
+		post(old, had)
+	}
+	sh.mu.Unlock()
+}
+
+// applyMeasurement inserts one measurement into its series (log-free).
+func (s *Store) applyMeasurement(m Measurement) {
+	ss := s.meas.ensure(seriesKey{m.Actor, m.EnergyType})
+	ss.mu.Lock()
+	ss.insertLocked(m.Slot, m.KWh)
+	ss.mu.Unlock()
+}
+
+// applyOffer upserts one offer record and maintains its indexes
+// (log-free).
+func (s *Store) applyOffer(r OfferRecord) {
+	id := r.Offer.ID
+	applyPut(s.offers, id, r, func(old OfferRecord, had bool) {
+		s.offerIdx.update(id, old, had, r)
+	})
+}
+
+// pruneMark is the logged form of a PruneMeasurements call.
+type pruneMark struct {
+	Before flexoffer.Time `json:"before"`
 }
 
 // applyLogged applies one WAL record during recovery.
 func (s *Store) applyLogged(table, op string, data json.RawMessage) error {
-	if op != "put" {
+	if op == opPrune {
+		if table != tMeasurement {
+			return fmt.Errorf("store: prune of table %q", table)
+		}
+		var mark pruneMark
+		if err := json.Unmarshal(data, &mark); err != nil {
+			return err
+		}
+		for _, ss := range s.meas.all() {
+			ss.mu.Lock()
+			ss.pruneLocked(mark.Before)
+			ss.mu.Unlock()
+		}
+		return nil
+	}
+	if op != opPut {
 		return fmt.Errorf("store: unknown wal op %q", op)
 	}
 	switch table {
@@ -229,67 +431,94 @@ func (s *Store) applyLogged(table, op string, data json.RawMessage) error {
 		if err := json.Unmarshal(data, &v); err != nil {
 			return err
 		}
-		s.actors[v.ID] = v
+		applyPut(s.actors, v.ID, v, nil)
 	case tEnergyType:
 		var v EnergyType
 		if err := json.Unmarshal(data, &v); err != nil {
 			return err
 		}
-		s.energyTypes[v.ID] = v
+		applyPut(s.energyTypes, v.ID, v, nil)
 	case tMarketArea:
 		var v MarketArea
 		if err := json.Unmarshal(data, &v); err != nil {
 			return err
 		}
-		s.marketAreas[v.ID] = v
+		applyPut(s.marketAreas, v.ID, v, nil)
 	case tMeasurement:
 		var v Measurement
 		if err := json.Unmarshal(data, &v); err != nil {
 			return err
 		}
-		s.measurements[measurementKey{v.Actor, v.EnergyType, v.Slot}] = v
+		s.applyMeasurement(v)
 	case tOffer:
 		var v OfferRecord
 		if err := json.Unmarshal(data, &v); err != nil {
 			return err
 		}
-		s.offers[v.Offer.ID] = v
+		if v.Offer == nil {
+			return fmt.Errorf("store: logged offer record without offer")
+		}
+		s.applyOffer(v)
 	case tForecast:
 		var v ForecastRecord
 		if err := json.Unmarshal(data, &v); err != nil {
 			return err
 		}
-		s.forecasts[forecastKey{v.Actor, v.EnergyType, v.Slot, v.Horizon}] = v
+		applyPut(s.forecasts, forecastKey{v.Actor, v.EnergyType, v.Slot, v.Horizon}, v, nil)
 	case tPrice:
 		var v PriceRecord
 		if err := json.Unmarshal(data, &v); err != nil {
 			return err
 		}
-		s.prices[priceKey{v.MarketArea, v.Hour}] = v
+		applyPut(s.prices, priceKey{v.MarketArea, v.Hour}, v, nil)
 	case tContract:
 		var v Contract
 		if err := json.Unmarshal(data, &v); err != nil {
 			return err
 		}
-		s.contracts[contractKey{v.Prosumer, v.BRP}] = v
+		applyPut(s.contracts, contractKey{v.Prosumer, v.BRP}, v, nil)
 	case tModelParams:
 		var v ModelParams
 		if err := json.Unmarshal(data, &v); err != nil {
 			return err
 		}
-		s.modelParams[modelKey{v.Actor, v.EnergyType, v.ModelName}] = v
+		applyPut(s.modelParams, modelKey{v.Actor, v.EnergyType, v.ModelName}, v, nil)
 	default:
 		return fmt.Errorf("store: unknown wal table %q", table)
 	}
 	return nil
 }
 
-// logPut appends a put to the WAL when durable. Caller holds the lock.
-func (s *Store) logPut(table string, v any) error {
-	if s.log == nil {
-		return nil
+// putRecord is the durable upsert path shared by every Put method: the
+// record is encoded outside any lock, logged through the group
+// committer while the stripe lock is held (same-key log order == memory
+// order), then applied.
+func putRecord[K comparable, V any](s *Store, t *shardedTable[K, V], table string, k K, v V, post func(old V, had bool)) error {
+	if s.readOnly {
+		return ErrReadOnly
 	}
-	return s.log.append(table, "put", v)
+	var line []byte
+	if s.w != nil {
+		var err error
+		line, err = encodeRecord(table, opPut, v)
+		if err != nil {
+			return err
+		}
+	}
+	sh := t.shard(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if s.w != nil {
+		if err := s.w.commit([][]byte{line}); err != nil {
+			return err
+		}
+	}
+	old, had := sh.m[k]
+	sh.m[k] = v
+	if post != nil {
+		post(old, had)
+	}
+	return nil
 }
 
 // --- dimension upserts -------------------------------------------------
@@ -299,35 +528,24 @@ func (s *Store) PutActor(a Actor) error {
 	if a.ID == "" {
 		return fmt.Errorf("store: actor without id")
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err := s.logPut(tActor, a); err != nil {
-		return err
-	}
-	s.actors[a.ID] = a
-	return nil
+	return putRecord(s, s.actors, tActor, a.ID, a, nil)
 }
 
 // GetActor returns an actor by ID.
 func (s *Store) GetActor(id string) (Actor, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	a, ok := s.actors[id]
-	return a, ok
+	return s.actors.get(id)
 }
 
 // Children returns the actors whose Parent is id, in ID order (the
 // hierarchy walk of the snowflake dimension).
 func (s *Store) Children(id string) []Actor {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	var out []Actor
-	for _, a := range s.actors {
+	s.actors.scan(func(_ string, a Actor) {
 		if a.Parent == id {
 			out = append(out, a)
 		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	})
+	sortActorsByID(out)
 	return out
 }
 
@@ -336,21 +554,12 @@ func (s *Store) PutEnergyType(e EnergyType) error {
 	if e.ID == "" {
 		return fmt.Errorf("store: energy type without id")
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err := s.logPut(tEnergyType, e); err != nil {
-		return err
-	}
-	s.energyTypes[e.ID] = e
-	return nil
+	return putRecord(s, s.energyTypes, tEnergyType, e.ID, e, nil)
 }
 
 // GetEnergyType returns an energy type by ID.
 func (s *Store) GetEnergyType(id string) (EnergyType, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	e, ok := s.energyTypes[id]
-	return e, ok
+	return s.energyTypes.get(id)
 }
 
 // PutMarketArea upserts a market area dimension record.
@@ -358,25 +567,34 @@ func (s *Store) PutMarketArea(m MarketArea) error {
 	if m.ID == "" {
 		return fmt.Errorf("store: market area without id")
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err := s.logPut(tMarketArea, m); err != nil {
-		return err
-	}
-	s.marketAreas[m.ID] = m
-	return nil
+	return putRecord(s, s.marketAreas, tMarketArea, m.ID, m, nil)
 }
 
 // --- fact upserts ------------------------------------------------------
 
-// PutMeasurement upserts a metered value.
+// PutMeasurement upserts a metered value. Bulk ingestion should prefer
+// PutMeasurementsBatch, which logs the whole batch as one group commit.
 func (s *Store) PutMeasurement(m Measurement) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err := s.logPut(tMeasurement, m); err != nil {
-		return err
+	if s.readOnly {
+		return ErrReadOnly
 	}
-	s.measurements[measurementKey{m.Actor, m.EnergyType, m.Slot}] = m
+	var line []byte
+	if s.w != nil {
+		var err error
+		line, err = encodeRecord(tMeasurement, opPut, m)
+		if err != nil {
+			return err
+		}
+	}
+	ss := s.meas.ensure(seriesKey{m.Actor, m.EnergyType})
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if s.w != nil {
+		if err := s.w.commit([][]byte{line}); err != nil {
+			return err
+		}
+	}
+	ss.insertLocked(m.Slot, m.KWh)
 	return nil
 }
 
@@ -385,13 +603,10 @@ func (s *Store) PutOffer(r OfferRecord) error {
 	if r.Offer == nil {
 		return fmt.Errorf("store: offer record without offer")
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err := s.logPut(tOffer, r); err != nil {
-		return err
-	}
-	s.offers[r.Offer.ID] = r
-	return nil
+	id := r.Offer.ID
+	return putRecord(s, s.offers, tOffer, id, r, func(old OfferRecord, had bool) {
+		s.offerIdx.update(id, old, had, r)
+	})
 }
 
 // UpdateOffer applies mutate to the stored record in one atomic
@@ -399,89 +614,118 @@ func (s *Store) PutOffer(r OfferRecord) error {
 // for state transitions that must not interleave with a concurrent
 // writer between a GetOffer and a PutOffer (e.g. a negotiation
 // decision racing the schedule that the decision unlocked). Returns
-// ErrUnknownOffer when no record exists.
+// ErrUnknownOffer when no record exists. Batch transitions should
+// prefer UpdateOffers, which logs the whole set as one group commit.
 func (s *Store) UpdateOffer(id flexoffer.ID, mutate func(*OfferRecord)) (OfferRecord, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	r, ok := s.offers[id]
+	if s.readOnly {
+		return OfferRecord{}, ErrReadOnly
+	}
+	sh := s.offers.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	old, ok := sh.m[id]
 	if !ok {
 		return OfferRecord{}, fmt.Errorf("%w: %d", ErrUnknownOffer, id)
 	}
+	r := old
 	mutate(&r)
 	if r.Offer == nil {
 		return OfferRecord{}, fmt.Errorf("store: offer record without offer")
 	}
-	if err := s.logPut(tOffer, r); err != nil {
-		return OfferRecord{}, err
+	if s.w != nil {
+		line, err := encodeRecord(tOffer, opPut, r)
+		if err != nil {
+			return OfferRecord{}, err
+		}
+		if err := s.w.commit([][]byte{line}); err != nil {
+			return OfferRecord{}, err
+		}
 	}
-	s.offers[id] = r
+	sh.m[id] = r
+	s.offerIdx.update(id, old, true, r)
 	return r, nil
 }
 
 // GetOffer returns a flex-offer record by ID.
 func (s *Store) GetOffer(id flexoffer.ID) (OfferRecord, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	r, ok := s.offers[id]
-	return r, ok
+	return s.offers.get(id)
 }
 
 // PutForecast upserts a published forecast value.
 func (s *Store) PutForecast(f ForecastRecord) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err := s.logPut(tForecast, f); err != nil {
-		return err
-	}
-	s.forecasts[forecastKey{f.Actor, f.EnergyType, f.Slot, f.Horizon}] = f
-	return nil
+	return putRecord(s, s.forecasts, tForecast, forecastKey{f.Actor, f.EnergyType, f.Slot, f.Horizon}, f, nil)
 }
 
 // PutPrice upserts a market price.
 func (s *Store) PutPrice(p PriceRecord) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err := s.logPut(tPrice, p); err != nil {
-		return err
-	}
-	s.prices[priceKey{p.MarketArea, p.Hour}] = p
-	return nil
+	return putRecord(s, s.prices, tPrice, priceKey{p.MarketArea, p.Hour}, p, nil)
 }
 
 // PutContract upserts a contract.
 func (s *Store) PutContract(c Contract) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err := s.logPut(tContract, c); err != nil {
-		return err
-	}
-	s.contracts[contractKey{c.Prosumer, c.BRP}] = c
-	return nil
+	return putRecord(s, s.contracts, tContract, contractKey{c.Prosumer, c.BRP}, c, nil)
 }
 
 // GetContract returns the contract between a prosumer and a BRP.
 func (s *Store) GetContract(prosumer, brp string) (Contract, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	c, ok := s.contracts[contractKey{prosumer, brp}]
-	return c, ok
+	return s.contracts.get(contractKey{prosumer, brp})
 }
 
 // PutModelParams persists forecast model parameters.
 func (s *Store) PutModelParams(m ModelParams) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err := s.logPut(tModelParams, m); err != nil {
-		return err
-	}
-	s.modelParams[modelKey{m.Actor, m.EnergyType, m.ModelName}] = m
-	return nil
+	return putRecord(s, s.modelParams, tModelParams, modelKey{m.Actor, m.EnergyType, m.ModelName}, m, nil)
 }
 
 // GetModelParams returns persisted model parameters.
 func (s *Store) GetModelParams(actor, energyType, modelName string) (ModelParams, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	m, ok := s.modelParams[modelKey{actor, energyType, modelName}]
-	return m, ok
+	return s.modelParams.get(modelKey{actor, energyType, modelName})
+}
+
+// PruneMeasurements drops every measurement with Slot < before — the
+// retention sweep that keeps long-running nodes' fact tables bounded.
+// The sweep is WAL-logged (one record) and returns how many facts fell.
+// While the prune record commits, all measurement series are locked:
+// the sweep is a short stop-the-measurement-world, which is what makes
+// a replayed log converge to the swept state.
+func (s *Store) PruneMeasurements(before flexoffer.Time) (int, error) {
+	if s.readOnly {
+		return 0, ErrReadOnly
+	}
+	s.pruneMu.Lock()
+	defer s.pruneMu.Unlock()
+	var line []byte
+	if s.w != nil {
+		var err error
+		line, err = encodeRecord(tMeasurement, opPrune, pruneMark{Before: before})
+		if err != nil {
+			return 0, err
+		}
+	}
+	// Freeze series creation, then take every series in creation order
+	// (the same order batch writers use — no deadlock).
+	s.meas.mu.RLock()
+	defer s.meas.mu.RUnlock()
+	series := make([]*slotSeries, 0, len(s.meas.series))
+	for _, ss := range s.meas.series {
+		series = append(series, ss)
+	}
+	sortSeriesByID(series)
+	for _, ss := range series {
+		ss.mu.Lock()
+	}
+	defer func() {
+		for i := len(series) - 1; i >= 0; i-- {
+			series[i].mu.Unlock()
+		}
+	}()
+	if s.w != nil {
+		if err := s.w.commit([][]byte{line}); err != nil {
+			return 0, err
+		}
+	}
+	n := 0
+	for _, ss := range series {
+		n += ss.pruneLocked(before)
+	}
+	return n, nil
 }

@@ -12,6 +12,14 @@
 // Snapshot() compacts the log into a point-in-time image; Open() recovers
 // by loading the snapshot and replaying the log tail. Records are
 // checksummed JSON lines, so a torn final write is detected and dropped.
+//
+// The log is written by a group committer: concurrent writers coalesce
+// into one buffered append (and, under SyncAlways, one fsync) per
+// physical write — the first writer to arrive leads the group and
+// flushes everyone who queued behind it. When the record should be made
+// durable is the SyncPolicy (see Options): flush-to-OS per commit with
+// explicit fsyncs (the default, the seed engine's behaviour), fsync
+// every group, or a background fsync interval.
 package store
 
 import (
@@ -22,12 +30,21 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sync"
+	"sync/atomic"
+)
+
+// WAL operations. Puts are upserts (idempotent under replay); prune is
+// the measurement-retention sweep, logged once per call.
+const (
+	opPut   = "put"
+	opPrune = "prune"
 )
 
 // walRecord is one logged mutation.
 type walRecord struct {
 	Table string          `json:"table"`
-	Op    string          `json:"op"` // "put" or "delete"
+	Op    string          `json:"op"` // "put" or "prune"
 	Data  json.RawMessage `json:"data"`
 	CRC   uint32          `json:"crc"` // over Table|Op|Data
 }
@@ -42,61 +59,243 @@ func (r *walRecord) checksum() uint32 {
 	return h.Sum32()
 }
 
-// wal is an append-only JSON-lines log.
-type wal struct {
-	f *os.File
-	w *bufio.Writer
-}
-
-func openWAL(path string) (*wal, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		return nil, fmt.Errorf("store: open wal: %w", err)
-	}
-	return &wal{f: f, w: bufio.NewWriter(f)}, nil
-}
-
-// append logs one mutation. The record hits the OS on every append
-// (buffered writer flushed); full fsync is deferred to Sync/Snapshot —
-// the usual throughput/durability trade-off for measurement streams.
-func (w *wal) append(table, op string, data any) error {
+// encodeRecord marshals one mutation into its checksummed log line
+// (newline included). Called outside any table lock where possible.
+func encodeRecord(table, op string, data any) ([]byte, error) {
 	raw, err := json.Marshal(data)
 	if err != nil {
-		return fmt.Errorf("store: marshal wal record: %w", err)
+		return nil, fmt.Errorf("store: marshal wal record: %w", err)
 	}
 	rec := walRecord{Table: table, Op: op, Data: raw}
 	rec.CRC = rec.checksum()
 	line, err := json.Marshal(&rec)
 	if err != nil {
-		return fmt.Errorf("store: marshal wal line: %w", err)
+		return nil, fmt.Errorf("store: marshal wal line: %w", err)
 	}
-	if _, err := w.w.Write(line); err != nil {
+	return append(line, '\n'), nil
+}
+
+// LogStats counts the committer's work: Records is the number of logged
+// mutations, Groups the number of physical write+flush rounds they
+// coalesced into, Syncs the number of fsyncs. Records/Groups is the
+// group-commit amortization factor.
+type LogStats struct {
+	Records uint64
+	Groups  uint64
+	Syncs   uint64
+}
+
+// committer owns the WAL file and turns concurrent appends into group
+// commits. commit() is leader/follower: the first writer through takes
+// the write path and flushes every record queued while it held the
+// file; later writers just park on their done channel. Callers hold
+// their record's table-stripe lock while waiting, which serializes
+// same-key log order with same-key memory order; cross-stripe writers
+// are exactly the ones that coalesce.
+type committer struct {
+	policy   SyncPolicy
+	records  atomic.Uint64
+	groups   atomic.Uint64
+	syncs    atomic.Uint64
+	stopTick chan struct{} // closes the interval syncer, if any
+	tickDone chan struct{}
+
+	mu      sync.Mutex
+	cond    *sync.Cond // signaled when writing goes false
+	f       *os.File
+	w       *bufio.Writer
+	writing bool
+	closed  bool
+	pending [][]byte
+	waiters []chan error
+}
+
+func newCommitter(path string, policy SyncPolicy) (*committer, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: open wal: %w", err)
+	}
+	c := &committer{policy: policy, f: f, w: bufio.NewWriter(f)}
+	c.cond = sync.NewCond(&c.mu)
+	return c, nil
+}
+
+// commit appends recs and returns once they are flushed (and fsynced,
+// under SyncAlways) — possibly as part of a larger group led by another
+// writer.
+func (c *committer) commit(recs [][]byte) error {
+	done := make(chan error, 1)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return fmt.Errorf("store: wal is closed")
+	}
+	c.pending = append(c.pending, recs...)
+	c.waiters = append(c.waiters, done)
+	c.records.Add(uint64(len(recs)))
+	if c.writing {
+		// A leader is at the file; it will pick this batch up.
+		c.mu.Unlock()
+		return <-done
+	}
+	c.writing = true
+	for len(c.pending) > 0 {
+		batch, waiters := c.pending, c.waiters
+		c.pending, c.waiters = nil, nil
+		c.mu.Unlock()
+		err := c.writeGroup(batch)
+		for _, w := range waiters {
+			w <- err
+		}
+		c.mu.Lock()
+	}
+	c.writing = false
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	return <-done
+}
+
+// writeGroup writes one coalesced batch. Called with writing == true
+// (file access is exclusive even though mu is released).
+func (c *committer) writeGroup(batch [][]byte) error {
+	for _, line := range batch {
+		if _, err := c.w.Write(line); err != nil {
+			return err
+		}
+	}
+	if err := c.w.Flush(); err != nil {
 		return err
 	}
-	if err := w.w.WriteByte('\n'); err != nil {
-		return err
+	c.groups.Add(1)
+	if c.policy == SyncAlways {
+		c.syncs.Add(1)
+		return c.f.Sync()
 	}
-	return w.w.Flush()
+	return nil
+}
+
+// quiesce waits until no group write is in flight. Caller holds mu and
+// keeps it; the file is exclusively theirs until they release it.
+func (c *committer) quiesceLocked() {
+	for c.writing {
+		c.cond.Wait()
+	}
 }
 
 // sync flushes and fsyncs the log.
-func (w *wal) sync() error {
-	if err := w.w.Flush(); err != nil {
+func (c *committer) sync() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.quiesceLocked()
+	if c.closed {
+		return nil
+	}
+	if err := c.w.Flush(); err != nil {
 		return err
 	}
-	return w.f.Sync()
+	c.syncs.Add(1)
+	return c.f.Sync()
 }
 
-func (w *wal) close() error {
-	if err := w.w.Flush(); err != nil {
+// rotate seals the current log as cur's pre-snapshot tail and starts a
+// fresh one. The sealed records live at oldPath until the caller has
+// written a snapshot that covers them and removes the file. If a sealed
+// tail from an interrupted earlier snapshot still exists, the current
+// log is appended to it instead of clobbering it — replay order
+// (oldPath then curPath) is unchanged either way.
+func (c *committer) rotate(curPath, oldPath string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.quiesceLocked()
+	if c.closed {
+		return fmt.Errorf("store: wal is closed")
+	}
+	if err := c.w.Flush(); err != nil {
 		return err
 	}
-	return w.f.Close()
+	if err := c.f.Sync(); err != nil {
+		return err
+	}
+	if err := c.f.Close(); err != nil {
+		return err
+	}
+	if _, err := os.Stat(oldPath); err == nil {
+		if err := appendFile(oldPath, curPath); err != nil {
+			return err
+		}
+		if err := os.Remove(curPath); err != nil {
+			return err
+		}
+	} else if err := os.Rename(curPath, oldPath); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(curPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: reopen wal after rotate: %w", err)
+	}
+	c.f = f
+	c.w.Reset(f)
+	return nil
+}
+
+// appendFile appends src's contents to dst and fsyncs dst.
+func appendFile(dst, src string) error {
+	in, err := os.Open(src)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	out, err := os.OpenFile(dst, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := io.Copy(out, in); err != nil {
+		out.Close()
+		return err
+	}
+	if err := out.Sync(); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}
+
+// close flushes, fsyncs and closes the log. Further commits fail.
+func (c *committer) close() error {
+	if c.stopTick != nil {
+		close(c.stopTick)
+		<-c.tickDone
+		c.stopTick = nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.quiesceLocked()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	if err := c.w.Flush(); err != nil {
+		c.f.Close()
+		return err
+	}
+	if err := c.f.Sync(); err != nil {
+		c.f.Close()
+		return err
+	}
+	return c.f.Close()
+}
+
+func (c *committer) stats() LogStats {
+	return LogStats{
+		Records: c.records.Load(),
+		Groups:  c.groups.Load(),
+		Syncs:   c.syncs.Load(),
+	}
 }
 
 // replayWAL streams the log's valid records to apply; it stops silently
 // at the first corrupt or torn line (everything after a torn write is
-// unreachable anyway).
+// unreachable anyway). A missing file is an empty log.
 func replayWAL(path string, apply func(table, op string, data json.RawMessage) error) error {
 	f, err := os.Open(path)
 	if os.IsNotExist(err) {
@@ -126,6 +325,10 @@ func replayWAL(path string, apply func(table, op string, data json.RawMessage) e
 	return nil
 }
 
-// snapshotPath and walPath name the store's on-disk artifacts.
+// On-disk artifacts: the snapshot image, the live WAL, and the sealed
+// pre-snapshot WAL that exists only between a snapshot's rotation and
+// its final rename+cleanup (recovery replays it before the live log;
+// replaying it after a completed snapshot is an idempotent no-op).
 func snapshotPath(dir string) string { return filepath.Join(dir, "snapshot.json") }
 func walPath(dir string) string      { return filepath.Join(dir, "wal.log") }
+func walOldPath(dir string) string   { return filepath.Join(dir, "wal.old") }

@@ -1,0 +1,68 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mirabel/internal/flexoffer"
+	"mirabel/internal/store"
+)
+
+// MeasurementConfig parameterizes the synthetic meter-stream dataset
+// behind the storage-engine experiments: Count metered facts spread
+// over a fleet of prosumers, emitted in slot order the way real meter
+// streams arrive (per-series appends, not random inserts).
+type MeasurementConfig struct {
+	Count       int      // total facts (default 100000)
+	Actors      int      // distinct prosumers (default 100)
+	EnergyTypes []string // per-actor energy flows (default {"demand"})
+	BaseKWh     float64  // mean per-slot energy (default 0.5, household-like)
+	Seed        int64
+}
+
+func (c MeasurementConfig) withDefaults() MeasurementConfig {
+	if c.Count == 0 {
+		c.Count = 100000
+	}
+	if c.Actors <= 0 {
+		c.Actors = 100
+	}
+	if len(c.EnergyTypes) == 0 {
+		c.EnergyTypes = []string{"demand"}
+	}
+	if c.BaseKWh == 0 {
+		c.BaseKWh = 0.5
+	}
+	return c
+}
+
+// MeasurementActor names the i-th generated prosumer (stable across
+// runs, so benchmarks can query known series).
+func MeasurementActor(i int) string { return fmt.Sprintf("p%05d", i) }
+
+// GenerateMeasurements builds the meter-stream dataset: slot-major
+// order (all actors report slot s before any reports s+1), half-hourly
+// daily shape, deterministic for a seed.
+func GenerateMeasurements(cfg MeasurementConfig) []store.Measurement {
+	c := cfg.withDefaults()
+	rng := rand.New(rand.NewSource(c.Seed))
+	out := make([]store.Measurement, 0, c.Count)
+	for slot := 0; len(out) < c.Count; slot++ {
+		hour := float64(slot%48) * 0.5
+		shape := dailyShape(hour)
+		for a := 0; a < c.Actors && len(out) < c.Count; a++ {
+			for _, et := range c.EnergyTypes {
+				if len(out) >= c.Count {
+					break
+				}
+				out = append(out, store.Measurement{
+					Actor:      MeasurementActor(a),
+					EnergyType: et,
+					Slot:       flexoffer.Time(slot),
+					KWh:        c.BaseKWh * shape * (0.9 + 0.2*rng.Float64()),
+				})
+			}
+		}
+	}
+	return out
+}
