@@ -699,3 +699,121 @@ func BenchmarkIntakeDuringSlowDelivery(b *testing.B) {
 	close(stop)
 	<-done
 }
+
+// --- TCP transport benchmarks -----------------------------------------
+
+// BenchmarkTCPFanOut measures N concurrent requests against a
+// slow-handler TCP server through one TCPClient. The serial sub-bench
+// issues them back to back — the behaviour the seed's client mutex
+// forced on every caller — and takes ≈ N×delay; the concurrent
+// sub-bench overlaps them over the pooled, Seq-pipelined connections
+// and takes ≈ delay ("x_slowest" ≈ 1, versus ≈ N serialized). The
+// one-dest sub-benches pipeline into a single server; many-dest spreads
+// the same requests over 4 servers.
+func BenchmarkTCPFanOut(b *testing.B) {
+	const requests = 16
+	const delay = 5 * time.Millisecond
+	handler := func(ctx context.Context, env comm.Envelope) (*comm.Envelope, error) {
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		reply, err := comm.NewEnvelope(comm.MsgPong, env.To, env.From, nil)
+		return &reply, err
+	}
+	newFabric := func(b *testing.B, dests int) (*comm.TCPClient, []string) {
+		b.Helper()
+		client := comm.NewTCPClient("brp")
+		b.Cleanup(func() { client.Close() })
+		names := make([]string, dests)
+		for i := range names {
+			srv, err := comm.ListenTCP("127.0.0.1:0", handler)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { srv.Close() })
+			names[i] = fmt.Sprintf("p%d", i)
+			client.SetRoute(names[i], srv.Addr())
+		}
+		return client, names
+	}
+
+	for _, tc := range []struct {
+		name  string
+		dests int
+	}{{"one-dest", 1}, {"many-dest", 4}} {
+		client, names := newFabric(b, tc.dests)
+		b.Run("serial/"+tc.name, func(b *testing.B) {
+			var wall time.Duration
+			for i := 0; i < b.N; i++ {
+				t0 := time.Now()
+				for j := 0; j < requests; j++ {
+					env, _ := comm.NewEnvelope(comm.MsgPing, "brp", names[j%tc.dests], nil)
+					if _, err := client.Request(context.Background(), names[j%tc.dests], env); err != nil {
+						b.Fatal(err)
+					}
+				}
+				wall = time.Since(t0)
+			}
+			b.ReportMetric(float64(wall)/float64(time.Millisecond), "wall_ms")
+			b.ReportMetric(float64(wall)/float64(delay), "x_slowest")
+		})
+		b.Run("concurrent/"+tc.name, func(b *testing.B) {
+			var wall time.Duration
+			for i := 0; i < b.N; i++ {
+				t0 := time.Now()
+				var wg sync.WaitGroup
+				errs := make([]error, requests)
+				for j := 0; j < requests; j++ {
+					wg.Add(1)
+					go func(j int) {
+						defer wg.Done()
+						to := names[j%tc.dests]
+						env, _ := comm.NewEnvelope(comm.MsgPing, "brp", to, nil)
+						_, errs[j] = client.Request(context.Background(), to, env)
+					}(j)
+				}
+				wg.Wait()
+				wall = time.Since(t0)
+				for _, err := range errs {
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.ReportMetric(float64(wall)/float64(time.Millisecond), "wall_ms")
+			b.ReportMetric(float64(wall)/float64(delay), "x_slowest")
+			st := client.Stats()
+			b.ReportMetric(float64(st.Dials), "dials")
+		})
+	}
+}
+
+// BenchmarkTCPFrameThroughput measures raw request/reply throughput of
+// the framing layer over one pipelined connection — allocs/op shows the
+// effect of the pooled encode buffers and reusable read scratch.
+func BenchmarkTCPFrameThroughput(b *testing.B) {
+	srv, err := comm.ListenTCP("127.0.0.1:0", func(ctx context.Context, env comm.Envelope) (*comm.Envelope, error) {
+		reply, err := comm.NewEnvelope(comm.MsgPong, env.To, env.From, nil)
+		return &reply, err
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	client := comm.NewTCPClient("p1", comm.WithPoolSize(1))
+	defer client.Close()
+	client.SetRoute("srv", srv.Addr())
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			env, _ := comm.NewEnvelope(comm.MsgPing, "p1", "srv", nil)
+			if _, err := client.Request(context.Background(), "srv", env); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}

@@ -37,7 +37,7 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("mirabel-bench: ")
-	exp := flag.String("exp", "all", "experiment: all | fig5a | fig5b | fig5c | fig5d | fig5 | fig4a | fig4b | fig6 | exhaustive | cycle | store")
+	exp := flag.String("exp", "all", "experiment: all | fig5a | fig5b | fig5c | fig5d | fig5 | fig4a | fig4b | fig6 | exhaustive | cycle | store | tcp")
 	maxOffers := flag.Int("maxoffers", 800000, "largest flex-offer count of the Figure 5 sweep")
 	maxFacts := flag.Int("maxfacts", 1600000, "largest measurement count of the storage-engine sweep")
 	budget := flag.Duration("budget", 10*time.Second, "time budget of the largest Figure 6 instance")
@@ -53,6 +53,7 @@ func main() {
 		exhaustive(*seed)
 		cycleExp()
 		storeExp(*maxFacts, *seed)
+		tcpExp()
 	case "fig5", "fig5a", "fig5b", "fig5c", "fig5d":
 		fig5(*maxOffers, *seed)
 	case "fig4a":
@@ -67,6 +68,8 @@ func main() {
 		cycleExp()
 	case "store":
 		storeExp(*maxFacts, *seed)
+	case "tcp":
+		tcpExp()
 	default:
 		log.Printf("unknown experiment %q", *exp)
 		flag.Usage()
@@ -533,6 +536,86 @@ func cycleExp() {
 			fmt.Printf("%-10d %-6d %-13v %-10.1f %v\n",
 				n, limit, rep.DeliveryTime.Round(100*time.Microsecond),
 				float64(rep.DeliveryTime)/float64(delay), time.Duration(n)*delay)
+		}
+	}
+}
+
+// tcpExp measures the TCP transport's concurrency over a slow-handler
+// server: K requests through one client, issued back to back (the
+// seed's single-client-mutex behaviour) versus concurrently over the
+// pooled, Seq-pipelined connections. Overlapped, the wall time tracks
+// one slow-handler latency ("x_slowest" ≈ 1), not the sum (≈ K); the
+// transport stats show how few connections carry the load.
+func tcpExp() {
+	fmt.Println("== TCP transport: pooled, pipelined fan-out over a slow server ==")
+	const delay = 5 * time.Millisecond
+	fmt.Printf("per-request handler latency %v\n", delay)
+	fmt.Println("requests  pool  mode        wall_ms  x_slowest  dials  reuses  retries")
+	handler := func(ctx context.Context, env comm.Envelope) (*comm.Envelope, error) {
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		reply, err := comm.NewEnvelope(comm.MsgPong, env.To, env.From, nil)
+		return &reply, err
+	}
+	srv, err := comm.ListenTCP("127.0.0.1:0", handler)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+
+	for _, k := range []int{4, 16, 64} {
+		for _, tc := range []struct {
+			mode       string
+			pool       int
+			concurrent bool
+		}{
+			{"serial", 1, false},
+			{"pipelined", 1, true}, // one connection: overlap is pure Seq pipelining
+			{"pooled", comm.DefaultPoolSize, true},
+		} {
+			client := comm.NewTCPClient("bench", comm.WithPoolSize(tc.pool))
+			client.SetRoute("srv", srv.Addr())
+			run := func(j int) error {
+				env, err := comm.NewEnvelope(comm.MsgPing, "bench", "srv", nil)
+				if err != nil {
+					return err
+				}
+				_, err = client.Request(context.Background(), "srv", env)
+				return err
+			}
+			t0 := time.Now()
+			if tc.concurrent {
+				var wg sync.WaitGroup
+				errs := make([]error, k)
+				for j := 0; j < k; j++ {
+					wg.Add(1)
+					go func(j int) {
+						defer wg.Done()
+						errs[j] = run(j)
+					}(j)
+				}
+				wg.Wait()
+				for _, err := range errs {
+					if err != nil {
+						log.Fatal(err)
+					}
+				}
+			} else {
+				for j := 0; j < k; j++ {
+					if err := run(j); err != nil {
+						log.Fatal(err)
+					}
+				}
+			}
+			wall := time.Since(t0)
+			st := client.Stats()
+			fmt.Printf("%-9d %-5d %-11s %-8.2f %-10.1f %-6d %-7d %d\n",
+				k, tc.pool, tc.mode, float64(wall)/float64(time.Millisecond),
+				float64(wall)/float64(delay), st.Dials, st.Reuses, st.Retries)
+			client.Close()
 		}
 	}
 }

@@ -46,6 +46,7 @@ func main() {
 		retain    = flag.Int64("retain-slots", 0, "measurement retention window in slots (0: keep forever)")
 		retainIvl = flag.Duration("retain-every", time.Minute, "how often the retention sweep runs")
 		routes    = flag.String("route", "", "comma-separated name=addr routes to peers")
+		poolSize  = flag.Int("pool", comm.DefaultPoolSize, "pipelined TCP connections pooled per peer")
 		demoOffer = flag.Bool("demo-offer", false, "submit one demo flex-offer to the parent and exit")
 		pingPeer  = flag.String("ping", "", "ping the named peer over the typed client and exit")
 		verbose   = flag.Bool("v", false, "log every handled message")
@@ -80,8 +81,16 @@ func main() {
 		}()
 	}
 
-	client := comm.NewTCPClient(*name)
+	client := comm.NewTCPClient(*name, comm.WithPoolSize(*poolSize))
 	defer client.Close()
+	defer func() {
+		// The transport's lifetime counters tell an operator whether the
+		// node kept its peers on warm pooled connections (reuses ≫
+		// dials) or thrashed redials (retries climbing).
+		st := client.Stats()
+		log.Printf("transport: dials=%d reuses=%d retries=%d requests=%d sends=%d in_flight=%d",
+			st.Dials, st.Reuses, st.Retries, st.Requests, st.Sends, st.InFlight)
+	}()
 	if *routes != "" {
 		for _, r := range strings.Split(*routes, ",") {
 			parts := strings.SplitN(r, "=", 2)

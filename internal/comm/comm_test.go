@@ -211,7 +211,10 @@ func TestTCPHandlerErrorPropagates(t *testing.T) {
 	}
 }
 
-func TestTCPFireAndForgetGetsPong(t *testing.T) {
+func TestTCPFireAndForgetDelivers(t *testing.T) {
+	// Send is true fire-and-forget: it returns once the frame is on the
+	// wire, so delivery is asynchronous — like Bus.Send — and the
+	// server's pong replies are discarded by the demux loop.
 	var count atomic.Int32
 	srv, err := ListenTCP("127.0.0.1:0", func(context.Context, Envelope) (*Envelope, error) {
 		count.Add(1)
@@ -230,8 +233,14 @@ func TestTCPFireAndForgetGetsPong(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if count.Load() != 5 {
-		t.Errorf("delivered = %d", count.Load())
+	for deadline := time.Now().Add(2 * time.Second); count.Load() != 5; {
+		if time.Now().After(deadline) {
+			t.Fatalf("delivered = %d, want 5", count.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := client.Stats().Sends; got != 5 {
+		t.Errorf("Stats().Sends = %d, want 5", got)
 	}
 }
 

@@ -47,7 +47,10 @@ func fanOut(n, limit int, fn func(i int)) {
 // map means every owner was notified. Because deliveries overlap, the
 // wall time of a batch is bounded by its slowest destination (per wave
 // of limit), not by the sum over destinations — the scheduling cycle's
-// deliver phase depends on this.
+// deliver phase depends on this. The property holds end to end on both
+// transports: the Bus dispatches handlers on their own goroutines, and
+// the TCP client pipelines concurrent operations over pooled
+// connections instead of serializing them behind a client-wide lock.
 //
 // Cancelling ctx fails the remaining deliveries fast with ctx.Err();
 // deliveries already on the wire are not recalled.

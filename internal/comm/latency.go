@@ -20,8 +20,13 @@ type latencyTransport struct {
 }
 
 func (l *latencyTransport) wait(ctx context.Context) error {
+	// time.NewTimer + Stop, not time.After: a canceled wait must release
+	// its timer immediately instead of leaking it until expiry (benches
+	// fan thousands of these out with shared deadlines).
+	t := time.NewTimer(l.d)
+	defer t.Stop()
 	select {
-	case <-time.After(l.d):
+	case <-t.C:
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()

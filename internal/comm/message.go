@@ -7,15 +7,20 @@
 //
 //   - Envelope is the wire unit: a typed JSON payload with routing
 //     metadata. Two Transports move envelopes: an in-process Bus for
-//     population-scale simulation and a TCP transport (length-prefixed
-//     frames, pooled connections) for real deployments. Both offer
-//     request/response and fire-and-forget semantics and honor
-//     context cancellation and deadlines: a canceled Request returns
-//     ctx.Err() promptly on both transports. On the Bus the serving
-//     Handler observes the caller's cancellation directly; over TCP
-//     the handler runs under a server-scoped context (canceled on
-//     shutdown) and a caller's mid-flight cancel unblocks only the
-//     calling side.
+//     population-scale simulation and a TCP transport for real
+//     deployments — length-prefixed frames over bounded per-destination
+//     connection pools, with requests correlated to replies by
+//     Envelope.Seq so any number of round trips pipeline per
+//     connection. Concurrent operations on one TCPClient overlap
+//     fully (no client-wide lock covers I/O), so a fan-out wave
+//     completes in the time of its slowest peer, not the sum. Both
+//     transports offer request/response and true fire-and-forget
+//     semantics and honor context cancellation and deadlines: a
+//     canceled Request returns ctx.Err() promptly on both. On the Bus
+//     the serving Handler observes the caller's cancellation directly;
+//     over TCP the handler runs under a server-scoped context
+//     (canceled on shutdown) and a caller's mid-flight cancel unblocks
+//     only the calling side, leaving the pooled connection healthy.
 //
 //   - Client is the typed RPC surface applications use: SubmitOffer,
 //     QueryForecast, NotifySchedules, ReportMeasurement, Ping. It owns

@@ -2,6 +2,7 @@ package comm
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"encoding/binary"
 	"encoding/json"
@@ -10,6 +11,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -17,26 +19,47 @@ import (
 // fits comfortably; anything larger indicates a protocol error.
 const maxFrame = 16 << 20
 
-// writeFrame writes a length-prefixed JSON frame.
+// maxPooledFrameBuf bounds the encode buffers kept in the frame pool;
+// the occasional huge frame is allocated once and dropped instead of
+// pinning megabytes behind the pool.
+const maxPooledFrameBuf = 1 << 20
+
+// framePool recycles frame encode buffers: steady-state traffic writes
+// frames without allocating a fresh payload buffer per message.
+var framePool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// writeFrame writes a length-prefixed JSON frame. Header and payload are
+// encoded into a pooled buffer and flushed as a single Write, so a frame
+// costs one syscall and no per-frame payload allocation.
 func writeFrame(w io.Writer, env *Envelope) error {
-	raw, err := json.Marshal(env)
-	if err != nil {
+	buf := framePool.Get().(*bytes.Buffer)
+	defer func() {
+		if buf.Cap() <= maxPooledFrameBuf {
+			framePool.Put(buf)
+		}
+	}()
+	buf.Reset()
+	buf.Write([]byte{0, 0, 0, 0}) // length placeholder
+	if err := json.NewEncoder(buf).Encode(env); err != nil {
 		return fmt.Errorf("comm: marshal frame: %w", err)
 	}
-	if len(raw) > maxFrame {
-		return fmt.Errorf("comm: frame of %d bytes exceeds limit", len(raw))
+	// The encoder's trailing newline stays inside the frame; it is
+	// insignificant JSON whitespace to the decoder.
+	n := buf.Len() - 4
+	if n > maxFrame {
+		return fmt.Errorf("comm: frame of %d bytes exceeds limit", n)
 	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(raw)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err = w.Write(raw)
+	raw := buf.Bytes()
+	binary.BigEndian.PutUint32(raw[:4], uint32(n))
+	_, err := w.Write(raw)
 	return err
 }
 
-// readFrame reads one length-prefixed JSON frame.
-func readFrame(r io.Reader) (Envelope, error) {
+// readFrameBuf reads one length-prefixed JSON frame, reusing *scratch as
+// the payload buffer across calls (it grows to the largest frame seen).
+// Reuse is safe because decoding copies every byte it keeps — strings by
+// definition and the Body via json.RawMessage's copying UnmarshalJSON.
+func readFrameBuf(r io.Reader, scratch *[]byte) (Envelope, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return Envelope{}, err
@@ -45,7 +68,10 @@ func readFrame(r io.Reader) (Envelope, error) {
 	if n > maxFrame {
 		return Envelope{}, fmt.Errorf("comm: frame of %d bytes exceeds limit", n)
 	}
-	raw := make([]byte, n)
+	if uint32(cap(*scratch)) < n {
+		*scratch = make([]byte, n)
+	}
+	raw := (*scratch)[:n]
 	if _, err := io.ReadFull(r, raw); err != nil {
 		return Envelope{}, err
 	}
@@ -56,29 +82,62 @@ func readFrame(r io.Reader) (Envelope, error) {
 	return env, nil
 }
 
+// readFrame reads one length-prefixed JSON frame with a throwaway
+// buffer (loops should hold a scratch buffer and use readFrameBuf).
+func readFrame(r io.Reader) (Envelope, error) {
+	var scratch []byte
+	return readFrameBuf(r, &scratch)
+}
+
+// DefaultServerConcurrency bounds how many handlers a TCPServer runs
+// concurrently per connection, so a pipelined client is not serialized
+// server-side while a runaway peer cannot fork unbounded goroutines.
+const DefaultServerConcurrency = 32
+
 // TCPServer serves a node endpoint over TCP. Handlers receive a context
 // that is canceled when the server shuts down, so in-flight work stops
-// with the listener.
+// with the listener. Requests arriving on one connection are dispatched
+// concurrently (bounded by WithServerConcurrency) and replies carry the
+// request's Seq, so they may return out of order; clients correlate by
+// Seq.
 type TCPServer struct {
 	ln      net.Listener
 	handler Handler
 	baseCtx context.Context
 	cancel  context.CancelFunc
+	perConn int
 	wg      sync.WaitGroup
 	mu      sync.Mutex
 	closed  bool
 	conns   map[net.Conn]struct{}
 }
 
+// TCPServerOption customizes a TCPServer.
+type TCPServerOption func(*TCPServer)
+
+// WithServerConcurrency bounds the handlers dispatched concurrently per
+// connection (default DefaultServerConcurrency); 1 restores strictly
+// serial per-connection handling.
+func WithServerConcurrency(n int) TCPServerOption {
+	return func(s *TCPServer) {
+		if n > 0 {
+			s.perConn = n
+		}
+	}
+}
+
 // ListenTCP starts serving handler on addr (e.g. "127.0.0.1:0"); use
 // Addr() for the bound address.
-func ListenTCP(addr string, h Handler) (*TCPServer, error) {
+func ListenTCP(addr string, h Handler, opts ...TCPServerOption) (*TCPServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("comm: listen %s: %w", addr, err)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	s := &TCPServer{ln: ln, handler: h, baseCtx: ctx, cancel: cancel, conns: make(map[net.Conn]struct{})}
+	s := &TCPServer{ln: ln, handler: h, baseCtx: ctx, cancel: cancel, perConn: DefaultServerConcurrency, conns: make(map[net.Conn]struct{})}
+	for _, o := range opts {
+		o(s)
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -129,160 +188,244 @@ func (s *TCPServer) acceptLoop() {
 }
 
 // serveConn handles one connection: a stream of request frames, each
-// answered by a reply frame (MsgError on handler failure, an empty pong
-// frame for fire-and-forget handlers that return nil).
+// dispatched to a handler goroutine (at most perConn in flight) whose
+// reply frame (MsgError on handler failure, an empty pong frame for
+// fire-and-forget handlers that return nil) is written back under a
+// per-connection write lock, tagged with the request's Seq.
 func (s *TCPServer) serveConn(conn net.Conn) {
 	defer s.wg.Done()
+	var hwg sync.WaitGroup
 	defer func() {
+		hwg.Wait()
 		conn.Close()
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
 	r := bufio.NewReader(conn)
-	w := bufio.NewWriter(conn)
+	var wmu sync.Mutex // one reply frame at a time onto the shared conn
+	sem := make(chan struct{}, s.perConn)
+	var scratch []byte
 	for {
-		env, err := readFrame(r)
+		env, err := readFrameBuf(r, &scratch)
 		if err != nil {
 			return // EOF or protocol error: drop the connection
 		}
-		reply, err := s.handler(s.baseCtx, env)
-		switch {
-		case err != nil:
-			e := ErrorEnvelope(&env, env.To, err.Error())
-			reply = &e
-		case reply == nil:
-			reply = &Envelope{Type: MsgPong, From: env.To, To: env.From, Seq: env.Seq}
-		default:
-			reply.Seq = env.Seq
-		}
-		if err := writeFrame(w, reply); err != nil {
-			return
-		}
-		if err := w.Flush(); err != nil {
-			return
+		sem <- struct{}{}
+		hwg.Add(1)
+		go func(env Envelope) {
+			defer hwg.Done()
+			defer func() { <-sem }()
+			reply, err := s.handler(s.baseCtx, env)
+			switch {
+			case err != nil:
+				e := ErrorEnvelope(&env, env.To, err.Error())
+				reply = &e
+			case reply == nil:
+				reply = &Envelope{Type: MsgPong, From: env.To, To: env.From, Seq: env.Seq}
+			default:
+				reply.Seq = env.Seq
+			}
+			wmu.Lock()
+			werr := writeFrame(conn, reply)
+			wmu.Unlock()
+			if werr != nil {
+				conn.Close() // broken pipe: unblock the read loop too
+			}
+		}(env)
+	}
+}
+
+// TransportStats counts a TCPClient's connection and request activity.
+type TransportStats struct {
+	// Dials is the number of connections established.
+	Dials uint64
+	// Reuses counts operations served over an already-pooled connection.
+	Reuses uint64
+	// Retries counts operations re-attempted on a fresh connection after
+	// a pooled one failed mid-flight (stale pool, broken pipe).
+	Retries uint64
+	// Requests and Sends count round trips and fire-and-forget frames.
+	Requests uint64
+	Sends    uint64
+	// InFlight is the number of requests currently awaiting a correlated
+	// reply (point-in-time gauge).
+	InFlight int64
+}
+
+// DefaultPoolSize is the per-destination connection pool bound of a
+// TCPClient. With Seq-correlated pipelining one connection already
+// overlaps many requests; a few connections add parallel TCP streams
+// (independent head-of-line blocking, kernel buffers) per peer.
+const DefaultPoolSize = 4
+
+// TCPClient is a Transport over TCP: it maps endpoint names to addresses
+// and keeps a bounded pool of pipelined connections per destination.
+//
+// Requests are correlated to replies by Envelope.Seq, so any number of
+// requests can be in flight on one connection at once: a demux goroutine
+// per connection routes each arriving reply to its waiter. The client
+// mutex guards only the route and pool maps — never any I/O — so
+// concurrent Requests to one or many destinations overlap fully and the
+// wall time of a fan-out wave is bounded by its slowest peer, not the
+// sum (the property the scheduling cycle's deliver phase depends on,
+// now preserved over real TCP).
+//
+// Send is true fire-and-forget: the frame is written and the server's
+// pong is later discarded by the demux loop, so Send never waits for
+// the handler to run.
+//
+// Cancellation: a canceled Request deregisters its waiter and returns
+// immediately; the connection stays pooled and healthy (the late reply
+// is demuxed to no one and dropped). Operations that fail on a stale
+// pooled connection are retried once on a fresh dial.
+type TCPClient struct {
+	from     string
+	poolSize int
+
+	mu    sync.RWMutex // guards addrs and pools maps only
+	addrs map[string]string
+	pools map[string]*connPool
+
+	seq      atomic.Uint64
+	dials    atomic.Uint64
+	reuses   atomic.Uint64
+	retries  atomic.Uint64
+	requests atomic.Uint64
+	sends    atomic.Uint64
+	inFlight atomic.Int64
+}
+
+// TCPClientOption customizes a TCPClient.
+type TCPClientOption func(*TCPClient)
+
+// WithPoolSize bounds the connections pooled per destination (default
+// DefaultPoolSize); 1 pipelines everything over a single connection.
+func WithPoolSize(n int) TCPClientOption {
+	return func(c *TCPClient) {
+		if n > 0 {
+			c.poolSize = n
 		}
 	}
 }
 
-// TCPClient is a Transport over TCP: it maps endpoint names to addresses
-// and keeps one pooled connection per destination.
-type TCPClient struct {
-	from  string
-	mu    sync.Mutex
-	addrs map[string]string
-	conns map[string]net.Conn
-	seq   uint64
-}
-
 // NewTCPClient returns a client identifying itself as from.
-func NewTCPClient(from string) *TCPClient {
-	return &TCPClient{from: from, addrs: make(map[string]string), conns: make(map[string]net.Conn)}
+func NewTCPClient(from string, opts ...TCPClientOption) *TCPClient {
+	c := &TCPClient{from: from, poolSize: DefaultPoolSize, addrs: make(map[string]string), pools: make(map[string]*connPool)}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
 }
 
-// SetRoute maps an endpoint name to a TCP address.
+// SetRoute maps an endpoint name to a TCP address. Re-routing a name to
+// a new address drops the pooled connections to the old one.
 func (c *TCPClient) SetRoute(name, addr string) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.addrs[name] = addr
+	var stale *connPool
+	if p, ok := c.pools[name]; ok && p.addr != addr {
+		delete(c.pools, name)
+		stale = p
+	}
+	c.mu.Unlock()
+	if stale != nil {
+		stale.closeAll(errors.New("comm: route replaced"))
+	}
 }
 
-// Close drops all pooled connections.
+// Stats returns a point-in-time copy of the client's transport counters.
+func (c *TCPClient) Stats() TransportStats {
+	return TransportStats{
+		Dials:    c.dials.Load(),
+		Reuses:   c.reuses.Load(),
+		Retries:  c.retries.Load(),
+		Requests: c.requests.Load(),
+		Sends:    c.sends.Load(),
+		InFlight: c.inFlight.Load(),
+	}
+}
+
+// Close drops all pooled connections; in-flight requests fail.
 func (c *TCPClient) Close() error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	for name, conn := range c.conns {
-		conn.Close()
-		delete(c.conns, name)
+	pools := c.pools
+	c.pools = make(map[string]*connPool)
+	c.mu.Unlock()
+	for _, p := range pools {
+		p.closeAll(errors.New("comm: client closed"))
 	}
 	return nil
 }
 
-// roundTrip sends env and reads the reply over the pooled connection,
-// redialing once on a stale connection. The context's deadline maps
-// onto the connection deadline; cancellation mid-flight unblocks the
-// pending read/write immediately.
-func (c *TCPClient) roundTrip(ctx context.Context, to string, env Envelope) (Envelope, error) {
-	if err := ctx.Err(); err != nil {
-		return Envelope{}, fmt.Errorf("comm: request to %s: %w", to, err)
+// pool resolves the destination's connection pool, creating it lazily.
+func (c *TCPClient) pool(to string) (*connPool, error) {
+	c.mu.RLock()
+	p, ok := c.pools[to]
+	c.mu.RUnlock()
+	if ok {
+		return p, nil
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	addr, ok := c.addrs[to]
+	if !ok {
+		return nil, fmt.Errorf("%w: no route to %s", ErrUnreachable, to)
+	}
+	if p, ok := c.pools[to]; ok {
+		return p, nil
+	}
+	p = &connPool{client: c, addr: addr, max: c.poolSize}
+	c.pools[to] = p
+	return p, nil
+}
+
+// Send implements Transport: fire-and-forget. The frame is on the wire
+// when Send returns; the handler runs asynchronously on the server and
+// its pong reply is discarded by the connection's demux loop.
+func (c *TCPClient) Send(ctx context.Context, to string, env Envelope) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("comm: send to %s: %w", to, err)
+	}
+	// Fire-and-forget still bounds its dial and frame write: a stalled
+	// peer must not wedge the sender forever just because the caller
+	// carried no deadline.
 	if _, ok := ctx.Deadline(); !ok {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, DefaultTimeout)
 		defer cancel()
 	}
-	deadline, _ := ctx.Deadline()
-
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	addr, ok := c.addrs[to]
-	if !ok {
-		return Envelope{}, fmt.Errorf("%w: no route to %s", ErrUnreachable, to)
+	pool, err := c.pool(to)
+	if err != nil {
+		return err
 	}
-	c.seq++
-	env.Seq = c.seq
+	env.Seq = c.seq.Add(1)
 	env.From = c.from
 	env.To = to
-
+	var lastErr error
 	for attempt := 0; attempt < 2; attempt++ {
-		conn := c.conns[to]
-		if conn == nil {
-			var err error
-			var d net.Dialer
-			conn, err = d.DialContext(ctx, "tcp", addr)
-			if err != nil {
-				if cerr := ctx.Err(); cerr != nil {
-					return Envelope{}, fmt.Errorf("comm: dial %s: %w", addr, cerr)
-				}
-				return Envelope{}, fmt.Errorf("comm: dial %s: %w", addr, err)
-			}
-			c.conns[to] = conn
+		if attempt > 0 {
+			c.retries.Add(1)
 		}
-		conn.SetDeadline(deadline)
-		// Cancellation mid-flight: expire the connection deadline so a
-		// blocked read/write returns now instead of at the deadline.
-		stop := context.AfterFunc(ctx, func() {
-			conn.SetDeadline(time.Unix(1, 0))
-		})
-		if err := writeFrame(conn, &env); err != nil {
-			stop()
-			conn.Close()
-			delete(c.conns, to)
+		conn, err := pool.get(ctx)
+		if err != nil {
 			if cerr := ctx.Err(); cerr != nil {
-				return Envelope{}, fmt.Errorf("comm: request to %s: %w", to, cerr)
+				return fmt.Errorf("comm: send to %s: %w", to, cerr)
+			}
+			return fmt.Errorf("comm: dial %s: %w", pool.addr, err)
+		}
+		if err := conn.write(ctx, &env); err != nil {
+			conn.fail(err)
+			lastErr = err
+			if cerr := ctx.Err(); cerr != nil {
+				return fmt.Errorf("comm: send to %s: %w", to, cerr)
 			}
 			continue // stale pooled connection: retry once on a fresh dial
 		}
-		reply, err := readFrame(conn)
-		if !stop() && err == nil {
-			// The cancel callback already started: it may expire the
-			// deadline after a later request resets it. Don't pool a
-			// connection that can be poisoned under the next caller.
-			conn.Close()
-			delete(c.conns, to)
-			return reply, nil
-		}
-		if err != nil {
-			conn.Close()
-			delete(c.conns, to)
-			if cerr := ctx.Err(); cerr != nil {
-				return Envelope{}, fmt.Errorf("comm: request to %s: %w", to, cerr)
-			}
-			if attempt == 1 {
-				return Envelope{}, fmt.Errorf("comm: read reply from %s: %w", to, err)
-			}
-			continue
-		}
-		return reply, nil
+		c.sends.Add(1)
+		return nil
 	}
-	return Envelope{}, fmt.Errorf("comm: request to %s failed after retry", to)
-}
-
-// Send implements Transport (the reply frame is read and discarded to
-// keep the stream in lock-step).
-func (c *TCPClient) Send(ctx context.Context, to string, env Envelope) error {
-	_, err := c.roundTrip(ctx, to, env)
-	return err
+	return fmt.Errorf("comm: send to %s failed after retry: %w", to, lastErr)
 }
 
 // Request implements Transport.
@@ -299,4 +442,300 @@ func (c *TCPClient) Request(ctx context.Context, to string, env Envelope) (Envel
 		return reply, fmt.Errorf("comm: remote error from %s", to)
 	}
 	return reply, nil
+}
+
+// roundTrip sends env and waits for the reply carrying the same Seq.
+// The request holds no locks while in flight: it registers a waiter on
+// a pooled connection, writes its frame, and blocks on its own reply
+// channel, so any number of round trips overlap per connection.
+// Cancellation mid-flight deregisters the waiter and returns
+// immediately without disturbing the connection.
+func (c *TCPClient) roundTrip(ctx context.Context, to string, env Envelope) (Envelope, error) {
+	if err := ctx.Err(); err != nil {
+		return Envelope{}, fmt.Errorf("comm: request to %s: %w", to, err)
+	}
+	if _, ok := ctx.Deadline(); !ok {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, DefaultTimeout)
+		defer cancel()
+	}
+	pool, err := c.pool(to)
+	if err != nil {
+		return Envelope{}, err
+	}
+	c.requests.Add(1)
+	seq := c.seq.Add(1)
+	env.Seq = seq
+	env.From = c.from
+	env.To = to
+
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		if attempt > 0 {
+			c.retries.Add(1)
+		}
+		conn, err := pool.get(ctx)
+		if err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return Envelope{}, fmt.Errorf("comm: request to %s: %w", to, cerr)
+			}
+			return Envelope{}, fmt.Errorf("comm: dial %s: %w", pool.addr, err)
+		}
+		ch, err := conn.register(seq)
+		if err != nil {
+			lastErr = err // conn died between pool.get and register
+			continue
+		}
+		c.inFlight.Add(1)
+		if err := conn.write(ctx, &env); err != nil {
+			c.inFlight.Add(-1)
+			conn.deregister(seq)
+			conn.fail(err)
+			lastErr = err
+			if cerr := ctx.Err(); cerr != nil {
+				return Envelope{}, fmt.Errorf("comm: request to %s: %w", to, cerr)
+			}
+			continue // stale pooled connection: retry once on a fresh dial
+		}
+		select {
+		case reply, ok := <-ch:
+			c.inFlight.Add(-1)
+			if !ok {
+				// The connection died before the reply arrived.
+				lastErr = conn.failure()
+				if cerr := ctx.Err(); cerr != nil {
+					return Envelope{}, fmt.Errorf("comm: request to %s: %w", to, cerr)
+				}
+				continue
+			}
+			return reply, nil
+		case <-ctx.Done():
+			c.inFlight.Add(-1)
+			conn.deregister(seq)
+			return Envelope{}, fmt.Errorf("comm: request to %s: %w", to, ctx.Err())
+		}
+	}
+	return Envelope{}, fmt.Errorf("comm: request to %s failed after retry: %w", to, lastErr)
+}
+
+// connPool is the bounded set of live connections to one destination.
+// Its lock covers only slice bookkeeping and the dial decision — every
+// byte of I/O happens outside it, on the connections themselves.
+type connPool struct {
+	client *TCPClient
+	addr   string
+	max    int
+
+	mu      sync.Mutex
+	dialed  sync.Cond // signaled when an in-progress dial settles
+	conns   []*tcpConn
+	dialing int // dials in progress, counted against max
+	rr      int // round-robin cursor for equally-loaded connections
+}
+
+// get picks the least-loaded pooled connection, dialing a new one when
+// every pooled connection is busy and the pool is under its bound.
+// Callers racing for an empty, fully-dialing pool wait for one of the
+// in-progress dials to settle instead of exceeding the bound.
+func (p *connPool) get(ctx context.Context) (*tcpConn, error) {
+	p.mu.Lock()
+	if p.dialed.L == nil {
+		p.dialed.L = &p.mu
+	}
+	for {
+		if err := ctx.Err(); err != nil {
+			p.mu.Unlock()
+			return nil, err
+		}
+		var best *tcpConn
+		bestLoad := 0
+		if n := len(p.conns); n > 0 {
+			p.rr++
+			start := p.rr % n
+			best = p.conns[start]
+			bestLoad = best.load()
+			for i := 1; i < n && bestLoad > 0; i++ {
+				c := p.conns[(start+i)%n]
+				if l := c.load(); l < bestLoad {
+					best, bestLoad = c, l
+				}
+			}
+		}
+		saturated := len(p.conns)+p.dialing >= p.max
+		if best != nil && (bestLoad == 0 || saturated) {
+			p.mu.Unlock()
+			p.client.reuses.Add(1)
+			return best, nil
+		}
+		if !saturated {
+			break // dial a new connection below
+		}
+		// No live connection and the bound is consumed by in-progress
+		// dials: wait for one to settle (every settling dial
+		// broadcasts). The caller's own cancellation broadcasts too, so
+		// a canceled waiter wakes immediately — the loop top returns its
+		// ctx.Err() — instead of sitting out someone else's dial.
+		stop := context.AfterFunc(ctx, func() {
+			p.mu.Lock()
+			p.dialed.Broadcast()
+			p.mu.Unlock()
+		})
+		p.dialed.Wait()
+		stop()
+	}
+	p.dialing++
+	p.mu.Unlock()
+
+	var d net.Dialer
+	nc, err := d.DialContext(ctx, "tcp", p.addr)
+	p.mu.Lock()
+	p.dialing--
+	if err != nil {
+		p.dialed.Broadcast()
+		p.mu.Unlock()
+		return nil, err
+	}
+	conn := &tcpConn{pool: p, nc: nc, waiters: make(map[uint64]chan Envelope)}
+	p.conns = append(p.conns, conn)
+	p.dialed.Broadcast()
+	p.mu.Unlock()
+	p.client.dials.Add(1)
+	go conn.readLoop()
+	return conn, nil
+}
+
+// remove drops a dead connection from the pool.
+func (p *connPool) remove(c *tcpConn) {
+	p.mu.Lock()
+	for i, pc := range p.conns {
+		if pc == c {
+			p.conns = append(p.conns[:i], p.conns[i+1:]...)
+			break
+		}
+	}
+	p.mu.Unlock()
+}
+
+// closeAll tears down every pooled connection, failing their waiters.
+func (p *connPool) closeAll(err error) {
+	p.mu.Lock()
+	conns := append([]*tcpConn(nil), p.conns...)
+	p.mu.Unlock()
+	for _, c := range conns {
+		c.fail(err)
+	}
+}
+
+// tcpConn is one pipelined connection. A write mutex serializes outbound
+// frames; a demux goroutine owns all reads and routes each reply to the
+// waiter registered under its Seq. Replies whose Seq has no waiter — a
+// fire-and-forget pong, the late reply of a canceled request, or a
+// misbehaving server echoing a wrong Seq — are dropped.
+type tcpConn struct {
+	pool *connPool
+	nc   net.Conn
+
+	wmu sync.Mutex // serializes writeFrame calls onto nc
+
+	mu      sync.Mutex
+	waiters map[uint64]chan Envelope
+	err     error // set once, when the connection dies
+}
+
+// load returns the number of replies this connection is waiting on.
+func (c *tcpConn) load() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.waiters)
+}
+
+// register adds a reply waiter for seq; fails if the connection died.
+func (c *tcpConn) register(seq uint64) (chan Envelope, error) {
+	ch := make(chan Envelope, 1)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return nil, c.err
+	}
+	c.waiters[seq] = ch
+	return ch, nil
+}
+
+// deregister abandons a reply waiter (cancellation); the reply, if it
+// ever arrives, is dropped by the demux loop.
+func (c *tcpConn) deregister(seq uint64) {
+	c.mu.Lock()
+	delete(c.waiters, seq)
+	c.mu.Unlock()
+}
+
+// failure returns the error the connection died with.
+func (c *tcpConn) failure() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return c.err
+	}
+	return errors.New("comm: connection failed")
+}
+
+// write sends one frame under the write lock. The context's deadline
+// maps onto the write deadline (writes are serialized, so each write
+// configures its own); cancellation mid-write expires it early. A
+// cancellation that fires in the narrow window after this write
+// completes may poison the deadline of the next writer — that write
+// fails, tears the connection down and its caller retries on a fresh
+// one, so the pool heals itself.
+func (c *tcpConn) write(ctx context.Context, env *Envelope) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	deadline, _ := ctx.Deadline() // zero time clears any stale deadline
+	c.nc.SetWriteDeadline(deadline)
+	stop := context.AfterFunc(ctx, func() {
+		c.nc.SetWriteDeadline(time.Unix(1, 0))
+	})
+	err := writeFrame(c.nc, env)
+	stop()
+	return err
+}
+
+// fail kills the connection: removes it from the pool, closes the
+// socket (unblocking the demux read) and fails every pending waiter.
+func (c *tcpConn) fail(err error) {
+	c.pool.remove(c)
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	waiters := c.waiters
+	c.waiters = nil
+	c.mu.Unlock()
+	c.nc.Close()
+	for _, ch := range waiters {
+		close(ch) // a closed reply channel signals connection failure
+	}
+}
+
+// readLoop is the connection's demux goroutine: it owns all reads and
+// delivers each reply to the waiter registered under its Seq. It exits
+// — failing all remaining waiters — when the connection breaks.
+func (c *tcpConn) readLoop() {
+	r := bufio.NewReader(c.nc)
+	var scratch []byte
+	for {
+		env, err := readFrameBuf(r, &scratch)
+		if err != nil {
+			c.fail(fmt.Errorf("comm: connection to %s lost: %w", c.pool.addr, err))
+			return
+		}
+		c.mu.Lock()
+		ch, ok := c.waiters[env.Seq]
+		if ok {
+			delete(c.waiters, env.Seq)
+		}
+		c.mu.Unlock()
+		if ok {
+			ch <- env // buffered; at most one reply is ever delivered per waiter
+		}
+	}
 }

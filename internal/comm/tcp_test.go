@@ -1,0 +1,359 @@
+package comm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// slowPongServer serves a handler that sleeps d (or until server
+// shutdown) before answering with a pong.
+func slowPongServer(t *testing.T, d time.Duration, opts ...TCPServerOption) *TCPServer {
+	t.Helper()
+	srv, err := ListenTCP("127.0.0.1:0", func(ctx context.Context, env Envelope) (*Envelope, error) {
+		select {
+		case <-time.After(d):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		reply, err := NewEnvelope(MsgPong, "srv", env.From, nil)
+		return &reply, err
+	}, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+// TestTCPConcurrentRequestsOverlap is the transport's core promise: K
+// parallel Requests over ONE client against a slow handler complete in
+// about one slow-peer latency, not K of them — the seed's client mutex
+// serialized them into K×delay.
+func TestTCPConcurrentRequestsOverlap(t *testing.T) {
+	const k = 16
+	const delay = 150 * time.Millisecond
+	srv := slowPongServer(t, delay)
+
+	client := NewTCPClient("p1")
+	defer client.Close()
+	client.SetRoute("srv", srv.Addr())
+
+	var wg sync.WaitGroup
+	errs := make([]error, k)
+	t0 := time.Now()
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			env, _ := NewEnvelope(MsgPing, "p1", "srv", nil)
+			_, errs[i] = client.Request(context.Background(), "srv", env)
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(t0)
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	// Serialized this takes k×delay = 2.4 s; overlapped it is one wave
+	// of ~delay. Allow generous CI slack while still proving overlap.
+	if wall > 8*delay {
+		t.Errorf("16 concurrent requests took %v, want ≈%v (serialized would be %v)", wall, delay, k*delay)
+	}
+	st := client.Stats()
+	if st.Dials == 0 || st.Dials > DefaultPoolSize {
+		t.Errorf("dials = %d, want 1..%d", st.Dials, DefaultPoolSize)
+	}
+	if st.Requests != k {
+		t.Errorf("requests = %d, want %d", st.Requests, k)
+	}
+	if st.InFlight != 0 {
+		t.Errorf("in-flight after completion = %d", st.InFlight)
+	}
+}
+
+// TestTCPPipeliningOnSingleConnection forces the pool to one connection:
+// overlap must then come from Seq-correlated pipelining alone (multiple
+// requests in flight on one conn, demuxed by the reader goroutine) plus
+// the server's concurrent per-connection dispatch.
+func TestTCPPipeliningOnSingleConnection(t *testing.T) {
+	const k = 8
+	const delay = 100 * time.Millisecond
+	srv := slowPongServer(t, delay)
+
+	client := NewTCPClient("p1", WithPoolSize(1))
+	defer client.Close()
+	client.SetRoute("srv", srv.Addr())
+
+	var wg sync.WaitGroup
+	var failed atomic.Int32
+	t0 := time.Now()
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			env, _ := NewEnvelope(MsgPing, "p1", "srv", nil)
+			if _, err := client.Request(context.Background(), "srv", env); err != nil {
+				failed.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(t0)
+	if n := failed.Load(); n != 0 {
+		t.Fatalf("%d of %d pipelined requests failed", n, k)
+	}
+	if wall > 4*delay {
+		t.Errorf("%d pipelined requests took %v, want ≈%v", k, wall, delay)
+	}
+	if st := client.Stats(); st.Dials != 1 {
+		t.Errorf("dials = %d, want exactly 1 (pool size 1)", st.Dials)
+	}
+}
+
+// TestTCPSendDoesNotBlockOnSlowHandler: fire-and-forget must return once
+// the frame is written, not after the handler ran.
+func TestTCPSendDoesNotBlockOnSlowHandler(t *testing.T) {
+	const delay = 300 * time.Millisecond
+	srv := slowPongServer(t, delay)
+	client := NewTCPClient("p1")
+	defer client.Close()
+	client.SetRoute("srv", srv.Addr())
+
+	env, _ := NewEnvelope(MsgMeasurementReport, "p1", "srv", MeasurementReport{Actor: "p1", Slot: 1, KWh: 2})
+	t0 := time.Now()
+	if err := client.Send(context.Background(), "srv", env); err != nil {
+		t.Fatal(err)
+	}
+	if wall := time.Since(t0); wall > delay/2 {
+		t.Errorf("Send blocked %v behind a %v handler", wall, delay)
+	}
+}
+
+// TestTCPCancelMidFlightKeepsConnectionUsable cancels a request while
+// its reply is pending, then reuses the same client: the cancellation
+// must surface promptly, the late reply must be dropped by the demux
+// loop, and the pooled connection must stay healthy (no redial).
+func TestTCPCancelMidFlightKeepsConnectionUsable(t *testing.T) {
+	var slow atomic.Bool
+	slow.Store(true)
+	srv, err := ListenTCP("127.0.0.1:0", func(ctx context.Context, env Envelope) (*Envelope, error) {
+		if slow.Load() {
+			select {
+			case <-time.After(500 * time.Millisecond):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		reply, err := NewEnvelope(MsgPong, "srv", env.From, nil)
+		return &reply, err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	client := NewTCPClient("p1", WithPoolSize(1))
+	defer client.Close()
+	client.SetRoute("srv", srv.Addr())
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	env, _ := NewEnvelope(MsgPing, "p1", "srv", nil)
+	t0 := time.Now()
+	_, err = client.Request(ctx, "srv", env)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if wall := time.Since(t0); wall > 300*time.Millisecond {
+		t.Errorf("cancellation surfaced after %v, want ≈50ms", wall)
+	}
+
+	// The same pooled connection must serve the next request — the
+	// cancel must not have poisoned or torn it down — even while the
+	// abandoned slow reply is still in flight.
+	slow.Store(false)
+	if _, err := client.Request(context.Background(), "srv", env); err != nil {
+		t.Fatalf("request after cancel: %v", err)
+	}
+	if st := client.Stats(); st.Dials != 1 {
+		t.Errorf("dials = %d, want 1 (cancel must not drop the pooled conn)", st.Dials)
+	}
+}
+
+// rawFrameServer speaks the wire protocol by hand for fault injection:
+// fn receives each inbound envelope and the raw connection.
+func rawFrameServer(t *testing.T, fn func(conn net.Conn, env Envelope)) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				for {
+					env, err := readFrame(conn)
+					if err != nil {
+						return
+					}
+					fn(conn, env)
+				}
+			}(conn)
+		}
+	}()
+	return ln
+}
+
+// TestTCPSeqMismatchDoesNotMiscorrelate injects replies with a wrong
+// Seq: the client must drop them rather than hand them to the waiting
+// request, and must complete once the correctly-tagged reply arrives.
+func TestTCPSeqMismatchDoesNotMiscorrelate(t *testing.T) {
+	ln := rawFrameServer(t, func(conn net.Conn, env Envelope) {
+		// A forged reply under a foreign Seq, then the real one.
+		bogus, _ := NewEnvelope(MsgError, "srv", env.From, ErrorBody{Message: "forged"})
+		bogus.Seq = env.Seq + 1000
+		_ = writeFrame(conn, &bogus)
+		good, _ := NewEnvelope(MsgPong, "srv", env.From, nil)
+		good.Seq = env.Seq
+		_ = writeFrame(conn, &good)
+	})
+
+	client := NewTCPClient("p1")
+	defer client.Close()
+	client.SetRoute("srv", ln.Addr().String())
+	env, _ := NewEnvelope(MsgPing, "p1", "srv", nil)
+	reply, err := client.Request(context.Background(), "srv", env)
+	if err != nil {
+		t.Fatalf("request: %v", err)
+	}
+	if reply.Type != MsgPong {
+		t.Errorf("reply = %+v, want the correctly-correlated pong", reply)
+	}
+
+	// A reply that ONLY ever carries the wrong Seq must never complete
+	// the request: it times out instead of mis-correlating.
+	lnBad := rawFrameServer(t, func(conn net.Conn, env Envelope) {
+		bogus, _ := NewEnvelope(MsgPong, "srv", env.From, nil)
+		bogus.Seq = env.Seq + 7
+		_ = writeFrame(conn, &bogus)
+	})
+	client.SetRoute("bad", lnBad.Addr().String())
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	if _, err := client.Request(ctx, "bad", env); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("err = %v, want DeadlineExceeded (wrong-Seq reply must be dropped)", err)
+	}
+}
+
+// TestTCPStalePoolRetries kills the connection server-side after the
+// request frame is read: the pooled connection fails mid-flight and the
+// client must transparently retry on a fresh dial.
+func TestTCPStalePoolRetries(t *testing.T) {
+	var kills atomic.Int32
+	kills.Store(1) // kill exactly the first request
+	ln := rawFrameServer(t, func(conn net.Conn, env Envelope) {
+		if kills.Add(-1) >= 0 {
+			conn.Close() // mid-flight failure: frame consumed, no reply
+			return
+		}
+		reply, _ := NewEnvelope(MsgPong, "srv", env.From, nil)
+		reply.Seq = env.Seq
+		_ = writeFrame(conn, &reply)
+	})
+
+	client := NewTCPClient("p1")
+	defer client.Close()
+	client.SetRoute("srv", ln.Addr().String())
+	env, _ := NewEnvelope(MsgPing, "p1", "srv", nil)
+	if _, err := client.Request(context.Background(), "srv", env); err != nil {
+		t.Fatalf("request: %v", err)
+	}
+	st := client.Stats()
+	if st.Retries == 0 {
+		t.Errorf("stats = %+v, want a recorded retry", st)
+	}
+	if st.Dials != 2 {
+		t.Errorf("dials = %d, want 2 (original + retry redial)", st.Dials)
+	}
+}
+
+// TestTCPManyDestinationsFanOut overlaps requests across many servers
+// through one client: wall time tracks the slowest peer, not the sum.
+func TestTCPManyDestinationsFanOut(t *testing.T) {
+	const peers = 8
+	const delay = 100 * time.Millisecond
+	client := NewTCPClient("brp")
+	defer client.Close()
+	for i := 0; i < peers; i++ {
+		srv := slowPongServer(t, delay)
+		client.SetRoute(fmt.Sprintf("p%d", i), srv.Addr())
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, peers)
+	t0 := time.Now()
+	for i := 0; i < peers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			to := fmt.Sprintf("p%d", i)
+			env, _ := NewEnvelope(MsgPing, "brp", to, nil)
+			_, errs[i] = client.Request(context.Background(), to, env)
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(t0)
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("peer %d: %v", i, err)
+		}
+	}
+	if wall > 4*delay {
+		t.Errorf("fan-out to %d peers took %v, want ≈%v (sum would be %v)", peers, wall, delay, peers*delay)
+	}
+}
+
+// TestTCPServerSerialDispatchOption proves WithServerConcurrency(1)
+// restores per-connection serialization — the contrast that shows the
+// default concurrent dispatch is what un-serializes pipelined clients.
+func TestTCPServerSerialDispatchOption(t *testing.T) {
+	const k = 4
+	const delay = 60 * time.Millisecond
+	srv := slowPongServer(t, delay, WithServerConcurrency(1))
+
+	client := NewTCPClient("p1", WithPoolSize(1))
+	defer client.Close()
+	client.SetRoute("srv", srv.Addr())
+
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			env, _ := NewEnvelope(MsgPing, "p1", "srv", nil)
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			if _, err := client.Request(ctx, "srv", env); err != nil {
+				t.Errorf("request: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if wall := time.Since(t0); wall < time.Duration(k)*delay {
+		t.Errorf("serial dispatch finished in %v, faster than %d×%v — not serialized", wall, k, delay)
+	}
+}

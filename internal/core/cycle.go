@@ -53,7 +53,10 @@ type CycleReport struct {
 // The node lock is therefore never held across transport I/O or the
 // scheduler search: offer intake and every other handler stay
 // responsive for the whole cycle, and delivery wall time is bounded by
-// the slowest prosumer per fan-out wave, not the sum over prosumers.
+// the slowest prosumer per fan-out wave, not the sum over prosumers —
+// on the in-process Bus and over real TCP alike, where the pooled,
+// Seq-pipelined client overlaps the wave's requests instead of
+// serializing them behind a connection lock.
 //
 // demandFc and resFc forecast the non-flexible consumption and RES
 // production of the balance group; imbalancePrices gives the per-slot
@@ -111,11 +114,23 @@ func (n *Node) RunSchedulingCycle(ctx context.Context, now flexoffer.Time, deman
 	return rep, nil
 }
 
+// offerExpiredAt reports whether a pending offer can no longer be
+// scheduled by a cycle planning at now for [now, end): its assignment
+// deadline passed, its start window closed, or its execution tail
+// overflows the horizon. An offer whose EarliestStart lies in the past
+// but whose LatestStart does not (EarliestStart < now ≤ LatestStart) is
+// still schedulable — the planner clamps its start window at now
+// (sched.Problem.StartWindow) — and must NOT be dropped; keying expiry
+// on EarliestStart discarded live flexibility prematurely.
+func offerExpiredAt(f *flexoffer.FlexOffer, now, end flexoffer.Time) bool {
+	return now >= f.AssignBefore || f.LatestStart < now || f.LatestEnd() > end
+}
+
 // snapshotForPlanning is the cycle's only pass over mutable state
 // before commit. Under the node lock it advances the planning time,
-// expires pending offers whose assignment deadline passed or whose
-// execution window no longer fits the horizon, and captures an
-// immutable snapshot of the aggregates for the planner.
+// expires pending offers that are no longer schedulable
+// (offerExpiredAt), and captures an immutable snapshot of the
+// aggregates for the planner.
 func (n *Node) snapshotForPlanning(now flexoffer.Time, horizon int, rep *CycleReport) ([]*agg.Aggregate, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -126,7 +141,7 @@ func (n *Node) snapshotForPlanning(now flexoffer.Time, horizon int, rep *CycleRe
 	var expired []agg.FlexOfferUpdate
 	var expiredIDs []store.OfferUpdate
 	for id, f := range n.pending {
-		if now >= f.AssignBefore || f.EarliestStart < now || f.LatestEnd() > end {
+		if offerExpiredAt(f, now, end) {
 			expired = append(expired, agg.FlexOfferUpdate{Kind: agg.Delete, Offer: f})
 			delete(n.pending, id)
 			rep.Expired++
@@ -149,9 +164,20 @@ func (n *Node) snapshotForPlanning(now flexoffer.Time, horizon int, rep *CycleRe
 		}
 	}
 	live := n.pipeline.Aggregates()
-	snaps := make([]*agg.Aggregate, len(live))
-	for i, a := range live {
-		snaps[i] = a.Snapshot()
+	snaps := make([]*agg.Aggregate, 0, len(live))
+	for _, a := range live {
+		// A tolerance-built macro can end up with an empty clamped start
+		// window (LatestStart < now) or an overflowing tail even when
+		// every member individually passes offerExpiredAt — its
+		// LatestStart is minEarliestStart + min(member flexibility),
+		// which member churn can drag below now. Planning such a macro
+		// would fail Problem.Validate and abort the whole cycle; leave
+		// it out instead. Its members stay pending and either join a
+		// reshaped aggregate in a later cycle or expire individually.
+		if a.Offer.LatestStart < now || a.Offer.LatestEnd() > end {
+			continue
+		}
+		snaps = append(snaps, a.Snapshot())
 	}
 	rep.AggregationTime = time.Since(t0)
 	rep.Offers = len(n.pending)
@@ -238,11 +264,22 @@ func (n *Node) ForwardAggregates(ctx context.Context) (int, error) {
 	// Snapshot: clone the macro offers under the lock and register the
 	// macro→local mapping up front, so a fast parent whose schedules
 	// come back while the rest of the batch is still submitting finds
-	// the relay route already in place.
+	// the relay route already in place. Aggregates whose delegation is
+	// still outstanding (already in n.forwarded — the parent has not
+	// returned their schedules yet) are skipped: re-submitting them
+	// under fresh macro IDs would make the parent schedule the same
+	// flexibility twice.
 	n.mu.Lock()
+	outstanding := make(map[flexoffer.ID]bool, len(n.forwarded))
+	for _, localID := range n.forwarded {
+		outstanding[localID] = true
+	}
 	aggregates := n.pipeline.Aggregates()
 	offers := make([]*flexoffer.FlexOffer, 0, len(aggregates))
 	for _, a := range aggregates {
+		if outstanding[a.Offer.ID] {
+			continue
+		}
 		macro := a.Offer.Clone()
 		macro.ID = n.nextFwdID
 		macro.Prosumer = n.cfg.Name

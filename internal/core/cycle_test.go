@@ -404,3 +404,99 @@ func waitFor(t *testing.T, timeout time.Duration, cond func() bool) {
 		time.Sleep(2 * time.Millisecond)
 	}
 }
+
+// TestOfferExpiryKeysOnLatestStart is the regression test for the
+// premature-expiry predicate: the snapshot phase used to drop any offer
+// whose EarliestStart had passed, discarding flexibility that was still
+// schedulable in the remainder of its window (EarliestStart < now ≤
+// LatestStart — the planner clamps the start window at now via
+// sched.Problem.StartWindow).
+func TestOfferExpiryKeysOnLatestStart(t *testing.T) {
+	f := testOffer(1, 40, 16, 4, 5) // window [40, 56], AssignBefore 32
+	f.AssignBefore = 60             // keep the deadline clause out of the way
+	const end = flexoffer.Time(96)
+
+	if offerExpiredAt(f, 45, end) {
+		t.Error("offer with EarliestStart < now ≤ LatestStart expired prematurely")
+	}
+	if offerExpiredAt(f, 56, end) {
+		t.Error("offer expired at the last schedulable slot")
+	}
+	if !offerExpiredAt(f, 57, end) {
+		t.Error("offer with a closed start window (LatestStart < now) kept")
+	}
+	if !offerExpiredAt(f, 61, end) {
+		t.Error("offer past its assignment deadline kept")
+	}
+	// Window overflow: LatestEnd 60 exceeds a horizon ending at 58.
+	if !offerExpiredAt(f, 45, 58) {
+		t.Error("offer overflowing the horizon kept")
+	}
+}
+
+// TestForwardAggregatesSkipsOutstandingDelegations is the regression
+// test for double delegation: a second ForwardAggregates call before
+// the parent's schedules return used to re-submit the same aggregates
+// under fresh macro IDs, making the parent schedule the same
+// flexibility twice.
+func TestForwardAggregatesSkipsOutstandingDelegations(t *testing.T) {
+	bus := comm.NewBus()
+	var mu sync.Mutex
+	var submitted []flexoffer.ID
+	bus.Register("tso", func(ctx context.Context, env comm.Envelope) (*comm.Envelope, error) {
+		var body comm.FlexOfferSubmit
+		if err := env.Decode(comm.MsgFlexOfferSubmit, &body); err != nil {
+			return nil, err
+		}
+		mu.Lock()
+		submitted = append(submitted, body.Offer.ID)
+		mu.Unlock()
+		reply, err := comm.NewEnvelope(comm.MsgFlexOfferDecision, "tso", env.From,
+			comm.FlexOfferDecision{OfferID: body.Offer.ID, Accept: true})
+		return &reply, err
+	})
+	brp, err := NewNode(Config{
+		Name: "brp1", Role: store.RoleBRP, Parent: "tso", Transport: bus,
+		AggParams: agg.ParamsP3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus.Register("brp1", brp.Handler())
+
+	if d := brp.AcceptOffer(testOffer(1, 40, 16, 4, 5), "p1"); !d.Accept {
+		t.Fatalf("rejected: %s", d.Reason)
+	}
+	if d := brp.AcceptOffer(testOffer(2, 40, 16, 4, 5), "p2"); !d.Accept {
+		t.Fatalf("rejected: %s", d.Reason)
+	}
+	aggs := len(brp.Aggregates())
+	if aggs == 0 {
+		t.Fatal("no aggregates to forward")
+	}
+
+	first, err := brp.ForwardAggregates(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != aggs {
+		t.Fatalf("first forward accepted %d, want %d", first, aggs)
+	}
+
+	// The parent has not returned schedules: every delegation is still
+	// outstanding, so a second forward must submit nothing.
+	second, err := brp.ForwardAggregates(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second != 0 {
+		t.Errorf("second forward accepted %d delegations, want 0", second)
+	}
+	mu.Lock()
+	total := len(submitted)
+	mu.Unlock()
+	if total != aggs {
+		t.Errorf("parent saw %d submissions (%v), want %d — aggregates delegated twice", total, submitted, aggs)
+	}
+}
+

@@ -178,19 +178,29 @@ func (n *Node) deliver(ctx context.Context, byOwner map[string][]*flexoffer.Sche
 // the offer's default schedule after its assignment deadline passed (the
 // paper's graceful fallback: "pending flexibilities simply timeout and
 // customers fall back to the open contract").
+//
+// The expiry transition is staged under the node lock and applied after
+// releasing it: UpdateOffer appends to the WAL (a group commit that can
+// block on fsync), and message handlers must never queue behind a disk
+// flush just because a caller polled its schedule. UpdateOffer's own
+// mutate-under-record-lock semantics keep the transition safe against a
+// schedule arriving concurrently — a record that moved to
+// OfferScheduled meanwhile is left untouched.
 func (n *Node) ScheduleFor(f *flexoffer.FlexOffer, now flexoffer.Time) *flexoffer.Schedule {
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	if s, ok := n.schedules[f.ID]; ok {
+		n.mu.Unlock()
 		return s
 	}
-	if now >= f.AssignBefore {
-		_, _ = n.store.UpdateOffer(f.ID, func(rec *store.OfferRecord) {
-			if rec.State != store.OfferScheduled {
-				rec.State = store.OfferExpired
-			}
-		})
-		return f.DefaultSchedule()
+	expired := now >= f.AssignBefore
+	n.mu.Unlock()
+	if !expired {
+		return nil
 	}
-	return nil
+	_, _ = n.store.UpdateOffer(f.ID, func(rec *store.OfferRecord) {
+		if rec.State != store.OfferScheduled {
+			rec.State = store.OfferExpired
+		}
+	})
+	return f.DefaultSchedule()
 }

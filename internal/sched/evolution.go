@@ -53,8 +53,9 @@ func (e *Evolutionary) defaults() Evolutionary {
 	return d
 }
 
-// gene is one offer's genotype: the start offset inside the flexibility
-// interval and the energy fraction per slice.
+// gene is one offer's genotype: the start offset inside the offer's
+// clamped start window (Problem.StartWindow) and the energy fraction
+// per slice.
 type gene struct {
 	startOff int
 	fracs    []float64
@@ -119,8 +120,9 @@ func (e *Evolutionary) Schedule(ctx context.Context, p *Problem, opt Options) (R
 func (e *Evolutionary) randomIndividual(p *Problem, rng *rand.Rand) individual {
 	genes := make([]gene, len(p.Offers))
 	for i, f := range p.Offers {
+		lo, hi := p.StartWindow(f)
 		g := gene{
-			startOff: rng.Intn(int(f.TimeFlexibility()) + 1),
+			startOff: rng.Intn(int(hi-lo) + 1),
 			fracs:    make([]float64, len(f.Profile)),
 		}
 		for j := range g.fracs {
@@ -140,7 +142,8 @@ func (e *Evolutionary) decode(p *Problem, ind *individual) *Solution {
 		for j, sl := range f.Profile {
 			energy[j] = sl.EnergyMin + g.fracs[j]*(sl.EnergyMax-sl.EnergyMin)
 		}
-		sol.Placements[i] = Placement{Start: f.EarliestStart + flexoffer.Time(g.startOff), Energy: energy}
+		lo, _ := p.StartWindow(f)
+		sol.Placements[i] = Placement{Start: lo + flexoffer.Time(g.startOff), Energy: energy}
 	}
 	return sol
 }
@@ -174,8 +177,9 @@ func (e *Evolutionary) mutate(p *Problem, ind *individual, rng *rand.Rand) {
 			continue
 		}
 		g := &ind.genes[i]
-		if tf := int(f.TimeFlexibility()); tf > 0 && rng.Intn(2) == 0 {
-			g.startOff = rng.Intn(tf + 1)
+		lo, hi := p.StartWindow(f)
+		if w := int(hi - lo); w > 0 && rng.Intn(2) == 0 {
+			g.startOff = rng.Intn(w + 1)
 		}
 		j := rng.Intn(len(g.fracs))
 		g.fracs[j] += rng.NormFloat64() * 0.3

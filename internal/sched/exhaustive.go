@@ -74,7 +74,8 @@ func (x *Exhaustive) Schedule(ctx context.Context, p *Problem, opt Options) (Res
 			return
 		}
 		f := p.Offers[i]
-		for start := f.EarliestStart; start <= f.LatestStart && !canceled; start++ {
+		lo, hi := p.StartWindow(f)
+		for start := lo; start <= hi && !canceled; start++ {
 			base := int(start - p.Start)
 			for j, e := range energies[i] {
 				net[base+j] += e

@@ -67,7 +67,8 @@ func (g *RandomizedGreedy) construct(p *Problem, order []int) (*Solution, float6
 		var bestEnergy []float64
 
 		energy := make([]float64, len(f.Profile))
-		for start := f.EarliestStart; start <= f.LatestStart; start++ {
+		lo, hi := p.StartWindow(f)
+		for start := lo; start <= hi; start++ {
 			base := int(start - p.Start)
 			var delta float64
 			for j, sl := range f.Profile {

@@ -103,8 +103,9 @@ func (e *Evolutionary) encode(p *Problem, sol *Solution) individual {
 	genes := make([]gene, len(p.Offers))
 	for i, f := range p.Offers {
 		pl := &sol.Placements[i]
+		lo, _ := p.StartWindow(f)
 		g := gene{
-			startOff: int(pl.Start - f.EarliestStart),
+			startOff: int(pl.Start - lo),
 			fracs:    make([]float64, len(f.Profile)),
 		}
 		for j, sl := range f.Profile {

@@ -59,12 +59,28 @@ func (p *Problem) Validate() error {
 		if err := f.Validate(); err != nil {
 			return err
 		}
-		if f.EarliestStart < p.Start || f.LatestEnd() > end {
+		// An offer whose EarliestStart lies before the horizon is still
+		// schedulable as long as its clamped window (StartWindow) is
+		// non-empty: the strategies never place a start before p.Start.
+		if f.LatestStart < p.Start || f.LatestEnd() > end {
 			return fmt.Errorf("sched: offer %d [%d, %d) outside horizon [%d, %d)",
 				f.ID, f.EarliestStart, f.LatestEnd(), p.Start, end)
 		}
 	}
 	return nil
+}
+
+// StartWindow returns the start range the planner may use for f:
+// [max(f.EarliestStart, p.Start), f.LatestStart]. The lower clamp keeps
+// placements out of the past — an offer whose EarliestStart has already
+// passed (EarliestStart < Start ≤ LatestStart) is still schedulable in
+// the remainder of its window instead of being dropped.
+func (p *Problem) StartWindow(f *flexoffer.FlexOffer) (lo, hi flexoffer.Time) {
+	lo = f.EarliestStart
+	if lo < p.Start {
+		lo = p.Start
+	}
+	return lo, f.LatestStart
 }
 
 // Solution fixes one placement per offer, index-aligned with
@@ -174,11 +190,14 @@ func (p *Problem) Evaluate(sol *Solution) float64 {
 // BaselineCost is the cost with no flex-offer scheduled at its default
 // placement — the reference the negotiation component shares realized
 // profits against. Every offer executes its fallback default schedule
-// (earliest start, maximum energy).
+// (earliest start — clamped into the horizon — and maximum energy).
 func (p *Problem) BaselineCost() float64 {
 	sol := &Solution{Placements: make([]Placement, len(p.Offers))}
 	for i, f := range p.Offers {
 		d := f.DefaultSchedule()
+		if lo, _ := p.StartWindow(f); d.Start < lo {
+			d.Start = lo
+		}
 		sol.Placements[i] = Placement{Start: d.Start, Energy: d.Energy}
 	}
 	return p.Evaluate(sol)

@@ -395,3 +395,76 @@ func TestExhaustiveHonorsCancellation(t *testing.T) {
 		t.Error("canceled enumeration returned nil error")
 	}
 }
+
+// pastWindowProblem is a planning instance whose planning time has
+// slipped into one offer's start window: EarliestStart (2) < Start (4)
+// ≤ LatestStart (6). Such offers used to be rejected by Validate (and
+// were prematurely expired by the scheduling cycle); they are still
+// schedulable in the remainder of their window.
+func pastWindowProblem() *Problem {
+	baseline := []float64{0, 0, -10, -10, 0, 0, 0, 0}
+	prices := []float64{1, 1, 1, 1, 1, 1, 1, 1}
+	offer := &flexoffer.FlexOffer{
+		ID:            1,
+		AssignBefore:  2,
+		EarliestStart: 2,
+		LatestStart:   6,
+		Profile:       []flexoffer.Slice{{EnergyMin: 0, EnergyMax: 10}, {EnergyMin: 0, EnergyMax: 10}},
+	}
+	return &Problem{
+		Start:          4,
+		Slots:          8,
+		Baseline:       baseline,
+		ImbalancePrice: prices,
+		Offers:         []*flexoffer.FlexOffer{offer},
+	}
+}
+
+func TestStartWindowClampsAtPlanningTime(t *testing.T) {
+	p := pastWindowProblem()
+	lo, hi := p.StartWindow(p.Offers[0])
+	if lo != 4 || hi != 6 {
+		t.Fatalf("StartWindow = [%d, %d], want [4, 6]", lo, hi)
+	}
+	// Within the window, EarliestStart still governs.
+	early := &flexoffer.FlexOffer{EarliestStart: 5, LatestStart: 6}
+	if lo, hi := p.StartWindow(early); lo != 5 || hi != 6 {
+		t.Fatalf("StartWindow = [%d, %d], want [5, 6]", lo, hi)
+	}
+}
+
+// TestPastEarliestStartOffersStaySchedulable is the regression test for
+// the premature-expiry bug: an offer with EarliestStart < Start ≤
+// LatestStart must pass validation and every strategy must place it at
+// a start inside the clamped window [Start, LatestStart] — never in the
+// past. Before the fix Validate rejected the instance outright.
+func TestPastEarliestStartOffersStaySchedulable(t *testing.T) {
+	p := pastWindowProblem()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("still-schedulable offer rejected: %v", err)
+	}
+	// BaselineCost must clamp the default placement too (it would index
+	// the net position out of range otherwise).
+	_ = p.BaselineCost()
+
+	for _, s := range []Scheduler{&RandomizedGreedy{}, &Evolutionary{}, &Hybrid{}, &Exhaustive{}} {
+		res, err := s.Schedule(context.Background(), p, Options{MaxIterations: 5, Seed: 11})
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		start := res.Solution.Placements[0].Start
+		if start < p.Start || start > p.Offers[0].LatestStart {
+			t.Errorf("%s placed start %d outside clamped window [%d, %d]", s.Name(), start, p.Start, p.Offers[0].LatestStart)
+		}
+		if err := p.ValidateSolution(res.Solution); err != nil {
+			t.Errorf("%s: %v", s.Name(), err)
+		}
+	}
+
+	// Truly closed windows (LatestStart < Start) still fail validation.
+	gone := pastWindowProblem()
+	gone.Offers[0].LatestStart = 3
+	if err := gone.Validate(); err == nil {
+		t.Error("offer with closed start window accepted")
+	}
+}
