@@ -37,7 +37,7 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("mirabel-bench: ")
-	exp := flag.String("exp", "all", "experiment: all | fig5a | fig5b | fig5c | fig5d | fig5 | fig4a | fig4b | fig6 | exhaustive | cycle | store | tcp")
+	exp := flag.String("exp", "all", "experiment: all | fig5a | fig5b | fig5c | fig5d | fig5 | fig4a | fig4b | fig6 | exhaustive | cycle | store | tcp | sched")
 	maxOffers := flag.Int("maxoffers", 800000, "largest flex-offer count of the Figure 5 sweep")
 	maxFacts := flag.Int("maxfacts", 1600000, "largest measurement count of the storage-engine sweep")
 	budget := flag.Duration("budget", 10*time.Second, "time budget of the largest Figure 6 instance")
@@ -54,6 +54,7 @@ func main() {
 		cycleExp()
 		storeExp(*maxFacts, *seed)
 		tcpExp()
+		schedExp(*seed)
 	case "fig5", "fig5a", "fig5b", "fig5c", "fig5d":
 		fig5(*maxOffers, *seed)
 	case "fig4a":
@@ -70,6 +71,8 @@ func main() {
 		storeExp(*maxFacts, *seed)
 	case "tcp":
 		tcpExp()
+	case "sched":
+		schedExp(*seed)
 	default:
 		log.Printf("unknown experiment %q", *exp)
 		flag.Usage()
@@ -482,6 +485,86 @@ func storeExp(maxFacts int, seed int64) {
 	fmt.Printf("snapshot_wall_s %.3f   writes_during %d   reads_during %d   max_write_stall_ms %.2f\n",
 		snapWall.Seconds(), atomic.LoadInt64(&writes), atomic.LoadInt64(&reads),
 		float64(atomic.LoadInt64(&maxStall))/1e6)
+}
+
+// schedExp measures the scheduler hot path on the tentpole's reference
+// instance (64 offers, 96 slots, market attached): candidate-evaluation
+// throughput of the full Problem.Evaluate versus the compiled evaluator
+// versus single-offer delta updates, then the cost each strategy — and
+// the parallel portfolio at growing worker counts — reaches within a
+// fixed 250 ms budget.
+func schedExp(seed int64) {
+	fmt.Println("== Scheduler hot path: compiled problems, delta evaluation, parallel portfolio ==")
+	prices := workload.PriceSeries(workload.PriceConfig{Days: 2, Seed: seed})
+	m, err := market.NewDayAhead(market.Config{Prices: prices, CapacityKWh: 2000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := sched.BuildScenario(sched.ScenarioConfig{Offers: 64, Seed: seed + 5, Market: m})
+	if err != nil {
+		log.Fatal(err)
+	}
+	c, err := sched.Compile(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := (&sched.RandomizedGreedy{}).Schedule(context.Background(), p, sched.Options{MaxIterations: 1, Seed: seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sol := res.Solution
+
+	// Evaluation throughput: each mode runs for a fixed wall slice.
+	const slice = 300 * time.Millisecond
+	measure := func(name string, op func()) float64 {
+		n := 0
+		t0 := time.Now()
+		for time.Since(t0) < slice {
+			for i := 0; i < 64; i++ { // amortize the clock reads
+				op()
+			}
+			n += 64
+		}
+		rate := float64(n) / time.Since(t0).Seconds()
+		fmt.Printf("%-10s %12.0f evals/s\n", name, rate)
+		return rate
+	}
+	fmt.Printf("-- evaluation throughput (64 offers, %d slots, market attached) --\n", p.Slots)
+	full := measure("full", func() { p.Evaluate(sol) })
+	ev := c.NewEval()
+	ev.Init(sol)
+	compiled := measure("compiled", func() { ev.Init(sol) })
+	lo, hi := p.StartWindow(p.Offers[0])
+	flip := sol.Placements[0].Start
+	other := lo
+	if flip == lo && hi > lo {
+		other = lo + 1
+	}
+	energy := sol.Placements[0].Energy
+	delta := measure("delta", func() {
+		ev.SetPlacement(0, other, energy)
+		flip, other = other, flip
+	})
+	fmt.Printf("speedup: compiled %.1fx, delta %.1fx over full Evaluate\n", compiled/full, delta/full)
+
+	// Cost at a fixed budget: the Figure 6 quality-per-budget question,
+	// now including the portfolio at growing worker counts.
+	const budget = 250 * time.Millisecond
+	fmt.Printf("-- cost at a %v budget (default cost %.0f EUR) --\n", budget, p.BaselineCost())
+	fmt.Println("strategy      cost_eur  iterations")
+	run := func(name string, s sched.Scheduler) {
+		res, err := s.Schedule(context.Background(), p, sched.Options{TimeBudget: budget, Seed: seed + 9})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-13s %-9.1f %d\n", name, res.Cost, res.Iterations)
+	}
+	run("GS", &sched.RandomizedGreedy{})
+	run("EA", &sched.Evolutionary{})
+	run("HYB", &sched.Hybrid{})
+	for _, workers := range []int{2, 4, 8} {
+		run(fmt.Sprintf("PARx%d", workers), &sched.Parallel{Workers: workers})
+	}
 }
 
 // cycleExp measures the scheduling cycle's deliver phase over a slow

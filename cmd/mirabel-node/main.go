@@ -46,6 +46,7 @@ func main() {
 		retain    = flag.Int64("retain-slots", 0, "measurement retention window in slots (0: keep forever)")
 		retainIvl = flag.Duration("retain-every", time.Minute, "how often the retention sweep runs")
 		routes    = flag.String("route", "", "comma-separated name=addr routes to peers")
+		schedWrk  = flag.Int("sched-workers", 0, "parallel portfolio workers for the scheduling search (0/1: single-threaded)")
 		poolSize  = flag.Int("pool", comm.DefaultPoolSize, "pipelined TCP connections pooled per peer")
 		demoOffer = flag.Bool("demo-offer", false, "submit one demo flex-offer to the parent and exit")
 		pingPeer  = flag.String("ping", "", "ping the named peer over the typed client and exit")
@@ -106,14 +107,15 @@ func main() {
 		mw = append(mw, comm.Logging(log.Printf))
 	}
 	node, err := core.NewNode(core.Config{
-		Name:       *name,
-		Role:       store.Role(*role),
-		Parent:     *parent,
-		Transport:  client,
-		Store:      st,
-		AggParams:  agg.ParamsP3,
-		SchedOpts:  sched.Options{TimeBudget: 2 * time.Second},
-		Middleware: mw,
+		Name:         *name,
+		Role:         store.Role(*role),
+		Parent:       *parent,
+		Transport:    client,
+		Store:        st,
+		AggParams:    agg.ParamsP3,
+		SchedOpts:    sched.Options{TimeBudget: 2 * time.Second},
+		SchedWorkers: *schedWrk,
+		Middleware:   mw,
 	})
 	if err != nil {
 		log.Fatal(err)

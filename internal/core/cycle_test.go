@@ -499,4 +499,3 @@ func TestForwardAggregatesSkipsOutstandingDelegations(t *testing.T) {
 		t.Errorf("parent saw %d submissions (%v), want %d — aggregates delegated twice", total, submitted, aggs)
 	}
 }
-

@@ -45,14 +45,19 @@ type Config struct {
 	Store *store.Store
 
 	// BRP/TSO specific configuration.
-	AggParams      agg.Params           // aggregation thresholds
-	BinPacker      agg.BinPackerOptions // optional bin-packer bounds
-	Valuator       *negotiate.Valuator  // negotiation policy (default NewValuator)
-	Scheduler      sched.Scheduler      // scheduling strategy (default randomized greedy)
-	SchedOpts      sched.Options        // per-cycle scheduling budget
-	Market         *market.DayAhead     // optional market access
-	HorizonSlots   int                  // scheduling horizon (default one day)
-	RequestTimeout time.Duration        // transport request timeout (default comm.DefaultTimeout)
+	AggParams agg.Params           // aggregation thresholds
+	BinPacker agg.BinPackerOptions // optional bin-packer bounds
+	Valuator  *negotiate.Valuator  // negotiation policy (default NewValuator)
+	Scheduler sched.Scheduler      // scheduling strategy (default randomized greedy)
+	SchedOpts sched.Options        // per-cycle scheduling budget
+	// SchedWorkers > 1 runs the plan phase's search as a parallel
+	// portfolio of that many workers (sched.Parallel): replicas of
+	// Scheduler when one is configured, the default mixed portfolio
+	// otherwise. 0 or 1 keeps the search single-threaded.
+	SchedWorkers   int
+	Market         *market.DayAhead // optional market access
+	HorizonSlots   int              // scheduling horizon (default one day)
+	RequestTimeout time.Duration    // transport request timeout (default comm.DefaultTimeout)
 
 	// NotifyLimit caps the concurrent outbound requests of the deliver
 	// phase — schedule fan-out and parent submissions (default
@@ -125,7 +130,12 @@ func NewNode(cfg Config) (*Node, error) {
 	if cfg.Valuator == nil {
 		cfg.Valuator = negotiate.NewValuator()
 	}
-	if cfg.Scheduler == nil {
+	switch {
+	case cfg.SchedWorkers > 1 && cfg.Scheduler != nil:
+		cfg.Scheduler = &sched.Parallel{Workers: cfg.SchedWorkers, Strategies: []sched.Scheduler{cfg.Scheduler}}
+	case cfg.SchedWorkers > 1:
+		cfg.Scheduler = &sched.Parallel{Workers: cfg.SchedWorkers}
+	case cfg.Scheduler == nil:
 		cfg.Scheduler = &sched.RandomizedGreedy{}
 	}
 	if cfg.HorizonSlots <= 0 {

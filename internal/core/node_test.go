@@ -630,3 +630,41 @@ func TestForwardAggregatesSurfacesCancellation(t *testing.T) {
 		t.Errorf("ForwardAggregates = %d, %v; want 0, DeadlineExceeded", n, err)
 	}
 }
+
+// TestSchedWorkersPortfolio: SchedWorkers > 1 wires the plan phase to a
+// parallel portfolio search; the cycle must still schedule, deliver and
+// beat the default cost.
+func TestSchedWorkersPortfolio(t *testing.T) {
+	bus := comm.NewBus()
+	brp, err := NewNode(Config{
+		Name: "brp1", Role: store.RoleBRP, Transport: bus,
+		AggParams:    agg.ParamsP3,
+		SchedOpts:    sched.Options{MaxIterations: 5, Seed: 1},
+		SchedWorkers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus.Register("brp1", brp.Handler())
+	bus.Register("p1", func(ctx context.Context, env comm.Envelope) (*comm.Envelope, error) {
+		return nil, nil
+	})
+	for id := flexoffer.ID(1); id <= 4; id++ {
+		if d := brp.AcceptOffer(testOffer(id, 40, 16, 4, 5), "p1"); !d.Accept {
+			t.Fatalf("offer %d rejected: %s", id, d.Reason)
+		}
+	}
+	rep, err := brp.RunSchedulingCycle(context.Background(), 0, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Aggregates == 0 || rep.MicroSchedules == 0 {
+		t.Fatalf("portfolio cycle scheduled nothing: %+v", rep)
+	}
+	if rep.NotifyFailures != 0 {
+		t.Fatalf("notify failures: %d", rep.NotifyFailures)
+	}
+	if rep.ScheduleCost > rep.BaselineCost {
+		t.Errorf("portfolio schedule cost %g worse than default %g", rep.ScheduleCost, rep.BaselineCost)
+	}
+}

@@ -1,0 +1,284 @@
+package sched
+
+import (
+	"math"
+
+	"mirabel/internal/flexoffer"
+)
+
+// This file implements the compiled evaluation pipeline: the scheduler
+// hot path. Every candidate schedule a strategy considers used to pay a
+// full Problem.Evaluate — a fresh net slice, a freshly allocated decoded
+// Solution and a Market.Quote recomputation for every slot. Compile
+// folds everything that is constant across candidates (market quotes,
+// imbalance prices, clamped start windows, profile energy bounds) into
+// flat arrays once per search, and Eval keeps a per-candidate net
+// position so that changing one offer's placement costs
+// O(changed × profile) instead of O(slots + offers × profile).
+
+// Compiled is an immutable evaluation context for one Problem: per-slot
+// quote tables (buy/sell/capacity folded with the imbalance price, so
+// pricing a slot is a branch-light array lookup instead of a
+// Market.Quote call), the clamped start window of every offer
+// (Problem.StartWindow precomputed) and the flattened profile min/max
+// energies. A Compiled is safe for concurrent use; all mutable search
+// state lives in Eval.
+type Compiled struct {
+	start    flexoffer.Time
+	slots    int
+	baseline []float64
+
+	// Per-slot pricing tables, index-aligned with the horizon.
+	imb       []float64
+	hasMarket bool
+	buy       []float64
+	sell      []float64
+	cap       []float64
+
+	offers []compiledOffer
+	// emin/emax hold every offer's profile bounds back to back;
+	// compiledOffer.base is the offset of an offer's slice range.
+	emin []float64
+	emax []float64
+	// maxProfile is the longest profile length — the scratch size a
+	// caller needs to decode any single offer's energies.
+	maxProfile int
+}
+
+// compiledOffer is the placement-relevant shape of one offer.
+type compiledOffer struct {
+	lo         flexoffer.Time // clamped window start (StartWindow lo)
+	width      int            // hi − lo: feasible start offsets are [0, width]
+	base       int            // offset into the flattened emin/emax arrays
+	n          int            // profile length
+	costPerKWh float64
+}
+
+// Compile validates p and builds its immutable evaluation context.
+func Compile(p *Problem) (*Compiled, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Compiled{
+		start:    p.Start,
+		slots:    p.Slots,
+		baseline: p.Baseline,
+		imb:      p.ImbalancePrice,
+	}
+	if p.Market != nil {
+		c.hasMarket = true
+		c.buy = make([]float64, p.Slots)
+		c.sell = make([]float64, p.Slots)
+		c.cap = make([]float64, p.Slots)
+		for t := 0; t < p.Slots; t++ {
+			q := p.Market.Quote(p.Start + flexoffer.Time(t))
+			c.buy[t], c.sell[t], c.cap[t] = q.BuyEUR, q.SellEUR, q.CapacityKWh
+		}
+	}
+	c.offers = make([]compiledOffer, len(p.Offers))
+	var flat int
+	for _, f := range p.Offers {
+		flat += len(f.Profile)
+	}
+	c.emin = make([]float64, 0, flat)
+	c.emax = make([]float64, 0, flat)
+	for i, f := range p.Offers {
+		lo, hi := p.StartWindow(f)
+		c.offers[i] = compiledOffer{
+			lo:         lo,
+			width:      int(hi - lo),
+			base:       len(c.emin),
+			n:          len(f.Profile),
+			costPerKWh: f.CostPerKWh,
+		}
+		if len(f.Profile) > c.maxProfile {
+			c.maxProfile = len(f.Profile)
+		}
+		for _, sl := range f.Profile {
+			c.emin = append(c.emin, sl.EnergyMin)
+			c.emax = append(c.emax, sl.EnergyMax)
+		}
+	}
+	return c, nil
+}
+
+// slotCost prices one slot's net position from the compiled tables —
+// the same policy as Problem.slotCost (optimal market usage first, then
+// the imbalance penalty on the residue) without the Quote call.
+func (c *Compiled) slotCost(t int, n float64) float64 {
+	imb := c.imb[t]
+	if !c.hasMarket {
+		return imb * math.Abs(n)
+	}
+	if n > 0 { // deficit: buy
+		if c.buy[t] >= imb {
+			return imb * n
+		}
+		b := n
+		if b > c.cap[t] {
+			b = c.cap[t]
+		}
+		return b*c.buy[t] + (n-b)*imb
+	}
+	surplus := -n
+	if c.sell[t] <= -imb { // dumping costs more than the penalty
+		return imb * surplus
+	}
+	s := surplus
+	if s > c.cap[t] {
+		s = c.cap[t]
+	}
+	return -s*c.sell[t] + (surplus-s)*imb
+}
+
+// NewEval returns a fresh incremental evaluator bound to c. The state
+// is undefined until Init seeds it with a concrete solution.
+func (c *Compiled) NewEval() *Eval {
+	return &Eval{
+		c:      c,
+		net:    make([]float64, c.slots),
+		starts: make([]flexoffer.Time, len(c.offers)),
+		energy: make([]float64, len(c.emin)),
+	}
+}
+
+// autoResyncOps bounds floating-point drift: after this many delta
+// updates the evaluator silently recomputes its sums from scratch. The
+// amortized cost is negligible (one full pass per 4096 deltas) and
+// keeps the incremental cost within test tolerance of a full Evaluate
+// indefinitely.
+const autoResyncOps = 4096
+
+// Eval is the incremental evaluation state of one candidate schedule:
+// the per-slot net position, the cached slot-cost and activation-cost
+// sums, and the current placement of every offer. SetPlacement updates
+// all of it in O(profile) for the changed offer; Cost is O(1). An Eval
+// is not safe for concurrent use; searches running in parallel each
+// need their own (CopyFrom duplicates state cheaply).
+type Eval struct {
+	c       *Compiled
+	net     []float64 // baseline + all current placements
+	slotSum float64   // Σ_t slotCost(t, net[t])
+	actSum  float64   // Σ_i activation cost of placement i
+
+	starts []flexoffer.Time
+	energy []float64 // current placement energies, flattened like c.emin
+	ops    int       // delta updates since the last full recompute
+}
+
+// Init seeds the evaluator with sol: every placement is copied in and
+// the sums are computed from scratch. sol must be index-aligned with
+// the compiled problem's offers and respect their profile lengths.
+func (e *Eval) Init(sol *Solution) {
+	for i := range e.c.offers {
+		o := &e.c.offers[i]
+		pl := &sol.Placements[i]
+		e.starts[i] = pl.Start
+		copy(e.energy[o.base:o.base+o.n], pl.Energy)
+	}
+	e.recompute()
+}
+
+// CopyFrom duplicates src's state into e (both must come from the same
+// Compiled). This is the EA's clone path: O(slots + Σ profile) copies,
+// zero allocations.
+func (e *Eval) CopyFrom(src *Eval) {
+	copy(e.net, src.net)
+	copy(e.starts, src.starts)
+	copy(e.energy, src.energy)
+	e.slotSum, e.actSum, e.ops = src.slotSum, src.actSum, src.ops
+}
+
+// recompute rebuilds net and both cost sums from the stored placements.
+func (e *Eval) recompute() {
+	c := e.c
+	copy(e.net, c.baseline)
+	e.actSum = 0
+	for i := range c.offers {
+		o := &c.offers[i]
+		base := int(e.starts[i] - c.start)
+		var act float64
+		for j := 0; j < o.n; j++ {
+			v := e.energy[o.base+j]
+			e.net[base+j] += v
+			act += math.Abs(v)
+		}
+		e.actSum += act * o.costPerKWh
+	}
+	e.slotSum = 0
+	for t, n := range e.net {
+		e.slotSum += e.c.slotCost(t, n)
+	}
+	e.ops = 0
+}
+
+// Resync forces a full recompute from the stored placements, squashing
+// any accumulated floating-point drift. SetPlacement triggers it
+// automatically every autoResyncOps updates.
+func (e *Eval) Resync() { e.recompute() }
+
+// SetPlacement moves offer i to a new start and energy vector,
+// updating the net position and cost sums incrementally: the old
+// placement's slot contributions are subtracted and the new ones
+// added — O(profile) work for slot costs that are array lookups, no
+// allocation. energy must have the offer's profile length; it is
+// copied, the caller keeps ownership.
+func (e *Eval) SetPlacement(i int, start flexoffer.Time, energy []float64) {
+	c := e.c
+	o := &c.offers[i]
+
+	// Remove the old placement.
+	base := int(e.starts[i] - c.start)
+	var act float64
+	for j := 0; j < o.n; j++ {
+		t := base + j
+		v := e.energy[o.base+j]
+		e.slotSum -= c.slotCost(t, e.net[t])
+		e.net[t] -= v
+		e.slotSum += c.slotCost(t, e.net[t])
+		act += math.Abs(v)
+	}
+	e.actSum -= act * o.costPerKWh
+
+	// Add the new one.
+	e.starts[i] = start
+	copy(e.energy[o.base:o.base+o.n], energy)
+	base = int(start - c.start)
+	act = 0
+	for j := 0; j < o.n; j++ {
+		t := base + j
+		v := e.energy[o.base+j]
+		e.slotSum -= c.slotCost(t, e.net[t])
+		e.net[t] += v
+		e.slotSum += c.slotCost(t, e.net[t])
+		act += math.Abs(v)
+	}
+	e.actSum += act * o.costPerKWh
+
+	e.ops++
+	if e.ops >= autoResyncOps {
+		e.recompute()
+	}
+}
+
+// Cost returns the total schedule cost of the current placements —
+// identical (within floating-point drift, bounded by the automatic
+// resync) to Problem.Evaluate of Solution().
+func (e *Eval) Cost() float64 { return e.slotSum + e.actSum }
+
+// Start returns offer i's current placement start.
+func (e *Eval) Start(i int) flexoffer.Time { return e.starts[i] }
+
+// Solution materializes the current placements as a freshly allocated
+// Solution, safe to retain after further SetPlacement calls.
+func (e *Eval) Solution() *Solution {
+	sol := &Solution{Placements: make([]Placement, len(e.c.offers))}
+	for i := range e.c.offers {
+		o := &e.c.offers[i]
+		sol.Placements[i] = Placement{
+			Start:  e.starts[i],
+			Energy: append([]float64(nil), e.energy[o.base:o.base+o.n]...),
+		}
+	}
+	return sol
+}

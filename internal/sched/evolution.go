@@ -11,6 +11,13 @@ import (
 // 2003]: a population of schedules evolves by tournament selection,
 // uniform crossover and mutation, "to find progressively better
 // solutions". One iteration is one generation.
+//
+// Each individual carries its own incremental evaluation state (Eval):
+// crossover and mutation apply gene changes through it, so a child's
+// cost is delta-computed from its parent's — O(changed genes × profile)
+// with table-lookup slot pricing — instead of a full Evaluate per
+// candidate. The steady-state generation loop allocates nothing: the
+// population and its scratch double-buffer are built once per run.
 type Evolutionary struct {
 	// PopulationSize (default 30).
 	PopulationSize int
@@ -61,79 +68,163 @@ type gene struct {
 	fracs    []float64
 }
 
+// equal reports whether two genes decode to the same placement.
+func (g *gene) equal(o *gene) bool {
+	if g.startOff != o.startOff {
+		return false
+	}
+	for j, f := range g.fracs {
+		if f != o.fracs[j] {
+			return false
+		}
+	}
+	return true
+}
+
 type individual struct {
 	genes []gene
+	ev    *Eval
 	cost  float64
+}
+
+// makeIndividual allocates the full storage of one individual: genes
+// with per-offer fraction slices and an incremental evaluator. All
+// later per-generation work reuses this storage.
+func makeIndividual(c *Compiled) individual {
+	genes := make([]gene, len(c.offers))
+	for i := range c.offers {
+		genes[i].fracs = make([]float64, c.offers[i].n)
+	}
+	return individual{genes: genes, ev: c.NewEval()}
+}
+
+// copyFrom overwrites ind with src, reusing ind's storage.
+func (ind *individual) copyFrom(src *individual) {
+	ind.copyGenes(src)
+	ind.ev.CopyFrom(src.ev)
+	ind.cost = src.cost
 }
 
 // Schedule implements Scheduler.
 func (e *Evolutionary) Schedule(ctx context.Context, p *Problem, opt Options) (Result, error) {
-	if err := p.Validate(); err != nil {
+	c, err := Compile(p)
+	if err != nil {
 		return Result{}, err
 	}
 	cfg := e.defaults()
 	rng := rand.New(rand.NewSource(opt.Seed))
 	tr := newTracker(ctx, opt)
 
-	pop := make([]individual, cfg.PopulationSize)
-	for i := range pop {
-		// Initialization evaluates a whole population; on big instances
-		// that alone can be slow, so cancellation is honored here too.
-		if ctx.Err() != nil {
-			return tr.result(), ctx.Err()
-		}
-		pop[i] = cfg.randomIndividual(p, rng)
-		pop[i].cost = p.Evaluate(cfg.decode(p, &pop[i]))
+	pop, err := cfg.seedPopulation(ctx, c, p, rng, nil)
+	if err != nil {
+		return tr.result(), err
 	}
-
-	scratch := make([]individual, cfg.PopulationSize)
-	for !tr.exhausted() {
-		best := bestOf(pop)
-		tr.observe(cfg.decode(p, &pop[best]), pop[best].cost)
-
-		// Next generation: elites first, then tournament offspring.
-		next := scratch[:0]
-		order := costOrder(pop)
-		for i := 0; i < cfg.Elite; i++ {
-			next = append(next, cloneIndividual(&pop[order[i]]))
-		}
-		for len(next) < cfg.PopulationSize {
-			a := cfg.tournament(pop, rng)
-			child := cloneIndividual(&pop[a])
-			if rng.Float64() < cfg.CrossoverRate {
-				b := cfg.tournament(pop, rng)
-				cfg.crossover(&child, &pop[b], rng)
-			}
-			cfg.mutate(p, &child, rng)
-			child.cost = p.Evaluate(cfg.decode(p, &child))
-			next = append(next, child)
-		}
-		pop, scratch = next, pop
-	}
-	if tr.iter == 0 { // budget too small for a single generation
-		best := bestOf(pop)
-		tr.observe(cfg.decode(p, &pop[best]), pop[best].cost)
-	}
+	cfg.evolve(c, pop, rng, tr)
 	return tr.result(), ctx.Err()
 }
 
-func (e *Evolutionary) randomIndividual(p *Problem, rng *rand.Rand) individual {
-	genes := make([]gene, len(p.Offers))
-	for i, f := range p.Offers {
-		lo, hi := p.StartWindow(f)
-		g := gene{
-			startOff: rng.Intn(int(hi-lo) + 1),
-			fracs:    make([]float64, len(f.Profile)),
+// seedPopulation builds the initial population: the given seed
+// solutions first (nil is fine), random individuals for the rest. Each
+// individual's evaluator is initialized with a full recompute; on big
+// instances that alone can be slow, so cancellation is honored here.
+func (e *Evolutionary) seedPopulation(ctx context.Context, c *Compiled, p *Problem, rng *rand.Rand, seeds []*Solution) ([]individual, error) {
+	pop := make([]individual, e.PopulationSize)
+	for i := range pop {
+		if ctx != nil && ctx.Err() != nil {
+			return nil, ctx.Err()
 		}
+		pop[i] = makeIndividual(c)
+		if i < len(seeds) {
+			src := e.encode(p, seeds[i])
+			pop[i].copyGenes(&src)
+		} else {
+			e.randomizeGenes(c, &pop[i], rng)
+		}
+		pop[i].ev.Init(e.decodeCompiled(c, &pop[i]))
+		pop[i].cost = pop[i].ev.Cost()
+	}
+	return pop, nil
+}
+
+// copyGenes copies gene values from src into ind's preallocated genes.
+func (ind *individual) copyGenes(src *individual) {
+	for i := range ind.genes {
+		ind.genes[i].startOff = src.genes[i].startOff
+		copy(ind.genes[i].fracs, src.genes[i].fracs)
+	}
+}
+
+// evolve runs generations on pop until the tracker's budget is
+// exhausted. It is shared by the EA and the Hybrid's evolution phase.
+func (e *Evolutionary) evolve(c *Compiled, pop []individual, rng *rand.Rand, tr *tracker) {
+	scratch := make([]individual, len(pop))
+	for i := range scratch {
+		scratch[i] = makeIndividual(c)
+	}
+	order := make([]int, len(pop))
+	energy := make([]float64, c.maxProfile) // single-gene decode scratch
+
+	var bestIdx int
+	mkBest := func() *Solution { return pop[bestIdx].ev.Solution() }
+
+	// The initial population counts as the first iteration (and
+	// guarantees a non-nil result when the budget is too small for a
+	// single bred generation); each generation is observed after
+	// breeding, so no bred work is ever discarded at exhaustion.
+	if !tr.exhausted() || tr.iter == 0 {
+		bestIdx = bestOf(pop)
+		tr.observe(pop[bestIdx].cost, mkBest)
+	}
+	for !tr.exhausted() {
+		// Next generation: elites first, then tournament offspring.
+		costOrder(pop, order, e.Elite)
+		for i := 0; i < e.Elite; i++ {
+			scratch[i].copyFrom(&pop[order[i]])
+		}
+		for k := e.Elite; k < len(pop); k++ {
+			child := &scratch[k]
+			a := e.tournament(pop, rng)
+			child.copyFrom(&pop[a])
+			if rng.Float64() < e.CrossoverRate {
+				b := e.tournament(pop, rng)
+				e.crossover(c, child, &pop[b], rng, energy)
+			}
+			e.mutate(c, child, rng, energy)
+			child.cost = child.ev.Cost()
+		}
+		pop, scratch = scratch, pop
+		bestIdx = bestOf(pop)
+		tr.observe(pop[bestIdx].cost, mkBest)
+	}
+}
+
+// randomizeGenes fills ind's genes with a uniform random genotype.
+func (e *Evolutionary) randomizeGenes(c *Compiled, ind *individual, rng *rand.Rand) {
+	for i := range c.offers {
+		g := &ind.genes[i]
+		g.startOff = rng.Intn(c.offers[i].width + 1)
 		for j := range g.fracs {
 			g.fracs[j] = rng.Float64()
 		}
-		genes[i] = g
 	}
-	return individual{genes: genes}
 }
 
-// decode maps a genotype to a concrete solution.
+// applyGene pushes gene i's current value through the individual's
+// incremental evaluator: the single-offer decode goes into the shared
+// scratch buffer and SetPlacement delta-updates net and cost.
+func (e *Evolutionary) applyGene(c *Compiled, ind *individual, i int, energy []float64) {
+	o := &c.offers[i]
+	g := &ind.genes[i]
+	buf := energy[:o.n]
+	for j := 0; j < o.n; j++ {
+		lo, hi := c.emin[o.base+j], c.emax[o.base+j]
+		buf[j] = lo + g.fracs[j]*(hi-lo)
+	}
+	ind.ev.SetPlacement(i, o.lo+flexoffer.Time(g.startOff), buf)
+}
+
+// decode maps a genotype to a concrete solution (allocating — used off
+// the hot path: encode/decode round-trips and tests).
 func (e *Evolutionary) decode(p *Problem, ind *individual) *Solution {
 	sol := &Solution{Placements: make([]Placement, len(p.Offers))}
 	for i, f := range p.Offers {
@@ -144,6 +235,22 @@ func (e *Evolutionary) decode(p *Problem, ind *individual) *Solution {
 		}
 		lo, _ := p.StartWindow(f)
 		sol.Placements[i] = Placement{Start: lo + flexoffer.Time(g.startOff), Energy: energy}
+	}
+	return sol
+}
+
+// decodeCompiled is decode against the compiled tables.
+func (e *Evolutionary) decodeCompiled(c *Compiled, ind *individual) *Solution {
+	sol := &Solution{Placements: make([]Placement, len(c.offers))}
+	for i := range c.offers {
+		o := &c.offers[i]
+		g := &ind.genes[i]
+		energy := make([]float64, o.n)
+		for j := range energy {
+			lo, hi := c.emin[o.base+j], c.emax[o.base+j]
+			energy[j] = lo + g.fracs[j]*(hi-lo)
+		}
+		sol.Placements[i] = Placement{Start: o.lo + flexoffer.Time(g.startOff), Energy: energy}
 	}
 	return sol
 }
@@ -160,25 +267,34 @@ func (e *Evolutionary) tournament(pop []individual, rng *rand.Rand) int {
 }
 
 // crossover mixes parent b into the child uniformly per offer gene.
-func (e *Evolutionary) crossover(child *individual, b *individual, rng *rand.Rand) {
+// Only genes that actually differ go through the delta evaluator;
+// inherited-in-common genes (frequent once the population converges)
+// cost one comparison.
+func (e *Evolutionary) crossover(c *Compiled, child *individual, b *individual, rng *rand.Rand, energy []float64) {
 	for i := range child.genes {
-		if rng.Intn(2) == 0 {
-			child.genes[i].startOff = b.genes[i].startOff
-			copy(child.genes[i].fracs, b.genes[i].fracs)
+		if rng.Intn(2) != 0 {
+			continue
 		}
+		g, bg := &child.genes[i], &b.genes[i]
+		if g.equal(bg) {
+			continue
+		}
+		g.startOff = bg.startOff
+		copy(g.fracs, bg.fracs)
+		e.applyGene(c, child, i, energy)
 	}
 }
 
 // mutate perturbs offer genes: the start jumps to a random feasible
-// offset, fractions take Gaussian steps.
-func (e *Evolutionary) mutate(p *Problem, ind *individual, rng *rand.Rand) {
-	for i, f := range p.Offers {
+// offset, fractions take Gaussian steps. Every mutated gene is pushed
+// through the delta evaluator.
+func (e *Evolutionary) mutate(c *Compiled, ind *individual, rng *rand.Rand, energy []float64) {
+	for i := range c.offers {
 		if rng.Float64() >= e.MutationRate {
 			continue
 		}
 		g := &ind.genes[i]
-		lo, hi := p.StartWindow(f)
-		if w := int(hi - lo); w > 0 && rng.Intn(2) == 0 {
+		if w := c.offers[i].width; w > 0 && rng.Intn(2) == 0 {
 			g.startOff = rng.Intn(w + 1)
 		}
 		j := rng.Intn(len(g.fracs))
@@ -189,15 +305,8 @@ func (e *Evolutionary) mutate(p *Problem, ind *individual, rng *rand.Rand) {
 		if g.fracs[j] > 1 {
 			g.fracs[j] = 1
 		}
+		e.applyGene(c, ind, i, energy)
 	}
-}
-
-func cloneIndividual(ind *individual) individual {
-	out := individual{genes: make([]gene, len(ind.genes)), cost: ind.cost}
-	for i, g := range ind.genes {
-		out.genes[i] = gene{startOff: g.startOff, fracs: append([]float64(nil), g.fracs...)}
-	}
-	return out
 }
 
 func bestOf(pop []individual) int {
@@ -210,14 +319,18 @@ func bestOf(pop []individual) int {
 	return best
 }
 
-// costOrder returns population indexes sorted by ascending cost (simple
-// selection sort over the few elites needed would do; n is small).
-func costOrder(pop []individual) []int {
-	order := make([]int, len(pop))
+// costOrder fills order with all population indexes and partially
+// selection-sorts so that the first k entries are the k lowest-cost
+// individuals in ascending order — O(k·n) instead of the full O(n²)
+// pass; only the Elite prefix is ever read.
+func costOrder(pop []individual, order []int, k int) {
 	for i := range order {
 		order[i] = i
 	}
-	for i := 0; i < len(order); i++ {
+	if k > len(order) {
+		k = len(order)
+	}
+	for i := 0; i < k; i++ {
 		min := i
 		for j := i + 1; j < len(order); j++ {
 			if pop[order[j]].cost < pop[order[min]].cost {
@@ -226,5 +339,4 @@ func costOrder(pop []individual) []int {
 		}
 		order[i], order[min] = order[min], order[i]
 	}
-	return order
 }

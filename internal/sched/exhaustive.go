@@ -36,6 +36,10 @@ func (x *Exhaustive) Schedule(ctx context.Context, p *Problem, opt Options) (Res
 	if c := p.CountSolutions(); c > limit {
 		return Result{}, fmt.Errorf("sched: %g start combinations exceed the exhaustive limit %g", c, limit)
 	}
+	comp, err := Compile(p) // compiled quote table for the leaf costs
+	if err != nil {
+		return Result{}, err
+	}
 
 	// Fixed midpoint energies per offer.
 	energies := make([][]float64, len(p.Offers))
@@ -50,6 +54,7 @@ func (x *Exhaustive) Schedule(ctx context.Context, p *Problem, opt Options) (Res
 	tr := newTracker(nil, Options{TimeBudget: 1 << 40, TraceEvery: opt.TraceEvery}) // no deadline: exact enumeration
 	net := append([]float64(nil), p.Baseline...)
 	sol := &Solution{Placements: make([]Placement, len(p.Offers))}
+	mk := func() *Solution { return cloneSolution(sol) }
 
 	// Activation costs are placement-independent with fixed energies.
 	var actCost float64
@@ -64,9 +69,9 @@ func (x *Exhaustive) Schedule(ctx context.Context, p *Problem, opt Options) (Res
 		if i == len(p.Offers) {
 			var cost float64
 			for t, n := range net {
-				cost += p.slotCost(t, n)
+				cost += comp.slotCost(t, n)
 			}
-			tr.observe(sol, cost+actCost)
+			tr.observe(cost+actCost, mk)
 			// ctx.Err is a synchronized load; amortize it over leaves.
 			if tr.iter&1023 == 0 && ctx.Err() != nil {
 				canceled = true

@@ -25,7 +25,9 @@ const (
 // "constructs the schedule gradually — at each step a randomly chosen
 // flex-offer is scheduled in the best possible position", repeated with
 // fresh random orders until the time budget is exhausted, keeping the
-// best schedule found.
+// best schedule found. The inner loop prices slots from the compiled
+// quote table and reuses one scratch arena across restarts, so
+// steady-state search allocates nothing.
 type RandomizedGreedy struct {
 	// Fill selects the energy-fill rule (default FillGreedy).
 	Fill FillMode
@@ -36,82 +38,119 @@ func (g *RandomizedGreedy) Name() string { return "GS" }
 
 // Schedule implements Scheduler.
 func (g *RandomizedGreedy) Schedule(ctx context.Context, p *Problem, opt Options) (Result, error) {
-	if err := p.Validate(); err != nil {
+	c, err := Compile(p)
+	if err != nil {
 		return Result{}, err
 	}
 	rng := rand.New(rand.NewSource(opt.Seed))
 	tr := newTracker(ctx, opt)
-	order := make([]int, len(p.Offers))
+	run := newGreedyRun(c, g.Fill)
+	order := make([]int, len(c.offers))
 	for i := range order {
 		order[i] = i
 	}
+	mk := func() *Solution { return cloneSolution(&run.sol) }
 	for !tr.exhausted() {
 		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
-		sol, cost := g.construct(p, order)
-		tr.observe(sol, cost)
+		tr.observe(run.construct(order), mk)
 	}
 	return tr.result(), ctx.Err()
 }
 
-// construct builds one schedule: offers in the given order, each placed
-// at its locally best start with the fill rule's energies.
-func (g *RandomizedGreedy) construct(p *Problem, order []int) (*Solution, float64) {
-	net := append([]float64(nil), p.Baseline...)
-	sol := &Solution{Placements: make([]Placement, len(p.Offers))}
+// greedyRun is the reusable scratch arena of one greedy search: the net
+// position, the solution under construction (whose placement energies
+// live in one flat arena, sliced per offer) and a candidate energy
+// buffer. construct overwrites all of it each restart.
+type greedyRun struct {
+	c      *Compiled
+	fill   FillMode
+	net    []float64
+	sol    Solution
+	arena  []float64 // best energies per offer, flattened like c.emin
+	energy []float64 // candidate energies for one start position
+}
+
+func newGreedyRun(c *Compiled, fill FillMode) *greedyRun {
+	r := &greedyRun{
+		c:      c,
+		fill:   fill,
+		net:    make([]float64, c.slots),
+		sol:    Solution{Placements: make([]Placement, len(c.offers))},
+		arena:  make([]float64, len(c.emin)),
+		energy: make([]float64, c.maxProfile),
+	}
+	for i := range c.offers {
+		o := &c.offers[i]
+		r.sol.Placements[i].Energy = r.arena[o.base : o.base+o.n]
+	}
+	return r
+}
+
+// construct builds one schedule into r.sol: offers in the given order,
+// each placed at its locally best start with the fill rule's energies.
+// The returned cost refers to scratch state that the next construct
+// overwrites — callers must clone before retaining the solution.
+func (r *greedyRun) construct(order []int) float64 {
+	c := r.c
+	copy(r.net, c.baseline)
 	var offerCosts float64
 
 	for _, idx := range order {
-		f := p.Offers[idx]
+		o := &c.offers[idx]
 		bestDelta := math.Inf(1)
-		var bestStart flexoffer.Time
-		var bestEnergy []float64
+		bestOff := 0
+		bestEnergy := r.arena[o.base : o.base+o.n]
+		energy := r.energy[:o.n]
 
-		energy := make([]float64, len(f.Profile))
-		lo, hi := p.StartWindow(f)
-		for start := lo; start <= hi; start++ {
-			base := int(start - p.Start)
-			var delta float64
-			for j, sl := range f.Profile {
+		for off := 0; off <= o.width; off++ {
+			base := int(o.lo-c.start) + off
+			var delta, act float64
+			for j := 0; j < o.n; j++ {
 				t := base + j
-				e := g.fill(sl, net[t])
+				e := r.fillEnergy(o.base+j, r.net[t])
 				energy[j] = e
-				delta += p.slotCost(t, net[t]+e) - p.slotCost(t, net[t])
+				delta += c.slotCost(t, r.net[t]+e) - c.slotCost(t, r.net[t])
+				act += math.Abs(e)
 			}
-			delta += offerCost(f, energy)
+			delta += act * o.costPerKWh
 			if delta < bestDelta {
 				bestDelta = delta
-				bestStart = start
-				bestEnergy = append(bestEnergy[:0], energy...)
+				bestOff = off
+				copy(bestEnergy, energy)
 			}
 		}
 
-		base := int(bestStart - p.Start)
+		base := int(o.lo-c.start) + bestOff
+		var act float64
 		for j, e := range bestEnergy {
-			net[base+j] += e
+			r.net[base+j] += e
+			act += math.Abs(e)
 		}
-		offerCosts += offerCost(f, bestEnergy)
-		sol.Placements[idx] = Placement{Start: bestStart, Energy: bestEnergy}
+		offerCosts += act * o.costPerKWh
+		r.sol.Placements[idx].Start = o.lo + flexoffer.Time(bestOff)
 	}
 
 	var cost float64
-	for t, n := range net {
-		cost += p.slotCost(t, n)
+	for t, n := range r.net {
+		cost += r.c.slotCost(t, n)
 	}
-	return sol, cost + offerCosts
+	return cost + offerCosts
 }
 
-// fill picks the slice energy for the current net position.
-func (g *RandomizedGreedy) fill(sl flexoffer.Slice, net float64) float64 {
-	if g.Fill == FillMidpoint {
-		return (sl.EnergyMin + sl.EnergyMax) / 2
+// fillEnergy picks the slice energy for the current net position; k
+// indexes the flattened profile bounds.
+func (r *greedyRun) fillEnergy(k int, net float64) float64 {
+	lo, hi := r.c.emin[k], r.c.emax[k]
+	if r.fill == FillMidpoint {
+		return (lo + hi) / 2
 	}
 	// Cancel the imbalance: target −net, clamped into the slice range.
 	e := -net
-	if e < sl.EnergyMin {
-		e = sl.EnergyMin
+	if e < lo {
+		e = lo
 	}
-	if e > sl.EnergyMax {
-		e = sl.EnergyMax
+	if e > hi {
+		e = hi
 	}
 	return e
 }

@@ -26,7 +26,8 @@ func (h *Hybrid) Name() string { return "HYB" }
 
 // Schedule implements Scheduler.
 func (h *Hybrid) Schedule(ctx context.Context, p *Problem, opt Options) (Result, error) {
-	if err := p.Validate(); err != nil {
+	c, err := Compile(p)
+	if err != nil {
 		return Result{}, err
 	}
 	frac := h.SeedBudgetFrac
@@ -34,11 +35,14 @@ func (h *Hybrid) Schedule(ctx context.Context, p *Problem, opt Options) (Result,
 		frac = 0.25
 	}
 	total := opt.budget()
-	seedOpt := opt
-	seedOpt.TimeBudget = time.Duration(float64(total) * frac)
-	seedOpt.TraceEvery = 0
+	seedBudget := time.Duration(float64(total) * frac)
+	// Iteration-bounded runs give the same share of their budget to
+	// seeding: the cap below binds alongside the wall-clock deadline,
+	// so a huge TimeBudget cannot make seeding overspend the run's
+	// iteration budget.
+	seedIterCap := 0
 	if opt.MaxIterations > 0 {
-		seedOpt.MaxIterations = opt.MaxIterations/4 + 1
+		seedIterCap = opt.MaxIterations/4 + 1
 	}
 
 	// Phase 1: greedy constructions, keeping the distinct best ones.
@@ -46,54 +50,26 @@ func (h *Hybrid) Schedule(ctx context.Context, p *Problem, opt Options) (Result,
 	rng := rand.New(rand.NewSource(opt.Seed ^ 0x5eed))
 	seeds := make([]*Solution, 0, cfg.PopulationSize/2)
 	tr := newTracker(ctx, opt)
-	greedyDeadline := time.Now().Add(seedOpt.TimeBudget)
-	order := make([]int, len(p.Offers))
+	greedyDeadline := time.Now().Add(seedBudget)
+	run := newGreedyRun(c, h.Greedy.Fill)
+	order := make([]int, len(c.offers))
 	for i := range order {
 		order[i] = i
 	}
-	for ctx.Err() == nil && time.Now().Before(greedyDeadline) && len(seeds) < cap(seeds) {
+	mk := func() *Solution { return cloneSolution(&run.sol) }
+	for ctx.Err() == nil && time.Now().Before(greedyDeadline) && len(seeds) < cap(seeds) &&
+		(seedIterCap == 0 || tr.iter < seedIterCap) {
 		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
-		sol, cost := h.Greedy.construct(p, order)
-		tr.observe(sol, cost)
-		seeds = append(seeds, cloneSolution(sol))
+		tr.observe(run.construct(order), mk)
+		seeds = append(seeds, cloneSolution(&run.sol))
 	}
 
 	// Phase 2: evolution seeded with the greedy solutions.
-	pop := make([]individual, cfg.PopulationSize)
-	for i := range pop {
-		if ctx.Err() != nil {
-			return tr.result(), ctx.Err()
-		}
-		if i < len(seeds) {
-			pop[i] = cfg.encode(p, seeds[i])
-		} else {
-			pop[i] = cfg.randomIndividual(p, rng)
-		}
-		pop[i].cost = p.Evaluate(cfg.decode(p, &pop[i]))
+	pop, err := cfg.seedPopulation(ctx, c, p, rng, seeds)
+	if err != nil {
+		return tr.result(), err
 	}
-	scratch := make([]individual, cfg.PopulationSize)
-	for !tr.exhausted() {
-		best := bestOf(pop)
-		tr.observe(cfg.decode(p, &pop[best]), pop[best].cost)
-
-		next := scratch[:0]
-		ord := costOrder(pop)
-		for i := 0; i < cfg.Elite; i++ {
-			next = append(next, cloneIndividual(&pop[ord[i]]))
-		}
-		for len(next) < cfg.PopulationSize {
-			a := cfg.tournament(pop, rng)
-			child := cloneIndividual(&pop[a])
-			if rng.Float64() < cfg.CrossoverRate {
-				b := cfg.tournament(pop, rng)
-				cfg.crossover(&child, &pop[b], rng)
-			}
-			cfg.mutate(p, &child, rng)
-			child.cost = p.Evaluate(cfg.decode(p, &child))
-			next = append(next, child)
-		}
-		pop, scratch = next, pop
-	}
+	cfg.evolve(c, pop, rng, tr)
 	return tr.result(), ctx.Err()
 }
 

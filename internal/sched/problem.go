@@ -206,11 +206,15 @@ func (p *Problem) BaselineCost() float64 {
 // CountSolutions returns the number of start-time combinations of the
 // instance (the paper's measure of the search space: "almost 850 million
 // sensible solutions" for 10 flex-offers); energy flexibility adds an
-// infinite continuum on top.
+// infinite continuum on top. Each offer contributes its clamped start
+// window (StartWindow) — the range the strategies actually explore —
+// not its raw TimeFlexibility, which overcounts when EarliestStart lies
+// before the planning horizon.
 func (p *Problem) CountSolutions() float64 {
 	count := 1.0
 	for _, f := range p.Offers {
-		count *= float64(f.TimeFlexibility() + 1)
+		lo, hi := p.StartWindow(f)
+		count *= float64(hi-lo) + 1
 	}
 	return count
 }

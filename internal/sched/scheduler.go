@@ -2,6 +2,7 @@ package sched
 
 import (
 	"context"
+	"math"
 	"time"
 )
 
@@ -35,6 +36,12 @@ type Options struct {
 	// TraceEvery records a trace point every N iterations (0 = only the
 	// final point).
 	TraceEvery int
+
+	// shared is the cross-worker incumbent a Parallel portfolio run
+	// installs: trackers publish improvements to it so the portfolio
+	// can return the global best promptly on cancellation. Strategies
+	// never read it back — searches stay deterministic per worker.
+	shared *incumbent
 }
 
 func (o Options) budget() time.Duration {
@@ -63,6 +70,7 @@ type tracker struct {
 	deadline time.Time
 	maxIter  int
 	every    int
+	shared   *incumbent
 
 	iter  int
 	best  *Solution
@@ -76,13 +84,12 @@ func newTracker(ctx context.Context, opt Options) *tracker {
 		start:   time.Now(),
 		maxIter: opt.MaxIterations,
 		every:   opt.TraceEvery,
-		cost:    inf(),
+		shared:  opt.shared,
+		cost:    math.Inf(1),
 	}
 	t.deadline = t.start.Add(opt.budget())
 	return t
 }
-
-func inf() float64 { return 1e308 }
 
 func (t *tracker) exhausted() bool {
 	if t.ctx != nil && t.ctx.Err() != nil {
@@ -94,12 +101,20 @@ func (t *tracker) exhausted() bool {
 	return time.Now().After(t.deadline)
 }
 
-// observe records a completed iteration with candidate solution and cost.
-func (t *tracker) observe(sol *Solution, cost float64) {
+// observe records a completed iteration. mk materializes the candidate
+// solution and is only called when cost improves on the incumbent —
+// the hot loop never allocates for non-improving candidates. The
+// returned solution is retained as-is, so mk must hand over a fresh or
+// cloned solution, never a live scratch buffer. Improvements are also
+// published to the shared portfolio incumbent, if one is installed.
+func (t *tracker) observe(cost float64, mk func() *Solution) {
 	t.iter++
 	if cost < t.cost {
 		t.cost = cost
-		t.best = cloneSolution(sol)
+		t.best = mk()
+		if t.shared != nil {
+			t.shared.offer(cost, t.best)
+		}
 	}
 	if t.every > 0 && t.iter%t.every == 0 {
 		t.trace = append(t.trace, TracePoint{Elapsed: time.Since(t.start), Iterations: t.iter, Cost: t.cost})
