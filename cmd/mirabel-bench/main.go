@@ -13,11 +13,14 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -27,6 +30,7 @@ import (
 	"mirabel/internal/core"
 	"mirabel/internal/flexoffer"
 	"mirabel/internal/forecast"
+	"mirabel/internal/ingest"
 	"mirabel/internal/market"
 	"mirabel/internal/optimize"
 	"mirabel/internal/sched"
@@ -37,7 +41,7 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("mirabel-bench: ")
-	exp := flag.String("exp", "all", "experiment: all | fig5a | fig5b | fig5c | fig5d | fig5 | fig4a | fig4b | fig6 | exhaustive | cycle | store | tcp | sched")
+	exp := flag.String("exp", "all", "experiment: all | fig5a | fig5b | fig5c | fig5d | fig5 | fig4a | fig4b | fig6 | exhaustive | cycle | store | tcp | sched | ingest")
 	maxOffers := flag.Int("maxoffers", 800000, "largest flex-offer count of the Figure 5 sweep")
 	maxFacts := flag.Int("maxfacts", 1600000, "largest measurement count of the storage-engine sweep")
 	budget := flag.Duration("budget", 10*time.Second, "time budget of the largest Figure 6 instance")
@@ -55,6 +59,7 @@ func main() {
 		storeExp(*maxFacts, *seed)
 		tcpExp()
 		schedExp(*seed)
+		ingestExp(*seed)
 	case "fig5", "fig5a", "fig5b", "fig5c", "fig5d":
 		fig5(*maxOffers, *seed)
 	case "fig4a":
@@ -73,6 +78,8 @@ func main() {
 		tcpExp()
 	case "sched":
 		schedExp(*seed)
+	case "ingest":
+		ingestExp(*seed)
 	default:
 		log.Printf("unknown experiment %q", *exp)
 		flag.Usage()
@@ -635,8 +642,13 @@ func tcpExp() {
 	fmt.Printf("per-request handler latency %v\n", delay)
 	fmt.Println("requests  pool  mode        wall_ms  x_slowest  dials  reuses  retries")
 	handler := func(ctx context.Context, env comm.Envelope) (*comm.Envelope, error) {
+		// time.NewTimer + Stop, not time.After: a canceled request must
+		// release its timer immediately instead of leaking it until
+		// expiry (this handler runs once per benchmarked request).
+		t := time.NewTimer(delay)
+		defer t.Stop()
 		select {
-		case <-time.After(delay):
+		case <-t.C:
 		case <-ctx.Done():
 			return nil, ctx.Err()
 		}
@@ -700,5 +712,268 @@ func tcpExp() {
 				float64(wall)/float64(delay), st.Dials, st.Reuses, st.Retries)
 			client.Close()
 		}
+	}
+}
+
+// ingestExp benchmarks the durable async intake path (internal/ingest)
+// against the seed's synchronous request/reply intake, then shows the
+// backpressure policies under overload and the circuit-breaker's
+// graceful degradation across scheduling cycles with one dead prosumer.
+func ingestExp(seed int64) {
+	fmt.Println("== Ingest: durable async intake vs synchronous store round-trips ==")
+	const (
+		producers = 8
+		events    = 2000
+		batch     = 10
+	)
+	fmt.Printf("%d producers x %d events x %d measurements/event\n", producers, events/producers, batch)
+	fmt.Println("fsync   mode    acked_ev/s  ack_p50    ack_p99    drain_ms  mean_batch")
+	for _, pol := range []struct {
+		name   string
+		policy store.SyncPolicy
+	}{{"flush", store.SyncFlush}, {"always", store.SyncAlways}} {
+		syncRate := runSyncIngest(pol.policy, producers, events, batch)
+		fmt.Printf("%-7s %-7s %-11.0f %-10s %-10s %-9s %s\n", pol.name, "sync", syncRate, "-", "-", "-", "-")
+		asyncRate, drain, st := runAsyncIngest(pol.policy, producers, events, batch)
+		fmt.Printf("%-7s %-7s %-11.0f %-10v %-10v %-9.1f %.1f   (x%.2f vs sync)\n",
+			pol.name, "async", asyncRate,
+			st.AckP50.Round(time.Microsecond), st.AckP99.Round(time.Microsecond),
+			float64(drain)/float64(time.Millisecond), st.MeanBatch, asyncRate/syncRate)
+	}
+
+	fmt.Println()
+	fmt.Println("-- backpressure policies under overload (queue=64, 1 consumer) --")
+	fmt.Println("policy  acked   shed    deferred  acked_ev/s  drain_ms")
+	for _, policy := range []ingest.Policy{ingest.PolicyBlock, ingest.PolicyShed, ingest.PolicyDefer} {
+		acked, st, rate, drain := runOverloadIngest(policy, 16, 3000, 4)
+		fmt.Printf("%-7s %-7d %-7d %-9d %-11.0f %.1f\n",
+			policy, acked, st.Shed, st.Deferred, rate, float64(drain)/float64(time.Millisecond))
+	}
+
+	fmt.Println()
+	breakerCycleExp()
+}
+
+func benchStore(policy store.SyncPolicy) (*store.Store, func()) {
+	dir, err := os.MkdirTemp("", "mirabel-bench-ingest")
+	if err != nil {
+		log.Fatal(err)
+	}
+	st, err := store.Open(dir, store.WithSyncPolicy(policy))
+	if err != nil {
+		log.Fatal(err)
+	}
+	return st, func() {
+		st.Close()
+		os.RemoveAll(dir)
+	}
+}
+
+func benchMeasurements(producer, event, batch int) []store.Measurement {
+	ms := make([]store.Measurement, batch)
+	for j := range ms {
+		ms[j] = store.Measurement{
+			Actor:      fmt.Sprintf("p%d", producer),
+			EnergyType: "elec",
+			Slot:       flexoffer.Time(event*batch + j),
+			KWh:        1,
+		}
+	}
+	return ms
+}
+
+// runSyncIngest is the baseline: every event is one synchronous
+// PutMeasurementsBatch round-trip through the store's WAL.
+func runSyncIngest(policy store.SyncPolicy, producers, events, batch int) float64 {
+	st, cleanup := benchStore(policy)
+	defer cleanup()
+	per := events / producers
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if err := st.PutMeasurementsBatch(benchMeasurements(p, i, batch)); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	return float64(events) / time.Since(t0).Seconds()
+}
+
+// runAsyncIngest acks the same events through the ingest journal and
+// lets consumers coalesce them into the store behind the ack.
+func runAsyncIngest(policy store.SyncPolicy, producers, events, batch int) (float64, time.Duration, ingest.Stats) {
+	st, cleanup := benchStore(store.SyncFlush)
+	defer cleanup()
+	dir, err := os.MkdirTemp("", "mirabel-bench-journal")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	q, err := ingest.Open(ingest.Config{
+		Store:     st,
+		Path:      filepath.Join(dir, "ingest.log"),
+		Sync:      policy,
+		Queue:     4096,
+		Policy:    ingest.PolicyBlock,
+		Consumers: 4,
+		MaxBatch:  256,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+	per := events / producers
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if err := q.SubmitMeasurements(ctx, benchMeasurements(p, i, batch)); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	acked := time.Since(t0)
+	d0 := time.Now()
+	if err := q.Drain(ctx); err != nil {
+		log.Fatal(err)
+	}
+	drain := time.Since(d0)
+	stats := q.Stats()
+	if err := q.Close(); err != nil {
+		log.Fatal(err)
+	}
+	return float64(events) / acked.Seconds(), drain, stats
+}
+
+// runOverloadIngest hammers a deliberately tiny queue to show what each
+// backpressure policy does when producers outrun the consumer.
+func runOverloadIngest(policy ingest.Policy, producers, events, batch int) (int, ingest.Stats, float64, time.Duration) {
+	st, cleanup := benchStore(store.SyncFlush)
+	defer cleanup()
+	dir, err := os.MkdirTemp("", "mirabel-bench-journal")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	q, err := ingest.Open(ingest.Config{
+		Store:     st,
+		Path:      filepath.Join(dir, "ingest.log"),
+		Queue:     64,
+		Policy:    policy,
+		Consumers: 1,
+		MaxBatch:  64,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+	per := events / producers
+	var acked atomic.Int64
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				err := q.SubmitMeasurements(ctx, benchMeasurements(p, i, batch))
+				switch {
+				case err == nil:
+					acked.Add(1)
+				case errors.Is(err, ingest.ErrOverloaded):
+					// shed: the producer's problem, by design
+				default:
+					log.Fatal(err)
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	wall := time.Since(t0)
+	d0 := time.Now()
+	if err := q.Drain(ctx); err != nil {
+		log.Fatal(err)
+	}
+	drain := time.Since(d0)
+	stats := q.Stats()
+	if err := q.Close(); err != nil {
+		log.Fatal(err)
+	}
+	return int(acked.Load()), stats, float64(acked.Load()) / wall.Seconds(), drain
+}
+
+// breakerCycleExp runs three scheduling cycles with one dead prosumer:
+// the first pays a real delivery failure and trips the circuit; the
+// following cycles skip the destination outright (reported, not
+// retried), so delivery degrades gracefully instead of stalling.
+func breakerCycleExp() {
+	fmt.Println("-- circuit breaker: cycles with one unreachable prosumer (p3) --")
+	const prosumers = 8
+	bus := comm.NewBus()
+	brp, err := core.NewNode(core.Config{
+		Name: "brp", Role: store.RoleBRP,
+		Transport: bus,
+		AggParams: agg.ParamsP3,
+		SchedOpts: sched.Options{MaxIterations: 1, Seed: 1},
+		Breaker: &comm.BreakerConfig{
+			MinSamples:  1,
+			FailureRate: 0.5,
+			Cooldown:    time.Hour, // stays open for the whole run
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	bus.Register("brp", brp.Handler())
+	for i := 0; i < prosumers; i++ {
+		if i == 3 {
+			continue // p3 is dead
+		}
+		bus.Register(fmt.Sprintf("p%d", i), func(ctx context.Context, env comm.Envelope) (*comm.Envelope, error) {
+			return nil, nil
+		})
+	}
+	fmt.Println("cycle  schedules  failures  skipped  deliver_ms")
+	nextID := 1
+	for round := 1; round <= 3; round++ {
+		for i := 0; i < prosumers; i++ {
+			p := make([]flexoffer.Slice, 4)
+			for j := range p {
+				p[j] = flexoffer.Slice{EnergyMin: 0, EnergyMax: 5}
+			}
+			f := &flexoffer.FlexOffer{
+				ID: flexoffer.ID(nextID), EarliestStart: 40, LatestStart: 56,
+				AssignBefore: 32, Profile: p,
+			}
+			nextID++
+			if d := brp.AcceptOffer(f, fmt.Sprintf("p%d", i)); !d.Accept {
+				log.Fatalf("offer %d rejected: %s", f.ID, d.Reason)
+			}
+		}
+		rep, err := brp.RunSchedulingCycle(context.Background(), 0, nil, nil, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		skipped := "-"
+		if len(rep.SkippedOwners) > 0 {
+			skipped = strings.Join(rep.SkippedOwners, ",")
+		}
+		fmt.Printf("%-6d %-10d %-9d %-8s %.2f\n",
+			round, rep.MicroSchedules, rep.NotifyFailures, skipped,
+			float64(rep.DeliveryTime)/float64(time.Millisecond))
+	}
+	if got := brp.Breaker().State("p3"); got != comm.BreakerOpen {
+		log.Fatalf("p3 circuit = %v, want open", got)
 	}
 }

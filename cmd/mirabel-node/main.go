@@ -20,6 +20,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -28,6 +29,7 @@ import (
 	"mirabel/internal/comm"
 	"mirabel/internal/core"
 	"mirabel/internal/flexoffer"
+	"mirabel/internal/ingest"
 	"mirabel/internal/sched"
 	"mirabel/internal/store"
 )
@@ -47,6 +49,11 @@ func main() {
 		retainIvl = flag.Duration("retain-every", time.Minute, "how often the retention sweep runs")
 		routes    = flag.String("route", "", "comma-separated name=addr routes to peers")
 		schedWrk  = flag.Int("sched-workers", 0, "parallel portfolio workers for the scheduling search (0/1: single-threaded)")
+		ingestQ   = flag.Int("ingest-queue", 0, "async ingest queue depth in events (0: synchronous intake; needs -data)")
+		ingestPol = flag.String("ingest-policy", "block", "ingest backpressure policy when the queue is full: block | shed | defer")
+		brkWindow = flag.Int("breaker-window", 0, "circuit-breaker outcome window per destination (0: no breaker)")
+		brkRate   = flag.Float64("breaker-rate", 0.5, "failure rate over the window that opens a destination's circuit")
+		brkCool   = flag.Duration("breaker-cooldown", 5*time.Second, "open-circuit cooldown before a half-open trial")
 		poolSize  = flag.Int("pool", comm.DefaultPoolSize, "pipelined TCP connections pooled per peer")
 		demoOffer = flag.Bool("demo-offer", false, "submit one demo flex-offer to the parent and exit")
 		pingPeer  = flag.String("ping", "", "ping the named peer over the typed client and exit")
@@ -106,7 +113,7 @@ func main() {
 	if *verbose {
 		mw = append(mw, comm.Logging(log.Printf))
 	}
-	node, err := core.NewNode(core.Config{
+	cfg := core.Config{
 		Name:         *name,
 		Role:         store.Role(*role),
 		Parent:       *parent,
@@ -116,10 +123,49 @@ func main() {
 		SchedOpts:    sched.Options{TimeBudget: 2 * time.Second},
 		SchedWorkers: *schedWrk,
 		Middleware:   mw,
-	})
+	}
+	if *ingestQ > 0 {
+		policy, err := ingest.ParsePolicy(*ingestPol)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ic := &ingest.Config{Queue: *ingestQ, Policy: policy}
+		if *dataDir != "" {
+			// The ingest journal shares the store's directory and fsync
+			// policy: an ack is as durable as a store commit.
+			ic.Path = filepath.Join(*dataDir, "ingest.log")
+			switch *fsync {
+			case "always":
+				ic.Sync = store.SyncAlways
+			case "interval":
+				ic.Sync = store.SyncInterval
+				ic.SyncInterval = *fsyncIvl
+			}
+		} else if policy == ingest.PolicyDefer {
+			log.Fatal("-ingest-policy defer needs a durable journal: set -data")
+		}
+		cfg.Ingest = ic
+	}
+	if *brkWindow > 0 {
+		cfg.Breaker = &comm.BreakerConfig{
+			Window:      *brkWindow,
+			FailureRate: *brkRate,
+			Cooldown:    *brkCool,
+		}
+	}
+	node, err := core.NewNode(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer func() {
+		if err := node.Close(); err != nil {
+			log.Printf("node close: %v", err)
+		}
+		if st, ok := node.IngestStats(); ok {
+			log.Printf("ingest: enqueued=%d consumed=%d shed=%d deferred=%d batches=%d mean_batch=%.1f ack_p99=%v",
+				st.Enqueued, st.Consumed, st.Shed, st.Deferred, st.Batches, st.MeanBatch, st.AckP99)
+		}
+	}()
 
 	srv, err := comm.ListenTCP(*listen, node.Handler())
 	if err != nil {

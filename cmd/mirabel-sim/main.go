@@ -11,9 +11,13 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"mirabel/internal/agg"
@@ -37,7 +41,11 @@ func main() {
 	useDevices := flag.Bool("devices", false, "drive offers from appliance state machines instead of the dataset generator")
 	flag.Parse()
 
-	ctx := context.Background()
+	// Ctrl-C cancels the run context: whatever phase is in flight winds
+	// down at its next cancellation point and the end-of-run report is
+	// still printed over the partial results.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	bus := comm.NewBus()
 	prices := workload.PriceSeries(workload.PriceConfig{Days: 2, Seed: *seed})
 	dayAhead, err := market.NewDayAhead(market.Config{Prices: prices, CapacityKWh: 5000})
@@ -90,6 +98,10 @@ func main() {
 	accepted := 0
 	nodes := make(map[string]*core.Node)
 	for i, f := range offers {
+		if ctx.Err() != nil {
+			log.Printf("interrupted after %d of %d offers", i, len(offers))
+			break
+		}
 		name := fmt.Sprintf("prosumer-%05d", i)
 		if *useDevices && f.Prosumer != "" {
 			name = f.Prosumer // appliance offers carry their household
@@ -113,6 +125,9 @@ func main() {
 		}
 		d, err := p.SubmitOfferTo(ctx, f)
 		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				continue // the loop header reports the interruption
+			}
 			log.Fatal(err)
 		}
 		if d.Accept {
@@ -120,7 +135,7 @@ func main() {
 		}
 		// Report a few metered slots so the BRP stores see traffic.
 		if i%50 == 0 {
-			if err := p.ReportMeasurement(ctx, "demand", flexoffer.Time(i%96), 0.5); err != nil {
+			if err := p.ReportMeasurement(ctx, "demand", flexoffer.Time(i%96), 0.5); err != nil && !errors.Is(err, context.Canceled) {
 				log.Fatal(err)
 			}
 		}
@@ -147,8 +162,14 @@ func main() {
 	// essentially repeated at a higher level").
 	var totalCost, totalDefault float64
 	for _, brp := range brps[:len(brps)-1] {
+		if ctx.Err() != nil {
+			break
+		}
 		rep, err := brp.RunSchedulingCycle(ctx, 0, core.StaticForecast(baseline), nil, nil)
 		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				break
+			}
 			log.Fatal(err)
 		}
 		totalCost += rep.ScheduleCost
@@ -165,19 +186,29 @@ func main() {
 	// Level 3: the delegating BRP forwards its aggregates; the TSO
 	// aggregates across them, schedules, and its schedules flow back
 	// down through the BRP to the prosumers.
-	delegating := brps[len(brps)-1]
-	forwarded, err := delegating.ForwardAggregates(ctx)
-	if err != nil {
-		log.Fatal(err)
+	if ctx.Err() == nil {
+		delegating := brps[len(brps)-1]
+		forwarded, err := delegating.ForwardAggregates(ctx)
+		if err != nil && !errors.Is(err, context.Canceled) {
+			log.Fatal(err)
+		}
+		if err == nil {
+			rep, err := tso.RunSchedulingCycle(ctx, 0, core.StaticForecast(baseline), nil, nil)
+			if err != nil && !errors.Is(err, context.Canceled) {
+				log.Fatal(err)
+			}
+			if err == nil {
+				fmt.Printf("level 3: %s forwarded %d macro offers; tso scheduled %d aggregates: %.0f EUR (default %.0f)\n",
+					delegating.Name(), forwarded, rep.Aggregates, rep.ScheduleCost, rep.BaselineCost)
+			}
+		}
 	}
-	rep, err := tso.RunSchedulingCycle(ctx, 0, core.StaticForecast(baseline), nil, nil)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("level 3: %s forwarded %d macro offers; tso scheduled %d aggregates: %.0f EUR (default %.0f)\n",
-		delegating.Name(), forwarded, rep.Aggregates, rep.ScheduleCost, rep.BaselineCost)
 
-	// Give async deliveries a moment, then summarize the stores.
+	// Give async deliveries a moment, then summarize the stores — also
+	// after an interrupt, so a cancelled run still reports what it did.
+	if ctx.Err() != nil {
+		log.Printf("interrupted: end-of-run report covers the work completed so far")
+	}
 	time.Sleep(100 * time.Millisecond)
 	for _, brp := range brps[:1] {
 		st := brp.Store().Stats()

@@ -23,11 +23,23 @@ type CycleReport struct {
 	// Reconciled counts planned micro schedules dropped at commit
 	// because their offer was scheduled or expired by a concurrent flow
 	// while the plan ran outside the lock.
-	Reconciled      int
-	NotifyFailures  int // prosumers that could not be reached
+	Reconciled     int
+	NotifyFailures int // prosumers that could not be reached
+	// SkippedOwners lists prosumers whose delivery was skipped because
+	// their circuit breaker is open (graceful degradation: the cycle
+	// completed without them instead of stalling on dead peers). They
+	// are not counted in NotifyFailures.
+	SkippedOwners []string
+	// HealedPeers lists destinations whose open circuit was probed back
+	// to closed after delivery.
+	HealedPeers     []string
 	AggregationTime time.Duration
 	SchedulingTime  time.Duration
 	DeliveryTime    time.Duration // wall time of the fan-out deliver phase
+	// IngestDrainTime is the wall time of the cycle's intake barrier:
+	// waiting for the async ingest queue to apply every acked event so
+	// the snapshot (and commit's offer transitions) see them.
+	IngestDrainTime time.Duration
 }
 
 // RunSchedulingCycle executes the full BRP workflow at planning time now
@@ -71,6 +83,28 @@ func (n *Node) RunSchedulingCycle(ctx context.Context, now flexoffer.Time, deman
 	rep := &CycleReport{}
 	horizon := n.cfg.HorizonSlots
 
+	// Probe tripped circuits on the way out (whatever phase the cycle
+	// ends in): healed peers rejoin before the next cycle without a
+	// live delivery paying the trial's latency.
+	if n.breaker != nil {
+		defer func() {
+			pctx, cancel := context.WithTimeout(ctx, n.cfg.RequestTimeout)
+			rep.HealedPeers = n.breaker.ProbeOpen(pctx)
+			cancel()
+		}()
+	}
+
+	// Phase 0: intake barrier. Every offer acked through the async
+	// ingest path must be applied before the snapshot, or commit's
+	// UpdateOffers would reconcile them away as unknown records.
+	if n.ingest != nil {
+		t0 := time.Now()
+		if err := n.ingest.Drain(ctx); err != nil {
+			return nil, fmt.Errorf("core: drain ingest before cycle: %w", err)
+		}
+		rep.IngestDrainTime = time.Since(t0)
+	}
+
 	// Phase 1: snapshot.
 	aggregates, err := n.snapshotForPlanning(now, horizon, rep)
 	if err != nil {
@@ -107,9 +141,11 @@ func (n *Node) RunSchedulingCycle(ctx context.Context, now flexoffer.Time, deman
 	rep.Reconciled = reconciled
 
 	// Phase 4: deliver. Unreachable prosumers are counted, not fatal:
-	// their offers will time out and fall back gracefully.
+	// their offers will time out and fall back gracefully; owners behind
+	// an open circuit are skipped outright (reported, not retried) so a
+	// dead peer costs the cycle nothing.
 	t0 = time.Now()
-	rep.NotifyFailures = n.deliver(ctx, byOwner)
+	rep.NotifyFailures, rep.SkippedOwners = n.deliver(ctx, byOwner)
 	rep.DeliveryTime = time.Since(t0)
 	return rep, nil
 }

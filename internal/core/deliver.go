@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"errors"
+	"sort"
 
 	"mirabel/internal/agg"
 	"mirabel/internal/comm"
@@ -99,7 +100,7 @@ func (n *Node) handleScheduleNotify(ctx context.Context, env comm.Envelope) (*co
 		delete(n.forwarded, r.macroID)
 	}
 	n.mu.Unlock()
-	n.deliver(ctx, byOwner)
+	_, _ = n.deliver(ctx, byOwner)
 	return nil, nil
 }
 
@@ -165,13 +166,26 @@ func (n *Node) commitMicroSchedules(micro []*flexoffer.Schedule) (map[string][]*
 }
 
 // deliver fans the committed schedules out to their owners with bounded
-// concurrency, outside the node lock, and returns the number of owners
-// that could not be reached.
-func (n *Node) deliver(ctx context.Context, byOwner map[string][]*flexoffer.Schedule) int {
+// concurrency, outside the node lock. It returns the number of owners
+// that could not be reached and, separately, the owners skipped because
+// their circuit breaker is open — the degraded-delivery signal the
+// cycle report surfaces instead of stalling on dead peers.
+func (n *Node) deliver(ctx context.Context, byOwner map[string][]*flexoffer.Schedule) (int, []string) {
 	if n.client == nil || len(byOwner) == 0 {
-		return 0
+		return 0, nil
 	}
-	return len(n.client.NotifySchedulesAll(ctx, byOwner, n.cfg.NotifyLimit))
+	failed := n.client.NotifySchedulesAll(ctx, byOwner, n.cfg.NotifyLimit)
+	fails := 0
+	var skipped []string
+	for owner, err := range failed {
+		if errors.Is(err, comm.ErrBreakerOpen) {
+			skipped = append(skipped, owner)
+			continue
+		}
+		fails++
+	}
+	sort.Strings(skipped)
+	return fails, skipped
 }
 
 // ScheduleFor returns the schedule a prosumer received for an offer, or

@@ -23,6 +23,7 @@ import (
 	"mirabel/internal/comm"
 	"mirabel/internal/flexoffer"
 	"mirabel/internal/forecast"
+	"mirabel/internal/ingest"
 	"mirabel/internal/market"
 	"mirabel/internal/negotiate"
 	"mirabel/internal/sched"
@@ -73,6 +74,22 @@ type Config struct {
 	// (recovery, metrics) — the seam where logging, tracing or
 	// rate-limiting layer in without touching dispatch.
 	Middleware []comm.Middleware
+
+	// Ingest, when non-nil, routes intake — measurement reports and
+	// flex-offer records — through a durable async queue
+	// (internal/ingest) instead of synchronous store round-trips:
+	// producers are acked on the ingest journal's group commit and
+	// consumers drain into the store with batch coalescing. Ingest.Store
+	// is filled with the node's store; the scheduling cycle drains the
+	// queue before snapshotting so plans always see every acked offer.
+	Ingest *ingest.Config
+
+	// Breaker, when non-nil, wraps Transport with per-destination
+	// circuit breaking (comm.Breaker): tripped peers are skipped with
+	// ErrBreakerOpen instead of stalling fan-out, and the cycle probes
+	// open circuits after delivery so healed peers rejoin. Origin is
+	// filled with the node's name.
+	Breaker *comm.BreakerConfig
 }
 
 // Node is one LEDMS instance.
@@ -81,6 +98,8 @@ type Node struct {
 	client  *comm.Client
 	handler comm.Handler
 	metrics *comm.Metrics
+	ingest  *ingest.Queue // nil = synchronous intake
+	breaker *comm.Breaker // nil = no circuit breaking
 
 	// cycleMu serializes the planner-driven flows (RunSchedulingCycle,
 	// ForwardAggregates) against each other. It is never held while mu
@@ -156,7 +175,23 @@ func NewNode(cfg Config) (*Node, error) {
 		nextFwdID: 1 << 32, // forwarded macro offers use a disjoint id space
 	}
 	if cfg.Transport != nil {
-		n.client = comm.NewClient(cfg.Name, cfg.Transport, comm.WithRequestTimeout(cfg.RequestTimeout))
+		transport := cfg.Transport
+		if cfg.Breaker != nil {
+			bc := *cfg.Breaker
+			bc.Origin = cfg.Name
+			n.breaker = comm.NewBreaker(transport, bc)
+			transport = n.breaker
+		}
+		n.client = comm.NewClient(cfg.Name, transport, comm.WithRequestTimeout(cfg.RequestTimeout))
+	}
+	if cfg.Ingest != nil {
+		ic := *cfg.Ingest
+		ic.Store = n.store
+		q, err := ingest.Open(ic)
+		if err != nil {
+			return nil, fmt.Errorf("core: open ingest queue: %w", err)
+		}
+		n.ingest = q
 	}
 
 	// Dispatch: one registered handler per message type, wrapped in the
@@ -248,7 +283,7 @@ func (n *Node) handleOfferSubmit(ctx context.Context, env comm.Envelope) (*comm.
 	if err := env.Decode(comm.MsgFlexOfferSubmit, &body); err != nil {
 		return nil, err
 	}
-	decision := n.AcceptOffer(body.Offer, env.From)
+	decision := n.acceptOffer(ctx, body.Offer, env.From)
 	reply, err := comm.NewEnvelope(comm.MsgFlexOfferDecision, n.cfg.Name, env.From, comm.FlexOfferDecision{
 		OfferID:    body.Offer.ID,
 		Accept:     decision.Accept,
@@ -267,34 +302,54 @@ func (n *Node) handleOfferSubmit(ctx context.Context, env comm.Envelope) (*comm.
 // running scheduling cycle — intake only needs the node mutex, which
 // the cycle releases for its plan and deliver phases.
 func (n *Node) AcceptOffer(f *flexoffer.FlexOffer, owner string) negotiate.Decision {
+	return n.acceptOffer(context.Background(), f, owner)
+}
+
+func (n *Node) acceptOffer(ctx context.Context, f *flexoffer.FlexOffer, owner string) negotiate.Decision {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	// Negotiation evaluates at the current planning time: the node's
 	// notion of "now" is the earliest moment it could still schedule.
 	decision := n.valuator.Decide(f, n.nowLocked())
-	state := store.OfferRejected
-	if decision.Accept {
-		state = store.OfferAccepted
-	}
 	// The stored offer carries the negotiated premium, which settlement
 	// reads back after execution.
 	priced := f.Clone()
 	priced.CostPerKWh = decision.Price
+	if decision.Accept {
+		if _, err := n.pipeline.Apply(agg.FlexOfferUpdate{Kind: agg.Insert, Offer: priced}); err != nil {
+			// The pipeline rejected the offer (e.g. duplicate id).
+			decision = negotiate.Decision{Accept: false, Reason: err.Error()}
+		}
+	}
+	state := store.OfferRejected
+	if decision.Accept {
+		state = store.OfferAccepted
+	}
+	// Persist the final record exactly once — after the pipeline verdict
+	// — so the async intake path never journals two racing records for
+	// one submission.
 	rec := store.OfferRecord{Offer: priced, Owner: owner, State: state}
-	if err := n.store.PutOffer(rec); err != nil {
+	if err := n.persistOffer(ctx, rec); err != nil {
+		if decision.Accept {
+			// Keep the pipeline consistent with the store: withdraw.
+			_, _ = n.pipeline.Apply(agg.FlexOfferUpdate{Kind: agg.Delete, Offer: priced})
+		}
 		return negotiate.Decision{Accept: false, Reason: err.Error()}
 	}
-	if !decision.Accept {
-		return decision
+	if decision.Accept {
+		n.pending[f.ID] = priced
 	}
-	if _, err := n.pipeline.Apply(agg.FlexOfferUpdate{Kind: agg.Insert, Offer: priced}); err != nil {
-		// The pipeline rejected the offer (e.g. duplicate id): undo.
-		rec.State = store.OfferRejected
-		_ = n.store.PutOffer(rec)
-		return negotiate.Decision{Accept: false, Reason: err.Error()}
-	}
-	n.pending[f.ID] = priced
 	return decision
+}
+
+// persistOffer writes one flex-offer record through the configured
+// intake path: the ingest queue (acked on journal group commit, applied
+// asynchronously) or the store directly.
+func (n *Node) persistOffer(ctx context.Context, rec store.OfferRecord) error {
+	if n.ingest != nil {
+		return n.ingest.SubmitOffer(ctx, rec)
+	}
+	return n.store.PutOffer(rec)
 }
 
 // nowLocked is the node's planning time: the start slot of the most
@@ -316,9 +371,11 @@ func (n *Node) handleMeasurement(ctx context.Context, env comm.Envelope) (*comm.
 	if err := env.Decode(comm.MsgMeasurementReport, &body); err != nil {
 		return nil, err
 	}
-	return nil, n.store.PutMeasurement(store.Measurement{
-		Actor: body.Actor, EnergyType: body.EnergyType, Slot: body.Slot, KWh: body.KWh,
-	})
+	m := store.Measurement{Actor: body.Actor, EnergyType: body.EnergyType, Slot: body.Slot, KWh: body.KWh}
+	if n.ingest != nil {
+		return nil, n.ingest.SubmitMeasurements(ctx, []store.Measurement{m})
+	}
+	return nil, n.store.PutMeasurement(m)
 }
 
 // handleMeasurementBatch stores a reported meter-stream batch through
@@ -332,14 +389,55 @@ func (n *Node) handleMeasurementBatch(ctx context.Context, env comm.Envelope) (*
 	for i, r := range body.Reports {
 		ms[i] = store.Measurement{Actor: r.Actor, EnergyType: r.EnergyType, Slot: r.Slot, KWh: r.KWh}
 	}
+	if n.ingest != nil {
+		return nil, n.ingest.SubmitMeasurements(ctx, ms)
+	}
 	return nil, n.store.PutMeasurementsBatch(ms)
 }
 
-// IngestMeasurements stores a batch of metered values locally in one
-// WAL group commit — the bulk intake path for meter streams and
-// backfills (the remote form is Client.ReportMeasurements).
+// IngestMeasurements stores a batch of metered values locally — through
+// the async ingest queue when one is configured (acked on journal group
+// commit), otherwise as one synchronous WAL group commit. The bulk
+// intake path for meter streams and backfills (the remote form is
+// Client.ReportMeasurements).
 func (n *Node) IngestMeasurements(ms []store.Measurement) error {
+	if n.ingest != nil {
+		return n.ingest.SubmitMeasurements(context.Background(), ms)
+	}
 	return n.store.PutMeasurementsBatch(ms)
+}
+
+// IngestStats reports the async intake queue's counters; ok is false
+// when the node runs synchronous intake.
+func (n *Node) IngestStats() (ingest.Stats, bool) {
+	if n.ingest == nil {
+		return ingest.Stats{}, false
+	}
+	return n.ingest.Stats(), true
+}
+
+// DrainIngest waits until every acked intake event has been applied to
+// the store (no-op without an ingest queue). The scheduling cycle calls
+// it implicitly; explicit callers use it as a read-your-writes barrier.
+func (n *Node) DrainIngest(ctx context.Context) error {
+	if n.ingest == nil {
+		return nil
+	}
+	return n.ingest.Drain(ctx)
+}
+
+// Breaker exposes the node's circuit breaker (nil when none is
+// configured).
+func (n *Node) Breaker() *comm.Breaker { return n.breaker }
+
+// Close shuts the node's background machinery down: the ingest queue is
+// drained (best effort) and closed so every acked event reaches the
+// store before the process exits.
+func (n *Node) Close() error {
+	if n.ingest == nil {
+		return nil
+	}
+	return n.ingest.Close()
 }
 
 // PendingOffers returns the accepted, not-yet-scheduled offers.

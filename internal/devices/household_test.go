@@ -1,0 +1,223 @@
+package devices
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"mirabel/internal/flexoffer"
+)
+
+// TestNewHouseholdEquipment pins the config → appliance mapping: base
+// load is always present, each toggle adds exactly its device.
+func TestNewHouseholdEquipment(t *testing.T) {
+	ids := &idCounter{}
+	cases := []struct {
+		name string
+		cfg  HouseholdConfig
+		want []string
+	}{
+		{"minimal", HouseholdConfig{Name: "h0"}, []string{"base-load"}},
+		{"ev-only", HouseholdConfig{Name: "h1", HasEV: true}, []string{"base-load", "ev-charger"}},
+		{"full", HouseholdConfig{Name: "h2", HasEV: true, HasDishwasher: true, HasWasher: true, HasSolar: true},
+			[]string{"base-load", "ev-charger", "dishwasher", "washing-machine", "solar-panel"}},
+	}
+	for _, tc := range cases {
+		h := NewHousehold(tc.cfg, ids)
+		if len(h.appliances) != len(tc.want) {
+			t.Fatalf("%s: %d appliances, want %d", tc.name, len(h.appliances), len(tc.want))
+		}
+		for i, a := range h.appliances {
+			if a.Name() != tc.want[i] {
+				t.Errorf("%s: appliance %d = %q, want %q", tc.name, i, a.Name(), tc.want[i])
+			}
+		}
+	}
+}
+
+// TestHouseholdTickTagsOffers verifies every offer a household emits
+// carries the household name as its prosumer, and that the base load
+// meters consumption each slot.
+func TestHouseholdTickTagsOffers(t *testing.T) {
+	ids := &idCounter{}
+	h := NewHousehold(HouseholdConfig{
+		Name:  "household-00042",
+		HasEV: true, HasDishwasher: true, HasWasher: true, HasSolar: true,
+		Seed: 9,
+	}, ids)
+	offers := 0
+	for slot := flexoffer.Time(0); slot < 7*flexoffer.SlotsPerDay; slot++ {
+		emitted, kwh := h.Tick(slot)
+		if kwh == 0 {
+			t.Fatalf("slot %d: no metered base load", slot)
+		}
+		for _, f := range emitted {
+			offers++
+			if f.Prosumer != "household-00042" {
+				t.Fatalf("offer %d tagged %q", f.ID, f.Prosumer)
+			}
+			if err := f.Validate(); err != nil {
+				t.Fatalf("offer %d: %v", f.ID, err)
+			}
+		}
+	}
+	if offers == 0 {
+		t.Fatal("fully equipped household emitted no offers in a week")
+	}
+}
+
+// TestEVChargerStateMachine drives the plugged/unplugged transitions
+// directly: a plugged car is silent overnight and unplugs when it
+// leaves at 09:00, after which a new evening arrival can plug it again.
+func TestEVChargerStateMachine(t *testing.T) {
+	ids := &idCounter{}
+	ev := &EVCharger{nextID: ids.next}
+	rng := rand.New(rand.NewSource(1))
+
+	ev.plugged = true
+	// Overnight hours: still plugged, no offer, no consumption event.
+	for hour := 0; hour < 9; hour++ {
+		e := ev.Tick(flexoffer.Time(hour*flexoffer.SlotsPerHour), rng)
+		if e.Offer != nil || e.NonFlexKWh != 0 {
+			t.Fatalf("plugged charger emitted %+v at hour %d", e, hour)
+		}
+		if !ev.plugged {
+			t.Fatalf("charger unplugged at hour %d, want 9", hour)
+		}
+	}
+	// 09:00: the car leaves for work.
+	ev.Tick(flexoffer.Time(9*flexoffer.SlotsPerHour), rng)
+	if ev.plugged {
+		t.Fatal("charger still plugged after the 09:00 departure")
+	}
+
+	// An unplugged charger never offers outside the 17:00–22:00 arrival
+	// window, whatever the random source does.
+	for hour := 9; hour < 17; hour++ {
+		for s := 0; s < flexoffer.SlotsPerHour; s++ {
+			slot := flexoffer.Time(hour*flexoffer.SlotsPerHour + s)
+			if e := ev.Tick(slot, rng); e.Offer != nil {
+				t.Fatalf("arrival at hour %d, outside the evening window", hour)
+			}
+		}
+	}
+	// Evening slots eventually produce an arrival, which re-plugs.
+	var offer *flexoffer.FlexOffer
+	for slot := flexoffer.Time(17 * flexoffer.SlotsPerHour); offer == nil && slot < 10*flexoffer.SlotsPerDay; slot++ {
+		if hourOf(slot) < 17 || hourOf(slot) > 22 {
+			continue
+		}
+		offer = ev.Tick(slot, rng).Offer
+	}
+	if offer == nil {
+		t.Fatal("no evening arrival in 10 days")
+	}
+	if !ev.plugged {
+		t.Fatal("charger did not plug on arrival")
+	}
+}
+
+// TestWetApplianceDailyLatch verifies the once-per-day latch resets at
+// midnight: after a run the appliance is silent for the rest of its
+// day, then eligible again the next.
+func TestWetApplianceDailyLatch(t *testing.T) {
+	ids := &idCounter{}
+	w := &WetAppliance{
+		Class: "dishwasher", PreferHour: 20, UseProb: 0.99,
+		ProgramSlots: 6, KWhPerSlot: 0.3, FlexHours: 8,
+		nextID: ids.next,
+	}
+	rng := rand.New(rand.NewSource(2))
+
+	runDay := func(day int) int {
+		runs := 0
+		for s := 0; s < flexoffer.SlotsPerDay; s++ {
+			slot := flexoffer.Time(day*flexoffer.SlotsPerDay + s)
+			if w.Tick(slot, rng).Offer != nil {
+				runs++
+				if w.usedToday != day+1 {
+					t.Fatalf("day %d: latch = %d, want %d", day, w.usedToday, day+1)
+				}
+			}
+		}
+		return runs
+	}
+	day0 := runDay(0)
+	if day0 > 1 {
+		t.Fatalf("day 0: %d runs, want at most 1", day0)
+	}
+	// Over enough days the latch must both fire and re-arm. UseProb is
+	// the expected trial count per day, so a run happens on roughly
+	// 1-1/e of the days; 20 days leave plenty of margin over 5.
+	total := day0
+	for d := 1; d < 20; d++ {
+		if runs := runDay(d); runs > 1 {
+			t.Fatalf("day %d: %d runs", d, runs)
+		} else {
+			total += runs
+		}
+	}
+	if total < 5 {
+		t.Fatalf("only %d runs in 20 days at 99%% daily probability", total)
+	}
+}
+
+// TestSolarPanelMorningOfferLatch pins the 06:00 curtailment offer: one
+// per day, only at the top of hour 6, silent for the rest of the day.
+func TestSolarPanelMorningOfferLatch(t *testing.T) {
+	ids := &idCounter{}
+	s := &SolarPanel{nextID: ids.next}
+	rng := rand.New(rand.NewSource(3))
+	for day := 0; day < 3; day++ {
+		for sl := 0; sl < flexoffer.SlotsPerDay; sl++ {
+			slot := flexoffer.Time(day*flexoffer.SlotsPerDay + sl)
+			e := s.Tick(slot, rng)
+			atSix := hourOf(slot) == 6 && int(slot)%flexoffer.SlotsPerHour == 0
+			if atSix {
+				if e.Offer == nil {
+					t.Fatalf("day %d: no curtailment offer at 06:00", day)
+				}
+				if s.offeredToday != day+1 {
+					t.Fatalf("day %d: latch = %d", day, s.offeredToday)
+				}
+				// The offered band is the 11:00–15:00 production window.
+				if h := hourOf(e.Offer.EarliestStart); h != 11 {
+					t.Fatalf("curtailment band starts at hour %d, want 11", h)
+				}
+			} else if e.Offer != nil {
+				t.Fatalf("day %d slot %d: offer outside the 06:00 latch", day, sl)
+			}
+		}
+	}
+}
+
+// TestIDCounterUnique verifies fleet-wide ID uniqueness under
+// concurrent households drawing from one shared counter.
+func TestIDCounterUnique(t *testing.T) {
+	ids := &idCounter{}
+	const workers, per = 8, 500
+	var wg sync.WaitGroup
+	got := make([][]flexoffer.ID, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				got[w] = append(got[w], ids.next())
+			}
+		}(w)
+	}
+	wg.Wait()
+	seen := make(map[flexoffer.ID]bool, workers*per)
+	for _, list := range got {
+		for _, id := range list {
+			if seen[id] {
+				t.Fatalf("duplicate id %d", id)
+			}
+			seen[id] = true
+		}
+	}
+	if len(seen) != workers*per {
+		t.Fatalf("ids = %d, want %d", len(seen), workers*per)
+	}
+}

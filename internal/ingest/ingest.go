@@ -1,0 +1,121 @@
+// Package ingest is the node's durable asynchronous intake path: the
+// embedded analog of an event-log backbone (Kafka-style topics) for an
+// EDMS whose BRPs take continuous flex-offer and measurement streams
+// from millions of prosumers.
+//
+// Producers append offer and measurement-batch events to a Queue and
+// are acked as soon as the event is committed to the ingest journal — a
+// group-committed append-only log reusing the store's WAL committer
+// (store.GroupLog), so concurrent producers coalesce into one physical
+// write (and, under SyncAlways, one fsync) per round. Consumer
+// goroutines drain the queue into the striped store asynchronously,
+// coalescing many small events into large ApplyBatch /
+// PutMeasurementsBatch rounds; the synchronous request/reply store
+// round-trip leaves the caller's critical path entirely.
+//
+// The queue is bounded. When it fills, the configured Policy decides
+// what backpressure looks like:
+//
+//   - PolicyBlock: the producer waits for space (honoring its context)
+//     — pushback propagates to the transport;
+//   - PolicyShed: the producer gets ErrOverloaded immediately and
+//     nothing is journaled — load is shed explicitly, never silently;
+//   - PolicyDefer: the event is journaled (durable, acked) but kept
+//     out of memory; consumers pick it back up from disk once the live
+//     queue drains — bounded memory, unbounded (disk-backed) backlog.
+//
+// Durability and recovery: an ack means the event reached the journal
+// under the journal's fsync policy. On restart, Open replays the
+// journal and re-applies every recorded event; applies are idempotent
+// upserts (and offer applies never downgrade a record that progressed
+// to scheduled/executed), so re-applying events that had already
+// reached the store converges. The journal is compacted — truncated to
+// empty after an explicit store fsync — when a Drain or Close proves
+// every event has been applied.
+//
+// Delivery is at-least-once: a producer whose ack errs mid-way may
+// still have its event applied.
+package ingest
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"mirabel/internal/store"
+)
+
+// ErrOverloaded is returned by submissions under PolicyShed when the
+// queue is full. Match with errors.Is; callers turn it into typed
+// pushback toward their own producers.
+var ErrOverloaded = errors.New("ingest: queue overloaded")
+
+// ErrClosed is returned by submissions to a closed (or killed) queue.
+var ErrClosed = errors.New("ingest: queue closed")
+
+// Policy selects what happens to a producer when the bounded queue is
+// full.
+type Policy int
+
+const (
+	// PolicyBlock makes the producer wait for space (default).
+	PolicyBlock Policy = iota
+	// PolicyShed fails the producer fast with ErrOverloaded.
+	PolicyShed
+	// PolicyDefer journals the event (durable, acked) without holding
+	// it in memory; consumers re-read it from disk once the live queue
+	// drains. Requires a journal (Config.Path).
+	PolicyDefer
+)
+
+// String names the policy as its -ingest-policy flag value.
+func (p Policy) String() string {
+	switch p {
+	case PolicyBlock:
+		return "block"
+	case PolicyShed:
+		return "shed"
+	case PolicyDefer:
+		return "defer"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// ParsePolicy maps a flag value to its Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "block":
+		return PolicyBlock, nil
+	case "shed":
+		return PolicyShed, nil
+	case "defer":
+		return PolicyDefer, nil
+	default:
+		return 0, fmt.Errorf("ingest: unknown policy %q (want block | shed | defer)", s)
+	}
+}
+
+// Config assembles a Queue.
+type Config struct {
+	// Store receives the drained events. Required.
+	Store *store.Store
+	// Path is the ingest journal file. Empty means a volatile queue:
+	// no durability, acks are immediate, recovery is impossible.
+	Path string
+	// Sync is the journal's fsync policy (store.SyncFlush by default:
+	// acks are flush-to-OS durable; store.SyncAlways makes every ack
+	// machine-crash durable at one group fsync per coalesced round).
+	Sync store.SyncPolicy
+	// SyncInterval is the background fsync cadence under SyncInterval.
+	SyncInterval time.Duration
+	// Queue bounds the in-memory event backlog (default 4096 events).
+	Queue int
+	// Policy picks the backpressure behaviour when the queue is full.
+	Policy Policy
+	// Consumers is the number of drain goroutines (default 2).
+	Consumers int
+	// MaxBatch bounds how many queued events one consumer coalesces
+	// into a single store apply (default 256).
+	MaxBatch int
+}

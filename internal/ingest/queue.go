@@ -1,0 +1,564 @@
+package ingest
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mirabel/internal/store"
+)
+
+// Journal event kinds.
+const (
+	kindOffer = "offer"
+	kindMeas  = "meas"
+)
+
+// A journal line frames one logged ingest event — a flex-offer upsert
+// or a measurement batch — as
+//
+//	kind|d|crc32hex|payload\n
+//
+// with the payload's JSON kept verbatim: the ack path is the producer's
+// latency, so the frame is built by hand instead of wrapping the
+// payload in a second json.Marshal. The d flag marks events parked on
+// disk by PolicyDefer — the refill reader re-admits them even when they
+// sit past the recovery horizon. The CRC covers kind|d|payload so
+// recovery rejects corrupt lines.
+func checksum(kind string, deferred bool, data []byte) uint32 {
+	h := crc32.NewIEEE()
+	h.Write([]byte(kind))
+	if deferred {
+		h.Write([]byte{'|', '1', '|'})
+	} else {
+		h.Write([]byte{'|', '0', '|'})
+	}
+	h.Write(data)
+	return h.Sum32()
+}
+
+// event is one queued unit of intake work. Exactly one field is set.
+type event struct {
+	offer *store.OfferRecord
+	meas  []store.Measurement
+}
+
+// marshalEvent pre-serializes the event payload so encoding errors
+// surface to the producer before the event is staged anywhere.
+func marshalEvent(ev event) (kind string, data json.RawMessage, err error) {
+	if ev.offer != nil {
+		data, err = json.Marshal(ev.offer)
+		return kindOffer, data, err
+	}
+	data, err = json.Marshal(ev.meas)
+	return kindMeas, data, err
+}
+
+// encodeLine frames a journal line from a pre-marshaled payload. JSON
+// never emits a raw newline, so the payload cannot break line framing.
+func encodeLine(kind string, deferred bool, data json.RawMessage) ([]byte, error) {
+	flag := byte('0')
+	if deferred {
+		flag = '1'
+	}
+	line := make([]byte, 0, len(kind)+len(data)+13)
+	line = append(line, kind...)
+	line = append(line, '|', flag, '|')
+	line = strconv.AppendUint(line, uint64(checksum(kind, deferred, data)), 16)
+	line = append(line, '|')
+	line = append(line, data...)
+	return append(line, '\n'), nil
+}
+
+// decodeLine parses and verifies one journal line. ok is false for
+// corrupt lines (skipped and counted, never fatal).
+func decodeLine(line []byte) (ev event, deferred bool, ok bool) {
+	line = bytes.TrimSuffix(line, []byte{'\n'})
+	k := bytes.IndexByte(line, '|')
+	if k < 0 || len(line) < k+4 || line[k+2] != '|' {
+		return event{}, false, false
+	}
+	kind := string(line[:k])
+	deferred = line[k+1] == '1'
+	rest := line[k+3:]
+	c := bytes.IndexByte(rest, '|')
+	if c < 0 {
+		return event{}, false, false
+	}
+	crc, err := strconv.ParseUint(string(rest[:c]), 16, 32)
+	if err != nil {
+		return event{}, false, false
+	}
+	data := rest[c+1:]
+	if checksum(kind, deferred, data) != uint32(crc) {
+		return event{}, false, false
+	}
+	switch kind {
+	case kindOffer:
+		var r store.OfferRecord
+		if err := json.Unmarshal(data, &r); err != nil || r.Offer == nil {
+			return event{}, false, false
+		}
+		return event{offer: &r}, deferred, true
+	case kindMeas:
+		var ms []store.Measurement
+		if err := json.Unmarshal(data, &ms); err != nil {
+			return event{}, false, false
+		}
+		return event{meas: ms}, deferred, true
+	default:
+		return event{}, false, false
+	}
+}
+
+// Queue is the durable async intake path. See the package comment for
+// the full contract. All methods are safe for concurrent use.
+type Queue struct {
+	cfg Config
+	log *store.GroupLog // nil for a volatile queue
+
+	// gate serializes submissions against Drain/Close: producers hold
+	// the read side for a whole submit, the drain barrier takes the
+	// write side so it observes a quiescent producer set.
+	gate sync.RWMutex
+
+	ch   chan event
+	stop chan struct{} // closed to retire consumers
+	done sync.WaitGroup
+
+	// pending counts events staged in memory (queued + being applied);
+	// deferred counts events parked in the journal awaiting refill.
+	// Drain waits for both to hit zero while holding the gate.
+	pending  atomic.Int64
+	deferred atomic.Int64
+
+	// horizon guards the refill reader's view of the journal: offsets
+	// below recoveredEnd predate this Queue and are re-applied
+	// wholesale; past it only Deferred-flagged lines are admitted.
+	// readOff is the next unread byte.
+	horizon      sync.Mutex
+	readOff      int64
+	recoveredEnd int64
+
+	refillKick chan struct{} // cap 1: "the journal may hold refill work"
+
+	closed  atomic.Bool
+	stopped atomic.Bool // consumers have fully exited (Close/Kill done)
+
+	stats statsCollector
+}
+
+// Open builds the queue, recovers any un-consumed journaled events, and
+// starts the consumer goroutines.
+func Open(cfg Config) (*Queue, error) {
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("ingest: Config.Store is required")
+	}
+	if cfg.Policy == PolicyDefer && cfg.Path == "" {
+		return nil, fmt.Errorf("ingest: PolicyDefer needs a journal (Config.Path)")
+	}
+	if cfg.Queue <= 0 {
+		cfg.Queue = 4096
+	}
+	if cfg.Consumers <= 0 {
+		cfg.Consumers = 2
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 256
+	}
+	q := &Queue{
+		cfg:        cfg,
+		ch:         make(chan event, cfg.Queue),
+		stop:       make(chan struct{}),
+		refillKick: make(chan struct{}, 1),
+	}
+	if cfg.Path != "" {
+		// Survey the existing journal: count recoverable events and
+		// find the intact prefix so a torn tail never hides appends.
+		recovered := 0
+		intact, err := store.ReplayLines(cfg.Path, func(line []byte) error {
+			if _, _, ok := decodeLine(line); ok {
+				recovered++
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		if fi, serr := os.Stat(cfg.Path); serr == nil && fi.Size() > intact {
+			if terr := os.Truncate(cfg.Path, intact); terr != nil {
+				return nil, fmt.Errorf("ingest: truncate torn journal tail: %w", terr)
+			}
+		}
+		log, err := store.OpenGroupLog(cfg.Path, cfg.Sync, cfg.SyncInterval)
+		if err != nil {
+			return nil, err
+		}
+		q.log = log
+		q.recoveredEnd = intact
+		if recovered > 0 {
+			q.deferred.Store(int64(recovered))
+			q.stats.recovered.Store(uint64(recovered))
+			q.kick()
+		}
+	}
+	q.done.Add(cfg.Consumers)
+	for i := 0; i < cfg.Consumers; i++ {
+		go q.consume()
+	}
+	return q, nil
+}
+
+// SubmitOffer queues a flex-offer upsert. The returned nil is the
+// durability ack (journal committed per the fsync policy); under
+// PolicyShed a full queue yields ErrOverloaded.
+func (q *Queue) SubmitOffer(ctx context.Context, rec store.OfferRecord) error {
+	if rec.Offer == nil {
+		return fmt.Errorf("ingest: offer record without offer")
+	}
+	return q.submit(ctx, event{offer: &rec})
+}
+
+// SubmitMeasurements queues a measurement batch.
+func (q *Queue) SubmitMeasurements(ctx context.Context, ms []store.Measurement) error {
+	if len(ms) == 0 {
+		return nil
+	}
+	return q.submit(ctx, event{meas: ms})
+}
+
+func (q *Queue) submit(ctx context.Context, ev event) error {
+	if q.closed.Load() {
+		return ErrClosed
+	}
+	kind, data, err := marshalEvent(ev)
+	if err != nil {
+		return fmt.Errorf("ingest: marshal event: %w", err)
+	}
+	start := time.Now()
+	q.gate.RLock()
+	defer q.gate.RUnlock()
+	if q.closed.Load() {
+		return ErrClosed
+	}
+
+	deferred := false
+	switch q.cfg.Policy {
+	case PolicyBlock:
+		q.pending.Add(1)
+		select {
+		case q.ch <- ev:
+		case <-ctx.Done():
+			q.pending.Add(-1)
+			return ctx.Err()
+		case <-q.stop:
+			q.pending.Add(-1)
+			return ErrClosed
+		}
+	case PolicyShed:
+		q.pending.Add(1)
+		select {
+		case q.ch <- ev:
+		default:
+			q.pending.Add(-1)
+			q.stats.shed.Add(1)
+			return ErrOverloaded
+		}
+	case PolicyDefer:
+		q.pending.Add(1)
+		select {
+		case q.ch <- ev:
+		default:
+			q.pending.Add(-1)
+			deferred = true
+		}
+	default:
+		return fmt.Errorf("ingest: unknown policy %v", q.cfg.Policy)
+	}
+
+	if q.log != nil {
+		line, err := encodeLine(kind, deferred, data)
+		if err == nil {
+			if deferred {
+				// Count before the append lands: a concurrent refill
+				// must never apply a journal line that is not yet
+				// reflected in the backlog counter, or the counter
+				// would stick above zero and Drain would never finish.
+				q.deferred.Add(1)
+			}
+			err = q.log.Append([][]byte{line})
+		}
+		if err != nil {
+			// A non-deferred event is already staged and will still be
+			// applied from memory; the ack fails because durability
+			// can't be promised.
+			if deferred {
+				q.deferred.Add(-1)
+				return fmt.Errorf("ingest: defer to journal: %w", err)
+			}
+			return fmt.Errorf("ingest: journal event: %w", err)
+		}
+	}
+	if deferred {
+		q.stats.deferredTotal.Add(1)
+		q.kick()
+	}
+	q.stats.enqueued.Add(1)
+	q.stats.observeAck(time.Since(start))
+	return nil
+}
+
+// kick nudges a consumer toward the journal refill path. The channel
+// holds one token; a pending token already promises a future scan.
+func (q *Queue) kick() {
+	select {
+	case q.refillKick <- struct{}{}:
+	default:
+	}
+}
+
+// consume is one drain goroutine: pull an event, greedily coalesce
+// whatever else is queued (up to MaxBatch), apply as one store round.
+func (q *Queue) consume() {
+	defer q.done.Done()
+	for {
+		select {
+		case <-q.stop:
+			return
+		case ev := <-q.ch:
+			batch := q.coalesce(ev)
+			q.applyEvents(batch)
+			q.pending.Add(-int64(len(batch)))
+		case <-q.refillKick:
+			q.refill()
+		}
+	}
+}
+
+func (q *Queue) coalesce(first event) []event {
+	batch := make([]event, 1, 16)
+	batch[0] = first
+	for len(batch) < q.cfg.MaxBatch {
+		select {
+		case ev := <-q.ch:
+			batch = append(batch, ev)
+		default:
+			return batch
+		}
+	}
+	return batch
+}
+
+// applyEvents drains one coalesced batch into the store. Measurements
+// and brand-new offers go through one ApplyBatch (one WAL group);
+// already-present offers go through UpdateOffers with a guard that
+// never downgrades a record that progressed to scheduled/executed —
+// that keeps journal replay idempotent.
+func (q *Queue) applyEvents(events []event) {
+	b := store.NewBatch()
+	var updates []store.OfferUpdate
+	for _, ev := range events {
+		switch {
+		case ev.meas != nil:
+			for _, m := range ev.meas {
+				b.PutMeasurement(m)
+			}
+		case ev.offer != nil:
+			rec := *ev.offer
+			if _, ok := q.cfg.Store.GetOffer(rec.Offer.ID); ok {
+				updates = append(updates, store.OfferUpdate{
+					ID: rec.Offer.ID,
+					Mutate: func(r *store.OfferRecord) {
+						if r.State == store.OfferScheduled || r.State == store.OfferExecuted {
+							return // never roll back a progressed offer
+						}
+						*r = rec
+					},
+				})
+			} else {
+				b.PutOffer(rec)
+			}
+		}
+	}
+	if b.Len() > 0 {
+		if err := q.cfg.Store.ApplyBatch(b); err != nil {
+			q.stats.noteApplyErr(err)
+		}
+	}
+	if len(updates) > 0 {
+		results, err := q.cfg.Store.UpdateOffers(updates)
+		if err != nil {
+			q.stats.noteApplyErr(err)
+		}
+		for i, res := range results {
+			// The existence probe raced a concurrent delete/compaction:
+			// fall back to a plain upsert.
+			if errors.Is(res.Err, store.ErrUnknownOffer) {
+				var rec store.OfferRecord
+				u := updates[i]
+				u.Mutate(&rec)
+				if rec.Offer != nil {
+					if perr := q.cfg.Store.PutOffer(rec); perr != nil {
+						q.stats.noteApplyErr(perr)
+					}
+				}
+			} else if res.Err != nil {
+				q.stats.noteApplyErr(res.Err)
+			}
+		}
+	}
+	q.stats.observeBatch(len(events))
+}
+
+// refill is the single-flight disk lane: it re-reads the journal and
+// applies every recovered-region or Deferred-flagged event until the
+// disk backlog is empty. horizon makes it single-flight — a second
+// consumer kicked concurrently just finds nothing left to read.
+func (q *Queue) refill() {
+	q.horizon.Lock()
+	defer q.horizon.Unlock()
+	for q.deferred.Load() > 0 {
+		events, err := q.readDiskBacklog()
+		if err != nil {
+			q.stats.noteApplyErr(err)
+			return
+		}
+		if len(events) == 0 {
+			return
+		}
+		q.applyEvents(events)
+		q.deferred.Add(-int64(len(events)))
+	}
+}
+
+// readDiskBacklog scans forward from readOff and collects up to
+// MaxBatch applicable events. Caller holds horizon. A partial last line
+// (a group flush racing this read) is left for the next pass.
+func (q *Queue) readDiskBacklog() ([]event, error) {
+	f, err := os.Open(q.log.Path())
+	if err != nil {
+		return nil, fmt.Errorf("ingest: open journal for refill: %w", err)
+	}
+	defer f.Close()
+	if _, err := f.Seek(q.readOff, io.SeekStart); err != nil {
+		return nil, fmt.Errorf("ingest: seek journal: %w", err)
+	}
+	r := bufio.NewReaderSize(f, 1<<20)
+	var events []event
+	for len(events) < q.cfg.MaxBatch {
+		line, err := r.ReadBytes('\n')
+		if err == io.EOF {
+			return events, nil
+		}
+		if err != nil {
+			return events, fmt.Errorf("ingest: scan journal: %w", err)
+		}
+		lineStart := q.readOff
+		q.readOff += int64(len(line))
+		ev, deferred, ok := decodeLine(line)
+		if !ok {
+			q.stats.noteApplyErr(fmt.Errorf("ingest: corrupt journal line at %d", lineStart))
+			continue
+		}
+		if lineStart < q.recoveredEnd || deferred {
+			events = append(events, ev)
+		}
+	}
+	return events, nil
+}
+
+// Drain blocks new submissions, waits until every staged and deferred
+// event has been applied, then compacts the journal (store fsync first,
+// so no acked event's only copy is lost). It is the cycle's intake
+// barrier and the graceful half of Close.
+func (q *Queue) Drain(ctx context.Context) error {
+	q.gate.Lock()
+	defer q.gate.Unlock()
+	tick := time.NewTicker(time.Millisecond)
+	defer tick.Stop()
+	for q.pending.Load() > 0 || q.deferred.Load() > 0 {
+		if q.stopped.Load() {
+			return ErrClosed
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
+	if err := q.stats.firstApplyErr(); err != nil {
+		// Events may sit in the store partially; keep the journal so a
+		// restart can re-apply, and surface the failure.
+		return err
+	}
+	if q.log != nil && !q.stopped.Load() {
+		if err := q.cfg.Store.Sync(); err != nil {
+			return err
+		}
+		if err := q.log.Truncate(); err != nil {
+			return err
+		}
+		q.horizon.Lock()
+		q.readOff, q.recoveredEnd = 0, 0
+		q.horizon.Unlock()
+	}
+	return nil
+}
+
+// Close drains gracefully, retires the consumers, and closes the
+// journal. Subsequent submissions return ErrClosed.
+func (q *Queue) Close() error {
+	if !q.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	err := q.Drain(context.Background())
+	if errors.Is(err, ErrClosed) {
+		err = nil
+	}
+	close(q.stop)
+	q.done.Wait()
+	q.stopped.Store(true)
+	if q.log != nil {
+		if cerr := q.log.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// Kill simulates a crash: consumers stop immediately, nothing is
+// drained or compacted, in-memory events are abandoned. Acked events
+// survive in the journal (to the extent the fsync policy promised) and
+// are recovered by the next Open on the same path.
+func (q *Queue) Kill() {
+	if !q.closed.CompareAndSwap(false, true) {
+		return
+	}
+	close(q.stop)
+	q.done.Wait()
+	q.stopped.Store(true)
+	if q.log != nil {
+		_ = q.log.Close()
+	}
+}
+
+// Stats snapshots the queue's counters.
+func (q *Queue) Stats() Stats {
+	s := q.stats.snapshot()
+	s.Depth = int(q.pending.Load())
+	s.DiskBacklog = int(q.deferred.Load())
+	if q.log != nil {
+		s.Journal = q.log.Stats()
+	}
+	return s
+}

@@ -148,7 +148,15 @@ func Open(dir string, opts ...Option) (*Store, error) {
 	}
 	s := newStore()
 	s.dir = dir
-	if err := s.recover(dir); err != nil {
+	liveOff, err := s.recover(dir)
+	if err != nil {
+		return nil, err
+	}
+	// A torn tail is cut before the committer reopens the log: records
+	// appended after the torn line would otherwise hide behind it — the
+	// replay scanner stops at the first corrupt line, so a later
+	// recovery would silently drop everything written past it.
+	if err := truncateTornTail(walPath(dir), liveOff); err != nil {
 		return nil, err
 	}
 	w, err := newCommitter(walPath(dir), o.policy)
@@ -157,23 +165,25 @@ func Open(dir string, opts ...Option) (*Store, error) {
 	}
 	s.w = w
 	if o.policy == SyncInterval {
-		w.stopTick = make(chan struct{})
-		w.tickDone = make(chan struct{})
-		go func(stop, done chan struct{}) {
-			defer close(done)
-			t := time.NewTicker(o.interval)
-			defer t.Stop()
-			for {
-				select {
-				case <-stop:
-					return
-				case <-t.C:
-					_ = w.sync()
-				}
-			}
-		}(w.stopTick, w.tickDone)
+		startIntervalSync(w, o.interval)
 	}
 	return s, nil
+}
+
+// truncateTornTail cuts the file at path down to intact bytes if a torn
+// write left garbage past it. A missing file is fine.
+func truncateTornTail(path string, intact int64) error {
+	fi, err := os.Stat(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	if fi.Size() <= intact {
+		return nil
+	}
+	return os.Truncate(path, intact)
 }
 
 // OpenReadOnly loads an existing durable store without creating,
@@ -202,7 +212,7 @@ func OpenReadOnly(dir string) (*Store, error) {
 	s := newStore()
 	s.dir = dir
 	s.readOnly = true
-	if err := s.recover(dir); err != nil {
+	if _, err := s.recover(dir); err != nil {
 		return nil, err
 	}
 	return s, nil
@@ -211,19 +221,20 @@ func OpenReadOnly(dir string) (*Store, error) {
 // recover rebuilds the in-memory state: snapshot image, then the sealed
 // pre-snapshot tail, then the live log. Replaying a sealed tail whose
 // snapshot completed is an idempotent no-op (puts are upserts, prunes
-// re-prune nothing).
-func (s *Store) recover(dir string) error {
+// re-prune nothing). It returns the live log's intact byte length so
+// Open can cut a torn tail before appending behind it.
+func (s *Store) recover(dir string) (int64, error) {
 	if raw, err := os.ReadFile(snapshotPath(dir)); err == nil {
 		var img snapshotImage
 		if err := json.Unmarshal(raw, &img); err != nil {
-			return fmt.Errorf("store: corrupt snapshot: %w", err)
+			return 0, fmt.Errorf("store: corrupt snapshot: %w", err)
 		}
 		s.load(&img)
 	} else if !os.IsNotExist(err) {
-		return err
+		return 0, err
 	}
-	if err := replayWAL(walOldPath(dir), s.applyLogged); err != nil {
-		return err
+	if _, err := replayWAL(walOldPath(dir), s.applyLogged); err != nil {
+		return 0, err
 	}
 	return replayWAL(walPath(dir), s.applyLogged)
 }

@@ -25,6 +25,7 @@ package store
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -293,36 +294,29 @@ func (c *committer) stats() LogStats {
 	}
 }
 
+// errStopReplay aborts a ReplayLines walk at the first corrupt record
+// without surfacing an error: everything past it is an unreadable tail.
+var errStopReplay = errors.New("store: stop replay")
+
 // replayWAL streams the log's valid records to apply; it stops silently
 // at the first corrupt or torn line (everything after a torn write is
-// unreachable anyway). A missing file is an empty log.
-func replayWAL(path string, apply func(table, op string, data json.RawMessage) error) error {
-	f, err := os.Open(path)
-	if os.IsNotExist(err) {
-		return nil
-	}
-	if err != nil {
-		return fmt.Errorf("store: open wal for replay: %w", err)
-	}
-	defer f.Close()
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 1<<20), 1<<24)
-	for sc.Scan() {
+// unreachable anyway) and returns the byte length of the intact prefix.
+// A missing file is an empty log.
+func replayWAL(path string, apply func(table, op string, data json.RawMessage) error) (int64, error) {
+	off, err := ReplayLines(path, func(line []byte) error {
 		var rec walRecord
-		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
-			return nil // torn tail
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return errStopReplay // corrupt tail
 		}
 		if rec.checksum() != rec.CRC {
-			return nil // corrupt tail
+			return errStopReplay
 		}
-		if err := apply(rec.Table, rec.Op, rec.Data); err != nil {
-			return err
-		}
+		return apply(rec.Table, rec.Op, rec.Data)
+	})
+	if errors.Is(err, errStopReplay) {
+		return off, nil
 	}
-	if err := sc.Err(); err != nil && err != io.EOF {
-		return fmt.Errorf("store: scan wal: %w", err)
-	}
-	return nil
+	return off, err
 }
 
 // On-disk artifacts: the snapshot image, the live WAL, and the sealed
