@@ -479,6 +479,77 @@ func BenchmarkAblationIncrementalAggregation(b *testing.B) {
 	})
 }
 
+// BenchmarkAggChurn measures one churn cycle — 1% of a 100 000-offer
+// population replaced, applied as a single accumulate-then-process
+// batch — on the live incremental pipeline against rebuilding the whole
+// pipeline from scratch with the post-churn population. The batched
+// delta engine only pays for touched aggregates (boundary owners
+// rebuild, everything else is an O(profile) delta), so the incremental
+// path should beat from-scratch by well over an order of magnitude.
+func BenchmarkAggChurn(b *testing.B) {
+	const n = benchOffers
+	const churn = n / 100
+	offers := workload.GenerateFlexOffers(workload.FlexOfferConfig{Count: n, Seed: 1})
+
+	// churnStep replaces churn offers starting at cursor with clones
+	// under fresh IDs and returns the delete+insert batch.
+	nextID := flexoffer.ID(10 * n)
+	churnStep := func(live []*flexoffer.FlexOffer, cursor int) []agg.FlexOfferUpdate {
+		batch := make([]agg.FlexOfferUpdate, 0, 2*churn)
+		for j := 0; j < churn; j++ {
+			idx := (cursor + j) % n
+			f := live[idx]
+			nf := *f
+			nextID++
+			nf.ID = nextID
+			live[idx] = &nf
+			batch = append(batch,
+				agg.FlexOfferUpdate{Kind: agg.Delete, Offer: f},
+				agg.FlexOfferUpdate{Kind: agg.Insert, Offer: &nf})
+		}
+		return batch
+	}
+
+	b.Run("incremental", func(b *testing.B) {
+		pipe := agg.NewPipeline(agg.ParamsP3, agg.BinPackerOptions{})
+		live := append([]*flexoffer.FlexOffer(nil), offers...)
+		ups := make([]agg.FlexOfferUpdate, n)
+		for i, f := range live {
+			ups[i] = agg.FlexOfferUpdate{Kind: agg.Insert, Offer: f}
+		}
+		if _, err := pipe.Apply(ups...); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			batch := churnStep(live, i*churn%n)
+			b.StartTimer()
+			if err := pipe.Accumulate(batch...); err != nil {
+				b.Fatal(err)
+			}
+			pipe.Process()
+		}
+	})
+
+	b.Run("from-scratch", func(b *testing.B) {
+		live := append([]*flexoffer.FlexOffer(nil), offers...)
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			churnStep(live, i*churn%n)
+			ups := make([]agg.FlexOfferUpdate, n)
+			for k, f := range live {
+				ups[k] = agg.FlexOfferUpdate{Kind: agg.Insert, Offer: f}
+			}
+			b.StartTimer()
+			pipe := agg.NewPipeline(agg.ParamsP3, agg.BinPackerOptions{})
+			if _, err := pipe.Apply(ups...); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // --- storage-engine benchmarks ----------------------------------------
 
 // benchStoreFacts populates an in-memory store with a synthetic meter

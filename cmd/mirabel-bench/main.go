@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -41,8 +42,9 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("mirabel-bench: ")
-	exp := flag.String("exp", "all", "experiment: all | fig5a | fig5b | fig5c | fig5d | fig5 | fig4a | fig4b | fig6 | exhaustive | cycle | store | tcp | sched | ingest")
+	exp := flag.String("exp", "all", "experiment: all | fig5a | fig5b | fig5c | fig5d | fig5 | fig4a | fig4b | fig6 | exhaustive | cycle | store | tcp | sched | ingest | agg")
 	maxOffers := flag.Int("maxoffers", 800000, "largest flex-offer count of the Figure 5 sweep")
+	aggOffers := flag.Int("agg-offers", 1000000, "largest flex-offer count of the agg churn experiment")
 	maxFacts := flag.Int("maxfacts", 1600000, "largest measurement count of the storage-engine sweep")
 	budget := flag.Duration("budget", 10*time.Second, "time budget of the largest Figure 6 instance")
 	seed := flag.Int64("seed", 1, "workload seed")
@@ -60,6 +62,7 @@ func main() {
 		tcpExp()
 		schedExp(*seed)
 		ingestExp(*seed)
+		aggExp(*aggOffers, *seed)
 	case "fig5", "fig5a", "fig5b", "fig5c", "fig5d":
 		fig5(*maxOffers, *seed)
 	case "fig4a":
@@ -80,6 +83,8 @@ func main() {
 		schedExp(*seed)
 	case "ingest":
 		ingestExp(*seed)
+	case "agg":
+		aggExp(*aggOffers, *seed)
 	default:
 		log.Printf("unknown experiment %q", *exp)
 		flag.Usage()
@@ -975,5 +980,96 @@ func breakerCycleExp() {
 	}
 	if got := brp.Breaker().State("p3"); got != comm.BreakerOpen {
 		log.Fatalf("p3 circuit = %v, want open", got)
+	}
+}
+
+// aggExp loads the P3 pipeline with up to maxOffers flex-offers, then
+// runs churn cycles (0.1%, 1% and 10% of the population replaced per
+// cycle, each cycle one accumulate-then-process batch) and reports the
+// per-cycle incremental cost against the from-scratch bulk-load time —
+// the speedup of the batched-delta engine over rebuilding every cycle.
+func aggExp(maxOffers int, seed int64) {
+	fmt.Println("== Agg engine: batched deltas, O(changed) churn cycles ==")
+	sizes := []int{}
+	for n := 100000; n <= maxOffers; n *= 10 {
+		sizes = append(sizes, n)
+	}
+	if len(sizes) == 0 || sizes[len(sizes)-1] != maxOffers {
+		sizes = append(sizes, maxOffers)
+	}
+	workers := runtime.GOMAXPROCS(0)
+	fmt.Println("offers   workers  churn%  batch    cycle_ms   changed/cyc  scratch_ms  speedup  aggs   ratio   loss/offer")
+	for _, n := range sizes {
+		all := workload.GenerateFlexOffers(workload.FlexOfferConfig{Count: n, Seed: seed})
+		workerRuns := []int{1}
+		if workers > 1 {
+			workerRuns = append(workerRuns, workers)
+		}
+		for _, nw := range workerRuns {
+			pipe := agg.NewPipeline(agg.ParamsP3, agg.BinPackerOptions{})
+			pipe.Workers = nw
+			live := make(map[flexoffer.ID]*flexoffer.FlexOffer, n)
+			var nextID flexoffer.ID
+			ups := make([]agg.FlexOfferUpdate, n)
+			for i, f := range all {
+				ups[i] = agg.FlexOfferUpdate{Kind: agg.Insert, Offer: f}
+				live[f.ID] = f
+				if f.ID > nextID {
+					nextID = f.ID
+				}
+			}
+			t0 := time.Now()
+			if err := pipe.Accumulate(ups...); err != nil {
+				log.Fatal(err)
+			}
+			pipe.Process()
+			scratch := time.Since(t0)
+
+			rng := rand.New(rand.NewSource(seed + int64(n) + int64(nw)))
+			ids := make([]flexoffer.ID, 0, len(live))
+			for _, pct := range []float64{0.1, 1, 10} {
+				k := int(float64(n) * pct / 100)
+				if k < 1 {
+					k = 1
+				}
+				const cycles = 5
+				var total time.Duration
+				changed := 0
+				for c := 0; c < cycles; c++ {
+					ids = ids[:0]
+					for id := range live {
+						ids = append(ids, id)
+					}
+					batch := make([]agg.FlexOfferUpdate, 0, 2*k)
+					for j := 0; j < k; j++ {
+						id := ids[rng.Intn(len(ids))]
+						f, ok := live[id]
+						if !ok { // already churned this cycle
+							continue
+						}
+						delete(live, id)
+						batch = append(batch, agg.FlexOfferUpdate{Kind: agg.Delete, Offer: f})
+						nf := *f
+						nextID++
+						nf.ID = nextID
+						live[nf.ID] = &nf
+						batch = append(batch, agg.FlexOfferUpdate{Kind: agg.Insert, Offer: &nf})
+					}
+					if err := pipe.Accumulate(batch...); err != nil {
+						log.Fatal(err)
+					}
+					t0 := time.Now()
+					outs := pipe.Process()
+					total += time.Since(t0)
+					changed += len(outs)
+				}
+				m := pipe.CurrentMetrics()
+				cycleMS := total.Seconds() * 1000 / cycles
+				scratchMS := scratch.Seconds() * 1000
+				fmt.Printf("%-8d %-8d %-7.1f %-8d %-10.2f %-12d %-11.0f %-8.1f %-6d %-7.2f %.3f\n",
+					n, nw, pct, k, cycleMS, changed/cycles, scratchMS,
+					scratchMS/cycleMS, m.Aggregates, m.CompressionRatio, m.LossPerOffer)
+			}
+		}
 	}
 }

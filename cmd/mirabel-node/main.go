@@ -49,6 +49,7 @@ func main() {
 		retainIvl = flag.Duration("retain-every", time.Minute, "how often the retention sweep runs")
 		routes    = flag.String("route", "", "comma-separated name=addr routes to peers")
 		schedWrk  = flag.Int("sched-workers", 0, "parallel portfolio workers for the scheduling search (0/1: single-threaded)")
+		aggWrk    = flag.Int("agg-workers", 0, "parallel per-aggregate workers for batched aggregation (0/1: single-threaded)")
 		ingestQ   = flag.Int("ingest-queue", 0, "async ingest queue depth in events (0: synchronous intake; needs -data)")
 		ingestPol = flag.String("ingest-policy", "block", "ingest backpressure policy when the queue is full: block | shed | defer")
 		brkWindow = flag.Int("breaker-window", 0, "circuit-breaker outcome window per destination (0: no breaker)")
@@ -122,6 +123,7 @@ func main() {
 		AggParams:    agg.ParamsP3,
 		SchedOpts:    sched.Options{TimeBudget: 2 * time.Second},
 		SchedWorkers: *schedWrk,
+		AggWorkers:   *aggWrk,
 		Middleware:   mw,
 	}
 	if *ingestQ > 0 {

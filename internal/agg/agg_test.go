@@ -1,6 +1,7 @@
 package agg
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -437,7 +438,10 @@ func aggSignature(a *Aggregate) string {
 	o := a.Offer
 	sig := []byte{byte(o.EarliestStart), byte(o.LatestStart), byte(len(o.Profile))}
 	for _, sl := range o.Profile {
-		sig = append(sig, byte(int(sl.EnergyMin*10)), byte(int(sl.EnergyMax*10)))
+		// Round, don't truncate: the delta paths may carry ~1-ulp float
+		// drift relative to a from-scratch build, and truncation would
+		// flip the digit on values that land just under a decimal.
+		sig = append(sig, byte(int(math.Round(sl.EnergyMin*10))), byte(int(math.Round(sl.EnergyMax*10))))
 	}
 	return string(sig)
 }

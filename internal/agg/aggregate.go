@@ -7,6 +7,12 @@ import (
 	"mirabel/internal/flexoffer"
 )
 
+// aggResyncEvery bounds float drift on the delta paths: after this many
+// delta add/remove operations the next batch rebuilds the aggregate from
+// scratch, re-summing profile, totals and cost (same trick as the
+// scheduler's delta evaluator).
+const aggResyncEvery = 4096
+
 // Aggregate is a macro flex-offer: the conservative combination of a set
 // of member micro flex-offers. Offer carries the combined constraints in
 // ordinary flex-offer form, so the scheduling component treats macro and
@@ -20,32 +26,47 @@ import (
 // requirement): shifting the aggregate by s slots shifts member i to
 // ES_i + s, and s ≤ TF_agg ≤ TF_i keeps every member inside its own
 // flexibility interval.
+//
+// The aggregate is maintained incrementally. Four combined attributes are
+// extrema over the members — earliest start (min), time flexibility
+// (min), assign-before (min) and profile grid end (max) — and per-extremum
+// tie counters record how many members currently sit at each boundary.
+// Removing a member that does not own any boundary (counter > 1, or the
+// member is strictly inside) is a pure O(member profile) delta: subtract
+// its profile contribution and cost terms and decrement matching
+// counters. Only removals of boundary owners fall back to a single
+// from-scratch rebuild for the whole batch.
 type Aggregate struct {
 	Offer   *flexoffer.FlexOffer
-	members []*flexoffer.FlexOffer
+	members []*flexoffer.FlexOffer // kept sorted by member ID
 
-	// TotalMin and TotalMax cache the profile's summed energy bounds.
-	// They are refreshed by a full profile traversal on every
-	// incremental add — deliberately so: this is the per-insert profile
-	// traversal whose cost grows with the profile extent, the effect the
-	// paper reports for threshold combinations that spread start times
-	// (P2/P3 aggregation is slower "due to the need to traverse
-	// flex-offer energy profiles with increased number of intervals
-	// every time a new flex-offer has to be aggregated").
+	// TotalMin and TotalMax cache the profile's summed energy bounds,
+	// maintained by deltas on add/remove.
 	TotalMin, TotalMax float64
+
+	// Version counts mutations of this aggregate. Every batch of member
+	// changes bumps it exactly once, so an unchanged Version across
+	// cycles means a cached Snapshot is still valid.
+	Version uint64
 
 	// Incrementally maintained energy-weighted activation cost inputs.
 	costSum, energySum float64
+
+	// Boundary tie counters: how many members sit at the current
+	// min-EarliestStart, min-TimeFlexibility, min-AssignBefore and
+	// max-profile-end. They make "does removing m force a rebuild?" an
+	// O(1) test.
+	nMinES, nMinTF, nMinAB, nMaxEnd int
+
+	// deltaOps counts delta operations since the last from-scratch
+	// build; at aggResyncEvery the next batch rebuilds to kill drift.
+	deltaOps int
 }
 
-// Members returns the member micro flex-offers in ID order.
+// Members returns the member micro flex-offers in ID order. The member
+// list is kept ID-sorted at insert, so no per-call sort is needed.
 func (a *Aggregate) Members() []*flexoffer.FlexOffer {
-	out := make([]*flexoffer.FlexOffer, 0, len(a.members))
-	for _, m := range a.members {
-		out = append(out, m)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-	return out
+	return append([]*flexoffer.FlexOffer(nil), a.members...)
 }
 
 // NumMembers returns the member count.
@@ -66,16 +87,29 @@ func (a *Aggregate) TimeFlexibilityLoss() flexoffer.Time {
 // valid — in particular for Disaggregate — while the live pipeline
 // keeps mutating. The combined offer is deep-copied and the member
 // list is fixed; the member flex-offers themselves are shared, which
-// is safe because accepted offers are immutable.
+// is safe because accepted offers are immutable. The copy carries the
+// source Version, so callers can cache snapshots and reuse them while
+// the live aggregate's Version is unchanged.
 func (a *Aggregate) Snapshot() *Aggregate {
 	return &Aggregate{
 		Offer:     a.Offer.Clone(),
 		members:   append([]*flexoffer.FlexOffer(nil), a.members...),
 		TotalMin:  a.TotalMin,
 		TotalMax:  a.TotalMax,
+		Version:   a.Version,
 		costSum:   a.costSum,
 		energySum: a.energySum,
+		nMinES:    a.nMinES,
+		nMinTF:    a.nMinTF,
+		nMinAB:    a.nMinAB,
+		nMaxEnd:   a.nMaxEnd,
 	}
+}
+
+// gridEnd returns the slot just past the combined profile: the maximum
+// member EarliestStart + NumSlices.
+func (a *Aggregate) gridEnd() flexoffer.Time {
+	return a.Offer.EarliestStart + flexoffer.Time(len(a.Offer.Profile))
 }
 
 // newAggregate starts an aggregate from its first member.
@@ -91,6 +125,8 @@ func newAggregate(id flexoffer.ID, first *flexoffer.FlexOffer) *Aggregate {
 			CostPerKWh:    first.CostPerKWh,
 		},
 		members: []*flexoffer.FlexOffer{first},
+		Version: 1,
+		nMinES:  1, nMinTF: 1, nMinAB: 1, nMaxEnd: 1,
 	}
 	e := absTotalMax(first)
 	a.costSum = first.CostPerKWh * e
@@ -100,37 +136,129 @@ func newAggregate(id flexoffer.ID, first *flexoffer.FlexOffer) *Aggregate {
 }
 
 // buildAggregate constructs an aggregate from scratch for the given
-// members ("aggregation from scratch is also supported").
+// members ("aggregation from scratch is also supported"). The member
+// slice is copied and ID-sorted; the caller's slice is not retained.
 func buildAggregate(id flexoffer.ID, members []*flexoffer.FlexOffer) *Aggregate {
 	if len(members) == 0 {
 		return nil
 	}
-	a := newAggregate(id, members[0])
-	for _, m := range members[1:] {
+	sorted := append([]*flexoffer.FlexOffer(nil), members...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ID < sorted[j].ID })
+	a := newAggregate(id, sorted[0])
+	for _, m := range sorted[1:] {
 		a.addProfileOnly(m)
 	}
-	a.members = members
+	a.members = sorted
 	a.refreshCost()
 	a.refreshTotals()
+	a.recountBoundaries()
 	return a
 }
 
+// memberIndex binary-searches the ID-sorted member list.
+func (a *Aggregate) memberIndex(id flexoffer.ID) int {
+	i := sort.Search(len(a.members), func(j int) bool { return a.members[j].ID >= id })
+	if i < len(a.members) && a.members[i].ID == id {
+		return i
+	}
+	return -1
+}
+
+// ownsBoundary reports whether removing m would move one of the combined
+// extrema — the O(1) "must rebuild" test.
+func (a *Aggregate) ownsBoundary(m *flexoffer.FlexOffer) bool {
+	if a.nMinES <= 1 && m.EarliestStart == a.Offer.EarliestStart {
+		return true
+	}
+	if a.nMinTF <= 1 && m.TimeFlexibility() == a.Offer.TimeFlexibility() {
+		return true
+	}
+	if a.nMinAB <= 1 && m.AssignBefore == a.Offer.AssignBefore {
+		return true
+	}
+	if a.nMaxEnd <= 1 && m.EarliestStart+flexoffer.Time(m.NumSlices()) == a.gridEnd() {
+		return true
+	}
+	return false
+}
+
+// noteBoundaries updates the tie counters for a joining member. Must run
+// BEFORE addProfileOnly mutates the combined offer, because it compares
+// against the pre-merge extrema.
+func (a *Aggregate) noteBoundaries(m *flexoffer.FlexOffer) {
+	switch {
+	case m.EarliestStart < a.Offer.EarliestStart:
+		a.nMinES = 1
+	case m.EarliestStart == a.Offer.EarliestStart:
+		a.nMinES++
+	}
+	switch {
+	case m.TimeFlexibility() < a.Offer.TimeFlexibility():
+		a.nMinTF = 1
+	case m.TimeFlexibility() == a.Offer.TimeFlexibility():
+		a.nMinTF++
+	}
+	switch {
+	case m.AssignBefore < a.Offer.AssignBefore:
+		a.nMinAB = 1
+	case m.AssignBefore == a.Offer.AssignBefore:
+		a.nMinAB++
+	}
+	end := m.EarliestStart + flexoffer.Time(m.NumSlices())
+	switch ge := a.gridEnd(); {
+	case end > ge:
+		a.nMaxEnd = 1
+	case end == ge:
+		a.nMaxEnd++
+	}
+}
+
+// recountBoundaries rebuilds the tie counters from the member list.
+func (a *Aggregate) recountBoundaries() {
+	a.nMinES, a.nMinTF, a.nMinAB, a.nMaxEnd = 0, 0, 0, 0
+	ge := a.gridEnd()
+	tf := a.Offer.TimeFlexibility()
+	for _, m := range a.members {
+		if m.EarliestStart == a.Offer.EarliestStart {
+			a.nMinES++
+		}
+		if m.TimeFlexibility() == tf {
+			a.nMinTF++
+		}
+		if m.AssignBefore == a.Offer.AssignBefore {
+			a.nMinAB++
+		}
+		if m.EarliestStart+flexoffer.Time(m.NumSlices()) == ge {
+			a.nMaxEnd++
+		}
+	}
+}
+
 // add inserts a new member incrementally ("aggregated flex-offers can be
-// incrementally updated to avoid a from-scratch re-computation").
+// incrementally updated to avoid a from-scratch re-computation"). Totals
+// are delta-updated: the combined profile gains exactly m's slice
+// contributions, so TotalMin/TotalMax grow by m's own sums.
 func (a *Aggregate) add(m *flexoffer.FlexOffer) {
-	a.members = append(a.members, m)
+	a.noteBoundaries(m)
+	i := sort.Search(len(a.members), func(j int) bool { return a.members[j].ID >= m.ID })
+	a.members = append(a.members, nil)
+	copy(a.members[i+1:], a.members[i:])
+	a.members[i] = m
 	a.addProfileOnly(m)
+	for _, sl := range m.Profile {
+		a.TotalMin += sl.EnergyMin
+		a.TotalMax += sl.EnergyMax
+	}
 	e := absTotalMax(m)
 	a.costSum += m.CostPerKWh * e
 	a.energySum += e
 	if a.energySum > 0 {
 		a.Offer.CostPerKWh = a.costSum / a.energySum
 	}
-	a.refreshTotals()
 }
 
 // addProfileOnly merges m's constraints into the combined offer without
-// refreshing the cached totals.
+// touching the cached totals or counters.
 func (a *Aggregate) addProfileOnly(m *flexoffer.FlexOffer) {
 	if m.EarliestStart < a.Offer.EarliestStart {
 		// The profile grid starts earlier now: prepend zero slices and
@@ -159,6 +287,104 @@ func (a *Aggregate) addProfileOnly(m *flexoffer.FlexOffer) {
 	if m.AssignBefore < a.Offer.AssignBefore {
 		a.Offer.AssignBefore = m.AssignBefore
 	}
+}
+
+// removeDeltaAt removes the member at index i as a pure delta: subtract
+// its profile contribution, totals and cost terms, and decrement the
+// counters it ties. Only valid when ownsBoundary(member) is false — the
+// combined extrema stay where they are.
+func (a *Aggregate) removeDeltaAt(i int) {
+	m := a.members[i]
+	if m.EarliestStart == a.Offer.EarliestStart {
+		a.nMinES--
+	}
+	if m.TimeFlexibility() == a.Offer.TimeFlexibility() {
+		a.nMinTF--
+	}
+	if m.AssignBefore == a.Offer.AssignBefore {
+		a.nMinAB--
+	}
+	if m.EarliestStart+flexoffer.Time(m.NumSlices()) == a.gridEnd() {
+		a.nMaxEnd--
+	}
+	off := int(m.EarliestStart - a.Offer.EarliestStart)
+	for j, sl := range m.Profile {
+		a.Offer.Profile[off+j].EnergyMin -= sl.EnergyMin
+		a.Offer.Profile[off+j].EnergyMax -= sl.EnergyMax
+		a.TotalMin -= sl.EnergyMin
+		a.TotalMax -= sl.EnergyMax
+	}
+	e := absTotalMax(m)
+	a.costSum -= m.CostPerKWh * e
+	a.energySum -= e
+	if a.energySum > 0 {
+		a.Offer.CostPerKWh = a.costSum / a.energySum
+	}
+	a.members = append(a.members[:i], a.members[i+1:]...)
+}
+
+// rebuildWith replaces the aggregate contents with a from-scratch build
+// over the given members, preserving identity (Offer.ID) and Version.
+// Returns false when members is empty (the aggregate died).
+func (a *Aggregate) rebuildWith(members []*flexoffer.FlexOffer) bool {
+	if len(members) == 0 {
+		a.members = a.members[:0]
+		return false
+	}
+	nb := buildAggregate(a.Offer.ID, members)
+	nb.Version = a.Version
+	*a = *nb
+	return true
+}
+
+// applyBatch applies one batch of member additions and removals as a
+// single transaction: at worst one from-scratch rebuild for the whole
+// batch (when a removed member owns a boundary or the drift budget is
+// spent), pure deltas otherwise. The Version is bumped exactly once per
+// mutating batch. Returns false when the aggregate has no members left.
+func (a *Aggregate) applyBatch(added []*flexoffer.FlexOffer, removed []flexoffer.ID) bool {
+	mutated := false
+	for i, id := range removed {
+		idx := a.memberIndex(id)
+		if idx < 0 {
+			continue // not a member: nothing to remove, no rebuild
+		}
+		if !mutated {
+			mutated = true
+			a.Version++
+		}
+		if a.deltaOps >= aggResyncEvery || a.ownsBoundary(a.members[idx]) {
+			// One rebuild covers the rest of the batch: drop every
+			// still-pending removal, merge the additions, build once.
+			rest := make(map[flexoffer.ID]bool, len(removed)-i)
+			for _, rid := range removed[i:] {
+				rest[rid] = true
+			}
+			survivors := make([]*flexoffer.FlexOffer, 0, len(a.members)-1+len(added))
+			for _, m := range a.members {
+				if !rest[m.ID] {
+					survivors = append(survivors, m)
+				}
+			}
+			survivors = append(survivors, added...)
+			return a.rebuildWith(survivors)
+		}
+		a.removeDeltaAt(idx)
+		a.deltaOps++
+	}
+	if len(added) > 0 && !mutated {
+		a.Version++
+	}
+	if len(a.members) == 0 {
+		// Emptied (can only happen defensively — the last member always
+		// owns every boundary) and possibly refilled within the batch.
+		return a.rebuildWith(append([]*flexoffer.FlexOffer(nil), added...))
+	}
+	for _, m := range added {
+		a.add(m)
+		a.deltaOps++
+	}
+	return true
 }
 
 // refreshTotals recomputes the cached energy bounds by traversing the
@@ -194,20 +420,13 @@ func absTotalMax(m *flexoffer.FlexOffer) float64 {
 	return e
 }
 
-// remove deletes a member and rebuilds the remaining aggregate. Returns
-// false when the aggregate became empty.
+// remove deletes a single member. Unknown ids return immediately without
+// touching the aggregate. Returns false when the aggregate became empty.
 func (a *Aggregate) remove(id flexoffer.ID) bool {
-	for i, m := range a.members {
-		if m.ID == id {
-			a.members = append(a.members[:i], a.members[i+1:]...)
-			break
-		}
+	if a.memberIndex(id) < 0 {
+		return true
 	}
-	if len(a.members) == 0 {
-		return false
-	}
-	*a = *buildAggregate(a.Offer.ID, a.members)
-	return true
+	return a.applyBatch(nil, []flexoffer.ID{id})
 }
 
 // Disaggregate converts a schedule of the aggregate into one valid
@@ -237,7 +456,7 @@ func (a *Aggregate) Disaggregate(sched *flexoffer.Schedule) ([]*flexoffer.Schedu
 	}
 
 	out := make([]*flexoffer.Schedule, 0, len(a.members))
-	for _, m := range a.Members() {
+	for _, m := range a.members {
 		off := int(m.EarliestStart - a.Offer.EarliestStart)
 		energy := make([]float64, m.NumSlices())
 		for j, sl := range m.Profile {

@@ -1,0 +1,348 @@
+package agg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mirabel/internal/flexoffer"
+)
+
+// equivAggregates compares a live (delta-maintained) aggregate against a
+// from-scratch build over the same members: combined offer attributes
+// exactly, profile/totals/cost within float tolerance.
+func equivAggregates(t *testing.T, live *Aggregate, tag string) bool {
+	t.Helper()
+	scratch := buildAggregate(live.Offer.ID, live.Members())
+	lo, so := live.Offer, scratch.Offer
+	if lo.EarliestStart != so.EarliestStart || lo.LatestStart != so.LatestStart ||
+		lo.AssignBefore != so.AssignBefore || len(lo.Profile) != len(so.Profile) {
+		t.Logf("%s: attrs live=(es=%d ls=%d ab=%d len=%d) scratch=(es=%d ls=%d ab=%d len=%d)",
+			tag, lo.EarliestStart, lo.LatestStart, lo.AssignBefore, len(lo.Profile),
+			so.EarliestStart, so.LatestStart, so.AssignBefore, len(so.Profile))
+		return false
+	}
+	const eps = 1e-9
+	for j := range lo.Profile {
+		if math.Abs(lo.Profile[j].EnergyMin-so.Profile[j].EnergyMin) > eps ||
+			math.Abs(lo.Profile[j].EnergyMax-so.Profile[j].EnergyMax) > eps {
+			t.Logf("%s: slice %d live=%+v scratch=%+v", tag, j, lo.Profile[j], so.Profile[j])
+			return false
+		}
+	}
+	if math.Abs(live.TotalMin-scratch.TotalMin) > eps || math.Abs(live.TotalMax-scratch.TotalMax) > eps {
+		t.Logf("%s: totals live=[%g,%g] scratch=[%g,%g]", tag, live.TotalMin, live.TotalMax, scratch.TotalMin, scratch.TotalMax)
+		return false
+	}
+	if math.Abs(lo.CostPerKWh-so.CostPerKWh) > eps {
+		t.Logf("%s: cost live=%g scratch=%g", tag, lo.CostPerKWh, so.CostPerKWh)
+		return false
+	}
+	if live.nMinES != scratch.nMinES || live.nMinTF != scratch.nMinTF ||
+		live.nMinAB != scratch.nMinAB || live.nMaxEnd != scratch.nMaxEnd {
+		t.Logf("%s: counters live=(%d,%d,%d,%d) scratch=(%d,%d,%d,%d)", tag,
+			live.nMinES, live.nMinTF, live.nMinAB, live.nMaxEnd,
+			scratch.nMinES, scratch.nMinTF, scratch.nMinAB, scratch.nMaxEnd)
+		return false
+	}
+	return true
+}
+
+// Property (the delta-path correctness pin): after any random
+// interleaving of batched inserts and deletes, every live aggregate is
+// equivalent to a from-scratch build over its current members.
+func TestPropertyDeltaEqualsScratch(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := NewPipeline(ParamsP3, BinPackerOptions{})
+		p.Workers = 1 + rng.Intn(4)
+		pool := randomOffers(rng, 120)
+		for i := range pool {
+			pool[i].CostPerKWh = rng.Float64() * 0.5
+		}
+		live := map[flexoffer.ID]*flexoffer.FlexOffer{}
+		next := 0
+		for round := 0; round < 8; round++ {
+			var batch []FlexOfferUpdate
+			// Random deletes of live offers.
+			for id, off := range live {
+				if rng.Intn(3) == 0 {
+					batch = append(batch, FlexOfferUpdate{Kind: Delete, Offer: off})
+					delete(live, id)
+				}
+			}
+			// Random inserts from the pool.
+			for next < len(pool) && rng.Intn(2) == 0 {
+				batch = append(batch, FlexOfferUpdate{Kind: Insert, Offer: pool[next]})
+				live[pool[next].ID] = pool[next]
+				next++
+			}
+			if err := p.Accumulate(batch...); err != nil {
+				t.Logf("seed %d round %d: %v", seed, round, err)
+				return false
+			}
+			p.Process()
+			for _, a := range p.Aggregates() {
+				if !equivAggregates(t, a, "live") {
+					t.Logf("seed %d round %d: aggregate %d diverged", seed, round, a.Offer.ID)
+					return false
+				}
+			}
+		}
+		if got := p.GroupBuilder.NumOffers(); got != len(live) {
+			t.Logf("seed %d: grouped offers %d, want %d", seed, got, len(live))
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The parallel fan-out must be invisible: identical update streams
+// produce identical aggregates (IDs, members, profiles) at any worker
+// count.
+func TestParallelProcessMatchesSerial(t *testing.T) {
+	build := func(workers int) *Pipeline {
+		rng := rand.New(rand.NewSource(7))
+		p := NewPipeline(ParamsP3, BinPackerOptions{MaxMembers: 6})
+		p.Workers = workers
+		offers := randomOffers(rng, 200)
+		if err := p.Accumulate(inserts(offers[:120]...)...); err != nil {
+			t.Fatal(err)
+		}
+		p.Process()
+		var batch []FlexOfferUpdate
+		for i := 0; i < 40; i++ {
+			batch = append(batch, FlexOfferUpdate{Kind: Delete, Offer: offers[i*3]})
+		}
+		batch = append(batch, inserts(offers[120:]...)...)
+		if err := p.Accumulate(batch...); err != nil {
+			t.Fatal(err)
+		}
+		p.Process()
+		return p
+	}
+	serial := build(1)
+	for _, w := range []int{2, 4, 8} {
+		par := build(w)
+		sa, pa := serial.Aggregates(), par.Aggregates()
+		if len(sa) != len(pa) {
+			t.Fatalf("workers=%d: %d aggregates, serial has %d", w, len(pa), len(sa))
+		}
+		for i := range sa {
+			if sa[i].Offer.ID != pa[i].Offer.ID {
+				t.Fatalf("workers=%d: aggregate %d has ID %d, serial %d", w, i, pa[i].Offer.ID, sa[i].Offer.ID)
+			}
+			if aggSignature(sa[i]) != aggSignature(pa[i]) {
+				t.Errorf("workers=%d: aggregate %d signature mismatch", w, pa[i].Offer.ID)
+			}
+			sm, pm := sa[i].Members(), pa[i].Members()
+			if len(sm) != len(pm) {
+				t.Fatalf("workers=%d: aggregate %d members %d vs %d", w, pa[i].Offer.ID, len(pm), len(sm))
+			}
+			for j := range sm {
+				if sm[j].ID != pm[j].ID {
+					t.Errorf("workers=%d: aggregate %d member %d is %d, serial %d", w, pa[i].Offer.ID, j, pm[j].ID, sm[j].ID)
+				}
+			}
+		}
+	}
+}
+
+// Satellite: a batch that fails validation must leave the builder
+// untouched — no half-applied inserts, no stuck pending updates.
+func TestAccumulateBatchAtomicOnError(t *testing.T) {
+	p := NewPipeline(ParamsP0, BinPackerOptions{})
+	good := offer(1, 100, 8, 4, 1, 2)
+	if _, err := p.Apply(inserts(good)...); err != nil {
+		t.Fatal(err)
+	}
+	bad := offer(3, 100, 8, 4, 1, 2)
+	bad.LatestStart = 50 // invalid
+	batch := []FlexOfferUpdate{
+		{Kind: Insert, Offer: offer(2, 100, 8, 4, 1, 2)}, // valid, earlier in batch
+		{Kind: Delete, Offer: good},                      // valid, earlier in batch
+		{Kind: Insert, Offer: bad},                       // fails validation
+	}
+	if err := p.Accumulate(batch...); err == nil {
+		t.Fatal("batch with invalid offer should error")
+	}
+	if n := p.NumPending(); n != 0 {
+		t.Errorf("pending after failed batch = %d, want 0", n)
+	}
+	// Offer 2's insert and offer 1's delete must NOT have been recorded.
+	if p.Contains(2) {
+		t.Error("failed batch leaked insert of offer 2")
+	}
+	if !p.Contains(1) {
+		t.Error("failed batch applied delete of offer 1")
+	}
+	ups := p.Process()
+	if len(ups) != 0 {
+		t.Errorf("process after failed batch produced %d updates, want 0", len(ups))
+	}
+	if got := len(p.Aggregates()); got != 1 {
+		t.Errorf("aggregates = %d, want 1 (only the original offer)", got)
+	}
+	// And the builder still works: a duplicate-id batch also rolls back.
+	if err := p.Accumulate(
+		FlexOfferUpdate{Kind: Insert, Offer: offer(5, 100, 8, 4, 1, 2)},
+		FlexOfferUpdate{Kind: Insert, Offer: offer(1, 100, 8, 4, 1, 2)}, // dup of applied
+	); err == nil {
+		t.Fatal("duplicate id in batch should error")
+	}
+	if p.Contains(5) || p.NumPending() != 0 {
+		t.Error("duplicate-id batch leaked state")
+	}
+}
+
+// Satellite: removing an id that is not a member must be a no-op — no
+// rebuild, no version bump.
+func TestRemoveUnknownIDNoRebuild(t *testing.T) {
+	a := buildAggregate(1, []*flexoffer.FlexOffer{
+		offer(10, 100, 8, 4, 1, 2),
+		offer(11, 100, 8, 4, 1, 2),
+	})
+	v := a.Version
+	if !a.remove(99) {
+		t.Fatal("remove of unknown id reported aggregate death")
+	}
+	if a.Version != v {
+		t.Errorf("remove of unknown id bumped version %d → %d", v, a.Version)
+	}
+	if a.NumMembers() != 2 {
+		t.Errorf("members = %d, want 2", a.NumMembers())
+	}
+	if !a.applyBatch(nil, []flexoffer.ID{98, 97}) {
+		t.Fatal("batch of unknown removals reported aggregate death")
+	}
+	if a.Version != v {
+		t.Errorf("unknown-only batch bumped version %d → %d", v, a.Version)
+	}
+}
+
+// A delete of a still-pending insert cancels it: the offer never reaches
+// the groups, and the batch costs nothing at Process time.
+func TestInsertThenDeleteCancelsPending(t *testing.T) {
+	p := NewPipeline(ParamsP0, BinPackerOptions{})
+	f := offer(1, 100, 8, 4, 1, 2)
+	if err := p.Accumulate(FlexOfferUpdate{Kind: Insert, Offer: f}); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Contains(1) {
+		t.Fatal("pending insert not visible to Contains")
+	}
+	if err := p.Accumulate(FlexOfferUpdate{Kind: Delete, Offer: f}); err != nil {
+		t.Fatal(err)
+	}
+	if p.Contains(1) {
+		t.Error("cancelled insert still visible")
+	}
+	if n := p.NumPending(); n != 0 {
+		t.Errorf("pending = %d, want 0 after cancellation", n)
+	}
+	if ups := p.Process(); len(ups) != 0 {
+		t.Errorf("cancelled insert produced %d aggregate updates", len(ups))
+	}
+	// Re-insert after cancellation must work.
+	if _, err := p.Apply(inserts(f)...); err != nil {
+		t.Fatalf("re-insert after cancellation: %v", err)
+	}
+	if got := len(p.Aggregates()); got != 1 {
+		t.Errorf("aggregates = %d, want 1", got)
+	}
+}
+
+// Delete-then-reinsert of the same id within one batch replaces the
+// offer (new attributes, possibly a new group).
+func TestDeleteThenReinsertSameBatch(t *testing.T) {
+	p := NewPipeline(ParamsP0, BinPackerOptions{})
+	f := offer(1, 100, 8, 4, 1, 2)
+	if _, err := p.Apply(inserts(f)...); err != nil {
+		t.Fatal(err)
+	}
+	moved := offer(1, 200, 8, 4, 1, 2)
+	if _, err := p.Apply(
+		FlexOfferUpdate{Kind: Delete, Offer: f},
+		FlexOfferUpdate{Kind: Insert, Offer: moved},
+	); err != nil {
+		t.Fatal(err)
+	}
+	aggs := p.Aggregates()
+	if len(aggs) != 1 {
+		t.Fatalf("aggregates = %d, want 1", len(aggs))
+	}
+	if aggs[0].Offer.EarliestStart != 200 {
+		t.Errorf("aggregate ES = %d, want the reinserted offer's 200", aggs[0].Offer.EarliestStart)
+	}
+}
+
+// Versions bump exactly once per mutating batch, and Snapshot carries
+// the version so callers can reuse cached snapshots of unchanged
+// aggregates.
+func TestVersionPerBatchAndSnapshotCarriesVersion(t *testing.T) {
+	p := NewPipeline(ParamsP0, BinPackerOptions{})
+	var batch []FlexOfferUpdate
+	for i := 1; i <= 4; i++ {
+		batch = append(batch, FlexOfferUpdate{Kind: Insert, Offer: offer(flexoffer.ID(i), 100, 8, 4, 1, 2)})
+	}
+	if _, err := p.Apply(batch...); err != nil {
+		t.Fatal(err)
+	}
+	a := p.Aggregates()[0]
+	v0 := a.Version
+	snap := a.Snapshot()
+	if snap.Version != v0 {
+		t.Fatalf("snapshot version %d, live %d", snap.Version, v0)
+	}
+	// One batch with two deletes: exactly one version bump.
+	if _, err := p.Apply(
+		FlexOfferUpdate{Kind: Delete, Offer: offer(1, 100, 8, 4, 1, 2)},
+		FlexOfferUpdate{Kind: Delete, Offer: offer(2, 100, 8, 4, 1, 2)},
+	); err != nil {
+		t.Fatal(err)
+	}
+	if a.Version != v0+1 {
+		t.Errorf("version after one batch = %d, want %d", a.Version, v0+1)
+	}
+	if snap.NumMembers() != 4 {
+		t.Errorf("snapshot members = %d, want 4 (frozen)", snap.NumMembers())
+	}
+}
+
+// A member that ties a boundary with others is delta-removable; the last
+// member at a boundary forces exactly one rebuild for the batch.
+func TestBoundaryCountersGateRebuild(t *testing.T) {
+	// Three members: two share min TF (2), one has larger TF.
+	a := buildAggregate(1, []*flexoffer.FlexOffer{
+		offer(10, 100, 2, 4, 1, 2),
+		offer(11, 100, 2, 4, 1, 2),
+		offer(12, 100, 9, 4, 1, 2),
+	})
+	if a.nMinTF != 2 {
+		t.Fatalf("nMinTF = %d, want 2", a.nMinTF)
+	}
+	// Removing one of the tied members keeps TF at 2 (delta path).
+	if !a.applyBatch(nil, []flexoffer.ID{10}) {
+		t.Fatal("aggregate died")
+	}
+	if tf := a.Offer.TimeFlexibility(); tf != 2 {
+		t.Errorf("TF after tied removal = %d, want 2", tf)
+	}
+	if a.nMinTF != 1 {
+		t.Errorf("nMinTF = %d, want 1", a.nMinTF)
+	}
+	// Removing the last min-TF member must widen TF to 9 (rebuild path).
+	if !a.applyBatch(nil, []flexoffer.ID{11}) {
+		t.Fatal("aggregate died")
+	}
+	if tf := a.Offer.TimeFlexibility(); tf != 9 {
+		t.Errorf("TF after boundary-owner removal = %d, want 9", tf)
+	}
+	if !equivAggregates(t, a, "after boundary removal") {
+		t.Error("aggregate diverged from scratch build")
+	}
+}

@@ -3,6 +3,8 @@ package agg
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"mirabel/internal/flexoffer"
 )
@@ -25,50 +27,100 @@ func NewNTo1() *NTo1 {
 	}
 }
 
-// Process applies sub-group deltas to the maintained aggregates and
-// returns aggregated flex-offer updates.
+// aggTask is one sub-group's batch transaction. Tasks touch disjoint
+// aggregates (one sub-group maps to one aggregate), so they can run on
+// any worker in any order with identical results.
+type aggTask struct {
+	sub     subgroupUpdate
+	a       *Aggregate
+	created bool
+	alive   bool
+}
+
+// Process applies sub-group deltas serially.
 func (n *NTo1) Process(updates []subgroupUpdate) []AggregateUpdate {
-	var out []AggregateUpdate
+	return n.process(updates, 1)
+}
+
+// process applies sub-group deltas, each as one batched transaction per
+// touched aggregate, fanning the per-aggregate work across up to the
+// given number of workers. The result is independent of the worker
+// count: updates are sorted, aggregate IDs are assigned serially before
+// the fan-out, and each task mutates only its own aggregate.
+func (n *NTo1) process(updates []subgroupUpdate, workers int) []AggregateUpdate {
+	if len(updates) == 0 {
+		return nil
+	}
+	sortSubgroupUpdates(updates)
+
+	// Serial classification: resolve existing aggregates and assign new
+	// macro flex-offer IDs in deterministic order.
+	tasks := make([]*aggTask, 0, len(updates))
 	for _, u := range updates {
 		a, exists := n.aggregates[u.id]
-		switch {
-		case !exists && len(u.added) == 0:
-			continue // removals for an already-gone aggregate
-		case !exists:
-			// Build incrementally, one member at a time — the per-offer
-			// profile traversal is the aggregation cost the experiments
-			// measure.
-			a = newAggregate(n.nextID, u.added[0])
-			for _, m := range u.added[1:] {
-				a.add(m)
+		if !exists {
+			if len(u.added) == 0 {
+				continue // removals for an already-gone aggregate
 			}
+			tasks = append(tasks, &aggTask{sub: u, created: true, a: &Aggregate{
+				Offer: &flexoffer.FlexOffer{ID: n.nextID},
+			}})
 			n.nextID++
-			n.aggregates[u.id] = a
-			n.byAggID[a.Offer.ID] = a
-			out = append(out, AggregateUpdate{Kind: Created, Aggregate: a})
-		default:
-			alive := true
-			for _, id := range u.removed {
-				if !a.remove(id) {
-					alive = false
-					break
+			continue
+		}
+		tasks = append(tasks, &aggTask{sub: u, a: a})
+	}
+
+	// Parallel phase: each task builds or batch-updates one aggregate.
+	run := func(t *aggTask) {
+		if t.created {
+			id := t.a.Offer.ID
+			t.a = buildAggregate(id, t.sub.added)
+			t.alive = true
+			return
+		}
+		t.alive = t.a.applyBatch(t.sub.added, t.sub.removed)
+	}
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	if workers <= 1 {
+		for _, t := range tasks {
+			run(t)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(tasks) {
+						return
+					}
+					run(tasks[i])
 				}
-			}
-			if !alive && len(u.added) == 0 {
-				delete(n.aggregates, u.id)
-				delete(n.byAggID, a.Offer.ID)
-				out = append(out, AggregateUpdate{Kind: Deleted, Aggregate: a})
-				continue
-			}
-			if !alive { // emptied, then refilled within the same batch
-				*a = *buildAggregate(a.Offer.ID, append([]*flexoffer.FlexOffer(nil), u.added...))
-				out = append(out, AggregateUpdate{Kind: Changed, Aggregate: a})
-				continue
-			}
-			for _, m := range u.added {
-				a.add(m)
-			}
-			out = append(out, AggregateUpdate{Kind: Changed, Aggregate: a})
+			}()
+		}
+		wg.Wait()
+	}
+
+	// Serial commit in task order.
+	out := make([]AggregateUpdate, 0, len(tasks))
+	for _, t := range tasks {
+		switch {
+		case t.created:
+			n.aggregates[t.sub.id] = t.a
+			n.byAggID[t.a.Offer.ID] = t.a
+			out = append(out, AggregateUpdate{Kind: Created, Aggregate: t.a})
+		case !t.alive:
+			delete(n.aggregates, t.sub.id)
+			delete(n.byAggID, t.a.Offer.ID)
+			out = append(out, AggregateUpdate{Kind: Deleted, Aggregate: t.a})
+		default:
+			out = append(out, AggregateUpdate{Kind: Changed, Aggregate: t.a})
 		}
 	}
 	return out
@@ -93,10 +145,16 @@ func (n *NTo1) Lookup(id flexoffer.ID) (*Aggregate, bool) {
 // Pipeline chains group-builder, optional bin-packer and n-to-1
 // aggregator exactly as in the paper ("these sub-components are chained
 // so that provided flex-offer updates traverse them sequentially").
+// Intake accumulates; Process runs the whole chain once per batch.
 type Pipeline struct {
 	GroupBuilder *GroupBuilder
 	BinPacker    *BinPacker // nil when disabled
 	Aggregator   *NTo1
+
+	// Workers bounds the parallel per-sub-group aggregation fan-out in
+	// Process; values ≤ 1 run serially. Results are identical at any
+	// worker count.
+	Workers int
 }
 
 // NewPipeline assembles an aggregation pipeline. Pass a zero
@@ -113,13 +171,20 @@ func NewPipeline(params Params, binOpts BinPackerOptions) *Pipeline {
 	return p
 }
 
-// Apply pushes flex-offer updates through the pipeline and returns the
-// resulting aggregate updates.
-func (p *Pipeline) Apply(updates ...FlexOfferUpdate) ([]AggregateUpdate, error) {
-	p.GroupBuilder.Accumulate(updates...)
-	groups, err := p.GroupBuilder.Process()
-	if err != nil {
-		return nil, err
+// Accumulate validates and queues flex-offer updates without processing
+// them — the intake half of the paper's accumulate-then-process design.
+// On error nothing is queued.
+func (p *Pipeline) Accumulate(updates ...FlexOfferUpdate) error {
+	return p.GroupBuilder.Accumulate(updates...)
+}
+
+// Process pushes every accumulated update through the pipeline as one
+// batch and returns the resulting aggregate updates. It cannot fail:
+// all validation happened in Accumulate.
+func (p *Pipeline) Process() []AggregateUpdate {
+	groups := p.GroupBuilder.Process()
+	if len(groups) == 0 {
+		return nil
 	}
 	var subs []subgroupUpdate
 	if p.BinPacker != nil {
@@ -127,8 +192,24 @@ func (p *Pipeline) Apply(updates ...FlexOfferUpdate) ([]AggregateUpdate, error) 
 	} else {
 		subs = passthrough(groups)
 	}
-	return p.Aggregator.Process(subs), nil
+	return p.Aggregator.process(subs, p.Workers)
 }
+
+// Apply is Accumulate followed immediately by Process — the one-call
+// form for tests, tools and synchronous callers.
+func (p *Pipeline) Apply(updates ...FlexOfferUpdate) ([]AggregateUpdate, error) {
+	if err := p.GroupBuilder.Accumulate(updates...); err != nil {
+		return nil, err
+	}
+	return p.Process(), nil
+}
+
+// Contains reports whether the offer id is live in the pipeline (applied
+// or pending insertion).
+func (p *Pipeline) Contains(id flexoffer.ID) bool { return p.GroupBuilder.Contains(id) }
+
+// NumPending returns the number of accumulated-but-unprocessed updates.
+func (p *Pipeline) NumPending() int { return p.GroupBuilder.NumPending() }
 
 // Aggregates returns the current macro flex-offers.
 func (p *Pipeline) Aggregates() []*Aggregate { return p.Aggregator.Aggregates() }

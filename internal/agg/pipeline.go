@@ -2,6 +2,7 @@ package agg
 
 import (
 	"fmt"
+	"sort"
 
 	"mirabel/internal/flexoffer"
 )
@@ -18,33 +19,131 @@ type groupUpdate struct {
 // offers according to the aggregation thresholds. Updates accumulate
 // until Process is invoked (paper: "flex-offer updates are accumulated
 // within the group-builder until their further processing is invoked").
+//
+// Accumulate validates each whole batch up front against the membership
+// index and the already-pending updates, then records it infallibly —
+// a failed batch leaves the builder exactly as it was, and Process can
+// never fail half way through. Pending inserts and deletes are kept as
+// net-effect maps: deleting a still-pending insert cancels it, so an
+// offer that arrives and expires between two cycles costs nothing.
 type GroupBuilder struct {
-	params  Params
-	pending []FlexOfferUpdate
-	groups  map[groupKey]map[flexoffer.ID]*flexoffer.FlexOffer
-	offers  int
+	params Params
+	groups map[groupKey]map[flexoffer.ID]*flexoffer.FlexOffer
+	// byID is the membership index over applied offers: which group an
+	// offer lives in. Delete validation is a map lookup — the offer's
+	// grouping key is never re-derived from caller-supplied attributes.
+	byID   map[flexoffer.ID]groupKey
+	offers int
+
+	// Net-effect pending state, applied by Process.
+	pendingIns map[flexoffer.ID]*flexoffer.FlexOffer
+	pendingDel map[flexoffer.ID]bool
 }
 
 // NewGroupBuilder returns an empty group-builder with the given
 // thresholds.
 func NewGroupBuilder(params Params) *GroupBuilder {
 	return &GroupBuilder{
-		params: params,
-		groups: make(map[groupKey]map[flexoffer.ID]*flexoffer.FlexOffer),
+		params:     params,
+		groups:     make(map[groupKey]map[flexoffer.ID]*flexoffer.FlexOffer),
+		byID:       make(map[flexoffer.ID]groupKey),
+		pendingIns: make(map[flexoffer.ID]*flexoffer.FlexOffer),
+		pendingDel: make(map[flexoffer.ID]bool),
 	}
 }
 
-// Accumulate queues flex-offer updates for the next Process call. Delete
-// updates must carry the same offer attributes as the original insert
-// (the node keeps flex-offers in its store), because the group is located
-// by re-deriving the grouping key.
-func (g *GroupBuilder) Accumulate(updates ...FlexOfferUpdate) {
-	g.pending = append(g.pending, updates...)
+// Accumulate queues flex-offer updates for the next Process call. The
+// whole batch is validated first (offer validity, duplicate inserts,
+// deletes of unknown offers); on error nothing is recorded. A Delete of
+// an offer whose Insert is still pending cancels the insert in place.
+func (g *GroupBuilder) Accumulate(updates ...FlexOfferUpdate) error {
+	// Simulated net effect of this batch, committed only if every update
+	// validates.
+	var (
+		insAdd map[flexoffer.ID]*flexoffer.FlexOffer // pendingIns additions
+		insCut map[flexoffer.ID]bool                 // pendingIns cancellations
+		delAdd map[flexoffer.ID]bool                 // pendingDel additions
+	)
+	pendingInsert := func(id flexoffer.ID) bool {
+		if insAdd[id] != nil {
+			return true
+		}
+		if insCut[id] {
+			return false
+		}
+		return g.pendingIns[id] != nil
+	}
+	pendingDelete := func(id flexoffer.ID) bool {
+		return delAdd[id] || g.pendingDel[id]
+	}
+	for _, u := range updates {
+		switch u.Kind {
+		case Insert:
+			if err := u.Offer.Validate(); err != nil {
+				return fmt.Errorf("agg: rejecting offer: %w", err)
+			}
+			id := u.Offer.ID
+			if pendingInsert(id) {
+				return fmt.Errorf("agg: duplicate flex-offer id %d", id)
+			}
+			if _, applied := g.byID[id]; applied && !pendingDelete(id) {
+				return fmt.Errorf("agg: duplicate flex-offer id %d", id)
+			}
+			if insAdd == nil {
+				insAdd = make(map[flexoffer.ID]*flexoffer.FlexOffer)
+			}
+			insAdd[id] = u.Offer
+			delete(insCut, id)
+		case Delete:
+			if u.Offer == nil {
+				return fmt.Errorf("agg: delete of nil flex-offer")
+			}
+			id := u.Offer.ID
+			switch {
+			case pendingInsert(id):
+				// Cancel the not-yet-processed insert: net effect zero.
+				if insAdd[id] != nil {
+					delete(insAdd, id)
+				} else {
+					if insCut == nil {
+						insCut = make(map[flexoffer.ID]bool)
+					}
+					insCut[id] = true
+				}
+			default:
+				if _, applied := g.byID[id]; !applied || pendingDelete(id) {
+					return fmt.Errorf("agg: delete of unknown flex-offer id %d", id)
+				}
+				if delAdd == nil {
+					delAdd = make(map[flexoffer.ID]bool)
+				}
+				delAdd[id] = true
+			}
+		default:
+			return fmt.Errorf("agg: unknown update kind %v", u.Kind)
+		}
+	}
+	// Commit — infallible.
+	for id := range insCut {
+		delete(g.pendingIns, id)
+	}
+	for id, off := range insAdd {
+		g.pendingIns[id] = off
+	}
+	for id := range delAdd {
+		g.pendingDel[id] = true
+	}
+	return nil
 }
 
 // Process applies all accumulated updates to the maintained groups and
-// returns the group deltas.
-func (g *GroupBuilder) Process() ([]groupUpdate, error) {
+// returns the group deltas. It cannot fail: every update was validated
+// by Accumulate. Deltas are emitted in deterministic (key, member-ID)
+// order so downstream parallel processing assigns stable aggregate IDs.
+func (g *GroupBuilder) Process() []groupUpdate {
+	if len(g.pendingIns) == 0 && len(g.pendingDel) == 0 {
+		return nil
+	}
 	deltas := make(map[groupKey]*groupUpdate)
 	delta := func(k groupKey) *groupUpdate {
 		d, ok := deltas[k]
@@ -54,47 +153,79 @@ func (g *GroupBuilder) Process() ([]groupUpdate, error) {
 		}
 		return d
 	}
-	for _, u := range g.pending {
-		switch u.Kind {
-		case Insert:
-			if err := u.Offer.Validate(); err != nil {
-				return nil, fmt.Errorf("agg: rejecting offer: %w", err)
-			}
-			k := g.params.keyOf(u.Offer)
-			grp, ok := g.groups[k]
-			if !ok {
-				grp = make(map[flexoffer.ID]*flexoffer.FlexOffer)
-				g.groups[k] = grp
-			}
-			if _, dup := grp[u.Offer.ID]; dup {
-				return nil, fmt.Errorf("agg: duplicate flex-offer id %d", u.Offer.ID)
-			}
-			grp[u.Offer.ID] = u.Offer
-			g.offers++
-			delta(k).added = append(delta(k).added, u.Offer)
-		case Delete:
-			k := g.params.keyOf(u.Offer)
-			grp := g.groups[k]
-			off, ok := grp[u.Offer.ID]
-			if !ok {
-				return nil, fmt.Errorf("agg: delete of unknown flex-offer id %d", u.Offer.ID)
-			}
-			delete(grp, u.Offer.ID)
-			g.offers--
-			if len(grp) == 0 {
-				delete(g.groups, k)
-			}
-			delta(k).removed = append(delta(k).removed, off)
-		default:
-			return nil, fmt.Errorf("agg: unknown update kind %v", u.Kind)
+	// Removals first (an offer deleted and re-inserted in one batch must
+	// leave its old group before joining the new one), in ID order.
+	for _, id := range sortedIDKeys(g.pendingDel) {
+		k := g.byID[id]
+		grp := g.groups[k]
+		off := grp[id]
+		delete(grp, id)
+		if len(grp) == 0 {
+			delete(g.groups, k)
 		}
+		delete(g.byID, id)
+		g.offers--
+		delta(k).removed = append(delta(k).removed, off)
+		delete(g.pendingDel, id)
 	}
-	g.pending = g.pending[:0]
+	ins := make([]flexoffer.ID, 0, len(g.pendingIns))
+	for id := range g.pendingIns {
+		ins = append(ins, id)
+	}
+	sort.Slice(ins, func(i, j int) bool { return ins[i] < ins[j] })
+	for _, id := range ins {
+		off := g.pendingIns[id]
+		k := g.params.keyOf(off)
+		grp, ok := g.groups[k]
+		if !ok {
+			grp = make(map[flexoffer.ID]*flexoffer.FlexOffer)
+			g.groups[k] = grp
+		}
+		grp[id] = off
+		g.byID[id] = k
+		g.offers++
+		delta(k).added = append(delta(k).added, off)
+		delete(g.pendingIns, id)
+	}
 	out := make([]groupUpdate, 0, len(deltas))
 	for _, d := range deltas {
 		out = append(out, *d)
 	}
-	return out, nil
+	sort.Slice(out, func(i, j int) bool { return keyLess(out[i].key, out[j].key) })
+	return out
+}
+
+func sortedIDKeys(m map[flexoffer.ID]bool) []flexoffer.ID {
+	out := make([]flexoffer.ID, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func keyLess(a, b groupKey) bool {
+	if a.es != b.es {
+		return a.es < b.es
+	}
+	if a.tf != b.tf {
+		return a.tf < b.tf
+	}
+	return a.dur < b.dur
+}
+
+// Contains reports whether the offer id is either applied to a group or
+// pending insertion — the membership test intake uses instead of pushing
+// a probe update through the pipeline.
+func (g *GroupBuilder) Contains(id flexoffer.ID) bool {
+	if _, ok := g.pendingIns[id]; ok {
+		return true // includes delete-then-reinsert within one batch
+	}
+	if g.pendingDel[id] {
+		return false
+	}
+	_, ok := g.byID[id]
+	return ok
 }
 
 // NumGroups returns the current number of similarity groups.
@@ -102,6 +233,9 @@ func (g *GroupBuilder) NumGroups() int { return len(g.groups) }
 
 // NumOffers returns the number of flex-offers currently grouped.
 func (g *GroupBuilder) NumOffers() int { return g.offers }
+
+// NumPending returns the number of accumulated-but-unprocessed updates.
+func (g *GroupBuilder) NumPending() int { return len(g.pendingIns) + len(g.pendingDel) }
 
 // BinPackerOptions bound the sub-groups the bin-packer produces (paper:
 // "lower and upper bounds on ... the number of flex-offers included into
@@ -170,7 +304,8 @@ func NewBinPacker(opts BinPackerOptions) *BinPacker {
 	}
 }
 
-// Process converts group deltas into sub-group deltas.
+// Process converts group deltas into sub-group deltas, in deterministic
+// sub-group order.
 func (b *BinPacker) Process(groups []groupUpdate) []subgroupUpdate {
 	deltas := make(map[subgroupID]*subgroupUpdate)
 	delta := func(id subgroupID) *subgroupUpdate {
@@ -209,6 +344,7 @@ func (b *BinPacker) Process(groups []groupUpdate) []subgroupUpdate {
 	for _, d := range deltas {
 		out = append(out, *d)
 	}
+	sortSubgroupUpdates(out)
 	return out
 }
 
@@ -260,4 +396,14 @@ func passthrough(groups []groupUpdate) []subgroupUpdate {
 		out[i] = su
 	}
 	return out
+}
+
+func sortSubgroupUpdates(subs []subgroupUpdate) {
+	sort.Slice(subs, func(i, j int) bool {
+		a, b := subs[i].id, subs[j].id
+		if a.key != b.key {
+			return keyLess(a.key, b.key)
+		}
+		return a.seq < b.seq
+	})
 }

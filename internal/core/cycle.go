@@ -32,7 +32,11 @@ type CycleReport struct {
 	SkippedOwners []string
 	// HealedPeers lists destinations whose open circuit was probed back
 	// to closed after delivery.
-	HealedPeers     []string
+	HealedPeers []string
+	// SnapshotsReused counts aggregates whose planning snapshot was the
+	// previous cycle's cached copy (unchanged Version) instead of a
+	// fresh deep copy.
+	SnapshotsReused int
 	AggregationTime time.Duration
 	SchedulingTime  time.Duration
 	DeliveryTime    time.Duration // wall time of the fan-out deliver phase
@@ -195,10 +199,15 @@ func (n *Node) snapshotForPlanning(now flexoffer.Time, horizon int, rep *CycleRe
 	}
 	t0 := time.Now()
 	if len(expired) > 0 {
-		if _, err := n.pipeline.Apply(expired...); err != nil {
+		if err := n.pipeline.Accumulate(expired...); err != nil {
 			return nil, err
 		}
 	}
+	// One batch runs the whole chain: every offer accepted since the
+	// last cycle and every expiry above hit each touched aggregate as a
+	// single transaction (at worst one rebuild per aggregate), fanned
+	// across Config.AggWorkers.
+	n.pipeline.Process()
 	live := n.pipeline.Aggregates()
 	snaps := make([]*agg.Aggregate, 0, len(live))
 	for _, a := range live {
@@ -213,12 +222,48 @@ func (n *Node) snapshotForPlanning(now flexoffer.Time, horizon int, rep *CycleRe
 		if a.Offer.LatestStart < now || a.Offer.LatestEnd() > end {
 			continue
 		}
-		snaps = append(snaps, a.Snapshot())
+		s, reused := n.snapshotLocked(a)
+		if reused {
+			rep.SnapshotsReused++
+		}
+		snaps = append(snaps, s)
 	}
+	n.pruneSnapCacheLocked(live)
 	rep.AggregationTime = time.Since(t0)
 	rep.Offers = len(n.pending)
 	rep.Aggregates = len(snaps)
 	return snaps, nil
+}
+
+// snapshotLocked returns an immutable snapshot of a live aggregate,
+// reusing the previous cycle's cached copy when the aggregate's Version
+// is unchanged — untouched aggregates cost no deep copy. The returned
+// snapshot must be treated as read-only (it is shared across cycles).
+// Caller holds mu.
+func (n *Node) snapshotLocked(a *agg.Aggregate) (snap *agg.Aggregate, reused bool) {
+	if c, ok := n.snapCache[a.Offer.ID]; ok && c.Version == a.Version {
+		return c, true
+	}
+	s := a.Snapshot()
+	n.snapCache[a.Offer.ID] = s
+	return s, false
+}
+
+// pruneSnapCacheLocked drops cached snapshots of aggregates that no
+// longer exist. Caller holds mu and passes the current live set.
+func (n *Node) pruneSnapCacheLocked(live []*agg.Aggregate) {
+	if len(n.snapCache) <= len(live) {
+		return
+	}
+	alive := make(map[flexoffer.ID]bool, len(live))
+	for _, a := range live {
+		alive[a.Offer.ID] = true
+	}
+	for id := range n.snapCache {
+		if !alive[id] {
+			delete(n.snapCache, id)
+		}
+	}
 }
 
 // buildProblem assembles the scheduling instance from an aggregate
@@ -310,6 +355,9 @@ func (n *Node) ForwardAggregates(ctx context.Context) (int, error) {
 	for _, localID := range n.forwarded {
 		outstanding[localID] = true
 	}
+	// Fold any accumulated intake in first: offers accepted since the
+	// last cycle must be part of what gets delegated upward.
+	n.pipeline.Process()
 	aggregates := n.pipeline.Aggregates()
 	offers := make([]*flexoffer.FlexOffer, 0, len(aggregates))
 	for _, a := range aggregates {

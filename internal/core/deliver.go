@@ -52,9 +52,10 @@ func (n *Node) handleScheduleNotify(ctx context.Context, env comm.Envelope) (*co
 				delete(n.forwarded, s.OfferID)
 				continue
 			}
+			snap, _ := n.snapshotLocked(a)
 			relays = append(relays, relay{
 				macroID: s.OfferID,
-				agg:     a.Snapshot(),
+				agg:     snap,
 				sched:   &flexoffer.Schedule{OfferID: localID, Start: s.Start, Energy: s.Energy},
 			})
 			continue
@@ -152,7 +153,16 @@ func (n *Node) commitMicroSchedules(micro []*flexoffer.Schedule) (map[string][]*
 			}
 			return nil, reconciled, res.Err
 		}
-		f := n.pending[s.OfferID]
+		// A duplicate micro schedule in the same batch (e.g. a macro
+		// relayed twice) passes staging both times — pending is only
+		// pruned here. The second occurrence finds the offer gone;
+		// feeding a nil offer into the pipeline delete would corrupt the
+		// retire batch, so reconcile it away instead.
+		f, ok := n.pending[s.OfferID]
+		if !ok {
+			reconciled++
+			continue
+		}
 		delete(n.pending, s.OfferID)
 		done = append(done, agg.FlexOfferUpdate{Kind: agg.Delete, Offer: f})
 		byOwner[res.Record.Owner] = append(byOwner[res.Record.Owner], s)

@@ -55,7 +55,11 @@ type Config struct {
 	// portfolio of that many workers (sched.Parallel): replicas of
 	// Scheduler when one is configured, the default mixed portfolio
 	// otherwise. 0 or 1 keeps the search single-threaded.
-	SchedWorkers   int
+	SchedWorkers int
+	// AggWorkers > 1 fans the cycle's batched per-aggregate work
+	// (internal/agg sub-group transactions) across that many workers.
+	// Results are identical at any worker count; 0 or 1 runs serially.
+	AggWorkers     int
 	Market         *market.DayAhead // optional market access
 	HorizonSlots   int              // scheduling horizon (default one day)
 	RequestTimeout time.Duration    // transport request timeout (default comm.DefaultTimeout)
@@ -113,6 +117,12 @@ type Node struct {
 	pipeline *agg.Pipeline
 	valuator *negotiate.Valuator
 
+	// snapCache holds the last Snapshot taken of each live aggregate,
+	// keyed by macro flex-offer ID. A snapshot is reused while the live
+	// aggregate's Version is unchanged, so stable aggregates cost the
+	// planning phase nothing cycle over cycle.
+	snapCache map[flexoffer.ID]*agg.Aggregate
+
 	// planTime is the node's latest planning time: the start slot of
 	// the most recent scheduling cycle. Offer valuation and forecast
 	// replies are anchored at it.
@@ -169,11 +179,13 @@ func NewNode(cfg Config) (*Node, error) {
 		store:     cfg.Store,
 		pipeline:  agg.NewPipeline(cfg.AggParams, cfg.BinPacker),
 		valuator:  cfg.Valuator,
+		snapCache: make(map[flexoffer.ID]*agg.Aggregate),
 		pending:   make(map[flexoffer.ID]*flexoffer.FlexOffer),
 		schedules: make(map[flexoffer.ID]*flexoffer.Schedule),
 		forwarded: make(map[flexoffer.ID]flexoffer.ID),
 		nextFwdID: 1 << 32, // forwarded macro offers use a disjoint id space
 	}
+	n.pipeline.Workers = cfg.AggWorkers
 	if cfg.Transport != nil {
 		transport := cfg.Transport
 		if cfg.Breaker != nil {
@@ -316,7 +328,12 @@ func (n *Node) acceptOffer(ctx context.Context, f *flexoffer.FlexOffer, owner st
 	priced := f.Clone()
 	priced.CostPerKWh = decision.Price
 	if decision.Accept {
-		if _, err := n.pipeline.Apply(agg.FlexOfferUpdate{Kind: agg.Insert, Offer: priced}); err != nil {
+		// Accumulate, don't process: intake only validates against the
+		// pipeline's membership index and appends to its pending batch.
+		// Grouping, packing and aggregation run once per cycle (phase 0
+		// of snapshotForPlanning), so the lock hold here is O(1) no
+		// matter how hot the intake path runs.
+		if err := n.pipeline.Accumulate(agg.FlexOfferUpdate{Kind: agg.Insert, Offer: priced}); err != nil {
 			// The pipeline rejected the offer (e.g. duplicate id).
 			decision = negotiate.Decision{Accept: false, Reason: err.Error()}
 		}
@@ -331,8 +348,9 @@ func (n *Node) acceptOffer(ctx context.Context, f *flexoffer.FlexOffer, owner st
 	rec := store.OfferRecord{Offer: priced, Owner: owner, State: state}
 	if err := n.persistOffer(ctx, rec); err != nil {
 		if decision.Accept {
-			// Keep the pipeline consistent with the store: withdraw.
-			_, _ = n.pipeline.Apply(agg.FlexOfferUpdate{Kind: agg.Delete, Offer: priced})
+			// Keep the pipeline consistent with the store: the delete
+			// cancels the still-pending insert at zero cost.
+			_ = n.pipeline.Accumulate(agg.FlexOfferUpdate{Kind: agg.Delete, Offer: priced})
 		}
 		return negotiate.Decision{Accept: false, Reason: err.Error()}
 	}
@@ -447,10 +465,13 @@ func (n *Node) PendingOffers() int {
 	return len(n.pending)
 }
 
-// Aggregates exposes the current macro flex-offers (diagnostics).
+// Aggregates exposes the current macro flex-offers (diagnostics). Any
+// accumulated intake is processed first so the view includes every
+// accepted offer, not just those a cycle has already batched in.
 func (n *Node) Aggregates() []*agg.Aggregate {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	n.pipeline.Process()
 	return n.pipeline.Aggregates()
 }
 
