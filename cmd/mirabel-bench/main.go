@@ -17,10 +17,12 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"math/rand"
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -42,10 +44,11 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("mirabel-bench: ")
-	exp := flag.String("exp", "all", "experiment: all | fig5a | fig5b | fig5c | fig5d | fig5 | fig4a | fig4b | fig6 | exhaustive | cycle | store | tcp | sched | ingest | agg")
+	exp := flag.String("exp", "all", "experiment: all | fig5a | fig5b | fig5c | fig5d | fig5 | fig4a | fig4b | fig6 | exhaustive | cycle | store | tcp | sched | ingest | agg | forecast")
 	maxOffers := flag.Int("maxoffers", 800000, "largest flex-offer count of the Figure 5 sweep")
 	aggOffers := flag.Int("agg-offers", 1000000, "largest flex-offer count of the agg churn experiment")
 	maxFacts := flag.Int("maxfacts", 1600000, "largest measurement count of the storage-engine sweep")
+	fcSeries := flag.Int("fcast-series", 100000, "resident series count of the forecast fleet experiment")
 	budget := flag.Duration("budget", 10*time.Second, "time budget of the largest Figure 6 instance")
 	seed := flag.Int64("seed", 1, "workload seed")
 	flag.Parse()
@@ -63,6 +66,7 @@ func main() {
 		schedExp(*seed)
 		ingestExp(*seed)
 		aggExp(*aggOffers, *seed)
+		forecastExp(*fcSeries, *seed)
 	case "fig5", "fig5a", "fig5b", "fig5c", "fig5d":
 		fig5(*maxOffers, *seed)
 	case "fig4a":
@@ -85,6 +89,8 @@ func main() {
 		ingestExp(*seed)
 	case "agg":
 		aggExp(*aggOffers, *seed)
+	case "forecast":
+		forecastExp(*fcSeries, *seed)
 	default:
 		log.Printf("unknown experiment %q", *exp)
 		flag.Usage()
@@ -981,6 +987,157 @@ func breakerCycleExp() {
 	if got := brp.Breaker().State("p3"); got != comm.BreakerOpen {
 		log.Fatalf("p3 circuit = %v, want open", got)
 	}
+}
+
+// forecastExp benchmarks the fleet-scale forecast service: per-series
+// models maintained through the sharded registry's batched update path,
+// with parameter re-estimation either inline in the update path (the
+// pre-registry behaviour, the baseline) or on the bounded background
+// pool. Part one contrasts the two refit modes at a modest fleet size —
+// the async pool keeps the p99 batch-update latency flat while the
+// synchronous baseline stalls whole batches behind FitHWT. Part two
+// runs the async service at the full -fcast-series scale and reports
+// update throughput, batch latency percentiles, refit throughput and
+// staleness.
+func forecastExp(series int, seed int64) {
+	fmt.Println("== Forecast fleet: sharded registry, batched updates, async re-estimation ==")
+	const (
+		period      = 24 // hourly resolution, daily season (keeps refits frequent)
+		obsPerRound = 4  // observations per series per batch round
+		chunk       = 64 // series per UpdateMeasurements batch
+		warmRounds  = 9  // 36 observations: exactly the model-creation threshold
+		steadyRds   = 24 // 96 further observations: ~2 refit triggers per series
+	)
+	workers := runtime.GOMAXPROCS(0)
+	newCfg := func(syncRefit bool) forecast.RegistryConfig {
+		return forecast.RegistryConfig{
+			Periods:         []int{period},
+			MinObservations: period + period/2,
+			MaxHistory:      4 * period,
+			FitCfg:          forecast.FitConfig{Options: optimize.Options{MaxEvaluations: 60, Seed: seed}},
+			NewStrategy:     func() forecast.EvaluationStrategy { return &forecast.TimeBased{Every: 2 * period} },
+			Workers:         workers,
+			QueueDepth:      4096,
+			SyncRefit:       syncRefit,
+		}
+	}
+
+	// runPhase feeds rounds x obsPerRound observations into every series
+	// from GOMAXPROCS concurrent feeders (each owning a contiguous
+	// series range) and returns the throughput and per-batch latencies.
+	actors := make([]string, series)
+	for i := range actors {
+		actors[i] = fmt.Sprintf("a%06d", i)
+	}
+	runPhase := func(reg *forecast.Registry, nSeries, rounds, tBase int) (updPerSec float64, lats []time.Duration) {
+		feeders := workers
+		if feeders > nSeries {
+			feeders = nSeries
+		}
+		per := (nSeries + feeders - 1) / feeders
+		latParts := make([][]time.Duration, feeders)
+		var wg sync.WaitGroup
+		t0 := time.Now()
+		for f := 0; f < feeders; f++ {
+			lo, hi := f*per, min((f+1)*per, nSeries)
+			if lo >= hi {
+				continue
+			}
+			wg.Add(1)
+			go func(f, lo, hi int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seed + int64(f)))
+				batch := make([]store.Measurement, 0, chunk*obsPerRound)
+				var lat []time.Duration
+				for r := 0; r < rounds; r++ {
+					for s := lo; s < hi; s += chunk {
+						batch = batch[:0]
+						for i := s; i < min(s+chunk, hi); i++ {
+							for j := 0; j < obsPerRound; j++ {
+								t := tBase + r*obsPerRound + j
+								v := 10 + 5*math.Sin(2*math.Pi*float64(t%period)/period) + rng.NormFloat64()
+								batch = append(batch, store.Measurement{
+									Actor: actors[i], EnergyType: "elec",
+									Slot: flexoffer.Time(t), KWh: v,
+								})
+							}
+						}
+						b0 := time.Now()
+						reg.UpdateMeasurements(batch)
+						lat = append(lat, time.Since(b0))
+					}
+				}
+				latParts[f] = lat
+			}(f, lo, hi)
+		}
+		wg.Wait()
+		wall := time.Since(t0)
+		for _, p := range latParts {
+			lats = append(lats, p...)
+		}
+		return float64(nSeries*rounds*obsPerRound) / wall.Seconds(), lats
+	}
+	pct := func(lats []time.Duration, q float64) time.Duration {
+		if len(lats) == 0 {
+			return 0
+		}
+		sorted := append([]time.Duration(nil), lats...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		return sorted[int(q*float64(len(sorted)-1))]
+	}
+
+	// -- part one: synchronous-refit baseline vs async pool ------------
+	baseline := min(series, 2000)
+	fmt.Printf("-- refit modes at %d series (batch = %d series x %d obs) --\n", baseline, chunk, obsPerRound)
+	fmt.Println("mode        upd/s       batch_p50   batch_p99   batch_max   refits")
+	for _, mode := range []struct {
+		name string
+		sync bool
+	}{{"sync", true}, {fmt.Sprintf("async(x%d)", workers), false}} {
+		reg, err := forecast.NewRegistry(newCfg(mode.sync))
+		if err != nil {
+			log.Fatal(err)
+		}
+		runPhase(reg, baseline, warmRounds, 0) // create all models
+		rate, lats := runPhase(reg, baseline, steadyRds, warmRounds*obsPerRound)
+		_ = reg.Quiesce(30 * time.Second)
+		st := reg.Stats()
+		refits := st.RefitsDone
+		if mode.sync {
+			refits = st.SyncRefits
+		}
+		fmt.Printf("%-11s %-11.0f %-11v %-11v %-11v %d\n",
+			mode.name, rate,
+			pct(lats, 0.50).Round(time.Microsecond), pct(lats, 0.99).Round(time.Microsecond),
+			pct(lats, 1.0).Round(time.Microsecond), refits)
+		reg.Close()
+	}
+
+	// -- part two: the full fleet, async ------------------------------
+	fmt.Printf("-- full fleet: %d series, %d refit workers --\n", series, workers)
+	reg, err := forecast.NewRegistry(newCfg(false))
+	if err != nil {
+		log.Fatal(err)
+	}
+	t0 := time.Now()
+	rate, lats := runPhase(reg, series, warmRounds, 0)
+	warmWall := time.Since(t0)
+	st := reg.Stats()
+	fmt.Printf("warm-up: %d models created in %.1fs (%.0f upd/s, batch_p99 %v)\n",
+		st.Models, warmWall.Seconds(), rate, pct(lats, 0.99).Round(time.Microsecond))
+	rate, lats = runPhase(reg, series, steadyRds, warmRounds*obsPerRound)
+	st = reg.Stats()
+	fmt.Printf("steady-state: %.0f upd/s  batch_p50 %v  batch_p99 %v  (refits running: %d done / %d enqueued, queue %d/%d)\n",
+		rate, pct(lats, 0.50).Round(time.Microsecond), pct(lats, 0.99).Round(time.Microsecond),
+		st.RefitsDone, st.RefitsEnqueued, st.QueueDepth, st.QueueCap)
+	fmt.Printf("refits: p50 %v  p99 %v  failed %d  queue_overflows %d  staleness max %d / mean %.0f obs\n",
+		st.RefitP50.Round(time.Microsecond), st.RefitP99.Round(time.Microsecond),
+		st.RefitsFailed, st.QueueOverflows, st.MaxStaleness, st.MeanStaleness)
+	one, ok := reg.Forecast(actors[series/2], "elec", period)
+	if !ok || len(one) != period {
+		log.Fatalf("mid-fleet series has no forecast (ok=%v, len=%d)", ok, len(one))
+	}
+	reg.Close()
 }
 
 // aggExp loads the P3 pipeline with up to maxOffers flex-offers, then

@@ -29,6 +29,7 @@ import (
 	"mirabel/internal/comm"
 	"mirabel/internal/core"
 	"mirabel/internal/flexoffer"
+	"mirabel/internal/forecast"
 	"mirabel/internal/ingest"
 	"mirabel/internal/sched"
 	"mirabel/internal/store"
@@ -52,6 +53,8 @@ func main() {
 		aggWrk    = flag.Int("agg-workers", 0, "parallel per-aggregate workers for batched aggregation (0/1: single-threaded)")
 		ingestQ   = flag.Int("ingest-queue", 0, "async ingest queue depth in events (0: synchronous intake; needs -data)")
 		ingestPol = flag.String("ingest-policy", "block", "ingest backpressure policy when the queue is full: block | shed | defer")
+		fcShards  = flag.Int("fcast-shards", 0, "forecast registry stripe count (0: no per-series forecast service)")
+		fcWorkers = flag.Int("fcast-workers", 2, "background re-estimation workers for the forecast registry")
 		brkWindow = flag.Int("breaker-window", 0, "circuit-breaker outcome window per destination (0: no breaker)")
 		brkRate   = flag.Float64("breaker-rate", 0.5, "failure rate over the window that opens a destination's circuit")
 		brkCool   = flag.Duration("breaker-cooldown", 5*time.Second, "open-circuit cooldown before a half-open trial")
@@ -148,6 +151,12 @@ func main() {
 		}
 		cfg.Ingest = ic
 	}
+	if *fcShards > 0 {
+		cfg.Forecasting = &forecast.RegistryConfig{
+			Shards:  *fcShards,
+			Workers: *fcWorkers,
+		}
+	}
 	if *brkWindow > 0 {
 		cfg.Breaker = &comm.BreakerConfig{
 			Window:      *brkWindow,
@@ -166,6 +175,11 @@ func main() {
 		if st, ok := node.IngestStats(); ok {
 			log.Printf("ingest: enqueued=%d consumed=%d shed=%d deferred=%d batches=%d mean_batch=%.1f ack_p99=%v",
 				st.Enqueued, st.Consumed, st.Shed, st.Deferred, st.Batches, st.MeanBatch, st.AckP99)
+		}
+		if fs, ok := node.ForecastStats(); ok {
+			log.Printf("forecast: series=%d models=%d obs=%d refits=%d/%d failed=%d overflows=%d refit_p99=%v max_staleness=%d",
+				fs.Series, fs.Models, fs.Observations, fs.RefitsDone, fs.RefitsEnqueued, fs.RefitsFailed,
+				fs.QueueOverflows, fs.RefitP99, fs.MaxStaleness)
 		}
 	}()
 

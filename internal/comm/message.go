@@ -124,8 +124,12 @@ type MeasurementBatch struct {
 	Reports []MeasurementReport `json:"reports"`
 }
 
-// ForecastRequest is the body of MsgForecastRequest.
+// ForecastRequest is the body of MsgForecastRequest. An empty Actor
+// queries the node-wide forecast source; a non-empty Actor addresses
+// one maintained (actor, energy type) series in the node's forecast
+// registry.
 type ForecastRequest struct {
+	Actor      string `json:"actor,omitempty"`
 	EnergyType string `json:"energy_type"`
 	Horizon    int    `json:"horizon"`
 }

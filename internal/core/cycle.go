@@ -44,6 +44,10 @@ type CycleReport struct {
 	// waiting for the async ingest queue to apply every acked event so
 	// the snapshot (and commit's offer transitions) see them.
 	IngestDrainTime time.Duration
+	// ForecastNotifies counts the continuous forecast query
+	// notifications sent when the cycle published the registry's dirty
+	// per-series hubs after the intake barrier.
+	ForecastNotifies int
 }
 
 // RunSchedulingCycle executes the full BRP workflow at planning time now
@@ -107,6 +111,12 @@ func (n *Node) RunSchedulingCycle(ctx context.Context, now flexoffer.Time, deman
 			return nil, fmt.Errorf("core: drain ingest before cycle: %w", err)
 		}
 		rep.IngestDrainTime = time.Since(t0)
+	}
+	// Every measurement acked so far has now maintained its series
+	// model; fire the continuous per-series forecast queries once per
+	// cycle, before planning reads the forecasts.
+	if n.fcasts != nil {
+		rep.ForecastNotifies = n.fcasts.PublishDirty()
 	}
 
 	// Phase 1: snapshot.

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+
+	"mirabel/internal/agg"
+	"mirabel/internal/comm"
+	"mirabel/internal/flexoffer"
+	"mirabel/internal/forecast"
+	"mirabel/internal/ingest"
+	"mirabel/internal/optimize"
+	"mirabel/internal/sched"
+	"mirabel/internal/store"
+)
+
+// newForecastingBRP builds a BRP running the fleet forecast registry
+// (tiny period-4 models so warm-up completes after six observations);
+// dir != "" additionally routes intake through a durable ingest queue.
+func newForecastingBRP(t *testing.T, bus *comm.Bus, dir string) *Node {
+	t.Helper()
+	cfg := Config{
+		Name:      "brp1",
+		Role:      store.RoleBRP,
+		Transport: bus,
+		AggParams: agg.ParamsP3,
+		SchedOpts: sched.Options{MaxIterations: 3, Seed: 1},
+		Forecasting: &forecast.RegistryConfig{
+			Shards:  4,
+			Periods: []int{4},
+			FitCfg:  forecast.FitConfig{Options: optimize.Options{MaxEvaluations: 40, Seed: 3}},
+			Workers: 1,
+		},
+	}
+	if dir != "" {
+		cfg.Ingest = &ingest.Config{
+			Path:   filepath.Join(dir, "ingest.log"),
+			Queue:  128,
+			Policy: ingest.PolicyBlock,
+		}
+	}
+	n, err := NewNode(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { n.Close() })
+	if bus != nil {
+		bus.Register("brp1", n.Handler())
+	}
+	return n
+}
+
+func seriesMeas(actor string, from, n int) []store.Measurement {
+	ms := make([]store.Measurement, n)
+	for i := range ms {
+		ms[i] = store.Measurement{Actor: actor, EnergyType: "elec", Slot: flexoffer.Time(from + i), KWh: 2}
+	}
+	return ms
+}
+
+// TestPerSeriesForecastOverTheWire: measurements flowing into the node
+// create a per-series model transparently, and the series is queryable
+// through the typed client.
+func TestPerSeriesForecastOverTheWire(t *testing.T) {
+	bus := comm.NewBus()
+	brp := newForecastingBRP(t, bus, "")
+	client := comm.NewClient("p1", bus)
+	ctx := context.Background()
+
+	// Below warm-up: the series exists but has no model yet.
+	if err := brp.IngestMeasurements(seriesMeas("p1", 0, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.QuerySeriesForecast(ctx, "brp1", "p1", "elec", 4); err == nil {
+		t.Fatal("per-series query served before the model exists")
+	}
+
+	if err := brp.IngestMeasurements(seriesMeas("p1", 4, 4)); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := client.QuerySeriesForecast(ctx, "brp1", "p1", "elec", 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reply.Values) != 6 {
+		t.Fatalf("forecast horizon = %d values, want 6", len(reply.Values))
+	}
+	st, ok := brp.ForecastStats()
+	if !ok || st.Series != 1 || st.Models != 1 || st.Observations != 8 {
+		t.Fatalf("registry stats = %+v (ok=%v), want 1 series / 1 model / 8 obs", st, ok)
+	}
+	// A node without a registry keeps rejecting per-series queries.
+	plain := newBRP(t, nil)
+	if _, ok := plain.ForecastSeries("p1", "elec", 4); ok {
+		t.Fatal("registry-less node served a per-series forecast")
+	}
+}
+
+// TestIngestFeedsRegistryExactlyOnce: with an ingest queue the registry
+// is fed from the consumer hook only — each measurement observed once,
+// visible after the drain barrier.
+func TestIngestFeedsRegistryExactlyOnce(t *testing.T) {
+	bus := comm.NewBus()
+	brp := newForecastingBRP(t, bus, t.TempDir())
+	ctx := context.Background()
+
+	const n = 24
+	if err := brp.IngestMeasurements(seriesMeas("p1", 0, n)); err != nil {
+		t.Fatal(err)
+	}
+	if err := brp.DrainIngest(ctx); err != nil {
+		t.Fatal(err)
+	}
+	st, ok := brp.ForecastStats()
+	if !ok || st.Observations != n {
+		t.Fatalf("registry observations = %d (ok=%v), want exactly %d", st.Observations, ok, n)
+	}
+	if _, ok := brp.ForecastSeries("p1", "elec", 4); !ok {
+		t.Fatal("series not served after ingest drain")
+	}
+}
+
+// TestCyclePublishesDirtyForecastHubs: the scheduling cycle publishes
+// continuous per-series forecast queries right after its intake
+// barrier, once per cycle regardless of how many batches arrived.
+func TestCyclePublishesDirtyForecastHubs(t *testing.T) {
+	bus := comm.NewBus()
+	brp := newForecastingBRP(t, bus, t.TempDir())
+	ctx := context.Background()
+
+	hub := brp.ForecastHub("p1", "elec")
+	_, ch, err := hub.Subscribe(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := brp.IngestMeasurements(seriesMeas("p1", i*2, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := brp.RunSchedulingCycle(ctx, 0, StaticForecast(make([]float64, flexoffer.SlotsPerDay)), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ForecastNotifies != 1 {
+		t.Fatalf("cycle published %d forecast notifications, want 1", rep.ForecastNotifies)
+	}
+	select {
+	case note := <-ch:
+		if len(note.Forecast) != 4 {
+			t.Fatalf("notification horizon = %d, want 4", len(note.Forecast))
+		}
+	default:
+		t.Fatal("no continuous-query notification after the cycle")
+	}
+	// A cycle with no new observations publishes nothing.
+	rep, err = brp.RunSchedulingCycle(ctx, 0, StaticForecast(make([]float64, flexoffer.SlotsPerDay)), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ForecastNotifies != 0 {
+		t.Fatalf("idle cycle published %d notifications, want 0", rep.ForecastNotifies)
+	}
+}

@@ -74,6 +74,15 @@ type Config struct {
 	// forecast queries with an error.
 	Forecast forecaster
 
+	// Forecasting, when non-nil, runs the fleet-scale forecast service
+	// (forecast.Registry): every measurement the node ingests — sync
+	// store writes and async ingest drains alike — maintains a
+	// per-(actor,energy) model, re-estimated on a bounded background
+	// pool. Peers address individual series via ForecastRequest.Actor,
+	// and the scheduling cycle publishes per-series forecast hubs after
+	// its intake barrier.
+	Forecasting *forecast.RegistryConfig
+
 	// Middleware is appended to the node's built-in handler chain
 	// (recovery, metrics) — the seam where logging, tracing or
 	// rate-limiting layer in without touching dispatch.
@@ -102,8 +111,9 @@ type Node struct {
 	client  *comm.Client
 	handler comm.Handler
 	metrics *comm.Metrics
-	ingest  *ingest.Queue // nil = synchronous intake
-	breaker *comm.Breaker // nil = no circuit breaking
+	ingest  *ingest.Queue      // nil = synchronous intake
+	breaker *comm.Breaker      // nil = no circuit breaking
+	fcasts  *forecast.Registry // nil = no per-series forecast service
 
 	// cycleMu serializes the planner-driven flows (RunSchedulingCycle,
 	// ForwardAggregates) against each other. It is never held while mu
@@ -196,9 +206,29 @@ func NewNode(cfg Config) (*Node, error) {
 		}
 		n.client = comm.NewClient(cfg.Name, transport, comm.WithRequestTimeout(cfg.RequestTimeout))
 	}
+	if cfg.Forecasting != nil {
+		reg, err := forecast.NewRegistry(*cfg.Forecasting)
+		if err != nil {
+			return nil, fmt.Errorf("core: forecast registry: %w", err)
+		}
+		n.fcasts = reg
+	}
 	if cfg.Ingest != nil {
 		ic := *cfg.Ingest
 		ic.Store = n.store
+		if n.fcasts != nil {
+			// The apply funnel feeds the forecast service: live consumed
+			// batches, deferred events re-admitted from disk, and journal
+			// recovery replays all maintain the per-series models.
+			prev := ic.OnMeasurements
+			reg := n.fcasts
+			ic.OnMeasurements = func(ms []store.Measurement) {
+				reg.UpdateMeasurements(ms)
+				if prev != nil {
+					prev(ms)
+				}
+			}
+		}
 		q, err := ingest.Open(ic)
 		if err != nil {
 			return nil, fmt.Errorf("core: open ingest queue: %w", err)
@@ -268,16 +298,30 @@ func (n *Node) handleForecastRequest(ctx context.Context, env comm.Envelope) (*c
 	if err := env.Decode(comm.MsgForecastRequest, &req); err != nil {
 		return nil, err
 	}
-	if n.cfg.Forecast == nil {
-		return nil, fmt.Errorf("core: %s has no forecast source", n.cfg.Name)
-	}
 	if req.Horizon <= 0 {
 		return nil, fmt.Errorf("core: forecast horizon must be positive, got %d", req.Horizon)
+	}
+	var values []float64
+	switch {
+	case req.Actor != "":
+		// Per-series query against the fleet forecast registry.
+		if n.fcasts == nil {
+			return nil, fmt.Errorf("core: %s has no forecast registry", n.cfg.Name)
+		}
+		v, ok := n.fcasts.Forecast(req.Actor, req.EnergyType, req.Horizon)
+		if !ok {
+			return nil, fmt.Errorf("core: %s has no model for series (%s, %s) yet", n.cfg.Name, req.Actor, req.EnergyType)
+		}
+		values = v
+	case n.cfg.Forecast != nil:
+		values = n.cfg.Forecast.Forecast(req.Horizon)
+	default:
+		return nil, fmt.Errorf("core: %s has no forecast source", n.cfg.Name)
 	}
 	reply, err := comm.NewEnvelope(comm.MsgForecastReply, n.cfg.Name, env.From, comm.ForecastReply{
 		EnergyType: req.EnergyType,
 		FirstSlot:  n.PlanningTime(),
-		Values:     n.cfg.Forecast.Forecast(req.Horizon),
+		Values:     values,
 	})
 	if err != nil {
 		return nil, err
@@ -393,7 +437,13 @@ func (n *Node) handleMeasurement(ctx context.Context, env comm.Envelope) (*comm.
 	if n.ingest != nil {
 		return nil, n.ingest.SubmitMeasurements(ctx, []store.Measurement{m})
 	}
-	return nil, n.store.PutMeasurement(m)
+	if err := n.store.PutMeasurement(m); err != nil {
+		return nil, err
+	}
+	if n.fcasts != nil {
+		n.fcasts.Update(m.Actor, m.EnergyType, m.KWh)
+	}
+	return nil, nil
 }
 
 // handleMeasurementBatch stores a reported meter-stream batch through
@@ -410,7 +460,13 @@ func (n *Node) handleMeasurementBatch(ctx context.Context, env comm.Envelope) (*
 	if n.ingest != nil {
 		return nil, n.ingest.SubmitMeasurements(ctx, ms)
 	}
-	return nil, n.store.PutMeasurementsBatch(ms)
+	if err := n.store.PutMeasurementsBatch(ms); err != nil {
+		return nil, err
+	}
+	if n.fcasts != nil {
+		n.fcasts.UpdateMeasurements(ms)
+	}
+	return nil, nil
 }
 
 // IngestMeasurements stores a batch of metered values locally — through
@@ -422,7 +478,13 @@ func (n *Node) IngestMeasurements(ms []store.Measurement) error {
 	if n.ingest != nil {
 		return n.ingest.SubmitMeasurements(context.Background(), ms)
 	}
-	return n.store.PutMeasurementsBatch(ms)
+	if err := n.store.PutMeasurementsBatch(ms); err != nil {
+		return err
+	}
+	if n.fcasts != nil {
+		n.fcasts.UpdateMeasurements(ms)
+	}
+	return nil
 }
 
 // IngestStats reports the async intake queue's counters; ok is false
@@ -448,14 +510,53 @@ func (n *Node) DrainIngest(ctx context.Context) error {
 // configured).
 func (n *Node) Breaker() *comm.Breaker { return n.breaker }
 
+// ForecastRegistry exposes the node's fleet forecast service (nil when
+// Config.Forecasting is unset).
+func (n *Node) ForecastRegistry() *forecast.Registry { return n.fcasts }
+
+// ForecastSeries serves the forecast of one maintained (actor, energy
+// type) series; ok is false without a registry or while the series is
+// unknown / still warming up.
+func (n *Node) ForecastSeries(actor, energyType string, horizon int) (values []float64, ok bool) {
+	if n.fcasts == nil {
+		return nil, false
+	}
+	return n.fcasts.Forecast(actor, energyType, horizon)
+}
+
+// ForecastHub returns the publish-subscribe hub of one series for
+// continuous forecast queries (nil without a registry). The scheduling
+// cycle publishes all dirty hubs after its intake barrier.
+func (n *Node) ForecastHub(actor, energyType string) *forecast.Hub {
+	if n.fcasts == nil {
+		return nil
+	}
+	return n.fcasts.Hub(actor, energyType)
+}
+
+// ForecastStats reports the forecast registry's counters; ok is false
+// when the node runs no registry.
+func (n *Node) ForecastStats() (forecast.RegistryStats, bool) {
+	if n.fcasts == nil {
+		return forecast.RegistryStats{}, false
+	}
+	return n.fcasts.Stats(), true
+}
+
 // Close shuts the node's background machinery down: the ingest queue is
 // drained (best effort) and closed so every acked event reaches the
 // store before the process exits.
 func (n *Node) Close() error {
-	if n.ingest == nil {
-		return nil
+	var err error
+	if n.ingest != nil {
+		err = n.ingest.Close()
 	}
-	return n.ingest.Close()
+	if n.fcasts != nil {
+		// After the ingest drain, so the refit pool outlives the last
+		// measurement batch the consumers feed it.
+		n.fcasts.Close()
+	}
+	return err
 }
 
 // PendingOffers returns the accepted, not-yet-scheduled offers.

@@ -1,0 +1,71 @@
+//go:build !race
+
+package forecast
+
+import (
+	"testing"
+
+	"mirabel/internal/flexoffer"
+	"mirabel/internal/store"
+)
+
+// The race detector instruments allocations, so the zero-alloc pins
+// only run in plain builds — CI runs both variants.
+
+func TestHWTOneStepZeroAlloc(t *testing.T) {
+	m, err := NewHWT(4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 32; i++ {
+		m.Update(float64(i % 4))
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		_ = m.OneStep()
+		m.Update(2)
+	}); n != 0 {
+		t.Fatalf("OneStep+Update allocates %.1f times per op, want 0", n)
+	}
+}
+
+func TestMaintainerUpdateZeroAlloc(t *testing.T) {
+	m, err := NewHWT(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist := make([]float64, 8)
+	if err := m.Init(hist); err != nil {
+		t.Fatal(err)
+	}
+	// TimeBased zero value never triggers: the steady-state path with no
+	// re-estimation in sight.
+	mt := NewMaintainer(m, hist, MaintainerConfig{Strategy: &TimeBased{}})
+	if n := testing.AllocsPerRun(1000, func() {
+		if err := mt.Update(3); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("Maintainer.Update allocates %.1f times per op, want 0", n)
+	}
+}
+
+func TestRegistryUpdateBatchZeroAlloc(t *testing.T) {
+	cfg := testRegistryConfig()
+	cfg.SyncRefit = true // no background pool to pollute the malloc counters
+	reg, err := NewRegistry(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+
+	batch := make([]store.Measurement, 16)
+	for i := range batch {
+		batch[i] = store.Measurement{Actor: "a1", EnergyType: "elec", Slot: flexoffer.Time(i), KWh: 5}
+	}
+	reg.UpdateMeasurements(batch) // past warm-up: model exists
+	if n := testing.AllocsPerRun(200, func() {
+		reg.UpdateMeasurements(batch)
+	}); n != 0 {
+		t.Fatalf("UpdateMeasurements allocates %.1f times per batch, want 0", n)
+	}
+}

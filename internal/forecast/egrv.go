@@ -239,6 +239,17 @@ func (a egrvAdapter) Forecast(h int) []float64 {
 	return out
 }
 
+// OneStep implements Model. The multi-equation forecast inherently
+// rebuilds its lagged-input window, so unlike HWT this is not
+// allocation-free; EGRV series are not kept on the registry hot path.
+func (a egrvAdapter) OneStep() float64 {
+	out, err := a.m.Forecast(1, nil)
+	if err != nil {
+		return 0
+	}
+	return out[0]
+}
+
 // AsModel wraps the EGRV in the univariate Model interface (temperature
 // persistence stands in for a weather service).
 func (m *EGRV) AsModel() Model { return egrvAdapter{m} }

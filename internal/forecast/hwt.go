@@ -25,6 +25,11 @@ type Model interface {
 	Update(y float64)
 	// Forecast predicts the next h values after the last observation.
 	Forecast(h int) []float64
+	// OneStep predicts only the next value — semantically Forecast(1)[0],
+	// but without the slice allocation where the model allows (HWT). The
+	// continuous-maintenance hot path calls it once per observation, so
+	// millions of maintained series depend on it staying allocation-free.
+	OneStep() float64
 }
 
 // HWT is the exponential smoothing model tailor-made for the energy
@@ -173,6 +178,16 @@ func (m *HWT) seasonalAt(i, k int) float64 {
 	return m.seasonal[i][(m.t+k)%p]
 }
 
+// OneStep implements Model: the one-step-ahead prediction from the
+// current state, allocation-free.
+func (m *HWT) OneStep() float64 {
+	v := m.level
+	for i := range m.periods {
+		v += m.seasonalAt(i, 0)
+	}
+	return v + m.phi*m.lastErr
+}
+
 // Update implements Model.
 func (m *HWT) Update(y float64) {
 	if !m.ready {
@@ -181,11 +196,7 @@ func (m *HWT) Update(y float64) {
 		m.ready = true
 	}
 	// One-step-ahead prediction before state update, for the AR term.
-	pred := m.level
-	for i := range m.periods {
-		pred += m.seasonalAt(i, 0)
-	}
-	pred += m.phi * m.lastErr
+	pred := m.OneStep()
 
 	var seasonalSum float64
 	for i := range m.periods {

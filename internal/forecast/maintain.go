@@ -3,6 +3,7 @@ package forecast
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // EvaluationStrategy decides when a maintained model's parameters need
@@ -39,12 +40,20 @@ type ThresholdBased struct {
 	Threshold float64
 	Window    int
 
-	errs []float64
-	pos  int
-	full bool
+	errs  []float64
+	pos   int
+	full  bool
+	sum   float64 // running sum of errs — O(1) per observation
+	wraps int     // window wraps since the last exact resync
 }
 
-// Observe implements EvaluationStrategy.
+// thresholdResyncEvery bounds the running sum's floating-point drift:
+// every that many window wraps the sum is recomputed exactly.
+const thresholdResyncEvery = 64
+
+// Observe implements EvaluationStrategy. The rolling mean is maintained
+// as a running sum (subtract the evicted error, add the new one), so the
+// per-observation cost is O(1) instead of a full window scan.
 func (s *ThresholdBased) Observe(smape float64) bool {
 	if s.Window <= 0 {
 		s.Window = 48
@@ -52,47 +61,79 @@ func (s *ThresholdBased) Observe(smape float64) bool {
 	if s.errs == nil {
 		s.errs = make([]float64, s.Window)
 	}
+	s.sum += smape - s.errs[s.pos]
 	s.errs[s.pos] = smape
 	s.pos = (s.pos + 1) % s.Window
 	if s.pos == 0 {
 		s.full = true
+		s.wraps++
+		if s.wraps%thresholdResyncEvery == 0 {
+			var exact float64
+			for _, e := range s.errs {
+				exact += e
+			}
+			s.sum = exact
+		}
 	}
 	if !s.full {
 		return false
 	}
-	var sum float64
-	for _, e := range s.errs {
-		sum += e
-	}
-	return sum/float64(s.Window) > s.Threshold
+	return s.sum/float64(s.Window) > s.Threshold
 }
 
 // Reset implements EvaluationStrategy.
 func (s *ThresholdBased) Reset() {
-	s.pos, s.full = 0, false
+	s.pos, s.full, s.sum, s.wraps = 0, false, 0, 0
 	for i := range s.errs {
 		s.errs[i] = 0
 	}
 }
 
+// installedFit is a parameter vector produced by an asynchronous
+// re-estimation, published for the next lock holder to swap in.
+type installedFit struct {
+	params []float64
+}
+
 // Maintainer wraps an HWT model with continuous maintenance: every new
-// measurement updates the smoothing state (cheap), an evaluation strategy
-// watches the one-step error, and when triggered the parameters are
-// re-estimated — warm-started from the current parameters and the context
-// repository (paper: "the model adaption exploits the context knowledge
-// of previous model estimations in order to speed up this time-consuming
-// process").
+// measurement updates the smoothing state (cheap, allocation-free), an
+// evaluation strategy watches the one-step error, and when triggered the
+// parameters are re-estimated — warm-started from the current parameters
+// and the context repository (paper: "the model adaption exploits the
+// context knowledge of previous model estimations in order to speed up
+// this time-consuming process").
+//
+// Two re-estimation modes exist. Standalone (the default), the refit
+// runs synchronously inside Update. Registry-attached (an enqueue hook
+// is set), the strategy only *enqueues* a refit request: a background
+// worker refits against a snapshot of the history and publishes the new
+// parameters through an atomic pointer, which the next Update/Forecast
+// swaps into the live model — so a refit never blocks updates or
+// forecasts, which keep serving the stale-but-live model meanwhile.
 type Maintainer struct {
-	mu        sync.Mutex
-	model     *HWT
-	history   []float64
-	maxHist   int
+	mu    sync.Mutex
+	model *HWT
+
+	// hist is a fixed-capacity ring of the retained history window —
+	// appending an observation never allocates. histPos is the next
+	// write slot; histLen saturates at len(hist).
+	hist    []float64
+	histPos int
+	histLen int
+
 	strategy  EvaluationStrategy
 	fitCfg    FitConfig
 	repo      *ContextRepository // optional
 	ctx       Context
 	reEstims  int
 	listeners []func(*HWT)
+
+	// Async re-estimation plumbing (nil/zero in standalone mode).
+	enqueue       func() bool               // registry hook: queue a refit request
+	refitPending  atomic.Bool               // a request is queued or running
+	pendingFit    atomic.Pointer[installedFit]
+	obsSinceRefit atomic.Int64 // staleness: observations since the last installed fit
+	obsTotal      atomic.Uint64
 }
 
 // MaintainerConfig assembles a Maintainer.
@@ -116,40 +157,96 @@ func NewMaintainer(model *HWT, history []float64, cfg MaintainerConfig) *Maintai
 	if cfg.MaxHistory <= 0 {
 		cfg.MaxHistory = 4 * longest
 	}
-	h := append([]float64(nil), history...)
-	if len(h) > cfg.MaxHistory {
-		h = h[len(h)-cfg.MaxHistory:]
-	}
-	return &Maintainer{
+	mt := &Maintainer{
 		model:    model,
-		history:  h,
-		maxHist:  cfg.MaxHistory,
+		hist:     make([]float64, cfg.MaxHistory),
 		strategy: cfg.Strategy,
 		fitCfg:   cfg.FitCfg,
 		repo:     cfg.Repo,
 		ctx:      cfg.Ctx,
 	}
+	h := history
+	if len(h) > cfg.MaxHistory {
+		h = h[len(h)-cfg.MaxHistory:]
+	}
+	mt.histLen = copy(mt.hist, h)
+	mt.histPos = mt.histLen % cfg.MaxHistory
+	// The seed history counts as consumed: a freshly created model is
+	// dirty relative to a subscriber that has never seen a forecast.
+	mt.obsTotal.Store(uint64(len(history)))
+	return mt
 }
 
-// OnReestimate registers a callback invoked (synchronously, in Update)
-// after each re-estimation with the refreshed model.
+// setEnqueue switches the maintainer to asynchronous re-estimation: when
+// the evaluation strategy triggers, fn is called (once — guarded by
+// refitPending) instead of refitting inline. fn returns false when the
+// refit queue is full; the strategy stays armed and re-triggers.
+func (mt *Maintainer) setEnqueue(fn func() bool) { mt.enqueue = fn }
+
+// OnReestimate registers a callback invoked (under the maintainer lock,
+// from the flow that installs the refreshed parameters) after each
+// re-estimation with the refreshed model.
 func (mt *Maintainer) OnReestimate(fn func(*HWT)) {
 	mt.mu.Lock()
 	defer mt.mu.Unlock()
 	mt.listeners = append(mt.listeners, fn)
 }
 
+// histPush appends an observation to the ring window, allocation-free.
+// Caller holds the lock.
+func (mt *Maintainer) histPush(y float64) {
+	mt.hist[mt.histPos] = y
+	mt.histPos = (mt.histPos + 1) % len(mt.hist)
+	if mt.histLen < len(mt.hist) {
+		mt.histLen++
+	}
+}
+
+// histOrdered materializes the window oldest-first into dst (grown as
+// needed). Caller holds the lock.
+func (mt *Maintainer) histOrdered(dst []float64) []float64 {
+	dst = dst[:0]
+	if mt.histLen < len(mt.hist) {
+		return append(dst, mt.hist[:mt.histLen]...)
+	}
+	dst = append(dst, mt.hist[mt.histPos:]...)
+	return append(dst, mt.hist[:mt.histPos]...)
+}
+
 // Update consumes a new measurement: a cheap state update, plus a
-// parameter re-estimation when the evaluation strategy demands one.
+// parameter re-estimation (or, registry-attached, a refit enqueue) when
+// the evaluation strategy demands one.
 func (mt *Maintainer) Update(y float64) error {
 	mt.mu.Lock()
 	defer mt.mu.Unlock()
-	pred := mt.model.Forecast(1)[0]
-	mt.model.Update(y)
-	mt.history = append(mt.history, y)
-	if len(mt.history) > mt.maxHist {
-		mt.history = mt.history[len(mt.history)-mt.maxHist:]
+	return mt.updateLocked(y)
+}
+
+// UpdateBatch consumes a whole measurement batch under one lock
+// acquisition — the registry's hot path, so a batch of n observations
+// costs one lock round-trip and n allocation-free state updates.
+func (mt *Maintainer) UpdateBatch(ys []float64) error {
+	if len(ys) == 0 {
+		return nil
 	}
+	mt.mu.Lock()
+	defer mt.mu.Unlock()
+	for _, y := range ys {
+		if err := mt.updateLocked(y); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// updateLocked is one observation's state update. Caller holds the lock.
+func (mt *Maintainer) updateLocked(y float64) error {
+	mt.installPendingLocked()
+	pred := mt.model.OneStep()
+	mt.model.Update(y)
+	mt.histPush(y)
+	mt.obsSinceRefit.Add(1)
+	mt.obsTotal.Add(1)
 	smape := 0.0
 	if denom := abs(y) + abs(pred); denom > 0 {
 		smape = abs(y-pred) / denom
@@ -157,12 +254,48 @@ func (mt *Maintainer) Update(y float64) error {
 	if !mt.strategy.Observe(smape) {
 		return nil
 	}
-	return mt.reestimate()
+	if mt.enqueue != nil {
+		if mt.refitPending.CompareAndSwap(false, true) {
+			if !mt.enqueue() {
+				// Queue full: stand down so a later trigger retries.
+				mt.refitPending.Store(false)
+			}
+		}
+		return nil
+	}
+	return mt.reestimateLocked()
 }
 
-// reestimate refits parameters, warm-starting from the current parameters
-// or a context match. Caller holds the lock.
-func (mt *Maintainer) reestimate() error {
+// installPendingLocked swaps asynchronously estimated parameters into
+// the live model: the smoothing state the model accumulated while the
+// refit ran is kept, only α/φ/γ change. Caller holds the lock.
+func (mt *Maintainer) installPendingLocked() {
+	fit := mt.pendingFit.Swap(nil)
+	if fit == nil {
+		return
+	}
+	if err := mt.model.SetParams(fit.params); err == nil {
+		mt.strategy.Reset()
+		mt.reEstims++
+		mt.obsSinceRefit.Store(0)
+		for _, fn := range mt.listeners {
+			fn(mt.model)
+		}
+	}
+	mt.refitPending.Store(false)
+}
+
+// refitSnapshot captures everything a background worker needs to refit
+// off-lock: the ordered history window and a warm-started fit config.
+func (mt *Maintainer) refitSnapshot() (history []float64, periods []int, cfg FitConfig) {
+	mt.mu.Lock()
+	defer mt.mu.Unlock()
+	return mt.histOrdered(nil), mt.model.periods, mt.refitConfigLocked()
+}
+
+// refitConfigLocked builds the warm-started fit configuration. Caller
+// holds the lock.
+func (mt *Maintainer) refitConfigLocked() FitConfig {
 	cfg := mt.fitCfg
 	cfg.Start = mt.model.Params()
 	if mt.repo != nil {
@@ -170,13 +303,37 @@ func (mt *Maintainer) reestimate() error {
 			cfg.Start = p
 		}
 	}
-	fitted, res, err := FitHWT(mt.history, mt.model.periods, cfg)
+	return cfg
+}
+
+// completeRefit publishes an asynchronous re-estimation result. The
+// parameters are installed by the next Update/Forecast (the publish
+// itself never takes the maintainer lock, so a refit cannot stall the
+// serving path even for the install).
+func (mt *Maintainer) completeRefit(params []float64, objective float64) {
+	if mt.repo != nil {
+		mt.repo.Store(mt.ctx, params, objective)
+	}
+	mt.pendingFit.Store(&installedFit{params: params})
+}
+
+// abortRefit stands a failed asynchronous re-estimation down so the
+// strategy can trigger a fresh request.
+func (mt *Maintainer) abortRefit() { mt.refitPending.Store(false) }
+
+// reestimateLocked refits parameters synchronously, warm-starting from
+// the current parameters or a context match. Caller holds the lock.
+func (mt *Maintainer) reestimateLocked() error {
+	cfg := mt.refitConfigLocked()
+	history := mt.histOrdered(nil)
+	fitted, res, err := FitHWT(history, mt.model.periods, cfg)
 	if err != nil {
 		return fmt.Errorf("forecast: re-estimation failed: %w", err)
 	}
 	*mt.model = *fitted
 	mt.strategy.Reset()
 	mt.reEstims++
+	mt.obsSinceRefit.Store(0)
 	if mt.repo != nil {
 		mt.repo.Store(mt.ctx, res.X, res.Value)
 	}
@@ -186,19 +343,37 @@ func (mt *Maintainer) reestimate() error {
 	return nil
 }
 
-// Forecast returns the next h values under the lock.
+// Forecast returns the next h values under the lock. A pending
+// asynchronously estimated parameter set is installed first, so
+// forecasts see fresh parameters as soon as a refit lands.
 func (mt *Maintainer) Forecast(h int) []float64 {
 	mt.mu.Lock()
 	defer mt.mu.Unlock()
+	mt.installPendingLocked()
 	return mt.model.Forecast(h)
 }
 
-// Reestimations reports how many re-estimations have run.
+// OneStep returns the one-step-ahead forecast, allocation-free.
+func (mt *Maintainer) OneStep() float64 {
+	mt.mu.Lock()
+	defer mt.mu.Unlock()
+	mt.installPendingLocked()
+	return mt.model.OneStep()
+}
+
+// Reestimations reports how many re-estimations have been installed.
 func (mt *Maintainer) Reestimations() int {
 	mt.mu.Lock()
 	defer mt.mu.Unlock()
 	return mt.reEstims
 }
+
+// Staleness reports the observations consumed since the last installed
+// re-estimation — the freshness metric the registry aggregates.
+func (mt *Maintainer) Staleness() int64 { return mt.obsSinceRefit.Load() }
+
+// Observations reports the total observations consumed.
+func (mt *Maintainer) Observations() uint64 { return mt.obsTotal.Load() }
 
 // Params returns the current model parameters.
 func (mt *Maintainer) Params() []float64 {
@@ -222,9 +397,7 @@ func SelectModel(train, evalWindow, trainTemp, evalTemp []float64, periodsPerDay
 	var egrv *EGRV
 	if e, err := FitEGRV(train, trainTemp, NewEGRVConfig(periodsPerDay)); err == nil {
 		egrv = e
-		em := e.AsModel()
 		egrvSMAPE = oneStepSMAPEWithTemp(e, evalWindow, evalTemp)
-		_ = em
 	}
 
 	switch {
@@ -241,7 +414,7 @@ func oneStepSMAPE(m Model, eval []float64) float64 {
 	var sum float64
 	n := 0
 	for _, y := range eval {
-		pred := m.Forecast(1)[0]
+		pred := m.OneStep()
 		if denom := abs(y) + abs(pred); denom > 0 {
 			sum += abs(y-pred) / denom
 		}

@@ -72,14 +72,26 @@ func (h *Hub) Unsubscribe(id int) {
 
 // Publish recomputes every subscriber's forecast against the current
 // model state and notifies those whose forecast changed significantly.
-// Call it after feeding new measurements to the model. It returns the
-// number of notifications sent.
+// Call it after feeding new measurements to the model. The model is
+// queried once per *distinct* horizon — subscribers sharing a horizon
+// share the computed forecast. It returns the number of notifications
+// sent.
 func (h *Hub) Publish() int {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	sent := 0
+	var byHorizon map[int][]float64
+	if len(h.subs) > 1 {
+		byHorizon = make(map[int][]float64, len(h.subs))
+	}
 	for id, sub := range h.subs {
-		fc := h.model.Forecast(sub.horizon)
+		fc, ok := byHorizon[sub.horizon]
+		if !ok {
+			fc = h.model.Forecast(sub.horizon)
+			if byHorizon != nil {
+				byHorizon[sub.horizon] = fc
+			}
+		}
 		change := maxRelChange(sub.last, fc)
 		if sub.last != nil && change <= sub.threshold {
 			continue

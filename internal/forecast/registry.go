@@ -1,0 +1,492 @@
+package forecast
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mirabel/internal/store"
+)
+
+// SeriesKey identifies one maintained series: the per-(actor, energy
+// type) granularity the store already shards measurements by.
+type SeriesKey struct {
+	Actor      string
+	EnergyType string
+}
+
+// RegistryConfig assembles a Registry.
+type RegistryConfig struct {
+	// Shards is the stripe count of the series tables (rounded up to a
+	// power of two, default 32 — mirroring internal/store's layout).
+	Shards int
+	// Periods are the seasonal cycle lengths of every maintained HWT
+	// model (default {48}: daily seasonality at half-hourly resolution).
+	Periods []int
+	// MinObservations is the warm-up length before a model is created
+	// for a new series (clamped to the FitHWT minimum, 1.5 longest
+	// periods).
+	MinObservations int
+	// MaxHistory bounds each series' retained history window (default 4
+	// longest periods).
+	MaxHistory int
+	// FitCfg is the estimation budget for re-estimations.
+	FitCfg FitConfig
+	// NewStrategy builds the per-series evaluation strategy (default
+	// TimeBased every 2 longest periods). Called once per created model.
+	NewStrategy func() EvaluationStrategy
+	// Workers sizes the background re-estimation pool (default 2).
+	Workers int
+	// QueueDepth bounds the refit request queue (default 1024). A full
+	// queue never blocks updates: the request is dropped, counted as an
+	// overflow, and the evaluation strategy re-triggers later.
+	QueueDepth int
+	// SyncRefit disables the background pool: re-estimations run inline
+	// in the update path (the pre-registry behaviour, kept as the
+	// baseline mode for benchmarking). Workers/QueueDepth are ignored.
+	SyncRefit bool
+	// Repo optionally shares a context repository across all series, so
+	// refits warm-start from parameters of similar series.
+	Repo *ContextRepository
+}
+
+// RegistryStats is a point-in-time snapshot of the registry.
+type RegistryStats struct {
+	Series       int    // keys seen (warming + modelled)
+	Models       int    // series past warm-up with a live model
+	Observations uint64 // measurements consumed
+
+	RefitsEnqueued uint64
+	RefitsDone     uint64
+	RefitsFailed   uint64
+	QueueOverflows uint64
+	QueueDepth     int // requests currently queued
+	QueueCap       int
+	Workers        int
+	SyncRefits     uint64 // inline re-estimations (SyncRefit mode)
+
+	RefitP50, RefitP95, RefitP99 time.Duration
+
+	// Staleness: observations since the last installed re-estimation,
+	// aggregated over all modelled series.
+	MaxStaleness  int64
+	MeanStaleness float64
+}
+
+// Registry is the fleet-scale forecast service: per-(actor,energy)
+// maintained models in stripe-locked tables, lazy model creation on
+// first measurements, allocation-free batched updates, and asynchronous
+// parameter re-estimation on a bounded worker pool. It is safe for
+// concurrent use and sized for 10⁵–10⁶ resident series.
+type Registry struct {
+	cfg    RegistryConfig
+	mask   uint64
+	shards []registryShard
+	sweep  *sweeper // nil in SyncRefit mode
+
+	hubMu sync.Mutex
+	hubs  map[SeriesKey]*hubEntry
+
+	nSeries      atomic.Int64
+	nModels      atomic.Int64
+	observations atomic.Uint64
+	syncRefits   atomic.Uint64
+}
+
+type registryShard struct {
+	mu sync.RWMutex
+	m  map[SeriesKey]*Series
+}
+
+// Series is one maintained (actor, energy type) stream. Before the
+// model exists, observations accumulate in a warm-up buffer; at
+// MinObservations the model is created transparently (paper §5:
+// "transparent model creation") and the warm-up data seeds its state.
+type Series struct {
+	Key SeriesKey
+	reg *Registry
+
+	mu   sync.Mutex // guards the warm-up phase only
+	warm []float64
+
+	mt atomic.Pointer[Maintainer] // non-nil once the model exists
+}
+
+type hubEntry struct {
+	s       *Series
+	hub     *Hub
+	lastObs atomic.Uint64
+}
+
+// NewRegistry validates the configuration, applies defaults and starts
+// the background re-estimation pool.
+func NewRegistry(cfg RegistryConfig) (*Registry, error) {
+	if len(cfg.Periods) == 0 {
+		cfg.Periods = []int{48}
+	}
+	if _, err := NewHWT(cfg.Periods...); err != nil {
+		return nil, err
+	}
+	longest := cfg.Periods[0]
+	for _, p := range cfg.Periods {
+		if p > longest {
+			longest = p
+		}
+	}
+	if minFit := longest + longest/2; cfg.MinObservations < minFit {
+		cfg.MinObservations = minFit
+	}
+	if cfg.MaxHistory <= 0 {
+		cfg.MaxHistory = 4 * longest
+	}
+	if cfg.MaxHistory < cfg.MinObservations {
+		cfg.MaxHistory = cfg.MinObservations
+	}
+	if cfg.NewStrategy == nil {
+		every := 2 * longest
+		cfg.NewStrategy = func() EvaluationStrategy { return &TimeBased{Every: every} }
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 32
+	}
+	n := 1
+	for n < cfg.Shards {
+		n <<= 1
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 1024
+	}
+	r := &Registry{
+		cfg:    cfg,
+		mask:   uint64(n - 1),
+		shards: make([]registryShard, n),
+		hubs:   make(map[SeriesKey]*hubEntry),
+	}
+	for i := range r.shards {
+		r.shards[i].m = make(map[SeriesKey]*Series)
+	}
+	if !cfg.SyncRefit {
+		r.sweep = newSweeper(cfg.Workers, cfg.QueueDepth)
+	}
+	return r, nil
+}
+
+// hashSeriesKey is FNV-1a over actor then energy type, with a splitmix
+// finalizer — the same stripe-selection recipe internal/store uses.
+func hashSeriesKey(actor, energy string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(actor); i++ {
+		h ^= uint64(actor[i])
+		h *= prime64
+	}
+	h ^= 0xff // separator so ("ab","c") and ("a","bc") differ
+	h *= prime64
+	for i := 0; i < len(energy); i++ {
+		h ^= uint64(energy[i])
+		h *= prime64
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return h
+}
+
+// Series returns the maintained series for the key, creating the
+// (model-less) entry on first sight.
+func (r *Registry) Series(actor, energy string) *Series {
+	sh := &r.shards[hashSeriesKey(actor, energy)&r.mask]
+	key := SeriesKey{Actor: actor, EnergyType: energy}
+	sh.mu.RLock()
+	s := sh.m[key]
+	sh.mu.RUnlock()
+	if s != nil {
+		return s
+	}
+	sh.mu.Lock()
+	if s = sh.m[key]; s == nil {
+		s = &Series{Key: key, reg: r}
+		sh.m[key] = s
+		r.nSeries.Add(1)
+	}
+	sh.mu.Unlock()
+	return s
+}
+
+// Lookup returns the series for the key without creating it.
+func (r *Registry) Lookup(actor, energy string) (*Series, bool) {
+	sh := &r.shards[hashSeriesKey(actor, energy)&r.mask]
+	sh.mu.RLock()
+	s, ok := sh.m[SeriesKey{Actor: actor, EnergyType: energy}]
+	sh.mu.RUnlock()
+	return s, ok
+}
+
+// UpdateMeasurements feeds a measurement batch into the fleet. The
+// batch is split into consecutive runs of equal keys (the order batches
+// naturally arrive in), and each run updates its series under a single
+// lock acquisition — the registry hot path, allocation-free per
+// observation once a series' model exists.
+func (r *Registry) UpdateMeasurements(ms []store.Measurement) {
+	for i := 0; i < len(ms); {
+		j := i + 1
+		for j < len(ms) && ms[j].Actor == ms[i].Actor && ms[j].EnergyType == ms[i].EnergyType {
+			j++
+		}
+		r.Series(ms[i].Actor, ms[i].EnergyType).consumeRun(ms[i:j])
+		i = j
+	}
+	r.observations.Add(uint64(len(ms)))
+}
+
+// Update feeds a single observation into one series.
+func (r *Registry) Update(actor, energy string, y float64) {
+	r.Series(actor, energy).consume(y)
+	r.observations.Add(1)
+}
+
+// Forecast serves the next h values of a series. ok is false while the
+// series is unknown or still warming up.
+func (r *Registry) Forecast(actor, energy string, h int) (values []float64, ok bool) {
+	s, found := r.Lookup(actor, energy)
+	if !found {
+		return nil, false
+	}
+	mt := s.mt.Load()
+	if mt == nil {
+		return nil, false
+	}
+	return mt.Forecast(h), true
+}
+
+// Maintainer exposes the series' maintainer once the model exists.
+func (s *Series) Maintainer() (*Maintainer, bool) {
+	mt := s.mt.Load()
+	return mt, mt != nil
+}
+
+// consumeRun applies a run of same-key measurements.
+func (s *Series) consumeRun(ms []store.Measurement) {
+	if mt := s.mt.Load(); mt != nil {
+		updateRun(mt, ms)
+		return
+	}
+	s.mu.Lock()
+	if mt := s.mt.Load(); mt != nil {
+		// Model appeared while we waited for the warm-up lock.
+		s.mu.Unlock()
+		updateRun(mt, ms)
+		return
+	}
+	for i := range ms {
+		s.warm = append(s.warm, ms[i].KWh)
+	}
+	s.maybeCreateLocked()
+	s.mu.Unlock()
+}
+
+// consume applies one observation.
+func (s *Series) consume(y float64) {
+	if mt := s.mt.Load(); mt != nil {
+		_ = mt.Update(y)
+		return
+	}
+	s.mu.Lock()
+	if mt := s.mt.Load(); mt != nil {
+		s.mu.Unlock()
+		_ = mt.Update(y)
+		return
+	}
+	s.warm = append(s.warm, y)
+	s.maybeCreateLocked()
+	s.mu.Unlock()
+}
+
+// updateRun pushes a measurement run through the maintainer under one
+// lock acquisition (same-package access to the locked update loop, so
+// no intermediate value slice is materialized).
+func updateRun(mt *Maintainer, ms []store.Measurement) {
+	mt.mu.Lock()
+	for i := range ms {
+		_ = mt.updateLocked(ms[i].KWh)
+	}
+	mt.mu.Unlock()
+}
+
+// maybeCreateLocked creates the model once the warm-up buffer is long
+// enough: an HWT seeded from the buffer with default parameters serves
+// immediately, and the first real parameter estimation is queued to the
+// background pool — transparent model creation without stalling the
+// update path. Caller holds s.mu.
+func (s *Series) maybeCreateLocked() {
+	cfg := &s.reg.cfg
+	if len(s.warm) < cfg.MinObservations {
+		return
+	}
+	model, err := NewHWT(cfg.Periods...)
+	if err != nil {
+		return // unreachable: periods validated in NewRegistry
+	}
+	if err := model.Init(s.warm); err != nil {
+		return
+	}
+	mt := NewMaintainer(model, s.warm, MaintainerConfig{
+		Strategy:   cfg.NewStrategy(),
+		FitCfg:     cfg.FitCfg,
+		Repo:       cfg.Repo,
+		Ctx:        Context{EnergyType: s.Key.EnergyType},
+		MaxHistory: cfg.MaxHistory,
+	})
+	if s.reg.sweep != nil {
+		reg := s.reg
+		mt.setEnqueue(func() bool { return reg.sweep.enqueue(s) })
+	} else if cfg.SyncRefit {
+		s.reg.wrapSyncStrategy(mt)
+	}
+	s.warm = nil
+	s.mt.Store(mt)
+	s.reg.nModels.Add(1)
+	// Replace the default parameters with properly estimated ones as
+	// soon as a worker gets to it.
+	if s.reg.sweep != nil && mt.refitPending.CompareAndSwap(false, true) {
+		if !s.reg.sweep.enqueue(s) {
+			mt.refitPending.Store(false)
+		}
+	}
+}
+
+// wrapSyncStrategy counts inline re-estimations in SyncRefit mode by
+// observing strategy resets.
+func (r *Registry) wrapSyncStrategy(mt *Maintainer) {
+	mt.listeners = append(mt.listeners, func(*HWT) { r.syncRefits.Add(1) })
+}
+
+// Hub returns (creating on demand) the publish-subscribe hub of a
+// series, so continuous forecast queries can be registered per series.
+// Publish only fires once the model exists; before that subscribers
+// simply see no notifications.
+func (r *Registry) Hub(actor, energy string) *Hub {
+	s := r.Series(actor, energy)
+	r.hubMu.Lock()
+	defer r.hubMu.Unlock()
+	if e, ok := r.hubs[s.Key]; ok {
+		return e.hub
+	}
+	e := &hubEntry{s: s, hub: NewHub(seriesForecaster{s})}
+	r.hubs[s.Key] = e
+	return e.hub
+}
+
+// seriesForecaster adapts a Series to the Hub's forecaster seam; a
+// warming series forecasts zeros.
+type seriesForecaster struct{ s *Series }
+
+func (f seriesForecaster) Forecast(h int) []float64 {
+	if mt := f.s.mt.Load(); mt != nil {
+		return mt.Forecast(h)
+	}
+	return make([]float64, h)
+}
+
+// PublishDirty publishes every hub whose series consumed observations
+// since its last publication (the scheduling cycle calls this after the
+// ingest drain, so continuous queries fire once per cycle, not once per
+// batch). It returns the number of notifications sent.
+func (r *Registry) PublishDirty() int {
+	r.hubMu.Lock()
+	entries := make([]*hubEntry, 0, len(r.hubs))
+	for _, e := range r.hubs {
+		entries = append(entries, e)
+	}
+	r.hubMu.Unlock()
+	sent := 0
+	for _, e := range entries {
+		mt := e.s.mt.Load()
+		if mt == nil {
+			continue
+		}
+		cur := mt.Observations()
+		if e.lastObs.Swap(cur) == cur {
+			continue
+		}
+		sent += e.hub.Publish()
+	}
+	return sent
+}
+
+// Stats snapshots registry counters, refit queue state and latency
+// percentiles, and scans the shards for staleness aggregates.
+func (r *Registry) Stats() RegistryStats {
+	st := RegistryStats{
+		Series:       int(r.nSeries.Load()),
+		Models:       int(r.nModels.Load()),
+		Observations: r.observations.Load(),
+		SyncRefits:   r.syncRefits.Load(),
+	}
+	if r.sweep != nil {
+		r.sweep.fill(&st)
+	}
+	var sum int64
+	var n int64
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.RLock()
+		for _, s := range sh.m {
+			mt := s.mt.Load()
+			if mt == nil {
+				continue
+			}
+			stale := mt.Staleness()
+			if stale > st.MaxStaleness {
+				st.MaxStaleness = stale
+			}
+			sum += stale
+			n++
+		}
+		sh.mu.RUnlock()
+	}
+	if n > 0 {
+		st.MeanStaleness = float64(sum) / float64(n)
+	}
+	return st
+}
+
+// Quiesce blocks until the refit queue is empty and no refit is in
+// flight, or the timeout elapses. Intended for tests and benchmarks.
+func (r *Registry) Quiesce(timeout time.Duration) error {
+	if r.sweep == nil {
+		return nil
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		if r.sweep.idle() {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("forecast: registry did not quiesce within %v", timeout)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// Close stops the background workers (in-flight refits finish; queued
+// requests are dropped).
+func (r *Registry) Close() {
+	if r.sweep != nil {
+		r.sweep.close()
+	}
+}
+
+// sortDurations is a tiny helper shared with the sweeper's percentile
+// snapshot.
+func sortDurations(d []time.Duration) {
+	sort.Slice(d, func(i, j int) bool { return d[i] < d[j] })
+}

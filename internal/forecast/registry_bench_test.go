@@ -1,0 +1,74 @@
+package forecast
+
+import (
+	"fmt"
+	"testing"
+
+	"mirabel/internal/flexoffer"
+	"mirabel/internal/store"
+)
+
+func BenchmarkHWTOneStep(b *testing.B) {
+	m, err := NewHWT(48)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 96; i++ {
+		m.Update(float64(i % 48))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.OneStep()
+	}
+}
+
+func BenchmarkMaintainerUpdate(b *testing.B) {
+	m, err := NewHWT(48)
+	if err != nil {
+		b.Fatal(err)
+	}
+	hist := make([]float64, 96)
+	if err := m.Init(hist); err != nil {
+		b.Fatal(err)
+	}
+	mt := NewMaintainer(m, hist, MaintainerConfig{Strategy: &TimeBased{}})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = mt.Update(float64(i % 7))
+	}
+}
+
+func BenchmarkRegistryUpdateBatch(b *testing.B) {
+	cfg := RegistryConfig{
+		Periods:     []int{24},
+		NewStrategy: func() EvaluationStrategy { return &TimeBased{} },
+		SyncRefit:   true,
+	}
+	reg, err := NewRegistry(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer reg.Close()
+
+	// 64 series x 4 observations per batch — the ingest-drain shape.
+	const nSeries, perSeries = 64, 4
+	batch := make([]store.Measurement, 0, nSeries*perSeries)
+	for s := 0; s < nSeries; s++ {
+		actor := fmt.Sprintf("a%03d", s)
+		for i := 0; i < perSeries; i++ {
+			batch = append(batch, store.Measurement{
+				Actor: actor, EnergyType: "elec", Slot: flexoffer.Time(i), KWh: 5,
+			})
+		}
+	}
+	for i := 0; i < 12; i++ {
+		reg.UpdateMeasurements(batch) // past warm-up for every series
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reg.UpdateMeasurements(batch)
+	}
+}

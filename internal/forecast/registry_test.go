@@ -1,0 +1,458 @@
+package forecast
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"mirabel/internal/flexoffer"
+	"mirabel/internal/optimize"
+	"mirabel/internal/store"
+)
+
+// testRegistryConfig is a tiny, fast fleet: period-4 models, six
+// observations to warm up, no refits unless the test opts in.
+func testRegistryConfig() RegistryConfig {
+	return RegistryConfig{
+		Shards:      4,
+		Periods:     []int{4},
+		FitCfg:      FitConfig{Options: optimize.Options{MaxEvaluations: 40, Seed: 3}},
+		NewStrategy: func() EvaluationStrategy { return &TimeBased{} }, // never triggers
+		Workers:     1,
+	}
+}
+
+func seriesBatch(actor string, from, n int) []store.Measurement {
+	ms := make([]store.Measurement, n)
+	for i := range ms {
+		t := from + i
+		ms[i] = store.Measurement{
+			Actor: actor, EnergyType: "elec", Slot: flexoffer.Time(t),
+			KWh: 10 + 3*math.Sin(2*math.Pi*float64(t%4)/4),
+		}
+	}
+	return ms
+}
+
+func TestRegistryLazyCreation(t *testing.T) {
+	reg, err := NewRegistry(testRegistryConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+
+	// Below the warm-up threshold (6 = 1.5 x longest period): no model.
+	reg.UpdateMeasurements(seriesBatch("a1", 0, 5))
+	if _, ok := reg.Forecast("a1", "elec", 4); ok {
+		t.Fatal("forecast served before the warm-up threshold")
+	}
+	st := reg.Stats()
+	if st.Series != 1 || st.Models != 0 {
+		t.Fatalf("stats = %d series / %d models, want 1 / 0", st.Series, st.Models)
+	}
+
+	// One more observation crosses the threshold: model created lazily.
+	reg.UpdateMeasurements(seriesBatch("a1", 5, 1))
+	fc, ok := reg.Forecast("a1", "elec", 4)
+	if !ok || len(fc) != 4 {
+		t.Fatalf("forecast after warm-up: ok=%v len=%d", ok, len(fc))
+	}
+	if st := reg.Stats(); st.Models != 1 {
+		t.Fatalf("models = %d, want 1", st.Models)
+	}
+	// Unknown series stays unknown.
+	if _, ok := reg.Forecast("ghost", "elec", 4); ok {
+		t.Fatal("forecast for unknown series")
+	}
+}
+
+// TestRegistryBatchMatchesSequential: feeding a series one measurement
+// at a time and in large batches must end in identical model state.
+func TestRegistryBatchMatchesSequential(t *testing.T) {
+	one, err := NewRegistry(testRegistryConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer one.Close()
+	bulk, err := NewRegistry(testRegistryConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bulk.Close()
+
+	const n = 64
+	all := seriesBatch("a1", 0, n)
+	for i := 0; i < n; i++ {
+		one.UpdateMeasurements(all[i : i+1])
+	}
+	bulk.UpdateMeasurements(all)
+
+	fc1, ok1 := one.Forecast("a1", "elec", 8)
+	fc2, ok2 := bulk.Forecast("a1", "elec", 8)
+	if !ok1 || !ok2 {
+		t.Fatalf("forecasts not served: %v %v", ok1, ok2)
+	}
+	for i := range fc1 {
+		if math.Abs(fc1[i]-fc2[i]) > 1e-12 {
+			t.Fatalf("slot %d: sequential %.12f != batched %.12f", i, fc1[i], fc2[i])
+		}
+	}
+}
+
+// TestRegistryMixedBatchGrouping: one batch interleaving several series
+// must route every measurement to its own series.
+func TestRegistryMixedBatchGrouping(t *testing.T) {
+	reg, err := NewRegistry(testRegistryConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+
+	var mixed []store.Measurement
+	for round := 0; round < 8; round++ {
+		for _, actor := range []string{"a1", "a2", "a3"} {
+			mixed = append(mixed, seriesBatch(actor, round*2, 2)...)
+		}
+	}
+	reg.UpdateMeasurements(mixed)
+	st := reg.Stats()
+	if st.Series != 3 || st.Models != 3 {
+		t.Fatalf("stats = %d series / %d models, want 3 / 3", st.Series, st.Models)
+	}
+	if st.Observations != uint64(len(mixed)) {
+		t.Fatalf("observations = %d, want %d", st.Observations, len(mixed))
+	}
+	s, _ := reg.Lookup("a2", "elec")
+	mt, ok := s.Maintainer()
+	if !ok || mt.Observations() != 16 {
+		t.Fatalf("a2 observations = %d, want 16", mt.Observations())
+	}
+}
+
+// gateEstimator blocks inside Minimize until released — a stand-in for
+// an arbitrarily slow parameter estimation.
+type gateEstimator struct {
+	started chan struct{} // receives one token per Minimize entry
+	release chan struct{} // closed to let every Minimize finish
+}
+
+func (e *gateEstimator) Name() string { return "gate" }
+func (e *gateEstimator) Minimize(obj optimize.Objective, b optimize.Bounds, opt optimize.Options) optimize.Result {
+	select {
+	case e.started <- struct{}{}:
+	default:
+	}
+	<-e.release
+	x := make([]float64, b.Dim())
+	for i := range x {
+		x[i] = (b.Lo[i] + b.Hi[i]) / 2
+	}
+	return optimize.Result{X: x, Value: obj(x)}
+}
+
+// TestRefitNeverBlocksForecast: while a re-estimation is stuck inside
+// the estimator, updates and forecasts keep serving the stale-but-live
+// model. Run under -race this also proves the snapshot/install protocol
+// is data-race free.
+func TestRefitNeverBlocksForecast(t *testing.T) {
+	gate := &gateEstimator{started: make(chan struct{}, 1), release: make(chan struct{})}
+	cfg := testRegistryConfig()
+	cfg.FitCfg.Estimator = gate
+	cfg.NewStrategy = func() EvaluationStrategy { return &TimeBased{Every: 4} }
+	reg, err := NewRegistry(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+
+	// Warm the series up; model creation enqueues the initial refit,
+	// which parks inside the gate.
+	reg.UpdateMeasurements(seriesBatch("a1", 0, 8))
+	select {
+	case <-gate.started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("refit never reached the estimator")
+	}
+
+	// Refit in flight: forecasts and updates must complete promptly.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			if _, ok := reg.Forecast("a1", "elec", 4); !ok {
+				t.Error("forecast not served during refit")
+				return
+			}
+			reg.UpdateMeasurements(seriesBatch("a1", 8+i, 1))
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("forecast/update blocked behind an in-flight refit")
+	}
+
+	close(gate.release)
+	if err := reg.Quiesce(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// The next serve installs the published parameters.
+	reg.Forecast("a1", "elec", 4)
+	if st := reg.Stats(); st.RefitsDone == 0 {
+		t.Fatalf("refits done = %d, want > 0", st.RefitsDone)
+	}
+}
+
+// TestStalenessBoundUnderSaturatedQueue: with the refit pool wedged and
+// the queue full, update triggers overflow (counted, never blocking),
+// forecasts keep serving, and the stats report the growing staleness.
+func TestStalenessBoundUnderSaturatedQueue(t *testing.T) {
+	gate := &gateEstimator{started: make(chan struct{}, 1), release: make(chan struct{})}
+	cfg := testRegistryConfig()
+	cfg.FitCfg.Estimator = gate
+	cfg.NewStrategy = func() EvaluationStrategy { return &TimeBased{Every: 2} }
+	cfg.QueueDepth = 1
+	reg, err := NewRegistry(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Series a1's creation refit occupies the single worker; a2's
+	// creation refit fills the depth-1 queue; every later creation or
+	// strategy trigger overflows (refitPending stands down on overflow,
+	// so the strategy keeps retrying).
+	reg.UpdateMeasurements(seriesBatch("a1", 0, 6))
+	<-gate.started
+	reg.UpdateMeasurements(seriesBatch("a2", 0, 6))
+	reg.UpdateMeasurements(seriesBatch("a3", 0, 6))
+	reg.UpdateMeasurements(seriesBatch("a4", 0, 6))
+	for i := 0; i < 20; i++ {
+		reg.UpdateMeasurements(seriesBatch("a1", 6+2*i, 2))
+		reg.UpdateMeasurements(seriesBatch("a3", 6+2*i, 2))
+	}
+
+	for _, actor := range []string{"a1", "a2", "a3", "a4"} {
+		if _, ok := reg.Forecast(actor, "elec", 4); !ok {
+			t.Fatalf("%s: forecast not served under refit starvation", actor)
+		}
+	}
+	st := reg.Stats()
+	if st.QueueOverflows == 0 {
+		t.Fatal("no queue overflows despite a saturated depth-1 queue")
+	}
+	if st.MaxStaleness < 40 {
+		t.Fatalf("max staleness = %d, want >= 40 (refits starved)", st.MaxStaleness)
+	}
+	if st.RefitsDone != 0 {
+		t.Fatalf("refits done = %d, want 0 while wedged", st.RefitsDone)
+	}
+
+	close(gate.release)
+	if err := reg.Quiesce(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	reg.Close()
+}
+
+// TestRegistryConcurrentRace hammers one hot series and a spread of
+// cold ones from concurrent updaters, forecasters, publishers and the
+// background refit pool. Run under -race.
+func TestRegistryConcurrentRace(t *testing.T) {
+	cfg := testRegistryConfig()
+	cfg.NewStrategy = func() EvaluationStrategy { return &TimeBased{Every: 8} }
+	cfg.Workers = 2
+	cfg.QueueDepth = 64
+	reg, err := NewRegistry(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	hub := reg.Hub("hot", "elec")
+	if _, _, err := hub.Subscribe(4, 0.01); err != nil {
+		t.Fatal(err)
+	}
+
+	const rounds = 120
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < rounds; i++ {
+				// The shared hot series plus a per-worker cold spread.
+				reg.UpdateMeasurements(seriesBatch("hot", i*2, 2))
+				actor := fmt.Sprintf("cold-%d-%d", w, rng.Intn(8))
+				reg.UpdateMeasurements(seriesBatch(actor, i*2, 2))
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			reg.Forecast("hot", "elec", 4)
+			reg.PublishDirty()
+			reg.Stats()
+		}
+	}()
+	wg.Wait()
+
+	if err := reg.Quiesce(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	st := reg.Stats()
+	if st.RefitsFailed != 0 {
+		t.Fatalf("refits failed = %d", st.RefitsFailed)
+	}
+	if st.Models == 0 {
+		t.Fatal("no models created")
+	}
+	reg.Close()
+}
+
+// TestRegistrySyncRefitMode: Workers=0 via SyncRefit runs re-estimation
+// inline (the benchmark baseline) and counts it.
+func TestRegistrySyncRefitMode(t *testing.T) {
+	cfg := testRegistryConfig()
+	cfg.SyncRefit = true
+	cfg.NewStrategy = func() EvaluationStrategy { return &TimeBased{Every: 8} }
+	reg, err := NewRegistry(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+	// Small batches so most observations flow through the live model
+	// (one big batch would land entirely in the warm-up buffer).
+	for i := 0; i < 20; i++ {
+		reg.UpdateMeasurements(seriesBatch("a1", i*2, 2))
+	}
+	st := reg.Stats()
+	if st.SyncRefits == 0 {
+		t.Fatal("no inline re-estimations in SyncRefit mode")
+	}
+	if st.RefitsEnqueued != 0 || st.Workers != 0 {
+		t.Fatalf("background pool active in SyncRefit mode: %+v", st)
+	}
+}
+
+func TestRegistryHubPublishDirty(t *testing.T) {
+	reg, err := NewRegistry(testRegistryConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+	hub := reg.Hub("a1", "elec")
+	_, ch, err := hub.Subscribe(4, 0.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warming series: dirty-publish skips it (no model yet).
+	reg.UpdateMeasurements(seriesBatch("a1", 0, 3))
+	if n := reg.PublishDirty(); n != 0 {
+		t.Fatalf("published %d notifications before the model exists", n)
+	}
+	reg.UpdateMeasurements(seriesBatch("a1", 3, 5))
+	if n := reg.PublishDirty(); n != 1 {
+		t.Fatalf("published %d notifications, want 1", n)
+	}
+	select {
+	case n := <-ch:
+		if len(n.Forecast) != 4 {
+			t.Fatalf("notification horizon = %d, want 4", len(n.Forecast))
+		}
+	default:
+		t.Fatal("no notification delivered")
+	}
+	// Clean publish: no new observations, no notifications.
+	if n := reg.PublishDirty(); n != 0 {
+		t.Fatalf("published %d notifications without new observations", n)
+	}
+}
+
+// countingForecaster counts Forecast calls per horizon.
+type countingForecaster struct {
+	calls map[int]int
+}
+
+func (c *countingForecaster) Forecast(h int) []float64 {
+	c.calls[h]++
+	return make([]float64, h)
+}
+
+// TestHubPublishDistinctHorizons: subscribers sharing a horizon share
+// one model query per publish.
+func TestHubPublishDistinctHorizons(t *testing.T) {
+	cf := &countingForecaster{calls: make(map[int]int)}
+	hub := NewHub(cf)
+	for _, h := range []int{5, 5, 5, 7} {
+		if _, _, err := hub.Subscribe(h, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sent := hub.Publish(); sent != 4 {
+		t.Fatalf("sent = %d, want 4 first-publish notifications", sent)
+	}
+	if cf.calls[5] != 1 || cf.calls[7] != 1 {
+		t.Fatalf("model queried %d times for h=5 and %d for h=7, want once each", cf.calls[5], cf.calls[7])
+	}
+}
+
+// TestOneStepMatchesForecast1 pins the allocation-free one-step path to
+// the general forecast.
+func TestOneStepMatchesForecast1(t *testing.T) {
+	m, err := NewHWT(4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 200; i++ {
+		if got, want := m.OneStep(), m.Forecast(1)[0]; got != want {
+			t.Fatalf("step %d: OneStep %.12f != Forecast(1)[0] %.12f", i, got, want)
+		}
+		m.Update(10 + rng.NormFloat64())
+	}
+}
+
+// TestThresholdBasedRunningSum: the O(1) running-sum strategy must make
+// exactly the decisions of a naive full-window rescan, across enough
+// wraps to cross the drift resync.
+func TestThresholdBasedRunningSum(t *testing.T) {
+	const window = 8
+	fast := &ThresholdBased{Threshold: 0.3, Window: window}
+	// Naive reference: full scan per observation.
+	var ref []float64
+	pos, full := 0, false
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < window*(thresholdResyncEvery*2+3); i++ {
+		smape := rng.Float64() * 0.6
+		got := fast.Observe(smape)
+
+		if ref == nil {
+			ref = make([]float64, window)
+		}
+		ref[pos] = smape
+		pos = (pos + 1) % window
+		if pos == 0 {
+			full = true
+		}
+		want := false
+		if full {
+			var sum float64
+			for _, e := range ref {
+				sum += e
+			}
+			want = sum/window > 0.3
+		}
+		if got != want {
+			t.Fatalf("observation %d: running-sum verdict %v != rescan verdict %v", i, got, want)
+		}
+	}
+	fast.Reset()
+	if fast.Observe(1) {
+		t.Fatal("triggered immediately after Reset on a partial window")
+	}
+}

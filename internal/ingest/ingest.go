@@ -118,4 +118,12 @@ type Config struct {
 	// MaxBatch bounds how many queued events one consumer coalesces
 	// into a single store apply (default 256).
 	MaxBatch int
+	// OnMeasurements, when set, observes every measurement batch as it
+	// is applied to the store — the forecast-maintenance hook. Because
+	// it hangs off the single apply funnel, it sees live consumed
+	// batches, PolicyDefer events re-admitted from the disk backlog,
+	// and journal recovery replays alike. It is called from consumer
+	// goroutines and must be safe for concurrent use; the slice must
+	// not be retained.
+	OnMeasurements func([]store.Measurement)
 }

@@ -395,6 +395,13 @@ func (q *Queue) applyEvents(events []event) {
 			q.stats.noteApplyErr(err)
 		}
 	}
+	if q.cfg.OnMeasurements != nil {
+		for _, ev := range events {
+			if len(ev.meas) > 0 {
+				q.cfg.OnMeasurements(ev.meas)
+			}
+		}
+	}
 	if len(updates) > 0 {
 		results, err := q.cfg.Store.UpdateOffers(updates)
 		if err != nil {
