@@ -35,8 +35,10 @@ import (
 	"mirabel/internal/forecast"
 	"mirabel/internal/ingest"
 	"mirabel/internal/market"
+	"mirabel/internal/negotiate"
 	"mirabel/internal/optimize"
 	"mirabel/internal/sched"
+	"mirabel/internal/settle"
 	"mirabel/internal/store"
 	"mirabel/internal/workload"
 )
@@ -44,11 +46,12 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("mirabel-bench: ")
-	exp := flag.String("exp", "all", "experiment: all | fig5a | fig5b | fig5c | fig5d | fig5 | fig4a | fig4b | fig6 | exhaustive | cycle | store | tcp | sched | ingest | agg | forecast")
+	exp := flag.String("exp", "all", "experiment: all | fig5a | fig5b | fig5c | fig5d | fig5 | fig4a | fig4b | fig6 | exhaustive | cycle | store | tcp | sched | ingest | agg | forecast | settle")
 	maxOffers := flag.Int("maxoffers", 800000, "largest flex-offer count of the Figure 5 sweep")
 	aggOffers := flag.Int("agg-offers", 1000000, "largest flex-offer count of the agg churn experiment")
 	maxFacts := flag.Int("maxfacts", 1600000, "largest measurement count of the storage-engine sweep")
 	fcSeries := flag.Int("fcast-series", 100000, "resident series count of the forecast fleet experiment")
+	settleLines := flag.Int("settle-lines", 100000, "settlement lines per price regime in the ledger experiment")
 	budget := flag.Duration("budget", 10*time.Second, "time budget of the largest Figure 6 instance")
 	seed := flag.Int64("seed", 1, "workload seed")
 	flag.Parse()
@@ -67,6 +70,7 @@ func main() {
 		ingestExp(*seed)
 		aggExp(*aggOffers, *seed)
 		forecastExp(*fcSeries, *seed)
+		settleExp(*settleLines, *seed)
 	case "fig5", "fig5a", "fig5b", "fig5c", "fig5d":
 		fig5(*maxOffers, *seed)
 	case "fig4a":
@@ -91,6 +95,8 @@ func main() {
 		aggExp(*aggOffers, *seed)
 	case "forecast":
 		forecastExp(*fcSeries, *seed)
+	case "settle":
+		settleExp(*settleLines, *seed)
 	default:
 		log.Printf("unknown experiment %q", *exp)
 		flag.Usage()
@@ -1228,5 +1234,195 @@ func aggExp(maxOffers int, seed int64) {
 					scratchMS/cycleMS, m.Aggregates, m.CompressionRatio, m.LossPerOffer)
 			}
 		}
+	}
+}
+
+// settleExp drives the auditable settlement stack across the market's
+// price regimes: per regime, `lines` scheduled flex-offers settle
+// through the hash-chained ledger (batched appends, acked before the
+// offer transitions), the full chain is re-verified, and a deliberately
+// corrupted copy must fail verification at the flipped entry. A closing
+// table sweeps multi-round negotiation sessions under each regime's
+// quote movement.
+func settleExp(lines int, seed int64) {
+	fmt.Println("== Settlement: hash-chained ledger across price regimes ==")
+	fmt.Printf("%d settlement lines per regime (~10%% deviating), batch 256, fsync flush\n", lines)
+	fmt.Println("regime              lines/s    entries   append_p50  append_p99  verify_ms  verify_ent/s")
+
+	var lastPath string
+	for _, regime := range market.Regimes() {
+		prices, err := market.Scenario(market.ScenarioConfig{Regime: regime, Days: 7, Seed: seed})
+		if err != nil {
+			log.Fatal(err)
+		}
+		m, err := market.NewDayAhead(market.Config{Prices: prices})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		dir, err := os.MkdirTemp("", "mirabel-bench-settle")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		path := filepath.Join(dir, "ledger.log")
+		led, err := settle.OpenLedger(settle.LedgerConfig{Path: path})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Scheduled offers with ~10% of executions deviating beyond
+		// tolerance, so the chain carries penalty entries priced off the
+		// regime's imbalance curve alongside lines and profit shares.
+		st := store.NewInMemory()
+		rng := rand.New(rand.NewSource(seed))
+		metered := make(map[flexoffer.ID][]float64)
+		horizon := flexoffer.Time(prices.Len() * flexoffer.SlotsPerHour)
+		for i := 1; i <= lines; i++ {
+			id := flexoffer.ID(i)
+			energy := []float64{2 + 4*rng.Float64(), 2 + 4*rng.Float64()}
+			rec := store.OfferRecord{
+				Offer: &flexoffer.FlexOffer{
+					ID: id, Prosumer: fmt.Sprintf("p%d", i%1024), CostPerKWh: 0.02,
+				},
+				Owner:    fmt.Sprintf("p%d", i%1024),
+				State:    store.OfferScheduled,
+				Schedule: &flexoffer.Schedule{OfferID: id, Start: flexoffer.Time(rng.Intn(int(horizon))), Energy: energy},
+			}
+			if err := st.PutOffer(rec); err != nil {
+				log.Fatal(err)
+			}
+			if rng.Float64() < 0.1 {
+				metered[id] = []float64{energy[0] * 1.3, energy[1] * 1.3}
+			}
+		}
+
+		t0 := time.Now()
+		rep, err := settle.Run(settle.RunConfig{
+			Store:   st,
+			Ledger:  led,
+			Metered: metered,
+			Settle: settle.Config{
+				ImbalancePrice:    m.ImbalancePrice,
+				ShareFrac:         0.3,
+				RealizedProfitEUR: 0.02 * float64(lines),
+			},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		settleDur := time.Since(t0)
+		if len(rep.Lines) != lines {
+			log.Fatalf("settled %d lines, want %d", len(rep.Lines), lines)
+		}
+
+		t1 := time.Now()
+		res, err := led.Verify()
+		if err != nil {
+			log.Fatal(err)
+		}
+		verifyDur := time.Since(t1)
+		if !res.OK {
+			log.Fatalf("%s: chain verification failed at seq %d: %s", regime, res.FirstBadSeq, res.Reason)
+		}
+		stats := led.Stats()
+		fmt.Printf("%-19s %-10.0f %-9d %-11v %-11v %-10.1f %.0f\n",
+			regime,
+			float64(lines)/settleDur.Seconds(),
+			stats.Entries,
+			stats.AppendP50.Round(time.Microsecond),
+			stats.P99.Round(time.Microsecond),
+			float64(verifyDur)/float64(time.Millisecond),
+			float64(res.Entries)/verifyDur.Seconds())
+		if err := led.Close(); err != nil {
+			log.Fatal(err)
+		}
+		lastPath = path
+	}
+
+	// Tamper detection: flip one byte mid-chain in a copy of the last
+	// regime's ledger — verification must localize the divergence.
+	data, err := os.ReadFile(lastPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tampered := append([]byte(nil), data...)
+	tampered[len(tampered)/2] ^= 0x01
+	tamperedPath := lastPath + ".tampered"
+	if err := os.WriteFile(tamperedPath, tampered, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	res, err := settle.VerifyFile(tamperedPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if res.OK {
+		log.Fatal("tampered ledger passed verification")
+	}
+	fmt.Printf("tamper check: flipped 1 byte -> divergence at seq %d (%s), %d entries intact\n",
+		res.FirstBadSeq, res.Reason, res.Entries)
+
+	fmt.Println()
+	fmt.Println("-- multi-round negotiation under regime price pressure --")
+	fmt.Println("regime              accept%  mean_premium  mean_rounds  rejected  expired")
+	profile := make([]flexoffer.Slice, 4)
+	for i := range profile {
+		profile[i] = flexoffer.Slice{EnergyMin: 0, EnergyMax: 5}
+	}
+	nf := &flexoffer.FlexOffer{
+		ID: 1, EarliestStart: 100, LatestStart: 116, AssignBefore: 84, Profile: profile,
+	}
+	const sessions = 500
+	for _, regime := range market.Regimes() {
+		prices, err := market.Scenario(market.ScenarioConfig{Regime: regime, Days: 7, Seed: seed})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		vl := negotiate.NewValuator()
+		base := vl.OfferPrice(nf, 0)
+		var accepted, rejected, expired, totalRounds int
+		var premiumSum float64
+		for s := 0; s < sessions; s++ {
+			// Each session starts at a random hour; quotes follow the
+			// regime's curve hour by hour from there.
+			start := rng.Intn(prices.Len() - 24)
+			refMid := prices.Values()[start] / 1000
+			if refMid == 0 {
+				refMid = 0.001
+			}
+			sess, err := negotiate.NewSession(negotiate.SessionConfig{
+				Valuator:       vl,
+				ReservationEUR: base * (0.5 + rng.Float64()),
+				RefMid:         refMid,
+				Quote: func(round int) float64 {
+					return prices.Values()[start+round%24] / 1000
+				},
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			res := sess.Run(nf, 0)
+			totalRounds += len(res.Rounds)
+			switch res.Outcome {
+			case negotiate.Accepted:
+				accepted++
+				premiumSum += res.PremiumEUR
+			case negotiate.Rejected:
+				rejected++
+			case negotiate.Expired:
+				expired++
+			}
+		}
+		meanPremium := 0.0
+		if accepted > 0 {
+			meanPremium = premiumSum / float64(accepted)
+		}
+		fmt.Printf("%-19s %-8.1f %-13.4f %-12.1f %-9d %d\n",
+			regime,
+			100*float64(accepted)/sessions,
+			meanPremium,
+			float64(totalRounds)/sessions,
+			rejected, expired)
 	}
 }

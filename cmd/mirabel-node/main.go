@@ -32,6 +32,7 @@ import (
 	"mirabel/internal/forecast"
 	"mirabel/internal/ingest"
 	"mirabel/internal/sched"
+	"mirabel/internal/settle"
 	"mirabel/internal/store"
 )
 
@@ -55,6 +56,8 @@ func main() {
 		ingestPol = flag.String("ingest-policy", "block", "ingest backpressure policy when the queue is full: block | shed | defer")
 		fcShards  = flag.Int("fcast-shards", 0, "forecast registry stripe count (0: no per-series forecast service)")
 		fcWorkers = flag.Int("fcast-workers", 2, "background re-estimation workers for the forecast registry")
+		ledgerDir = flag.String("ledger-dir", "", "settlement ledger directory (empty: -data if set, else no ledger)")
+		ledgerFs  = flag.String("ledger-fsync", "flush", "ledger group-commit fsync policy: flush | always | interval")
 		brkWindow = flag.Int("breaker-window", 0, "circuit-breaker outcome window per destination (0: no breaker)")
 		brkRate   = flag.Float64("breaker-rate", 0.5, "failure rate over the window that opens a destination's circuit")
 		brkCool   = flag.Duration("breaker-cooldown", 5*time.Second, "open-circuit cooldown before a half-open trial")
@@ -164,6 +167,25 @@ func main() {
 			Cooldown:    *brkCool,
 		}
 	}
+	if dir := *ledgerDir; dir != "" || *dataDir != "" {
+		if dir == "" {
+			// The settlement ledger defaults into the store's directory:
+			// a durable node settles durably.
+			dir = *dataDir
+		}
+		sc := &settle.LedgerConfig{Path: filepath.Join(dir, "ledger.log")}
+		switch *ledgerFs {
+		case "flush":
+		case "always":
+			sc.Sync = store.SyncAlways
+		case "interval":
+			sc.Sync = store.SyncInterval
+			sc.SyncInterval = *fsyncIvl
+		default:
+			log.Fatalf("unknown -ledger-fsync policy %q (want flush | always | interval)", *ledgerFs)
+		}
+		cfg.Settlement = sc
+	}
 	node, err := core.NewNode(cfg)
 	if err != nil {
 		log.Fatal(err)
@@ -180,6 +202,11 @@ func main() {
 			log.Printf("forecast: series=%d models=%d obs=%d refits=%d/%d failed=%d overflows=%d refit_p99=%v max_staleness=%d",
 				fs.Series, fs.Models, fs.Observations, fs.RefitsDone, fs.RefitsEnqueued, fs.RefitsFailed,
 				fs.QueueOverflows, fs.RefitP99, fs.MaxStaleness)
+		}
+		if ls, ok := node.LedgerStats(); ok {
+			log.Printf("ledger: entries=%d actors=%d settled=%d appends=%d append_p50=%v append_p99=%v recovered=%d dropped_bytes=%d syncs=%d",
+				ls.Entries, ls.Actors, ls.SettledOffers, ls.Appends, ls.AppendP50, ls.P99,
+				ls.RecoveredEntries, ls.DroppedBytes, ls.Log.Syncs)
 		}
 	}()
 

@@ -103,6 +103,13 @@ type Config struct {
 	// open circuits after delivery so healed peers rejoin. Origin is
 	// filled with the node's name.
 	Breaker *comm.BreakerConfig
+
+	// Settlement, when non-nil, opens a durable hash-chained settlement
+	// ledger (settle.OpenLedger): SettleExecuted becomes a batched,
+	// crash-recoverable run whose ledger appends are acked before
+	// offers transition, and re-settlement after a crash dedups
+	// against the chain. Nil keeps the seed-era in-memory settlement.
+	Settlement *settle.LedgerConfig
 }
 
 // Node is one LEDMS instance.
@@ -114,6 +121,7 @@ type Node struct {
 	ingest  *ingest.Queue      // nil = synchronous intake
 	breaker *comm.Breaker      // nil = no circuit breaking
 	fcasts  *forecast.Registry // nil = no per-series forecast service
+	ledger  *settle.Ledger     // nil = in-memory settlement only
 
 	// cycleMu serializes the planner-driven flows (RunSchedulingCycle,
 	// ForwardAggregates) against each other. It is never held while mu
@@ -234,6 +242,13 @@ func NewNode(cfg Config) (*Node, error) {
 			return nil, fmt.Errorf("core: open ingest queue: %w", err)
 		}
 		n.ingest = q
+	}
+	if cfg.Settlement != nil {
+		l, err := settle.OpenLedger(*cfg.Settlement)
+		if err != nil {
+			return nil, fmt.Errorf("core: open settlement ledger: %w", err)
+		}
+		n.ledger = l
 	}
 
 	// Dispatch: one registered handler per message type, wrapped in the
@@ -556,6 +571,11 @@ func (n *Node) Close() error {
 		// measurement batch the consumers feed it.
 		n.fcasts.Close()
 	}
+	if n.ledger != nil {
+		if lerr := n.ledger.Close(); err == nil {
+			err = lerr
+		}
+	}
 	return err
 }
 
@@ -583,9 +603,27 @@ func (n *Node) Aggregates() []*agg.Aggregate {
 // schedule slice; offers without metering are treated as perfectly
 // compliant (metered = scheduled). Settled offers move to the executed
 // state.
-func (n *Node) SettleExecuted(metered map[flexoffer.ID][]float64, cfg settle.Config) (*settle.Report, error) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+//
+// With a settlement ledger (Config.Settlement) this is a batched,
+// crash-recoverable run: every batch's ledger append is acked durable
+// before its offers transition, and a re-run after a crash dedups
+// against the chain (settle.Run). Settlement serializes with the
+// planner-driven flows under cycleMu — it is held across ledger fsyncs,
+// so intake keeps flowing under mu meanwhile.
+func (n *Node) SettleExecuted(metered map[flexoffer.ID][]float64, cfg settle.Config) (*settle.RunReport, error) {
+	n.cycleMu.Lock()
+	defer n.cycleMu.Unlock()
+	if n.ledger != nil {
+		return settle.Run(settle.RunConfig{
+			Store:   n.store,
+			Ledger:  n.ledger,
+			Metered: metered,
+			Settle:  cfg,
+		})
+	}
+
+	// Ledgerless path: one in-memory settlement and one batched
+	// transition (single WAL group), no durability beyond the store.
 	var items []settle.Item
 	var recs []store.OfferRecord
 	for _, rec := range n.store.Offers(store.OfferFilter{State: store.OfferScheduled}) {
@@ -608,8 +646,6 @@ func (n *Node) SettleExecuted(metered map[flexoffer.ID][]float64, cfg settle.Con
 	if err != nil {
 		return nil, err
 	}
-	// One batched transition (single WAL group) moves the settled set to
-	// the executed state.
 	updates := make([]store.OfferUpdate, len(recs))
 	for i, rec := range recs {
 		updates[i] = store.OfferUpdate{ID: rec.Offer.ID, Mutate: func(r *store.OfferRecord) {
@@ -625,7 +661,24 @@ func (n *Node) SettleExecuted(metered map[flexoffer.ID][]float64, cfg settle.Con
 			return nil, res.Err
 		}
 	}
-	return rep, nil
+	out := &settle.RunReport{Report: *rep}
+	if len(recs) > 0 {
+		out.Batches = 1
+	}
+	return out, nil
+}
+
+// Ledger exposes the node's settlement ledger (nil without
+// Config.Settlement) for balance queries and chain verification.
+func (n *Node) Ledger() *settle.Ledger { return n.ledger }
+
+// LedgerStats snapshots the settlement ledger's counters; ok is false
+// when the node has no ledger.
+func (n *Node) LedgerStats() (settle.LedgerStats, bool) {
+	if n.ledger == nil {
+		return settle.LedgerStats{}, false
+	}
+	return n.ledger.Stats(), true
 }
 
 // SubmitOfferTo sends a flex-offer to the node's parent and returns the

@@ -3,6 +3,8 @@ package core
 import (
 	"context"
 	"errors"
+	"math"
+	"path/filepath"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -666,5 +668,94 @@ func TestSchedWorkersPortfolio(t *testing.T) {
 	}
 	if rep.ScheduleCost > rep.BaselineCost {
 		t.Errorf("portfolio schedule cost %g worse than default %g", rep.ScheduleCost, rep.BaselineCost)
+	}
+}
+
+// TestSettleExecutedWithLedger runs the ledger-backed settlement path
+// end to end: settlement lines land on the durable hash chain, the
+// chain verifies, balances match the report, and a node reopened on the
+// same ledger recovers the chain and stays idempotent.
+func TestSettleExecutedWithLedger(t *testing.T) {
+	ledgerPath := filepath.Join(t.TempDir(), "ledger.log")
+	bus := comm.NewBus()
+	brp, err := NewNode(Config{
+		Name:       "brp1",
+		Role:       store.RoleBRP,
+		Transport:  bus,
+		AggParams:  agg.ParamsP3,
+		SchedOpts:  sched.Options{MaxIterations: 3, Seed: 1},
+		Settlement: &settle.LedgerConfig{Path: ledgerPath},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus.Register("brp1", brp.Handler())
+	p1 := newProsumer(t, bus, "p1")
+
+	offer := testOffer(1, 40, 16, 4, 5)
+	if d, err := p1.SubmitOfferTo(context.Background(), offer); err != nil || !d.Accept {
+		t.Fatalf("submit: %v %+v", err, d)
+	}
+	baseline := make([]float64, flexoffer.SlotsPerDay)
+	for i := 48; i < 56; i++ {
+		baseline[i] = -5
+	}
+	rep, err := brp.RunSchedulingCycle(context.Background(), 0, StaticForecast(baseline), nil, nil)
+	if err != nil || rep.MicroSchedules != 1 {
+		t.Fatalf("cycle: %v %+v", err, rep)
+	}
+
+	sr, err := brp.SettleExecuted(nil, settleConfig(rep))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Lines) != 1 || sr.Batches != 1 || sr.AlreadySettled != 0 {
+		t.Fatalf("run report = %+v", sr)
+	}
+	if rec, _ := brp.Store().GetOffer(1); rec.State != store.OfferExecuted {
+		t.Errorf("state = %s, want executed", rec.State)
+	}
+
+	stats, ok := brp.LedgerStats()
+	if !ok || stats.Entries == 0 || stats.SettledOffers != 1 {
+		t.Fatalf("ledger stats = %+v, %v", stats, ok)
+	}
+	res, err := brp.Ledger().Verify()
+	if err != nil || !res.OK {
+		t.Fatalf("verify = %+v, %v", res, err)
+	}
+	bal, ok := brp.Ledger().Balance("p1")
+	if !ok || math.Abs(bal.NetEUR-sr.Lines[0].NetEUR) > 1e-9 {
+		t.Errorf("balance = %+v, want net %g", bal, sr.Lines[0].NetEUR)
+	}
+	if err := brp.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen on the same chain: recovery rebuilds the settled index, so
+	// a re-settlement run stays a no-op even against a fresh process.
+	re, err := NewNode(Config{
+		Name:       "brp1",
+		Role:       store.RoleBRP,
+		Store:      brp.Store(),
+		Settlement: &settle.LedgerConfig{Path: ledgerPath},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	st, _ := re.LedgerStats()
+	if st.RecoveredEntries != stats.Entries || st.DroppedBytes != 0 {
+		t.Errorf("recovery stats = %+v, want %d entries", st, stats.Entries)
+	}
+	sr2, err := re.SettleExecuted(nil, settleConfig(rep))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sr2.Lines) != 0 || sr2.AlreadySettled != 0 {
+		t.Errorf("re-run = %+v", sr2)
+	}
+	if st2, _ := re.LedgerStats(); st2.Entries != stats.Entries {
+		t.Errorf("re-run appended entries: %d → %d", stats.Entries, st2.Entries)
 	}
 }

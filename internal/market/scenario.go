@@ -1,0 +1,100 @@
+package market
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"mirabel/internal/timeseries"
+)
+
+// Regime names a synthetic day-ahead price regime.
+type Regime string
+
+// The scenario engine's price regimes, spanning the market conditions
+// the settlement stack must price correctly: quiet days, demand peaks,
+// scarcity spikes and renewable-surplus hours with negative prices.
+const (
+	// RegimeCalm is a flat base price with small noise.
+	RegimeCalm Regime = "calm"
+	// RegimeEveningPeak overlays a strong demand peak around hour 19.
+	RegimeEveningPeak Regime = "evening-peak"
+	// RegimeSpike injects rare scarcity spikes of 2–8× the base price
+	// that decay over a few hours.
+	RegimeSpike Regime = "spike"
+	// RegimeNegativeRenewable carves a midday renewable-surplus valley
+	// deep enough to push prices negative.
+	RegimeNegativeRenewable Regime = "negative-renewable"
+)
+
+// Regimes lists every regime, in bench sweep order.
+func Regimes() []Regime {
+	return []Regime{RegimeCalm, RegimeEveningPeak, RegimeSpike, RegimeNegativeRenewable}
+}
+
+// ScenarioConfig parameterizes a regime's price curve generation.
+type ScenarioConfig struct {
+	Regime Regime
+	// Days is the horizon length (default 1).
+	Days int
+	// BaseEUR is the base price level in EUR/MWh (default 45).
+	BaseEUR float64
+	// Seed drives the deterministic noise.
+	Seed int64
+	// Origin anchors the hourly series (default 2010-01-01 UTC, the
+	// workload epoch).
+	Origin time.Time
+}
+
+// Scenario generates an hourly day-ahead price series (EUR/MWh) for the
+// given regime — the input to NewDayAhead's Config.Prices.
+func Scenario(cfg ScenarioConfig) (*timeseries.Series, error) {
+	if cfg.Days <= 0 {
+		cfg.Days = 1
+	}
+	if cfg.BaseEUR == 0 {
+		cfg.BaseEUR = 45
+	}
+	if cfg.Origin.IsZero() {
+		cfg.Origin = time.Date(2010, 1, 1, 0, 0, 0, 0, time.UTC)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	hours := cfg.Days * 24
+	values := make([]float64, hours)
+
+	switch cfg.Regime {
+	case RegimeCalm, "":
+		for h := range values {
+			values[h] = cfg.BaseEUR + rng.NormFloat64()*2
+		}
+	case RegimeEveningPeak:
+		for h := range values {
+			hod := float64(h % 24)
+			// A Gaussian demand bell centered on hour 19, wide enough
+			// to lift the whole evening.
+			peak := 1.6 * cfg.BaseEUR * math.Exp(-((hod-19)*(hod-19))/(2*2.2*2.2))
+			values[h] = cfg.BaseEUR + peak + rng.NormFloat64()*3
+		}
+	case RegimeSpike:
+		var spike float64
+		for h := range values {
+			spike *= 0.55 // spikes decay over a few hours
+			if rng.Float64() < 0.04 {
+				spike = cfg.BaseEUR * (2 + 6*rng.Float64())
+			}
+			values[h] = cfg.BaseEUR + spike + rng.NormFloat64()*3
+		}
+	case RegimeNegativeRenewable:
+		for h := range values {
+			hod := float64(h % 24)
+			// A midday solar bell deep enough (2.4× base at its peak)
+			// to push prices below zero around noon.
+			solar := 2.4 * cfg.BaseEUR * math.Exp(-((hod-13)*(hod-13))/(2*2.8*2.8))
+			values[h] = cfg.BaseEUR - solar + rng.NormFloat64()*3
+		}
+	default:
+		return nil, fmt.Errorf("market: unknown regime %q", cfg.Regime)
+	}
+	return timeseries.New(cfg.Origin, time.Hour, values), nil
+}

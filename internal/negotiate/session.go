@@ -1,0 +1,183 @@
+package negotiate
+
+import (
+	"fmt"
+	"math"
+
+	"mirabel/internal/flexoffer"
+)
+
+// Outcome is the terminal state of a negotiation session.
+type Outcome string
+
+const (
+	// Accepted: bid and ask crossed; the premium is the midpoint.
+	Accepted Outcome = "accepted"
+	// Rejected: the BRP walked away — the offer failed valuation, or
+	// market movement pushed its price cap below the prosumer's
+	// reservation price.
+	Rejected Outcome = "rejected"
+	// Expired: the round budget ran out before the prices crossed.
+	Expired Outcome = "expired"
+)
+
+// Round records one offer/counteroffer exchange.
+type Round struct {
+	Round int
+	// MidEUR is the market mid price (EUR/kWh) observed this round;
+	// CapEUR the BRP's re-valued price ceiling under it.
+	MidEUR, CapEUR float64
+	// BidEUR is the BRP's offer, AskEUR the prosumer's counteroffer.
+	BidEUR, AskEUR float64
+}
+
+// Result is the outcome of a negotiation session.
+type Result struct {
+	Outcome Outcome
+	// PremiumEUR is the agreed premium per kWh (Accepted only).
+	PremiumEUR float64
+	// Value is the valuator's flex-offer value at session start.
+	Value  float64
+	Rounds []Round
+	Reason string
+}
+
+// SessionConfig parameterizes a negotiation session.
+type SessionConfig struct {
+	// Valuator prices the flex-offer for the BRP (default NewValuator()).
+	Valuator *Valuator
+	// MaxRounds bounds the offer/counteroffer exchange (default 8).
+	MaxRounds int
+	// ReservationEUR is the prosumer's reservation price per kWh — the
+	// minimum premium they will execute flexibility for.
+	ReservationEUR float64
+	// AskMarkup is the prosumer's opening markup over the reservation
+	// price (default 0.5, i.e. the first ask is 1.5× the reservation).
+	AskMarkup float64
+	// Concession is the per-round fraction by which each side closes
+	// the gap to its limit (default 0.35).
+	Concession float64
+	// Quote, when set, returns the market mid price (EUR/kWh) observed
+	// at each round; RefMid anchors it (the mid at valuation time). The
+	// BRP re-values its ceiling every round as quotes move: rising
+	// prices raise what flexibility is worth to the BRP, falling prices
+	// lower it. With Quote nil the ceiling is the valuator's price,
+	// fixed.
+	Quote  func(round int) float64
+	RefMid float64
+	// PressureGain scales how strongly quote movement shifts the BRP's
+	// ceiling (default 1, i.e. proportionally).
+	PressureGain float64
+}
+
+// Session runs bounded multi-round negotiations between a BRP's
+// valuator and a prosumer's reservation price. It is stateless across
+// offers: one Session can run many flex-offers.
+type Session struct {
+	cfg SessionConfig
+}
+
+// NewSession builds a session, applying defaults.
+func NewSession(cfg SessionConfig) (*Session, error) {
+	if cfg.Valuator == nil {
+		cfg.Valuator = NewValuator()
+	}
+	if cfg.MaxRounds == 0 {
+		cfg.MaxRounds = 8
+	}
+	if cfg.MaxRounds < 1 {
+		return nil, fmt.Errorf("negotiate: max rounds %d < 1", cfg.MaxRounds)
+	}
+	if cfg.ReservationEUR < 0 {
+		return nil, fmt.Errorf("negotiate: negative reservation price %g", cfg.ReservationEUR)
+	}
+	if cfg.AskMarkup == 0 {
+		cfg.AskMarkup = 0.5
+	}
+	if cfg.AskMarkup < 0 {
+		return nil, fmt.Errorf("negotiate: negative ask markup %g", cfg.AskMarkup)
+	}
+	if cfg.Concession == 0 {
+		cfg.Concession = 0.35
+	}
+	if cfg.Concession <= 0 || cfg.Concession >= 1 {
+		return nil, fmt.Errorf("negotiate: concession %g outside (0,1)", cfg.Concession)
+	}
+	if cfg.PressureGain == 0 {
+		cfg.PressureGain = 1
+	}
+	return &Session{cfg: cfg}, nil
+}
+
+// cap re-values the BRP's price ceiling for a round: the valuator's
+// base price, scaled by how the observed market mid moved against the
+// reference mid. Clamped to [0, MaxPremiumEUR].
+func (s *Session) cap(base float64, round int) (capEUR, mid float64) {
+	capEUR, mid = base, s.cfg.RefMid
+	if s.cfg.Quote != nil && s.cfg.RefMid != 0 {
+		mid = s.cfg.Quote(round)
+		capEUR = base * (1 + s.cfg.PressureGain*(mid/s.cfg.RefMid-1))
+	}
+	capEUR = math.Max(0, math.Min(capEUR, s.cfg.Valuator.MaxPremiumEUR))
+	return capEUR, mid
+}
+
+// Run negotiates one flex-offer at decision time now. The BRP opens at
+// half its ceiling and concedes upward; the prosumer opens at the
+// marked-up reservation price and concedes down toward it. Each round
+// the ceiling is re-valued against the current market quote. The
+// session ends Accepted at the bid/ask midpoint once they cross,
+// Rejected when the offer fails valuation or the re-valued ceiling
+// falls below the prosumer's reservation price, and Expired when the
+// round budget runs out.
+func (s *Session) Run(f *flexoffer.FlexOffer, now flexoffer.Time) Result {
+	d := s.cfg.Valuator.Decide(f, now)
+	if !d.Accept {
+		return Result{Outcome: Rejected, Value: d.Value, Reason: d.Reason}
+	}
+	base := d.Price
+	res := Result{Value: d.Value}
+	conc := s.cfg.Concession
+	reservation := s.cfg.ReservationEUR
+	ask := reservation * (1 + s.cfg.AskMarkup)
+	bid := 0.0
+
+	// An agreement is impossible while the BRP's re-valued ceiling sits
+	// below the prosumer's floor. One such round need not end the
+	// session — the next quote may lift the ceiling back — but a streak
+	// of them means the market has moved against the offer for good.
+	const maxInfeasibleStreak = 3
+	infeasible := 0
+
+	for round := 0; round < s.cfg.MaxRounds; round++ {
+		capEUR, mid := s.cap(base, round)
+		if round == 0 {
+			bid = capEUR / 2
+		}
+		if capEUR < reservation {
+			if infeasible++; infeasible >= maxInfeasibleStreak {
+				res.Outcome = Rejected
+				res.Reason = fmt.Sprintf("price cap %.6f below reservation %.6f for %d rounds", capEUR, reservation, infeasible)
+				return res
+			}
+		} else {
+			infeasible = 0
+		}
+		// Concede: the BRP closes toward its (re-valued) ceiling, the
+		// prosumer toward the reservation floor.
+		bid += (capEUR - bid) * conc
+		if bid > capEUR {
+			bid = capEUR
+		}
+		ask -= (ask - reservation) * conc
+		res.Rounds = append(res.Rounds, Round{Round: round, MidEUR: mid, CapEUR: capEUR, BidEUR: bid, AskEUR: ask})
+		if bid >= ask {
+			res.Outcome = Accepted
+			res.PremiumEUR = (bid + ask) / 2
+			return res
+		}
+	}
+	res.Outcome = Expired
+	res.Reason = fmt.Sprintf("no agreement within %d rounds", s.cfg.MaxRounds)
+	return res
+}

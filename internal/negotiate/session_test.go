@@ -1,0 +1,184 @@
+package negotiate
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"mirabel/internal/flexoffer"
+)
+
+// strongOffer is a highly flexible offer the default valuator prices
+// near its maximum premium.
+func strongOffer() *flexoffer.FlexOffer {
+	return offer(100, 8*flexoffer.SlotsPerHour, 10*flexoffer.SlotsPerHour, 8, 0, 10)
+}
+
+func TestSessionDefaultsAndValidation(t *testing.T) {
+	if _, err := NewSession(SessionConfig{MaxRounds: -1}); err == nil {
+		t.Error("negative max rounds accepted")
+	}
+	if _, err := NewSession(SessionConfig{ReservationEUR: -1}); err == nil {
+		t.Error("negative reservation accepted")
+	}
+	if _, err := NewSession(SessionConfig{Concession: 1.5}); err == nil {
+		t.Error("concession ≥ 1 accepted")
+	}
+	if _, err := NewSession(SessionConfig{AskMarkup: -0.5}); err == nil {
+		t.Error("negative markup accepted")
+	}
+	s, err := NewSession(SessionConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.cfg.Valuator == nil || s.cfg.MaxRounds != 8 || s.cfg.Concession != 0.35 {
+		t.Errorf("defaults = %+v", s.cfg)
+	}
+}
+
+func TestSessionConvergesToAgreement(t *testing.T) {
+	f := strongOffer()
+	base := NewValuator().OfferPrice(f, 0)
+	s, err := NewSession(SessionConfig{ReservationEUR: base / 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := s.Run(f, 0)
+	if res.Outcome != Accepted {
+		t.Fatalf("outcome = %s (%s), rounds = %+v", res.Outcome, res.Reason, res.Rounds)
+	}
+	if len(res.Rounds) == 0 {
+		t.Fatal("accepted without any rounds")
+	}
+	last := res.Rounds[len(res.Rounds)-1]
+	// The premium is the crossing midpoint: between the reservation
+	// price and the BRP's ceiling.
+	if res.PremiumEUR < base/2 || res.PremiumEUR > last.CapEUR {
+		t.Errorf("premium %g outside [reservation %g, cap %g]", res.PremiumEUR, base/2, last.CapEUR)
+	}
+	// Concession is monotone: bids rise, asks fall.
+	for i := 1; i < len(res.Rounds); i++ {
+		if res.Rounds[i].BidEUR < res.Rounds[i-1].BidEUR || res.Rounds[i].AskEUR > res.Rounds[i-1].AskEUR {
+			t.Fatalf("non-monotone concession: %+v", res.Rounds)
+		}
+	}
+}
+
+func TestSessionRejectsUnvaluableOffer(t *testing.T) {
+	s, _ := NewSession(SessionConfig{})
+	// No flexibility at all: the valuator rejects before any rounds.
+	f := offer(100, 0, 0, 4, 5, 5)
+	res := s.Run(f, 100)
+	if res.Outcome != Rejected || len(res.Rounds) != 0 {
+		t.Errorf("result = %+v", res)
+	}
+	if res.Reason == "" {
+		t.Error("rejection without a reason")
+	}
+}
+
+func TestSessionExpiresWhenGapTooWide(t *testing.T) {
+	f := strongOffer()
+	base := NewValuator().OfferPrice(f, 0)
+	// Reservation just under the ceiling plus a huge markup and timid
+	// concessions: the prices cannot cross in two rounds.
+	s, err := NewSession(SessionConfig{
+		ReservationEUR: base * 0.95,
+		AskMarkup:      4,
+		Concession:     0.1,
+		MaxRounds:      2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := s.Run(f, 0)
+	if res.Outcome != Expired || len(res.Rounds) != 2 {
+		t.Fatalf("result = %+v", res)
+	}
+}
+
+// moderateOffer values around half the maximum premium, leaving the
+// re-valued ceiling room to move in both directions.
+func moderateOffer() *flexoffer.FlexOffer {
+	return offer(100, 16, 16, 4, 0, 5)
+}
+
+func TestSessionRevaluesWithRisingQuotes(t *testing.T) {
+	f := moderateOffer()
+	base := NewValuator().OfferPrice(f, 0)
+	// Reservation above the static ceiling: without re-valuation the
+	// BRP walks away after the infeasible streak...
+	static, _ := NewSession(SessionConfig{ReservationEUR: base * 1.2})
+	if res := static.Run(f, 0); res.Outcome != Rejected || !strings.Contains(res.Reason, "below reservation") {
+		t.Fatalf("static session = %+v", res)
+	}
+	// ...but with quotes rising 15% per round, the re-valued ceiling
+	// climbs past the reservation before the streak runs out and the
+	// session closes.
+	rising, _ := NewSession(SessionConfig{
+		ReservationEUR: base * 1.2,
+		RefMid:         0.045,
+		Quote:          func(round int) float64 { return 0.045 * (1 + 0.15*float64(round)) },
+	})
+	res := rising.Run(f, 0)
+	if res.Outcome != Accepted {
+		t.Fatalf("rising session = %s (%s)", res.Outcome, res.Reason)
+	}
+	if res.PremiumEUR <= base {
+		t.Errorf("premium %g did not rise above the static price %g", res.PremiumEUR, base)
+	}
+}
+
+func TestSessionRejectsOnCollapsingQuotes(t *testing.T) {
+	f := strongOffer()
+	base := NewValuator().OfferPrice(f, 0)
+	s, _ := NewSession(SessionConfig{
+		ReservationEUR: base / 2,
+		RefMid:         0.045,
+		// The market collapses instantly to 10% of the reference: the
+		// re-valued ceiling lands below even a modest reservation and
+		// stays there, exhausting the infeasible streak.
+		Quote:        func(round int) float64 { return 0.0045 },
+		PressureGain: 1,
+	})
+	res := s.Run(f, 0)
+	if res.Outcome != Rejected || !strings.Contains(res.Reason, "below reservation") {
+		t.Fatalf("result = %+v", res)
+	}
+}
+
+func TestSessionCapClampedToMaxPremium(t *testing.T) {
+	f := strongOffer()
+	v := NewValuator()
+	s, _ := NewSession(SessionConfig{
+		Valuator:       v,
+		ReservationEUR: v.MaxPremiumEUR * 0.9,
+		RefMid:         0.045,
+		// Quotes quadruple: the ceiling must still clamp at
+		// MaxPremiumEUR.
+		Quote: func(round int) float64 { return 0.18 },
+	})
+	res := s.Run(f, 0)
+	if res.Outcome != Accepted {
+		t.Fatalf("result = %s (%s)", res.Outcome, res.Reason)
+	}
+	for _, r := range res.Rounds {
+		if r.CapEUR > v.MaxPremiumEUR+1e-12 {
+			t.Errorf("cap %g exceeds max premium %g", r.CapEUR, v.MaxPremiumEUR)
+		}
+	}
+	if res.PremiumEUR > v.MaxPremiumEUR {
+		t.Errorf("premium %g exceeds max premium", res.PremiumEUR)
+	}
+}
+
+func TestSessionZeroReservationAcceptsFast(t *testing.T) {
+	s, _ := NewSession(SessionConfig{})
+	res := s.Run(strongOffer(), 0)
+	if res.Outcome != Accepted || len(res.Rounds) != 1 {
+		t.Errorf("result = %+v", res)
+	}
+	if res.PremiumEUR <= 0 || math.IsNaN(res.PremiumEUR) {
+		t.Errorf("premium = %g", res.PremiumEUR)
+	}
+}

@@ -33,7 +33,8 @@ type Line struct {
 	DeviationKWh float64 // Σ |metered − scheduled| beyond the tolerance
 	PaymentEUR   float64 // flexibility premium earned
 	PenaltyEUR   float64 // deviation penalty charged
-	NetEUR       float64 // payment − penalty (never below zero)
+	ShareEUR     float64 // realized-profit share distributed on top
+	NetEUR       float64 // payment − penalty (never below zero) + share
 	Compliant    bool    // executed within the tolerance band
 }
 
@@ -135,6 +136,7 @@ func Settle(items []Item, cfg Config) (*Report, error) {
 					continue
 				}
 				share := pool * rep.Lines[i].ScheduledKWh / compliantScheduled
+				rep.Lines[i].ShareEUR = share
 				rep.Lines[i].NetEUR += share
 				rep.SharedProfitEUR += share
 			}

@@ -99,11 +99,15 @@ func TestSettleProfitSharingOnlyCompliant(t *testing.T) {
 	if math.Abs(rep.SharedProfitEUR-50) > 1e-9 {
 		t.Errorf("shared = %g, want 50", rep.SharedProfitEUR)
 	}
-	// All of the pool goes to the compliant line.
-	if rep.Lines[0].NetEUR < 50 {
-		t.Errorf("compliant line net = %g, want ≥ 50", rep.Lines[0].NetEUR)
+	// All of the pool goes to the compliant line, reported separately in
+	// ShareEUR and included in NetEUR.
+	if math.Abs(rep.Lines[0].ShareEUR-50) > 1e-9 {
+		t.Errorf("compliant line share = %g, want 50", rep.Lines[0].ShareEUR)
 	}
-	if rep.Lines[1].NetEUR > rep.Lines[1].PaymentEUR {
+	if want := rep.Lines[0].PaymentEUR + rep.Lines[0].ShareEUR; math.Abs(rep.Lines[0].NetEUR-want) > 1e-9 {
+		t.Errorf("net = %g, want payment+share = %g", rep.Lines[0].NetEUR, want)
+	}
+	if rep.Lines[1].ShareEUR != 0 || rep.Lines[1].NetEUR > rep.Lines[1].PaymentEUR {
 		t.Errorf("non-compliant line received profit share: %+v", rep.Lines[1])
 	}
 }
