@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"mirabel/internal/agg"
+	"mirabel/internal/chaos"
 	"mirabel/internal/comm"
 	"mirabel/internal/core"
 	"mirabel/internal/flexoffer"
@@ -46,7 +47,7 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("mirabel-bench: ")
-	exp := flag.String("exp", "all", "experiment: all | fig5a | fig5b | fig5c | fig5d | fig5 | fig4a | fig4b | fig6 | exhaustive | cycle | store | tcp | sched | ingest | agg | forecast | settle")
+	exp := flag.String("exp", "all", "experiment: all | fig5a | fig5b | fig5c | fig5d | fig5 | fig4a | fig4b | fig6 | exhaustive | cycle | store | tcp | sched | ingest | agg | forecast | settle | chaos")
 	maxOffers := flag.Int("maxoffers", 800000, "largest flex-offer count of the Figure 5 sweep")
 	aggOffers := flag.Int("agg-offers", 1000000, "largest flex-offer count of the agg churn experiment")
 	maxFacts := flag.Int("maxfacts", 1600000, "largest measurement count of the storage-engine sweep")
@@ -71,6 +72,7 @@ func main() {
 		aggExp(*aggOffers, *seed)
 		forecastExp(*fcSeries, *seed)
 		settleExp(*settleLines, *seed)
+		chaosExp(*seed)
 	case "fig5", "fig5a", "fig5b", "fig5c", "fig5d":
 		fig5(*maxOffers, *seed)
 	case "fig4a":
@@ -97,6 +99,8 @@ func main() {
 		forecastExp(*fcSeries, *seed)
 	case "settle":
 		settleExp(*settleLines, *seed)
+	case "chaos":
+		chaosExp(*seed)
 	default:
 		log.Printf("unknown experiment %q", *exp)
 		flag.Usage()
@@ -657,7 +661,7 @@ func tcpExp() {
 	fmt.Println("== TCP transport: pooled, pipelined fan-out over a slow server ==")
 	const delay = 5 * time.Millisecond
 	fmt.Printf("per-request handler latency %v\n", delay)
-	fmt.Println("requests  pool  mode        wall_ms  x_slowest  dials  reuses  retries")
+	fmt.Println("requests  pool  mode        wall_ms  x_slowest  dials  reuses  in_flight")
 	handler := func(ctx context.Context, env comm.Envelope) (*comm.Envelope, error) {
 		// time.NewTimer + Stop, not time.After: a canceled request must
 		// release its timer immediately instead of leaking it until
@@ -726,7 +730,7 @@ func tcpExp() {
 			st := client.Stats()
 			fmt.Printf("%-9d %-5d %-11s %-8.2f %-10.1f %-6d %-7d %d\n",
 				k, tc.pool, tc.mode, float64(wall)/float64(time.Millisecond),
-				float64(wall)/float64(delay), st.Dials, st.Reuses, st.Retries)
+				float64(wall)/float64(delay), st.Dials, st.Reuses, st.InFlight)
 			client.Close()
 		}
 	}
@@ -1233,6 +1237,59 @@ func aggExp(maxOffers int, seed int64) {
 					n, nw, pct, k, cycleMS, changed/cycles, scratchMS,
 					scratchMS/cycleMS, m.Aggregates, m.CompressionRatio, m.LossPerOffer)
 			}
+		}
+	}
+}
+
+// chaosExp sweeps the fault injector's drop rate over a seeded stream
+// of idempotent requests, bare versus wrapped in the retry policy. The
+// bare rows show the raw fault rate on delivered calls; the retry rows
+// show how much of it the jittered-backoff policy absorbs, what the
+// retries cost in wall time, and how many calls still exhaust every
+// attempt — the residual the simulator's re-offer path has to cover.
+func chaosExp(seed int64) {
+	fmt.Println("== Chaos: drop-rate sweep, bare transport vs retry policy ==")
+	const ops = 2000
+	fmt.Printf("%d idempotent requests per cell (3 attempts, backoff 1ms..8ms, seeded)\n", ops)
+	fmt.Println("drop   mode    ok      ok%      retries  exhausted  backoff_ms  wall_ms")
+	for _, drop := range []float64{0.05, 0.1, 0.2, 0.3} {
+		for _, withRetry := range []bool{false, true} {
+			bus := comm.NewBus()
+			bus.Register("brp", func(ctx context.Context, env comm.Envelope) (*comm.Envelope, error) {
+				reply, err := comm.NewEnvelope(comm.MsgPong, "brp", env.From, nil)
+				return &reply, err
+			})
+			inj := chaos.NewInjector(bus, uint64(seed)^uint64(drop*1000), chaos.Faults{DropFrac: drop})
+			var tr comm.Transport = inj
+			var retry *comm.Retry
+			if withRetry {
+				retry = comm.NewRetry(inj, comm.RetryConfig{
+					Seed:        seed,
+					BaseBackoff: time.Millisecond,
+					MaxBackoff:  8 * time.Millisecond,
+				})
+				tr = retry
+			}
+			client := comm.NewClient("bench", tr)
+			ok := 0
+			t0 := time.Now()
+			for i := 0; i < ops; i++ {
+				if err := client.Ping(context.Background(), "brp"); err == nil {
+					ok++
+				}
+			}
+			wall := time.Since(t0)
+			mode := "bare"
+			var rs comm.RetryStats
+			if withRetry {
+				mode = "retry"
+				rs = retry.Stats()
+			}
+			fmt.Printf("%-6.2f %-7s %-7d %-8.1f %-8d %-10d %-11.1f %.1f\n",
+				drop, mode, ok, 100*float64(ok)/ops,
+				rs.Retries, rs.Exhausted,
+				float64(rs.Backoff)/float64(time.Millisecond),
+				float64(wall)/float64(time.Millisecond))
 		}
 	}
 }

@@ -54,6 +54,7 @@ func main() {
 		aggWrk    = flag.Int("agg-workers", 0, "parallel per-aggregate workers for batched aggregation (0/1: single-threaded)")
 		ingestQ   = flag.Int("ingest-queue", 0, "async ingest queue depth in events (0: synchronous intake; needs -data)")
 		ingestPol = flag.String("ingest-policy", "block", "ingest backpressure policy when the queue is full: block | shed | defer")
+		ingestCmp = flag.Int64("ingest-compact", 0, "ingest journal compaction threshold in bytes (0: compact only on restart)")
 		fcShards  = flag.Int("fcast-shards", 0, "forecast registry stripe count (0: no per-series forecast service)")
 		fcWorkers = flag.Int("fcast-workers", 2, "background re-estimation workers for the forecast registry")
 		ledgerDir = flag.String("ledger-dir", "", "settlement ledger directory (empty: -data if set, else no ledger)")
@@ -61,6 +62,9 @@ func main() {
 		brkWindow = flag.Int("breaker-window", 0, "circuit-breaker outcome window per destination (0: no breaker)")
 		brkRate   = flag.Float64("breaker-rate", 0.5, "failure rate over the window that opens a destination's circuit")
 		brkCool   = flag.Duration("breaker-cooldown", 5*time.Second, "open-circuit cooldown before a half-open trial")
+		retryMax  = flag.Int("retry-attempts", 2, "max attempts per outbound call (1: no retries)")
+		retryBase = flag.Duration("retry-backoff", 25*time.Millisecond, "base backoff before the second retry (the first retry of a provably-unsent call is immediate)")
+		retryCap  = flag.Duration("retry-backoff-max", time.Second, "exponential backoff ceiling")
 		poolSize  = flag.Int("pool", comm.DefaultPoolSize, "pipelined TCP connections pooled per peer")
 		demoOffer = flag.Bool("demo-offer", false, "submit one demo flex-offer to the parent and exit")
 		pingPeer  = flag.String("ping", "", "ping the named peer over the typed client and exit")
@@ -101,10 +105,10 @@ func main() {
 	defer func() {
 		// The transport's lifetime counters tell an operator whether the
 		// node kept its peers on warm pooled connections (reuses ≫
-		// dials) or thrashed redials (retries climbing).
+		// dials) or thrashed redials.
 		st := client.Stats()
-		log.Printf("transport: dials=%d reuses=%d retries=%d requests=%d sends=%d in_flight=%d",
-			st.Dials, st.Reuses, st.Retries, st.Requests, st.Sends, st.InFlight)
+		log.Printf("transport: dials=%d reuses=%d requests=%d sends=%d in_flight=%d",
+			st.Dials, st.Reuses, st.Requests, st.Sends, st.InFlight)
 	}()
 	if *routes != "" {
 		for _, r := range strings.Split(*routes, ",") {
@@ -137,7 +141,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		ic := &ingest.Config{Queue: *ingestQ, Policy: policy}
+		ic := &ingest.Config{Queue: *ingestQ, Policy: policy, CompactBytes: *ingestCmp}
 		if *dataDir != "" {
 			// The ingest journal shares the store's directory and fsync
 			// policy: an ack is as durable as a store commit.
@@ -167,6 +171,16 @@ func main() {
 			Cooldown:    *brkCool,
 		}
 	}
+	if *retryMax > 1 {
+		// The retry policy (not the TCP client) owns re-attempts; the
+		// default of 2 preserves the historical one-extra-dial heal for
+		// stale pooled connections.
+		cfg.Retry = &comm.RetryConfig{
+			MaxAttempts: *retryMax,
+			BaseBackoff: *retryBase,
+			MaxBackoff:  *retryCap,
+		}
+	}
 	if dir := *ledgerDir; dir != "" || *dataDir != "" {
 		if dir == "" {
 			// The settlement ledger defaults into the store's directory:
@@ -194,9 +208,13 @@ func main() {
 		if err := node.Close(); err != nil {
 			log.Printf("node close: %v", err)
 		}
+		if rs, ok := node.RetryStats(); ok {
+			log.Printf("retry: calls=%d retries=%d short_circuits=%d exhausted=%d non_retryable=%d backoff=%v",
+				rs.Calls, rs.Retries, rs.ShortCircuits, rs.Exhausted, rs.NonRetryable, rs.Backoff)
+		}
 		if st, ok := node.IngestStats(); ok {
-			log.Printf("ingest: enqueued=%d consumed=%d shed=%d deferred=%d batches=%d mean_batch=%.1f ack_p99=%v",
-				st.Enqueued, st.Consumed, st.Shed, st.Deferred, st.Batches, st.MeanBatch, st.AckP99)
+			log.Printf("ingest: enqueued=%d consumed=%d shed=%d deferred=%d batches=%d mean_batch=%.1f ack_p99=%v compactions=%d reclaimed_bytes=%d",
+				st.Enqueued, st.Consumed, st.Shed, st.Deferred, st.Batches, st.MeanBatch, st.AckP99, st.Compactions, st.CompactedBytes)
 		}
 		if fs, ok := node.ForecastStats(); ok {
 			log.Printf("forecast: series=%d models=%d obs=%d refits=%d/%d failed=%d overflows=%d refit_p99=%v max_staleness=%d",

@@ -1,229 +1,157 @@
-// mirabel-sim runs an end-to-end three-level EDMS simulation in one
-// process: prosumer nodes issue flex-offers and measurements to their
-// BRP nodes, the BRPs negotiate, aggregate and schedule against their
-// forecast balance, forward their macro flex-offers to the TSO for a
-// second aggregation/scheduling round, and every micro schedule flows
-// back down to its prosumer — the use scenario of paper §2 at population
-// scale.
+// mirabel-sim runs a chaos-capable EDMS population simulation in one
+// process: stateful prosumer households sharded across worker
+// goroutines issue flex-offers and acked measurement batches to durable
+// BRP nodes, which aggregate, schedule and deliver micro schedules back
+// — while a seeded fault injector (internal/chaos) drops messages,
+// injects latency and ambiguous errors, cuts partitions and
+// crash-restarts whole nodes mid-run. The end-of-run report asserts the
+// durability contract (zero acked-event loss, verified settlement
+// chains) and prints throughput, latency percentiles and every
+// degradation counter.
 //
-//	mirabel-sim -prosumers 2000 -brps 4
+//	mirabel-sim -prosumers 10000 -brps 4 -cycles 12 \
+//	    -faults 'drop=0.1,spike=0.05:20ms,crash=brp-0@3+2' -churn 0.01
+//
+// Runs are reproducible: the same -seed and -faults replay the same
+// fault decisions, churn draws and search, so a failing chaos run is a
+// repro case, not an anecdote.
 package main
 
 import (
 	"context"
-	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"os/signal"
+	"sort"
 	"syscall"
 	"time"
-
-	"mirabel/internal/agg"
-	"mirabel/internal/comm"
-	"mirabel/internal/core"
-	"mirabel/internal/devices"
-	"mirabel/internal/flexoffer"
-	"mirabel/internal/market"
-	"mirabel/internal/sched"
-	"mirabel/internal/store"
-	"mirabel/internal/workload"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("mirabel-sim: ")
-	nProsumers := flag.Int("prosumers", 2000, "prosumer nodes")
-	nBRPs := flag.Int("brps", 4, "BRP nodes")
-	seed := flag.Int64("seed", 1, "workload seed")
-	budget := flag.Duration("budget", 2*time.Second, "per-BRP scheduling budget")
-	useDevices := flag.Bool("devices", false, "drive offers from appliance state machines instead of the dataset generator")
+	cfg := simConfig{}
+	flag.IntVar(&cfg.Prosumers, "prosumers", 2000, "prosumer households")
+	flag.IntVar(&cfg.BRPs, "brps", 4, "BRP nodes")
+	flag.IntVar(&cfg.Shards, "shards", 4, "worker goroutines driving the population")
+	flag.IntVar(&cfg.Cycles, "cycles", 12, "scheduling cycles to run")
+	flag.IntVar(&cfg.SlotsPerCycle, "slots", 4, "event-time slots per cycle")
+	flag.IntVar(&cfg.StartSlot, "start-slot", 66, "event-time slot the run starts at (default 16:30, before the evening surge)")
+	flag.Int64Var(&cfg.Seed, "seed", 1, "run seed (workload, churn, faults, search)")
+	flag.StringVar(&cfg.Faults, "faults", "", "fault schedule, e.g. 'drop=0.1,lat=1ms:2ms,part=brp-1@3-4,crash=brp-0@3+2'")
+	flag.Float64Var(&cfg.Churn, "churn", 0, "per-household per-cycle probability of leaving mid-contract")
+	flag.DurationVar(&cfg.Budget, "budget", 500*time.Millisecond, "per-cycle scheduling time budget")
+	flag.IntVar(&cfg.Iters, "iters", 0, "scheduling iteration bound (0 = time budget only; set for deterministic planning)")
+	flag.DurationVar(&cfg.Pace, "pace", 0, "wall-clock duration of one event-time slot (0 = free-running)")
+	flag.StringVar(&cfg.Dir, "dir", "", "durable state root (default: a fresh temp dir, removed on exit)")
+	flag.BoolVar(&cfg.Breaker, "breaker", false, "circuit breaking on BRP outbound traffic")
+	flag.Int64Var(&cfg.CompactBytes, "ingest-compact", 1<<20, "ingest journal compaction threshold in bytes (0 = off)")
+	flag.IntVar(&cfg.MeasureEvery, "measure-every", 8, "every Nth household reports an acked measurement batch per cycle")
 	flag.Parse()
+	cfg.Logf = log.Printf
 
-	// Ctrl-C cancels the run context: whatever phase is in flight winds
-	// down at its next cancellation point and the end-of-run report is
-	// still printed over the partial results.
+	if cfg.Dir == "" {
+		dir, err := os.MkdirTemp("", "mirabel-sim-")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		cfg.Dir = dir
+	}
+
+	// Ctrl-C cancels the cycle loop; recovery, verification and the
+	// report still run over the work completed so far.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	bus := comm.NewBus()
-	prices := workload.PriceSeries(workload.PriceConfig{Days: 2, Seed: *seed})
-	dayAhead, err := market.NewDayAhead(market.Config{Prices: prices, CapacityKWh: 5000})
+
+	res, err := runSim(ctx, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
-
-	// Level 3: the TSO.
-	tso, err := core.NewNode(core.Config{
-		Name: "tso", Role: store.RoleTSO, Transport: bus,
-		AggParams: agg.ParamsP3,
-		SchedOpts: sched.Options{TimeBudget: *budget, Seed: *seed},
-		Market:    dayAhead,
-	})
-	if err != nil {
-		log.Fatal(err)
+	printReport(os.Stdout, res)
+	if len(res.LostOffers) > 0 || len(res.LostMeasurements) > 0 {
+		log.Fatalf("FAIL: %d acked offers and %d acked measurements lost",
+			len(res.LostOffers), len(res.LostMeasurements))
 	}
-	bus.Register("tso", tso.Handler())
-
-	// Level 2: the BRPs.
-	brps := make([]*core.Node, *nBRPs)
-	for i := range brps {
-		name := fmt.Sprintf("brp-%d", i)
-		brps[i], err = core.NewNode(core.Config{
-			Name: name, Role: store.RoleBRP, Parent: "tso", Transport: bus,
-			AggParams: agg.ParamsP3,
-			SchedOpts: sched.Options{TimeBudget: *budget, Seed: *seed + int64(i)},
-			Market:    dayAhead,
-		})
-		if err != nil {
-			log.Fatal(err)
+	for name, v := range res.Ledgers {
+		if !v.OK {
+			log.Fatalf("FAIL: %s settlement chain broken: %s", name, v.Reason)
 		}
-		bus.Register(name, brps[i].Handler())
+	}
+}
+
+func printReport(w io.Writer, r *simResult) {
+	fmt.Fprintf(w, "run: %d cycles in %v\n", r.Cycles, r.Elapsed.Round(time.Millisecond))
+	fmt.Fprintf(w, "offers: %d submitted, %d acked (%d accepted), %d failed, %d re-offered — %.0f acked offers/s\n",
+		r.OffersSubmitted, r.OffersAcked, r.OffersAccepted, r.OffersFailed, r.Reoffered, r.OffersPerSec())
+	fmt.Fprintf(w, "schedules: %d planned, %d delivered — %.0f schedules/s; %d expired, %d reconciled\n",
+		r.MicroSchedules, r.SchedulesDelivered, r.SchedulesPerSec(), r.Expired, r.Reconciled)
+	fmt.Fprintf(w, "measurements: %d facts acked, %d batches failed\n", r.MeasAcked, r.MeasFailed)
+	fmt.Fprintf(w, "cycle latency: p50=%v p95=%v p99=%v over %d node-cycles (%d errors)\n",
+		r.LatencyPercentile(0.50).Round(time.Microsecond),
+		r.LatencyPercentile(0.95).Round(time.Microsecond),
+		r.LatencyPercentile(0.99).Round(time.Microsecond),
+		len(r.CycleLatencies), r.CycleErrors)
+	fmt.Fprintf(w, "churn: %d households left mid-contract (%d deferred past a dead BRP), %d offers cancelled, %.2f EUR penalties\n",
+		r.ChurnLeft, r.ChurnDeferred, r.CancelledOffers, r.CancelPenaltyEUR)
+
+	fmt.Fprintf(w, "chaos: %d kills, %d restarts, %d partitions cut, %d healed; %d pending offers recovered across restarts\n",
+		r.Controller.Kills, r.Controller.Restarts, r.Controller.PartsCut, r.Controller.Healed, r.RecoveredPending)
+	for _, name := range sortedKeys(r.Injectors) {
+		st := r.Injectors[name]
+		if st.Ops == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "  injector %-8s ops=%-6d drops=%-5d errs=%-5d spikes=%-5d partitioned=%d\n",
+			name, st.Ops, st.Drops, st.Errors, st.Spikes, st.Partitioned)
+	}
+	for _, name := range sortedKeys(r.Retry) {
+		rs := r.Retry[name]
+		if rs.Calls == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "  retry    %-8s calls=%-6d retries=%-4d exhausted=%-4d nonretryable=%-4d backoff=%v\n",
+			name, rs.Calls, rs.Retries, rs.Exhausted, rs.NonRetryable, rs.Backoff.Round(time.Millisecond))
+	}
+	for _, name := range sortedKeys(r.Ingest) {
+		is := r.Ingest[name]
+		fmt.Fprintf(w, "  ingest   %-8s enqueued=%-6d consumed=%-6d shed=%-4d compactions=%d (%d bytes reclaimed)\n",
+			name, is.Enqueued, is.Consumed, is.Shed, is.Compactions, is.CompactedBytes)
+	}
+	skipped := r.SkippedOwners
+	if skipped > 0 || r.NotifyFailures > 0 {
+		fmt.Fprintf(w, "  delivery: %d notify failures, %d owners skipped behind open circuits\n", r.NotifyFailures, skipped)
 	}
 
-	// Level 1: prosumers issue flex-offers for today — either from the
-	// dataset generator or from simulated appliances.
-	var offers []*flexoffer.FlexOffer
-	if *useDevices {
-		fleet := devices.NewFleet(*nProsumers, *seed)
-		sim := fleet.Simulate(0, flexoffer.SlotsPerDay)
-		offers = sim.Offers
-		fmt.Printf("level 1: appliance simulation produced %d flex-offers\n", len(offers))
+	for _, name := range sortedKeys(r.Ledgers) {
+		v := r.Ledgers[name]
+		status := "OK"
+		if !v.OK {
+			status = "BROKEN: " + v.Reason
+		}
+		fmt.Fprintf(w, "ledger %s: %d entries, chain %s\n", name, v.Entries, status)
+	}
+	if len(r.LostOffers) == 0 && len(r.LostMeasurements) == 0 {
+		fmt.Fprintf(w, "durability: zero acked-event loss (%d offers, %d measurement facts verified)\n",
+			r.OffersAcked, r.MeasAcked)
 	} else {
-		offers = workload.GenerateFlexOffers(workload.FlexOfferConfig{
-			Count: *nProsumers, HorizonDays: 1, Seed: *seed,
-		})
-	}
-	t0 := time.Now()
-	accepted := 0
-	nodes := make(map[string]*core.Node)
-	for i, f := range offers {
-		if ctx.Err() != nil {
-			log.Printf("interrupted after %d of %d offers", i, len(offers))
-			break
+		for _, l := range r.LostOffers {
+			fmt.Fprintf(w, "LOST: %s\n", l)
 		}
-		name := fmt.Sprintf("prosumer-%05d", i)
-		if *useDevices && f.Prosumer != "" {
-			name = f.Prosumer // appliance offers carry their household
-		}
-		p := nodes[name]
-		if p == nil {
-			parent := fmt.Sprintf("brp-%d", len(nodes)%*nBRPs)
-			var err error
-			p, err = core.NewNode(core.Config{Name: name, Role: store.RoleProsumer, Parent: parent, Transport: bus})
-			if err != nil {
-				log.Fatal(err)
-			}
-			bus.Register(name, p.Handler())
-			nodes[name] = p
-		}
-		if f.LatestEnd() > flexoffer.SlotsPerDay {
-			f.LatestStart = flexoffer.SlotsPerDay - flexoffer.Time(f.NumSlices())
-			if f.LatestStart < f.EarliestStart {
-				continue
-			}
-		}
-		d, err := p.SubmitOfferTo(ctx, f)
-		if err != nil {
-			if errors.Is(err, context.Canceled) {
-				continue // the loop header reports the interruption
-			}
-			log.Fatal(err)
-		}
-		if d.Accept {
-			accepted++
-		}
-		// Report a few metered slots so the BRP stores see traffic.
-		if i%50 == 0 {
-			if err := p.ReportMeasurement(ctx, "demand", flexoffer.Time(i%96), 0.5); err != nil && !errors.Is(err, context.Canceled) {
-				log.Fatal(err)
-			}
+		for _, l := range r.LostMeasurements {
+			fmt.Fprintf(w, "LOST: %s\n", l)
 		}
 	}
-	fmt.Printf("level 1: %d prosumers created, %d flex-offers accepted in %v\n",
-		*nProsumers, accepted, time.Since(t0).Round(time.Millisecond))
+}
 
-	// Level 2 cycles: each BRP schedules its balance group against a
-	// baseline with a renewable night/noon surplus.
-	baseline := make([]float64, flexoffer.SlotsPerDay)
-	for t := range baseline {
-		hour := t / flexoffer.SlotsPerHour
-		switch {
-		case hour < 6:
-			baseline[t] = -60
-		case hour >= 11 && hour < 15:
-			baseline[t] = -40
-		default:
-			baseline[t] = 15
-		}
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
 	}
-	// All BRPs except the last schedule locally; the last delegates its
-	// macro flex-offers to the TSO (paper §2: "the process is
-	// essentially repeated at a higher level").
-	var totalCost, totalDefault float64
-	for _, brp := range brps[:len(brps)-1] {
-		if ctx.Err() != nil {
-			break
-		}
-		rep, err := brp.RunSchedulingCycle(ctx, 0, core.StaticForecast(baseline), nil, nil)
-		if err != nil {
-			if errors.Is(err, context.Canceled) {
-				break
-			}
-			log.Fatal(err)
-		}
-		totalCost += rep.ScheduleCost
-		totalDefault += rep.BaselineCost
-		fmt.Printf("level 2: %s scheduled %d offers via %d aggregates: %.0f EUR (default %.0f), agg %v sched %v\n",
-			brp.Name(), rep.MicroSchedules, rep.Aggregates, rep.ScheduleCost, rep.BaselineCost,
-			rep.AggregationTime.Round(time.Millisecond), rep.SchedulingTime.Round(time.Millisecond))
-	}
-	if totalDefault != 0 {
-		fmt.Printf("level 2 total: %.0f EUR scheduled vs %.0f EUR default (%.1f%% saved)\n",
-			totalCost, totalDefault, 100*(1-totalCost/totalDefault))
-	}
-
-	// Level 3: the delegating BRP forwards its aggregates; the TSO
-	// aggregates across them, schedules, and its schedules flow back
-	// down through the BRP to the prosumers.
-	if ctx.Err() == nil {
-		delegating := brps[len(brps)-1]
-		forwarded, err := delegating.ForwardAggregates(ctx)
-		if err != nil && !errors.Is(err, context.Canceled) {
-			log.Fatal(err)
-		}
-		if err == nil {
-			rep, err := tso.RunSchedulingCycle(ctx, 0, core.StaticForecast(baseline), nil, nil)
-			if err != nil && !errors.Is(err, context.Canceled) {
-				log.Fatal(err)
-			}
-			if err == nil {
-				fmt.Printf("level 3: %s forwarded %d macro offers; tso scheduled %d aggregates: %.0f EUR (default %.0f)\n",
-					delegating.Name(), forwarded, rep.Aggregates, rep.ScheduleCost, rep.BaselineCost)
-			}
-		}
-	}
-
-	// Give async deliveries a moment, then summarize the stores — also
-	// after an interrupt, so a cancelled run still reports what it did.
-	if ctx.Err() != nil {
-		log.Printf("interrupted: end-of-run report covers the work completed so far")
-	}
-	time.Sleep(100 * time.Millisecond)
-	for _, brp := range brps[:1] {
-		st := brp.Store().Stats()
-		fmt.Printf("store %s: %d offers, %d measurements, %d actors\n",
-			brp.Name(), st.Offers, st.Measurements, st.Actors)
-	}
-
-	// The handler-chain metrics of the busiest nodes: message mix,
-	// error counts and worst-case latency per type.
-	for _, n := range append([]*core.Node{tso}, brps[0]) {
-		m := n.Metrics()
-		fmt.Printf("fabric %s: %d messages handled, %d errors\n", n.Name(), m.Handled(), m.Errors())
-		for msgType, tm := range m.Snapshot() {
-			fmt.Printf("  %-20s n=%-7d errs=%-4d max_latency=%v\n",
-				msgType, tm.Handled, tm.Errors, tm.MaxLatency.Round(time.Microsecond))
-		}
-	}
+	sort.Strings(keys)
+	return keys
 }

@@ -33,10 +33,6 @@ const DefaultTimeout = 5 * time.Second
 // registered (Bus) or has no route (TCPClient). Match with errors.Is.
 var ErrUnreachable = errors.New("comm: destination unreachable")
 
-// ErrNoReply is wrapped by Request when the handler returned neither a
-// reply nor an error.
-var ErrNoReply = errors.New("comm: handler returned no reply")
-
 // Bus is the in-process transport: a registry of named endpoints, used
 // to simulate large node populations in one process. Handlers run on the
 // caller's goroutine context for Request and on a fresh goroutine for
@@ -128,7 +124,10 @@ func (b *Bus) Request(ctx context.Context, to string, env Envelope) (Envelope, e
 			return Envelope{}, o.err
 		}
 		if o.reply == nil {
-			return Envelope{}, fmt.Errorf("%w: from %s", ErrNoReply, to)
+			// Parity with TCPServer: a handler that returns neither reply
+			// nor error gets an empty pong, so fire-and-forget message
+			// types can also be delivered acked via Request.
+			return Envelope{Type: MsgPong, From: to, To: env.From, Seq: env.Seq}, nil
 		}
 		return *o.reply, nil
 	case <-ctx.Done():

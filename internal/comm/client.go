@@ -138,6 +138,18 @@ func (c *Client) ReportMeasurements(ctx context.Context, to string, ms []Measure
 	return c.t.Send(ctx, to, env)
 }
 
+// ReportMeasurementsAcked reports a batch of metered values upstream
+// and waits for the receiver's ack (the handler has journaled or stored
+// the batch when the reply arrives). Callers that must prove durability
+// — the chaos sim's zero-acked-loss check — use this; fire-and-forget
+// paths keep ReportMeasurements.
+func (c *Client) ReportMeasurementsAcked(ctx context.Context, to string, ms []MeasurementReport) error {
+	if len(ms) == 0 {
+		return nil
+	}
+	return c.call(ctx, to, MsgMeasurementBatch, MeasurementBatch{Reports: ms}, MsgPong, nil)
+}
+
 // Ping checks an endpoint's liveness.
 func (c *Client) Ping(ctx context.Context, to string) error {
 	return c.call(ctx, to, MsgPing, nil, MsgPong, nil)

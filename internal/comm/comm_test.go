@@ -277,8 +277,10 @@ func TestTCPReconnectAfterServerRestart(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer srv2.Close()
-	// The pooled connection is stale; the client must redial.
-	if _, err := client.Request(context.Background(), "srv", env); err != nil {
+	// The pooled connection is stale; the client only classifies the
+	// failure, and the retry policy redials through a fresh connection.
+	rt := NewRetry(client, RetryConfig{})
+	if _, err := rt.Request(context.Background(), "srv", env); err != nil {
 		t.Errorf("request after restart: %v", err)
 	}
 }

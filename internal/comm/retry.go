@@ -1,0 +1,245 @@
+package comm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// ErrNotSent is wrapped by transport failures where the request provably
+// never reached the peer — a failed dial, a dead pooled connection
+// caught before the frame write completed, an unregistered bus endpoint.
+// Such operations are always safe to retry, idempotent or not. Failures
+// NOT carrying ErrNotSent are ambiguous (the handler may have run), so a
+// Retry transport re-attempts them only for idempotent message types.
+var ErrNotSent = errors.New("request not sent")
+
+// DefaultIdempotent classifies the message vocabulary for retry safety.
+// Measurements are keyed upserts and schedules are keyed by offer ID, so
+// re-delivery is harmless; re-submitting a flex-offer whose first copy
+// did land would collide with the stored ID and flip an accept into a
+// duplicate-ID rejection, so submissions retry only when provably unsent.
+var DefaultIdempotent = map[MsgType]bool{
+	MsgPing:              true,
+	MsgForecastRequest:   true,
+	MsgMeasurementReport: true,
+	MsgMeasurementBatch:  true,
+	MsgScheduleNotify:    true,
+}
+
+// RetryConfig tunes a Retry transport.
+type RetryConfig struct {
+	// MaxAttempts bounds the total attempts per call (default 3).
+	MaxAttempts int
+	// BaseBackoff is the sleep before the second retry (default 25ms);
+	// the first retry of a provably-unsent operation goes immediately,
+	// preserving the old stale-pool fast heal.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential growth (default 1s).
+	MaxBackoff time.Duration
+	// Multiplier grows the backoff between retries (default 2).
+	Multiplier float64
+	// JitterFrac spreads each sleep over ±JitterFrac of itself
+	// (default 0.5) so synchronized retriers decorrelate.
+	JitterFrac float64
+	// AttemptTimeout carves a per-attempt deadline out of the caller's
+	// overall budget, so one hung attempt cannot consume every retry's
+	// time (0 leaves attempts bounded only by the caller's deadline).
+	AttemptTimeout time.Duration
+	// Seed drives the deterministic jitter stream; runs with the same
+	// seed draw the same jitter sequence.
+	Seed int64
+	// Idempotent overrides DefaultIdempotent when non-nil.
+	Idempotent map[MsgType]bool
+}
+
+func (c *RetryConfig) fill() {
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.BaseBackoff <= 0 {
+		c.BaseBackoff = 25 * time.Millisecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = time.Second
+	}
+	if c.Multiplier < 1 {
+		c.Multiplier = 2
+	}
+	if c.JitterFrac <= 0 || c.JitterFrac > 1 {
+		c.JitterFrac = 0.5
+	}
+	if c.Idempotent == nil {
+		c.Idempotent = DefaultIdempotent
+	}
+}
+
+// RetryStats counts a Retry transport's activity, surfaced alongside
+// TransportStats in node shutdown logs and the sim's degradation report.
+type RetryStats struct {
+	// Calls is the number of logical operations issued.
+	Calls uint64
+	// Retries is the number of extra attempts made beyond the first.
+	Retries uint64
+	// ShortCircuits counts calls aborted instantly because the
+	// destination's circuit was open — no backoff, no retry storm.
+	ShortCircuits uint64
+	// Exhausted counts calls that failed every allowed attempt.
+	Exhausted uint64
+	// NonRetryable counts failures abandoned because the operation was
+	// not idempotent and delivery was ambiguous.
+	NonRetryable uint64
+	// Backoff is the total time spent sleeping between attempts.
+	Backoff time.Duration
+}
+
+// Retry wraps a Transport with jittered-exponential-backoff retries.
+// It is the single retry code path of the node fabric: the TCP client
+// itself never re-attempts, it only classifies failures (ErrNotSent vs
+// ambiguous), and Retry decides. Compose it OUTSIDE a Breaker —
+// Retry(Breaker(inner)) — so an open circuit fails the whole call
+// immediately instead of being hammered by backoff loops.
+type Retry struct {
+	inner Transport
+	cfg   RetryConfig
+
+	jitterSeq     atomic.Uint64
+	calls         atomic.Uint64
+	retries       atomic.Uint64
+	shortCircuits atomic.Uint64
+	exhausted     atomic.Uint64
+	nonRetryable  atomic.Uint64
+	backoffNanos  atomic.Int64
+}
+
+// NewRetry wraps inner with the retry policy.
+func NewRetry(inner Transport, cfg RetryConfig) *Retry {
+	cfg.fill()
+	return &Retry{inner: inner, cfg: cfg}
+}
+
+// Stats returns a point-in-time copy of the retry counters.
+func (r *Retry) Stats() RetryStats {
+	return RetryStats{
+		Calls:         r.calls.Load(),
+		Retries:       r.retries.Load(),
+		ShortCircuits: r.shortCircuits.Load(),
+		Exhausted:     r.exhausted.Load(),
+		NonRetryable:  r.nonRetryable.Load(),
+		Backoff:       time.Duration(r.backoffNanos.Load()),
+	}
+}
+
+// retryable decides whether a failed attempt may be re-issued.
+func (r *Retry) retryable(t MsgType, err error) bool {
+	if errors.Is(err, context.Canceled) {
+		return false
+	}
+	if errors.Is(err, ErrNotSent) || errors.Is(err, ErrUnreachable) {
+		return true // provably never delivered
+	}
+	return r.cfg.Idempotent[t]
+}
+
+// splitmix64 is the SplitMix64 mixer: a bijective avalanche over the
+// input, giving an independent-looking stream from sequential counters.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// jitter spreads d over ±JitterFrac deterministically from the seed.
+func (r *Retry) jitter(d time.Duration) time.Duration {
+	u := splitmix64(uint64(r.cfg.Seed) + r.jitterSeq.Add(1))
+	// unit in [0, 1): 53 mantissa bits of the draw.
+	unit := float64(u>>11) / float64(1<<53)
+	f := 1 + r.cfg.JitterFrac*(2*unit-1)
+	return time.Duration(float64(d) * f)
+}
+
+// do runs op under the retry policy. op must be re-issuable: each call
+// re-enters the inner transport from scratch.
+func (r *Retry) do(ctx context.Context, to string, t MsgType, op func(context.Context) error) error {
+	r.calls.Add(1)
+	if _, ok := ctx.Deadline(); !ok {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, DefaultTimeout)
+		defer cancel()
+	}
+	backoff := r.cfg.BaseBackoff
+	var err error
+	for attempt := 1; ; attempt++ {
+		actx, acancel := ctx, context.CancelFunc(func() {})
+		if r.cfg.AttemptTimeout > 0 {
+			actx, acancel = context.WithTimeout(ctx, r.cfg.AttemptTimeout)
+		}
+		err = op(actx)
+		acancel()
+		if err == nil {
+			return nil
+		}
+		if errors.Is(err, ErrBreakerOpen) {
+			// The circuit already knows the peer is down: fail the whole
+			// call now, with zero sleep — retries must never pile onto an
+			// open circuit.
+			r.shortCircuits.Add(1)
+			return err
+		}
+		if ctx.Err() != nil {
+			return err // the caller's budget is spent
+		}
+		if !r.retryable(t, err) {
+			r.nonRetryable.Add(1)
+			return err
+		}
+		if attempt >= r.cfg.MaxAttempts {
+			r.exhausted.Add(1)
+			return fmt.Errorf("comm: %s to %s failed after %d attempts: %w", t, to, attempt, err)
+		}
+		r.retries.Add(1)
+		if attempt == 1 && errors.Is(err, ErrNotSent) {
+			continue // stale-pool heal: one immediate redial, no sleep
+		}
+		d := r.jitter(backoff)
+		timer := time.NewTimer(d)
+		select {
+		case <-timer.C:
+			r.backoffNanos.Add(int64(d))
+		case <-ctx.Done():
+			timer.Stop()
+			return err
+		}
+		if next := time.Duration(float64(backoff) * r.cfg.Multiplier); next < r.cfg.MaxBackoff {
+			backoff = next
+		} else {
+			backoff = r.cfg.MaxBackoff
+		}
+	}
+}
+
+// Send implements Transport with retries.
+func (r *Retry) Send(ctx context.Context, to string, env Envelope) error {
+	return r.do(ctx, to, env.Type, func(actx context.Context) error {
+		return r.inner.Send(actx, to, env)
+	})
+}
+
+// Request implements Transport with retries.
+func (r *Retry) Request(ctx context.Context, to string, env Envelope) (Envelope, error) {
+	var reply Envelope
+	err := r.do(ctx, to, env.Type, func(actx context.Context) error {
+		rep, err := r.inner.Request(actx, to, env)
+		if err == nil {
+			reply = rep
+		}
+		return err
+	})
+	if err != nil {
+		return Envelope{}, err
+	}
+	return reply, nil
+}

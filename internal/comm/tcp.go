@@ -242,9 +242,6 @@ type TransportStats struct {
 	Dials uint64
 	// Reuses counts operations served over an already-pooled connection.
 	Reuses uint64
-	// Retries counts operations re-attempted on a fresh connection after
-	// a pooled one failed mid-flight (stale pool, broken pipe).
-	Retries uint64
 	// Requests and Sends count round trips and fire-and-forget frames.
 	Requests uint64
 	Sends    uint64
@@ -277,8 +274,15 @@ const DefaultPoolSize = 4
 //
 // Cancellation: a canceled Request deregisters its waiter and returns
 // immediately; the connection stays pooled and healthy (the late reply
-// is demuxed to no one and dropped). Operations that fail on a stale
-// pooled connection are retried once on a fresh dial.
+// is demuxed to no one and dropped).
+//
+// The client itself never re-attempts an operation — it only
+// classifies failures: errors from before the frame could have reached
+// the peer (failed dial, dead pooled connection caught at registration
+// or during the frame write) wrap ErrNotSent, everything later is
+// ambiguous. Wrap the client in a Retry transport to heal stale pooled
+// connections with an immediate redial; that is the single retry code
+// path of the fabric.
 type TCPClient struct {
 	from     string
 	poolSize int
@@ -290,7 +294,6 @@ type TCPClient struct {
 	seq      atomic.Uint64
 	dials    atomic.Uint64
 	reuses   atomic.Uint64
-	retries  atomic.Uint64
 	requests atomic.Uint64
 	sends    atomic.Uint64
 	inFlight atomic.Int64
@@ -339,7 +342,6 @@ func (c *TCPClient) Stats() TransportStats {
 	return TransportStats{
 		Dials:    c.dials.Load(),
 		Reuses:   c.reuses.Load(),
-		Retries:  c.retries.Load(),
 		Requests: c.requests.Load(),
 		Sends:    c.sends.Load(),
 		InFlight: c.inFlight.Load(),
@@ -402,30 +404,24 @@ func (c *TCPClient) Send(ctx context.Context, to string, env Envelope) error {
 	env.Seq = c.seq.Add(1)
 	env.From = c.from
 	env.To = to
-	var lastErr error
-	for attempt := 0; attempt < 2; attempt++ {
-		if attempt > 0 {
-			c.retries.Add(1)
+	conn, err := pool.get(ctx)
+	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return fmt.Errorf("comm: send to %s: %w", to, cerr)
 		}
-		conn, err := pool.get(ctx)
-		if err != nil {
-			if cerr := ctx.Err(); cerr != nil {
-				return fmt.Errorf("comm: send to %s: %w", to, cerr)
-			}
-			return fmt.Errorf("comm: dial %s: %w", pool.addr, err)
-		}
-		if err := conn.write(ctx, &env); err != nil {
-			conn.fail(err)
-			lastErr = err
-			if cerr := ctx.Err(); cerr != nil {
-				return fmt.Errorf("comm: send to %s: %w", to, cerr)
-			}
-			continue // stale pooled connection: retry once on a fresh dial
-		}
-		c.sends.Add(1)
-		return nil
+		return fmt.Errorf("comm: dial %s: %w (%w)", pool.addr, err, ErrNotSent)
 	}
-	return fmt.Errorf("comm: send to %s failed after retry: %w", to, lastErr)
+	if err := conn.write(ctx, &env); err != nil {
+		conn.fail(err)
+		if cerr := ctx.Err(); cerr != nil {
+			return fmt.Errorf("comm: send to %s: %w", to, cerr)
+		}
+		// A failed frame write never delivers a complete frame, so the
+		// server drops the connection without running the handler.
+		return fmt.Errorf("comm: send to %s: %w (%w)", to, err, ErrNotSent)
+	}
+	c.sends.Add(1)
+	return nil
 }
 
 // Request implements Transport.
@@ -469,53 +465,44 @@ func (c *TCPClient) roundTrip(ctx context.Context, to string, env Envelope) (Env
 	env.From = c.from
 	env.To = to
 
-	var lastErr error
-	for attempt := 0; attempt < 2; attempt++ {
-		if attempt > 0 {
-			c.retries.Add(1)
+	conn, err := pool.get(ctx)
+	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return Envelope{}, fmt.Errorf("comm: request to %s: %w", to, cerr)
 		}
-		conn, err := pool.get(ctx)
-		if err != nil {
-			if cerr := ctx.Err(); cerr != nil {
-				return Envelope{}, fmt.Errorf("comm: request to %s: %w", to, cerr)
-			}
-			return Envelope{}, fmt.Errorf("comm: dial %s: %w", pool.addr, err)
-		}
-		ch, err := conn.register(seq)
-		if err != nil {
-			lastErr = err // conn died between pool.get and register
-			continue
-		}
-		c.inFlight.Add(1)
-		if err := conn.write(ctx, &env); err != nil {
-			c.inFlight.Add(-1)
-			conn.deregister(seq)
-			conn.fail(err)
-			lastErr = err
-			if cerr := ctx.Err(); cerr != nil {
-				return Envelope{}, fmt.Errorf("comm: request to %s: %w", to, cerr)
-			}
-			continue // stale pooled connection: retry once on a fresh dial
-		}
-		select {
-		case reply, ok := <-ch:
-			c.inFlight.Add(-1)
-			if !ok {
-				// The connection died before the reply arrived.
-				lastErr = conn.failure()
-				if cerr := ctx.Err(); cerr != nil {
-					return Envelope{}, fmt.Errorf("comm: request to %s: %w", to, cerr)
-				}
-				continue
-			}
-			return reply, nil
-		case <-ctx.Done():
-			c.inFlight.Add(-1)
-			conn.deregister(seq)
-			return Envelope{}, fmt.Errorf("comm: request to %s: %w", to, ctx.Err())
-		}
+		return Envelope{}, fmt.Errorf("comm: dial %s: %w (%w)", pool.addr, err, ErrNotSent)
 	}
-	return Envelope{}, fmt.Errorf("comm: request to %s failed after retry: %w", to, lastErr)
+	ch, err := conn.register(seq)
+	if err != nil {
+		// The pooled connection died between get and register: the frame
+		// was never written.
+		return Envelope{}, fmt.Errorf("comm: request to %s: %w (%w)", to, err, ErrNotSent)
+	}
+	c.inFlight.Add(1)
+	if err := conn.write(ctx, &env); err != nil {
+		c.inFlight.Add(-1)
+		conn.deregister(seq)
+		conn.fail(err)
+		if cerr := ctx.Err(); cerr != nil {
+			return Envelope{}, fmt.Errorf("comm: request to %s: %w", to, cerr)
+		}
+		return Envelope{}, fmt.Errorf("comm: request to %s: %w (%w)", to, err, ErrNotSent)
+	}
+	select {
+	case reply, ok := <-ch:
+		c.inFlight.Add(-1)
+		if !ok {
+			// The connection died before the reply arrived — ambiguous:
+			// the server may or may not have processed the frame, so no
+			// ErrNotSent here.
+			return Envelope{}, fmt.Errorf("comm: request to %s: %w", to, conn.failure())
+		}
+		return reply, nil
+	case <-ctx.Done():
+		c.inFlight.Add(-1)
+		conn.deregister(seq)
+		return Envelope{}, fmt.Errorf("comm: request to %s: %w", to, ctx.Err())
+	}
 }
 
 // connPool is the bounded set of live connections to one destination.

@@ -261,7 +261,8 @@ func TestTCPSeqMismatchDoesNotMiscorrelate(t *testing.T) {
 
 // TestTCPStalePoolRetries kills the connection server-side after the
 // request frame is read: the pooled connection fails mid-flight and the
-// client must transparently retry on a fresh dial.
+// Retry wrapper — the single retry code path, now that the client never
+// re-attempts on its own — must heal it with one extra dial.
 func TestTCPStalePoolRetries(t *testing.T) {
 	var kills atomic.Int32
 	kills.Store(1) // kill exactly the first request
@@ -278,16 +279,29 @@ func TestTCPStalePoolRetries(t *testing.T) {
 	client := NewTCPClient("p1")
 	defer client.Close()
 	client.SetRoute("srv", ln.Addr().String())
+	rt := NewRetry(client, RetryConfig{})
 	env, _ := NewEnvelope(MsgPing, "p1", "srv", nil)
-	if _, err := client.Request(context.Background(), "srv", env); err != nil {
+	if _, err := rt.Request(context.Background(), "srv", env); err != nil {
 		t.Fatalf("request: %v", err)
 	}
-	st := client.Stats()
-	if st.Retries == 0 {
-		t.Errorf("stats = %+v, want a recorded retry", st)
+	if rs := rt.Stats(); rs.Retries == 0 {
+		t.Errorf("retry stats = %+v, want a recorded retry", rs)
 	}
-	if st.Dials != 2 {
+	if st := client.Stats(); st.Dials != 2 {
 		t.Errorf("dials = %d, want 2 (original + retry redial)", st.Dials)
+	}
+
+	// A bare client must surface the failure instead of retrying: one
+	// dial per call, no hidden second attempt.
+	kills.Store(1)
+	bare := NewTCPClient("p2")
+	defer bare.Close()
+	bare.SetRoute("srv", ln.Addr().String())
+	if _, err := bare.Request(context.Background(), "srv", env); err == nil {
+		t.Fatal("bare client request healed; want classified failure with no internal retry")
+	}
+	if st := bare.Stats(); st.Dials != 1 {
+		t.Errorf("bare dials = %d, want 1", st.Dials)
 	}
 }
 

@@ -104,6 +104,14 @@ type Config struct {
 	// filled with the node's name.
 	Breaker *comm.BreakerConfig
 
+	// Retry, when non-nil, wraps the node's outbound transport with the
+	// retry policy (comm.Retry): jittered exponential backoff, retries
+	// restricted to idempotent message types unless the failure proves
+	// the request never left. It composes OUTSIDE the breaker, so an
+	// open circuit fails a call instantly instead of being hammered
+	// through backoff loops.
+	Retry *comm.RetryConfig
+
 	// Settlement, when non-nil, opens a durable hash-chained settlement
 	// ledger (settle.OpenLedger): SettleExecuted becomes a batched,
 	// crash-recoverable run whose ledger appends are acked before
@@ -120,6 +128,7 @@ type Node struct {
 	metrics *comm.Metrics
 	ingest  *ingest.Queue      // nil = synchronous intake
 	breaker *comm.Breaker      // nil = no circuit breaking
+	retry   *comm.Retry        // nil = no retry policy
 	fcasts  *forecast.Registry // nil = no per-series forecast service
 	ledger  *settle.Ledger     // nil = in-memory settlement only
 
@@ -159,6 +168,11 @@ type Node struct {
 	// local aggregate they represent.
 	forwarded map[flexoffer.ID]flexoffer.ID
 	nextFwdID flexoffer.ID
+
+	// recoveredPending counts accepted offers re-admitted into the
+	// planning pipeline from the store at construction — a reopened node
+	// schedules what its predecessor had accepted but not yet placed.
+	recoveredPending int
 }
 
 // NewNode builds a node and registers nothing — attach it to a transport
@@ -212,6 +226,12 @@ func NewNode(cfg Config) (*Node, error) {
 			n.breaker = comm.NewBreaker(transport, bc)
 			transport = n.breaker
 		}
+		if cfg.Retry != nil {
+			// Retry outermost: a retry that meets ErrBreakerOpen aborts
+			// instead of sleeping through backoff against a dead peer.
+			n.retry = comm.NewRetry(transport, *cfg.Retry)
+			transport = n.retry
+		}
 		n.client = comm.NewClient(cfg.Name, transport, comm.WithRequestTimeout(cfg.RequestTimeout))
 	}
 	if cfg.Forecasting != nil {
@@ -249,6 +269,34 @@ func NewNode(cfg Config) (*Node, error) {
 			return nil, fmt.Errorf("core: open settlement ledger: %w", err)
 		}
 		n.ledger = l
+	}
+
+	// Crash recovery for the planning state: a predecessor's accepted
+	// offers live in the store (and possibly still in the ingest
+	// journal), but pending/pipeline are in-memory and died with it.
+	// Re-admit them so a restarted BRP schedules what it had already
+	// promised, instead of letting acked offers sit accepted forever.
+	if cfg.Role != store.RoleProsumer {
+		if n.ingest != nil {
+			// Journal replay finishes first, so offers acked durable but
+			// never applied are visible to the scan below.
+			dctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			err := n.ingest.Drain(dctx)
+			cancel()
+			if err != nil {
+				return nil, fmt.Errorf("core: recover ingest journal: %w", err)
+			}
+		}
+		for _, rec := range n.store.Offers(store.OfferFilter{State: store.OfferAccepted}) {
+			if rec.Offer == nil {
+				continue
+			}
+			if err := n.pipeline.Accumulate(agg.FlexOfferUpdate{Kind: agg.Insert, Offer: rec.Offer}); err != nil {
+				continue // malformed record: planning just skips it
+			}
+			n.pending[rec.Offer.ID] = rec.Offer
+			n.recoveredPending++
+		}
 	}
 
 	// Dispatch: one registered handler per message type, wrapped in the
@@ -525,6 +573,15 @@ func (n *Node) DrainIngest(ctx context.Context) error {
 // configured).
 func (n *Node) Breaker() *comm.Breaker { return n.breaker }
 
+// RetryStats reports the outbound retry policy's counters; ok is false
+// when the node runs without one.
+func (n *Node) RetryStats() (comm.RetryStats, bool) {
+	if n.retry == nil {
+		return comm.RetryStats{}, false
+	}
+	return n.retry.Stats(), true
+}
+
 // ForecastRegistry exposes the node's fleet forecast service (nil when
 // Config.Forecasting is unset).
 func (n *Node) ForecastRegistry() *forecast.Registry { return n.fcasts }
@@ -577,6 +634,54 @@ func (n *Node) Close() error {
 		}
 	}
 	return err
+}
+
+// Kill simulates a crash for recovery testing: the ingest queue's
+// consumers stop with the in-memory backlog abandoned (journaled acks
+// stay on disk for replay), and the forecast service, ledger and store
+// close without the drain barrier Close performs. The node must not be
+// used afterwards; rebuild it over the same directories to recover.
+func (n *Node) Kill() {
+	if n.ingest != nil {
+		n.ingest.Kill()
+	}
+	if n.fcasts != nil {
+		n.fcasts.Close()
+	}
+	if n.ledger != nil {
+		_ = n.ledger.Close()
+	}
+	_ = n.store.Close()
+}
+
+// RecoveredPending reports how many accepted offers the node re-admitted
+// into its planning pipeline from the store at construction.
+func (n *Node) RecoveredPending() int { return n.recoveredPending }
+
+// CancelProsumer settles a prosumer leaving mid-contract
+// (settle.CancelActor): every open offer of theirs is voided with a
+// penalty entry on the ledger, one close-out entry zeroes their balance,
+// and their still-pending offers leave the aggregation pipeline so the
+// next cycle plans without them. Requires a settlement ledger.
+func (n *Node) CancelProsumer(prosumer string, cfg settle.CancelConfig) (*settle.CancelReport, error) {
+	if n.ledger == nil {
+		return nil, fmt.Errorf("core: %s has no settlement ledger to cancel against", n.cfg.Name)
+	}
+	n.cycleMu.Lock()
+	defer n.cycleMu.Unlock()
+	rep, err := settle.CancelActor(n.store, n.ledger, prosumer, cfg)
+	if err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	for _, id := range rep.Cancelled {
+		if off, ok := n.pending[id]; ok {
+			delete(n.pending, id)
+			_ = n.pipeline.Accumulate(agg.FlexOfferUpdate{Kind: agg.Delete, Offer: off})
+		}
+	}
+	n.mu.Unlock()
+	return rep, nil
 }
 
 // PendingOffers returns the accepted, not-yet-scheduled offers.

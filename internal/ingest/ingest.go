@@ -118,6 +118,17 @@ type Config struct {
 	// MaxBatch bounds how many queued events one consumer coalesces
 	// into a single store apply (default 256).
 	MaxBatch int
+	// CompactBytes, when positive, bounds the journal between drains: a
+	// background compactor seals the journal into a side segment
+	// (<Path>.old) once it outgrows this many bytes, and deletes the
+	// segment as soon as every event recorded in it has been applied
+	// and the store fsynced. Producers are only paused for the rename
+	// itself, never for the wait. Zero disables mid-run compaction (the
+	// journal is still truncated by Drain/Close).
+	CompactBytes int64
+	// CompactInterval is the compactor's polling cadence (default
+	// 100ms). Only used when CompactBytes is positive.
+	CompactInterval time.Duration
 	// OnMeasurements, when set, observes every measurement batch as it
 	// is applied to the store — the forecast-maintenance hook. Because
 	// it hangs off the single apply funnel, it sees live consumed

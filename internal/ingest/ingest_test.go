@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -53,6 +54,7 @@ func newIdleQueue(t *testing.T, cfg Config) *Queue {
 		ch:         make(chan event, cfg.Queue),
 		stop:       make(chan struct{}),
 		refillKick: make(chan struct{}, 1),
+		epoch:      new(atomic.Int64),
 	}
 	if cfg.Path != "" {
 		log, err := store.OpenGroupLog(cfg.Path, cfg.Sync, cfg.SyncInterval)

@@ -47,10 +47,14 @@ func checksum(kind string, deferred bool, data []byte) uint32 {
 	return h.Sum32()
 }
 
-// event is one queued unit of intake work. Exactly one field is set.
+// event is one queued unit of intake work. Exactly one of offer/meas is
+// set. out, when non-nil, is the submission epoch's outstanding counter
+// — the compactor waits for a sealed epoch to drain to zero before
+// deleting the journal segment its events were acked into.
 type event struct {
 	offer *store.OfferRecord
 	meas  []store.Measurement
+	out   *atomic.Int64
 }
 
 // marshalEvent pre-serializes the event payload so encoding errors
@@ -145,10 +149,21 @@ type Queue struct {
 	// horizon guards the refill reader's view of the journal: offsets
 	// below recoveredEnd predate this Queue and are re-applied
 	// wholesale; past it only Deferred-flagged lines are admitted.
-	// readOff is the next unread byte.
+	// readOff is the next unread byte. Offsets are logical positions in
+	// the concatenation <Path>.old ++ <Path>: oldSize is the sealed
+	// segment's length (0 when none), so physical positions in the live
+	// journal are offset by it.
 	horizon      sync.Mutex
 	readOff      int64
 	recoveredEnd int64
+	oldSize      int64
+
+	// epoch is the outstanding counter stamped onto submissions
+	// (written under gate.Lock at rotation, read under gate.RLock);
+	// prev, touched only by the compactor goroutine, is the sealed
+	// epoch still draining.
+	epoch *atomic.Int64
+	prev  *atomic.Int64
 
 	refillKick chan struct{} // cap 1: "the journal may hold refill work"
 
@@ -181,31 +196,44 @@ func Open(cfg Config) (*Queue, error) {
 		ch:         make(chan event, cfg.Queue),
 		stop:       make(chan struct{}),
 		refillKick: make(chan struct{}, 1),
+		epoch:      new(atomic.Int64),
 	}
 	if cfg.Path != "" {
-		// Survey the existing journal: count recoverable events and
-		// find the intact prefix so a torn tail never hides appends.
+		// Survey the existing journal — a sealed compaction segment
+		// first, if a crash left one behind, then the live file — count
+		// recoverable events, and find each intact prefix so a torn
+		// tail never hides appends.
 		recovered := 0
-		intact, err := store.ReplayLines(cfg.Path, func(line []byte) error {
+		count := func(line []byte) error {
 			if _, _, ok := decodeLine(line); ok {
 				recovered++
 			}
 			return nil
-		})
+		}
+		oldIntact, err := store.ReplayLines(oldJournalPath(cfg.Path), count)
 		if err != nil {
 			return nil, err
 		}
-		if fi, serr := os.Stat(cfg.Path); serr == nil && fi.Size() > intact {
-			if terr := os.Truncate(cfg.Path, intact); terr != nil {
-				return nil, fmt.Errorf("ingest: truncate torn journal tail: %w", terr)
-			}
+		if err := truncateTorn(oldJournalPath(cfg.Path), oldIntact); err != nil {
+			return nil, err
+		}
+		if oldIntact == 0 {
+			_ = os.Remove(oldJournalPath(cfg.Path)) // empty or absent
+		}
+		intact, err := store.ReplayLines(cfg.Path, count)
+		if err != nil {
+			return nil, err
+		}
+		if err := truncateTorn(cfg.Path, intact); err != nil {
+			return nil, err
 		}
 		log, err := store.OpenGroupLog(cfg.Path, cfg.Sync, cfg.SyncInterval)
 		if err != nil {
 			return nil, err
 		}
 		q.log = log
-		q.recoveredEnd = intact
+		q.oldSize = oldIntact
+		q.recoveredEnd = oldIntact + intact
 		if recovered > 0 {
 			q.deferred.Store(int64(recovered))
 			q.stats.recovered.Store(uint64(recovered))
@@ -216,7 +244,24 @@ func Open(cfg Config) (*Queue, error) {
 	for i := 0; i < cfg.Consumers; i++ {
 		go q.consume()
 	}
+	if q.log != nil && (cfg.CompactBytes > 0 || q.oldSize > 0) {
+		q.done.Add(1)
+		go q.compactLoop()
+	}
 	return q, nil
+}
+
+// oldJournalPath is where a rotation seals the journal's prior contents.
+func oldJournalPath(path string) string { return path + ".old" }
+
+// truncateTorn cuts a journal file back to its intact prefix.
+func truncateTorn(path string, intact int64) error {
+	if fi, err := os.Stat(path); err == nil && fi.Size() > intact {
+		if terr := os.Truncate(path, intact); terr != nil {
+			return fmt.Errorf("ingest: truncate torn journal tail: %w", terr)
+		}
+	}
+	return nil
 }
 
 // SubmitOffer queues a flex-offer upsert. The returned nil is the
@@ -252,6 +297,12 @@ func (q *Queue) submit(ctx context.Context, ev event) error {
 		return ErrClosed
 	}
 
+	// Stamp the submission epoch before staging so the consumer can
+	// retire the event against the right generation (gate.RLock makes
+	// the read race-free against rotation's swap).
+	ev.out = q.epoch
+	ev.out.Add(1)
+
 	deferred := false
 	switch q.cfg.Policy {
 	case PolicyBlock:
@@ -260,9 +311,11 @@ func (q *Queue) submit(ctx context.Context, ev event) error {
 		case q.ch <- ev:
 		case <-ctx.Done():
 			q.pending.Add(-1)
+			ev.out.Add(-1)
 			return ctx.Err()
 		case <-q.stop:
 			q.pending.Add(-1)
+			ev.out.Add(-1)
 			return ErrClosed
 		}
 	case PolicyShed:
@@ -271,6 +324,7 @@ func (q *Queue) submit(ctx context.Context, ev event) error {
 		case q.ch <- ev:
 		default:
 			q.pending.Add(-1)
+			ev.out.Add(-1)
 			q.stats.shed.Add(1)
 			return ErrOverloaded
 		}
@@ -280,9 +334,11 @@ func (q *Queue) submit(ctx context.Context, ev event) error {
 		case q.ch <- ev:
 		default:
 			q.pending.Add(-1)
+			ev.out.Add(-1) // disk-parked: tracked by deferred instead
 			deferred = true
 		}
 	default:
+		ev.out.Add(-1)
 		return fmt.Errorf("ingest: unknown policy %v", q.cfg.Policy)
 	}
 
@@ -338,6 +394,11 @@ func (q *Queue) consume() {
 		case ev := <-q.ch:
 			batch := q.coalesce(ev)
 			q.applyEvents(batch)
+			for _, b := range batch {
+				if b.out != nil {
+					b.out.Add(-1)
+				}
+			}
 			q.pending.Add(-int64(len(batch)))
 		case <-q.refillKick:
 			q.refill()
@@ -449,15 +510,31 @@ func (q *Queue) refill() {
 }
 
 // readDiskBacklog scans forward from readOff and collects up to
-// MaxBatch applicable events. Caller holds horizon. A partial last line
-// (a group flush racing this read) is left for the next pass.
+// MaxBatch applicable events. Caller holds horizon. Logical offsets run
+// across the sealed segment (immutable, read to EOF) and then the live
+// journal; a partial last line in the live file (a group flush racing
+// this read) is left for the next pass.
 func (q *Queue) readDiskBacklog() ([]event, error) {
-	f, err := os.Open(q.log.Path())
+	if q.readOff < q.oldSize {
+		events, err := q.scanSegment(oldJournalPath(q.cfg.Path), 0)
+		if err != nil || len(events) > 0 {
+			return events, err
+		}
+		// Sealed segment exhausted without an admissible event: fall
+		// through to the live journal.
+	}
+	return q.scanSegment(q.cfg.Path, q.oldSize)
+}
+
+// scanSegment reads one journal file whose first byte sits at logical
+// offset base, advancing q.readOff past every complete line consumed.
+func (q *Queue) scanSegment(path string, base int64) ([]event, error) {
+	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("ingest: open journal for refill: %w", err)
 	}
 	defer f.Close()
-	if _, err := f.Seek(q.readOff, io.SeekStart); err != nil {
+	if _, err := f.Seek(q.readOff-base, io.SeekStart); err != nil {
 		return nil, fmt.Errorf("ingest: seek journal: %w", err)
 	}
 	r := bufio.NewReaderSize(f, 1<<20)
@@ -482,6 +559,113 @@ func (q *Queue) readDiskBacklog() ([]event, error) {
 		}
 	}
 	return events, nil
+}
+
+// compactLoop bounds the journal between drains without stalling
+// producers: rotation pauses submissions only for a rename, and the
+// sealed segment is retired in the background once everything in it is
+// durably applied.
+func (q *Queue) compactLoop() {
+	defer q.done.Done()
+	interval := q.cfg.CompactInterval
+	if interval <= 0 {
+		interval = 100 * time.Millisecond
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-q.stop:
+			return
+		case <-tick.C:
+			q.compactOnce()
+		}
+	}
+}
+
+func (q *Queue) compactOnce() {
+	q.horizon.Lock()
+	sealed := q.oldSize
+	q.horizon.Unlock()
+	if sealed > 0 {
+		q.retireSealed()
+		return
+	}
+	if q.cfg.CompactBytes <= 0 {
+		return
+	}
+	if size, err := q.log.Size(); err != nil || size < q.cfg.CompactBytes {
+		return
+	}
+
+	// Seal the journal. The exclusive gate pauses producers for just
+	// the flush+rename; holding horizon too keeps the refill reader's
+	// offsets coherent with the file swap (logical positions are
+	// unchanged: the old bytes keep their offsets, new appends land
+	// after them).
+	q.gate.Lock()
+	defer q.gate.Unlock()
+	if q.closed.Load() || q.stopped.Load() {
+		return
+	}
+	q.horizon.Lock()
+	defer q.horizon.Unlock()
+	if q.deferred.Load() != 0 || q.oldSize != 0 {
+		// Disk-parked events still live in the current file; sealing
+		// now would strand the refill backlog behind two segments of
+		// bookkeeping for no benefit. Wait for the backlog to clear.
+		return
+	}
+	size, err := q.log.Size()
+	if err != nil || size == 0 {
+		return
+	}
+	if err := q.log.Rotate(oldJournalPath(q.cfg.Path)); err != nil {
+		q.stats.noteApplyErr(fmt.Errorf("ingest: rotate journal: %w", err))
+		return
+	}
+	q.oldSize = size
+	q.prev, q.epoch = q.epoch, new(atomic.Int64)
+}
+
+// retireSealed deletes the sealed segment once no event journaled in it
+// can still be lost: the sealed submission epoch has drained, no disk
+// backlog remains, and the store has fsynced everything applied.
+func (q *Queue) retireSealed() {
+	if q.prev != nil && q.prev.Load() != 0 {
+		return
+	}
+	if q.deferred.Load() != 0 {
+		return
+	}
+	if err := q.cfg.Store.Sync(); err != nil {
+		q.stats.noteApplyErr(err)
+		return
+	}
+	q.horizon.Lock()
+	defer q.horizon.Unlock()
+	if q.oldSize == 0 {
+		q.prev = nil
+		return // a concurrent Drain already cleaned up
+	}
+	if err := os.Remove(oldJournalPath(q.cfg.Path)); err != nil && !os.IsNotExist(err) {
+		q.stats.noteApplyErr(fmt.Errorf("ingest: retire sealed journal: %w", err))
+		return
+	}
+	freed := q.oldSize
+	q.readOff = max64(0, q.readOff-freed)
+	q.recoveredEnd = max64(0, q.recoveredEnd-freed)
+	q.oldSize = 0
+	q.prev = nil
+	q.stats.compactions.Add(1)
+	q.stats.compactedByte.Add(uint64(freed))
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // Drain blocks new submissions, waits until every staged and deferred
@@ -516,8 +700,11 @@ func (q *Queue) Drain(ctx context.Context) error {
 			return err
 		}
 		q.horizon.Lock()
-		q.readOff, q.recoveredEnd = 0, 0
-		q.horizon.Unlock()
+		defer q.horizon.Unlock()
+		if rerr := os.Remove(oldJournalPath(q.cfg.Path)); rerr != nil && !os.IsNotExist(rerr) {
+			return rerr
+		}
+		q.readOff, q.recoveredEnd, q.oldSize = 0, 0, 0
 	}
 	return nil
 }

@@ -30,6 +30,9 @@ type Stats struct {
 
 	ApplyErrors uint64
 
+	Compactions    uint64 // sealed journal segments retired mid-run
+	CompactedBytes uint64 // journal bytes reclaimed by those compactions
+
 	Journal store.LogStats // group-commit counters of the journal
 }
 
@@ -48,6 +51,8 @@ type statsCollector struct {
 	batchEvents   atomic.Uint64
 	maxBatch      atomic.Int64
 	applyErrs     atomic.Uint64
+	compactions   atomic.Uint64
+	compactedByte atomic.Uint64
 
 	mu       sync.Mutex
 	ring     [ackWindow]time.Duration
@@ -103,6 +108,9 @@ func (c *statsCollector) snapshot() Stats {
 		Batches:      c.batches.Load(),
 		MaxBatchSeen: int(c.maxBatch.Load()),
 		ApplyErrors:  c.applyErrs.Load(),
+
+		Compactions:    c.compactions.Load(),
+		CompactedBytes: c.compactedByte.Load(),
 	}
 	if s.Batches > 0 {
 		s.MeanBatch = float64(c.batchEvents.Load()) / float64(s.Batches)

@@ -35,6 +35,14 @@ const (
 	EntryTrade EntryKind = "trade"
 	// EntryNegotiation records the outcome of a negotiation session.
 	EntryNegotiation EntryKind = "negotiation"
+	// EntryCancel voids one open flex-offer of a prosumer leaving
+	// mid-contract, charging the cancellation penalty. Like EntryLine it
+	// marks the offer settled on the chain, so a crashed cancellation
+	// run never charges an offer twice.
+	EntryCancel EntryKind = "cancel"
+	// EntryClose zeroes a departing prosumer's net balance — the final
+	// cash movement of the contract, after which the actor's NetEUR is 0.
+	EntryClose EntryKind = "close"
 )
 
 // Entry is one immutable line of the settlement ledger. Hash is the
@@ -251,7 +259,7 @@ func (l *Ledger) checkNext(line []byte) (*Entry, string, bool) {
 func (l *Ledger) applyEntry(e *Entry) {
 	l.lastHash = e.Hash
 	l.nextSeq = e.Seq + 1
-	if e.Kind == EntryLine {
+	if e.Kind == EntryLine || e.Kind == EntryCancel {
 		l.settled[e.OfferID] = struct{}{}
 	}
 	b := l.balances[e.Actor]
@@ -267,7 +275,7 @@ func (l *Ledger) applyEntry(e *Entry) {
 		if e.Compliant {
 			b.Compliant++
 		}
-	case EntryPenalty:
+	case EntryPenalty, EntryCancel:
 		b.Deviations++
 	}
 }

@@ -80,6 +80,15 @@ func (g *GroupLog) Stats() LogStats { return g.c.stats() }
 // Close flushes, fsyncs and closes the log. Further appends fail.
 func (g *GroupLog) Close() error { return g.c.close() }
 
+// Rotate seals the log's current contents at oldPath and continues
+// appending to a fresh file at the original path. The sealed bytes are
+// flushed and fsynced before the rename, so oldPath is a complete,
+// immutable prefix of the log; the caller deletes it once every record
+// in it is durable elsewhere. If oldPath already exists (an earlier
+// rotation whose cleanup was interrupted), the current contents are
+// appended to it instead, preserving replay order.
+func (g *GroupLog) Rotate(oldPath string) error { return g.c.rotate(g.path, oldPath) }
+
 // Truncate discards the log's entire contents: quiesce in-flight
 // groups, fsync, then cut the file to length zero. Callers truncate
 // only once every logged record has been applied and made durable

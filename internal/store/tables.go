@@ -60,7 +60,8 @@ const (
 	OfferRejected  OfferState = "rejected"
 	OfferScheduled OfferState = "scheduled"
 	OfferExecuted  OfferState = "executed"
-	OfferExpired   OfferState = "expired" // timed out: prosumer fell back to the default profile
+	OfferExpired   OfferState = "expired"   // timed out: prosumer fell back to the default profile
+	OfferCancelled OfferState = "cancelled" // voided by a mid-contract prosumer departure
 )
 
 // OfferRecord is a fact record: a flex-offer and its lifecycle state.
